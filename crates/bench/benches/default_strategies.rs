@@ -1,0 +1,34 @@
+//! Regenerates prose claim **P1** ("on mc1 the CPU-only strategy usually
+//! wins; on mc2 the GPU-only strategy usually performs better"), then
+//! benchmarks the oracle partition sweep the comparison is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetpart_bench::{banner, bench_context};
+use hetpart_core::eval;
+use hetpart_oclsim::machines;
+use hetpart_runtime::{sweep_partitions, Executor, Launch};
+
+fn default_strategies(c: &mut Criterion) {
+    let ctx = bench_context();
+    banner("P1: default-strategy comparison per machine");
+    let rep = eval::default_strategy_comparison(&ctx);
+    println!("{}", rep.render());
+    for m in &rep.machines {
+        println!("{} GPU-winning programs: {:?}", m.machine, m.gpu_wins);
+    }
+    println!();
+
+    let bench = hetpart_suite::by_name("vec_add").expect("exists");
+    let kernel = bench.compile();
+    let inst = bench.instance(bench.default_size());
+    let ex = Executor::new(machines::mc2());
+    let launch = Launch::new(&kernel, inst.nd.clone(), inst.args.clone());
+    c.benchmark_group("default_strategies")
+        .sample_size(10)
+        .bench_function("sweep_66_partitions_vec_add", |b| {
+            b.iter(|| sweep_partitions(&ex, &launch, &inst.bufs, 1).unwrap())
+        });
+}
+
+criterion_group!(benches, default_strategies);
+criterion_main!(benches);

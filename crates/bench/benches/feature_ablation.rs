@@ -1,0 +1,31 @@
+//! Regenerates extension **E2** (static-only vs runtime-only vs combined
+//! features — the paper's case for problem-size-sensitive features), then
+//! benchmarks static feature extraction at compile time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetpart_bench::{banner, bench_context};
+use hetpart_core::eval;
+use hetpart_inspire::{compile, features};
+use std::hint::black_box;
+
+fn feature_ablation(c: &mut Criterion) {
+    let ctx = bench_context();
+    banner("E2: feature-set ablation");
+    println!("{}", eval::feature_ablation(&ctx).render());
+
+    let bench = hetpart_suite::by_name("srad").expect("exists");
+    let kernel = compile(bench.source).unwrap();
+    let mut g = c.benchmark_group("feature_extraction");
+    g.bench_function("compile_srad", |b| b.iter(|| compile(black_box(bench.source)).unwrap()));
+    g.bench_function("static_features_srad", |b| {
+        b.iter(|| features::extract(black_box(&kernel.ir)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = feature_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerates **Figure 1** of the paper, then benchmarks the deployment
+//! cost the figure depends on: end-to-end partition prediction for a new
+//! launch (runtime feature collection + model inference).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetpart_bench::{banner, bench_context};
+use hetpart_core::{eval, FeatureSet, PartitionPredictor};
+use hetpart_runtime::runtime_features;
+use std::hint::black_box;
+
+fn fig1(c: &mut Criterion) {
+    let ctx = bench_context();
+    banner("Figure 1: ML-guided partitioning vs CPU-only / GPU-only");
+    let fig = eval::figure1(&ctx);
+    println!("{}", fig.render());
+    println!(
+        "paper reference peaks: mc1 13.5x/19.8x, mc2 5.7x/4.9x (over CPU / over GPU)\n"
+    );
+
+    // Deployment-path cost: what the runtime pays per launch.
+    let predictor =
+        PartitionPredictor::train(&ctx.dbs[1], &ctx.cfg.model, FeatureSet::Both);
+    let bench = hetpart_suite::by_name("blackscholes").expect("exists");
+    let kernel = bench.compile();
+    let inst = bench.instance(bench.default_size());
+
+    let mut g = c.benchmark_group("fig1");
+    g.bench_function("collect_runtime_features", |b| {
+        b.iter(|| {
+            runtime_features(&kernel, &inst.nd, &inst.args, &inst.bufs, 128).unwrap()
+        })
+    });
+    let rt = runtime_features(&kernel, &inst.nd, &inst.args, &inst.bufs, 128).unwrap();
+    g.bench_function("predict_partitioning", |b| {
+        b.iter(|| predictor.predict(black_box(&kernel), black_box(&rt)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig1
+}
+criterion_main!(benches);

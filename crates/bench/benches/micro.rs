@@ -1,0 +1,78 @@
+//! Micro-benchmarks of the substrate: compiler front end, bytecode VM
+//! throughput, access-range analysis, and partitioned execution.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hetpart_inspire::access::{access_ranges, LaunchBounds};
+use hetpart_inspire::compile;
+use hetpart_inspire::vm::Vm;
+use hetpart_inspire::NdRange;
+use hetpart_oclsim::machines;
+use hetpart_runtime::{Executor, Launch, Partition};
+use std::hint::black_box;
+
+fn micro(c: &mut Criterion) {
+    // VM throughput on the two extremes of the suite.
+    let mut g = c.benchmark_group("vm");
+    for name in ["vec_add", "blackscholes"] {
+        let bench = hetpart_suite::by_name(name).expect("exists");
+        let kernel = bench.compile();
+        let inst = bench.instance(bench.smallest_size());
+        let items = inst.nd.total() as u64;
+        g.throughput(Throughput::Elements(items));
+        g.bench_function(format!("run_range_{name}"), |b| {
+            let mut vm = Vm::new();
+            let mut bufs = inst.bufs.clone();
+            b.iter(|| {
+                vm.run_range(
+                    &kernel.bytecode,
+                    &inst.nd,
+                    0..inst.nd.split_extent(),
+                    &inst.args,
+                    &mut bufs,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // Compiler front-end cost over the whole suite.
+    c.bench_function("compile_all_23_kernels", |b| {
+        b.iter(|| {
+            hetpart_suite::all()
+                .iter()
+                .map(|bench| compile(black_box(bench.source)).unwrap().bytecode.num_instrs())
+                .sum::<usize>()
+        })
+    });
+
+    // Access-range analysis (runs once per chunk per launch).
+    let bench = hetpart_suite::by_name("sgemm").expect("exists");
+    let kernel = bench.compile();
+    let bounds = LaunchBounds {
+        gid: [(0, 255), (64, 127), (0, 0)],
+        gsize: [256, 256, 1],
+        scalars: vec![None, None, None, Some(256)],
+    };
+    c.bench_function("access_ranges_sgemm_chunk", |b| {
+        b.iter(|| access_ranges(black_box(&kernel.ir), black_box(&bounds)))
+    });
+
+    // Full partitioned functional execution.
+    let inst = bench.instance(32);
+    let ex = Executor::new(machines::mc2());
+    let launch = Launch::new(&kernel, inst.nd.clone(), inst.args.clone());
+    c.bench_function("partitioned_run_sgemm_32", |b| {
+        let mut bufs = inst.bufs.clone();
+        b.iter(|| ex.run(&launch, &mut bufs, &Partition::even(3)).unwrap())
+    });
+
+    let _ = NdRange::d1(1);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = micro
+}
+criterion_main!(benches);

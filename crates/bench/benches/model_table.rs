@@ -1,0 +1,27 @@
+//! Regenerates extension **E1** (model-family comparison under
+//! leave-one-program-out CV), then benchmarks the training cost of each
+//! family on the real training database.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetpart_bench::{banner, bench_context};
+use hetpart_core::{eval, FeatureSet};
+use hetpart_ml::{ModelConfig, Pipeline};
+
+fn model_table(c: &mut Criterion) {
+    let ctx = bench_context();
+    banner("E1: prediction model comparison");
+    println!("{}", eval::model_comparison(&ctx).render());
+
+    let (data, space) = ctx.dbs[0].to_dataset(FeatureSet::Both);
+    let mut g = c.benchmark_group("model_training");
+    g.sample_size(10);
+    for cfg in ModelConfig::all_defaults() {
+        g.bench_function(cfg.name(), |b| {
+            b.iter(|| Pipeline::fit(&cfg, &data.x, &data.y, space.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, model_table);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates extension **E4**: the paper's learned static partitioning
+//! versus a StarPU-style dynamic chunked scheduler, then benchmarks one
+//! dynamic scheduling decision.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetpart_bench::{banner, bench_context};
+use hetpart_core::eval;
+use hetpart_oclsim::machines;
+use hetpart_runtime::{dynamic_schedule, DynSchedConfig, Executor, Launch};
+
+fn scheduler_baseline(c: &mut Criterion) {
+    let ctx = bench_context();
+    banner("E4: dynamic-scheduler baseline vs trained prediction");
+    println!("{}", eval::scheduler_comparison(&ctx).render());
+
+    let bench = hetpart_suite::by_name("blackscholes").expect("exists");
+    let kernel = bench.compile();
+    let inst = bench.instance(bench.default_size());
+    let ex = Executor::new(machines::mc2());
+    let launch = Launch::new(&kernel, inst.nd.clone(), inst.args.clone());
+    c.benchmark_group("scheduler")
+        .sample_size(10)
+        .bench_function("dynamic_schedule_16_chunks", |b| {
+            b.iter(|| {
+                dynamic_schedule(&ex, &launch, &inst.bufs, DynSchedConfig::default())
+                    .unwrap()
+            })
+        });
+}
+
+criterion_group!(benches, scheduler_baseline);
+criterion_main!(benches);

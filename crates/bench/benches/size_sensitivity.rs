@@ -1,0 +1,29 @@
+//! Regenerates prose claim **P2** (the optimal partitioning depends on
+//! program, problem size and target architecture), then benchmarks launch
+//! profiling — the primitive that makes the size sweep cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetpart_bench::{banner, bench_context};
+use hetpart_core::eval;
+use hetpart_runtime::LaunchProfile;
+
+fn size_sensitivity(c: &mut Criterion) {
+    let ctx = bench_context();
+    banner("P2: oracle sensitivity to program, size and machine");
+    println!("{}", eval::oracle_sensitivity(&ctx).render());
+
+    let bench = hetpart_suite::by_name("mandelbrot").expect("exists");
+    let kernel = bench.compile();
+    let inst = bench.instance(bench.default_size());
+    c.benchmark_group("size_sensitivity")
+        .sample_size(20)
+        .bench_function("launch_profile_mandelbrot_256", |b| {
+            b.iter(|| {
+                LaunchProfile::collect(&kernel, &inst.nd, &inst.args, &inst.bufs, 256)
+                    .unwrap()
+            })
+        });
+}
+
+criterion_group!(benches, size_sensitivity);
+criterion_main!(benches);

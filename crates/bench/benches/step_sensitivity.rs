@@ -1,0 +1,34 @@
+//! Regenerates extension **E3** (how much oracle performance coarser
+//! partition-space discretizations lose vs the paper's 10% step), then
+//! benchmarks partition-space enumeration and chunking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetpart_bench::{banner, bench_context};
+use hetpart_core::eval;
+use hetpart_runtime::Partition;
+use std::hint::black_box;
+
+fn step_sensitivity(c: &mut Criterion) {
+    let ctx = bench_context();
+    banner("E3: partition-space step sensitivity");
+    println!("{}", eval::step_sensitivity(&ctx).render());
+
+    let mut g = c.benchmark_group("partition_space");
+    g.bench_function("enumerate_3dev_10pct", |b| {
+        b.iter(|| Partition::enumerate(black_box(3), black_box(1)))
+    });
+    let space = Partition::enumerate(3, 1);
+    g.bench_function("chunk_all_66", |b| {
+        b.iter(|| {
+            space
+                .iter()
+                .map(|p| p.chunks(black_box(1_048_576)))
+                .map(|c| c[0].len())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, step_sensitivity);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! # hetpart-bench
+//!
+//! Shared setup for the Criterion benchmark harness. Every bench target
+//! regenerates one figure/table of the paper (printed once at startup)
+//! and then times a representative primitive of that experiment so
+//! `cargo bench` also yields stable performance numbers.
+//!
+//! | bench target | reproduces |
+//! |---|---|
+//! | `fig1` | Figure 1 (speedups over CPU-only / GPU-only, both machines) |
+//! | `default_strategies` | prose claim P1 (which default wins where) |
+//! | `size_sensitivity` | prose claim P2 (optimum moves with size/machine) |
+//! | `model_table` | extension E1 (model family comparison) |
+//! | `feature_ablation` | extension E2 (static vs runtime features) |
+//! | `step_sensitivity` | extension E3 (partition-space granularity) |
+//! | `micro` | compiler/VM/runtime/ML primitive costs |
+
+use hetpart_core::{eval::EvalContext, HarnessConfig};
+
+/// The evaluation context used by the experiment benches: the full
+/// 23-program suite, 3 sizes per benchmark, the paper's 10% partition
+/// space, the ANN model.
+pub fn bench_context() -> EvalContext {
+    let cfg = HarnessConfig {
+        sizes_per_benchmark: 3,
+        ..HarnessConfig::paper()
+    };
+    EvalContext::build_full_suite(cfg)
+}
+
+/// Print a banner separating the regenerated report from Criterion noise.
+pub fn banner(title: &str) {
+    println!("\n{}", "=".repeat(74));
+    println!("{title}");
+    println!("{}\n", "=".repeat(74));
+}

@@ -1,0 +1,229 @@
+//! The training database: measured partition sweeps with the features of
+//! each (program, problem size) pair.
+//!
+//! This is the paper's "database" that the training phase fills ("the
+//! obtained performance measurements, together with the problem size
+//! dependent features of the program, are collected and added to the
+//! database") and from which the prediction model is generated.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use hetpart_inspire::features::STATIC_FEATURE_NAMES;
+use hetpart_runtime::{Partition, PartitionSweep, SweepEntry, RUNTIME_FEATURE_NAMES};
+use hetpart_ml::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Which feature columns a model sees (the E2 ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureSet {
+    /// Compile-time program features only.
+    StaticOnly,
+    /// Problem-size-dependent runtime features only.
+    RuntimeOnly,
+    /// Both — the paper's configuration.
+    Both,
+}
+
+impl FeatureSet {
+    /// Human-readable label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureSet::StaticOnly => "static only",
+            FeatureSet::RuntimeOnly => "runtime only",
+            FeatureSet::Both => "static + runtime",
+        }
+    }
+}
+
+/// One training pattern: "the static features of a program, its runtime
+/// features for a certain problem size as well as the best task
+/// partitioning for the given program with the current input size" —
+/// plus the full sweep so evaluation can price *any* partitioning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingRecord {
+    pub program: String,
+    /// Dense benchmark index (the cross-validation group).
+    pub program_idx: usize,
+    /// Primary problem-size parameter.
+    pub size: usize,
+    pub static_features: Vec<f64>,
+    pub runtime_features: Vec<f64>,
+    pub sweep: PartitionSweep,
+}
+
+impl TrainingRecord {
+    /// The oracle-best entry of this record's sweep.
+    pub fn best(&self) -> &SweepEntry {
+        self.sweep.best()
+    }
+
+    /// Feature vector for a feature-set choice.
+    pub fn features(&self, set: FeatureSet) -> Vec<f64> {
+        match set {
+            FeatureSet::StaticOnly => self.static_features.clone(),
+            FeatureSet::RuntimeOnly => self.runtime_features.clone(),
+            FeatureSet::Both => {
+                let mut v = self.static_features.clone();
+                v.extend_from_slice(&self.runtime_features);
+                v
+            }
+        }
+    }
+}
+
+/// Feature names for a feature-set choice, aligned with
+/// [`TrainingRecord::features`].
+pub fn feature_names(set: FeatureSet) -> Vec<String> {
+    let stat = STATIC_FEATURE_NAMES.iter().map(|s| s.to_string());
+    let rt = RUNTIME_FEATURE_NAMES.iter().map(|s| s.to_string());
+    match set {
+        FeatureSet::StaticOnly => stat.collect(),
+        FeatureSet::RuntimeOnly => rt.collect(),
+        FeatureSet::Both => stat.chain(rt).collect(),
+    }
+}
+
+/// The complete training database for one machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingDb {
+    /// Machine name the measurements were taken on.
+    pub machine: String,
+    pub records: Vec<TrainingRecord>,
+}
+
+impl TrainingDb {
+    /// Persist as JSON.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        fs::write(path, json)
+    }
+
+    /// Load from JSON.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let data = fs::read_to_string(path)?;
+        serde_json::from_str(&data).map_err(io::Error::other)
+    }
+
+    /// The distinct oracle-best partitionings, in first-appearance order —
+    /// the label space of the classification problem.
+    pub fn label_space(&self) -> Vec<Partition> {
+        let mut space: Vec<Partition> = Vec::new();
+        for r in &self.records {
+            let best = r.best().partition.clone();
+            if !space.contains(&best) {
+                space.push(best);
+            }
+        }
+        space
+    }
+
+    /// Build the ML dataset: features per `set`, labels = dense indices
+    /// into [`TrainingDb::label_space`], groups = program index.
+    pub fn to_dataset(&self, set: FeatureSet) -> (Dataset, Vec<Partition>) {
+        let space = self.label_space();
+        // Use the canonical names when the stored vectors have the
+        // canonical dimensions, generic names otherwise (foreign DBs).
+        let canonical = feature_names(set);
+        let names = match self.records.first() {
+            Some(r) if r.features(set).len() == canonical.len() => canonical,
+            Some(r) => (0..r.features(set).len()).map(|i| format!("f{i}")).collect(),
+            None => canonical,
+        };
+        let mut data = Dataset::new(names);
+        for r in &self.records {
+            let label = space
+                .iter()
+                .position(|p| *p == r.best().partition)
+                .expect("label space covers every best partition");
+            data.push(r.features(set), label, r.program_idx);
+        }
+        (data, space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetpart_runtime::SweepEntry;
+
+    fn record(program: &str, idx: usize, size: usize, best: Vec<u8>) -> TrainingRecord {
+        let sweep = PartitionSweep {
+            entries: vec![
+                SweepEntry { partition: Partition::from_tenths(best), time: 1.0 },
+                SweepEntry { partition: Partition::cpu_only(3), time: 2.0 },
+                SweepEntry { partition: Partition::gpu_only(3), time: 3.0 },
+            ],
+        };
+        TrainingRecord {
+            program: program.into(),
+            program_idx: idx,
+            size,
+            static_features: vec![1.0, 2.0],
+            runtime_features: vec![3.0],
+            sweep,
+        }
+    }
+
+    fn db() -> TrainingDb {
+        TrainingDb {
+            machine: "mc1".into(),
+            records: vec![
+                record("a", 0, 64, vec![5, 5, 0]),
+                record("a", 0, 128, vec![0, 5, 5]),
+                record("b", 1, 64, vec![5, 5, 0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn label_space_dedups_in_order() {
+        let space = db().label_space();
+        assert_eq!(space.len(), 2);
+        assert_eq!(space[0], Partition::from_tenths(vec![5, 5, 0]));
+        assert_eq!(space[1], Partition::from_tenths(vec![0, 5, 5]));
+    }
+
+    #[test]
+    fn to_dataset_builds_dense_labels_and_groups() {
+        let (data, space) = db().to_dataset(FeatureSet::Both);
+        assert_eq!(data.len(), 3);
+        assert_eq!(data.dim(), 3); // 2 static + 1 runtime (test fixtures)
+        assert_eq!(data.y, vec![0, 1, 0]);
+        assert_eq!(data.groups, vec![0, 0, 1]);
+        assert_eq!(space.len(), 2);
+    }
+
+    #[test]
+    fn feature_sets_project_columns() {
+        let r = record("a", 0, 64, vec![10, 0, 0]);
+        assert_eq!(r.features(FeatureSet::StaticOnly), vec![1.0, 2.0]);
+        assert_eq!(r.features(FeatureSet::RuntimeOnly), vec![3.0]);
+        assert_eq!(r.features(FeatureSet::Both), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn feature_names_match_real_dims() {
+        use hetpart_inspire::features::STATIC_FEATURE_DIM;
+        use hetpart_runtime::RUNTIME_FEATURE_DIM;
+        assert_eq!(feature_names(FeatureSet::StaticOnly).len(), STATIC_FEATURE_DIM);
+        assert_eq!(feature_names(FeatureSet::RuntimeOnly).len(), RUNTIME_FEATURE_DIM);
+        assert_eq!(
+            feature_names(FeatureSet::Both).len(),
+            STATIC_FEATURE_DIM + RUNTIME_FEATURE_DIM
+        );
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let d = db();
+        let dir = std::env::temp_dir().join("hetpart_db_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        d.save(&path).unwrap();
+        let back = TrainingDb::load(&path).unwrap();
+        assert_eq!(d, back);
+        std::fs::remove_file(path).ok();
+    }
+}

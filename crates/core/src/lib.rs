@@ -1,0 +1,38 @@
+//! # hetpart-core
+//!
+//! The task-partitioning framework of the paper, end to end:
+//!
+//! * **Training phase** ([`train`]): every benchmark runs at every problem
+//!   size under every partitioning of the 10%-step space on a simulated
+//!   machine; static features, runtime features and measurements land in a
+//!   [`db::TrainingDb`].
+//! * **Model** ([`predictor`]): an offline-trained classifier maps
+//!   (static + runtime) features to the best partitioning.
+//! * **Deployment phase** ([`predictor::Framework`]): a (new) kernel is
+//!   compiled, its features collected, a partitioning predicted, and the
+//!   launch executed across the machine's devices.
+//! * **Evaluation** ([`eval`]): reproduces Figure 1 and the paper's prose
+//!   claims, plus model-comparison / feature-ablation / step-sensitivity
+//!   extension experiments, all under leave-one-program-out
+//!   cross-validation.
+//!
+//! ```no_run
+//! use hetpart_core::{config::HarnessConfig, eval};
+//!
+//! let ctx = eval::EvalContext::build_full_suite(HarnessConfig::paper());
+//! let fig1 = eval::figure1(&ctx);
+//! println!("{}", fig1.render());
+//! ```
+
+pub mod config;
+pub mod db;
+pub mod eval;
+pub mod predictor;
+pub mod report;
+pub mod train;
+
+pub use config::HarnessConfig;
+pub use db::{FeatureSet, TrainingDb, TrainingRecord};
+pub use eval::EvalContext;
+pub use predictor::{Framework, PartitionPredictor};
+pub use train::collect_training_db;

@@ -1,0 +1,207 @@
+//! The trained partition predictor and the deployment-phase framework.
+
+use hetpart_inspire::ir::NdRange;
+use hetpart_inspire::vm::{ArgValue, BufferData};
+use hetpart_inspire::{CompiledKernel, VmError};
+use hetpart_ml::{ModelConfig, Pipeline};
+use hetpart_runtime::{
+    runtime_features, Executor, ExecutionReport, Launch, Partition, RuntimeFeatures,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::db::{FeatureSet, TrainingDb};
+
+/// Compress heavy-tailed count features (`items`, bytes, op counts span
+/// six orders of magnitude) before scaling: `x -> ln(1 + x)`. Applied
+/// symmetrically at training and prediction time.
+pub fn log_compress(features: &[f64]) -> Vec<f64> {
+    features.iter().map(|&x| (1.0 + x.max(0.0)).ln()).collect()
+}
+
+/// The offline-generated prediction model: maps a feature vector to a
+/// task partitioning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionPredictor {
+    /// Dense class → partitioning mapping.
+    pub label_space: Vec<Partition>,
+    pub pipeline: Pipeline,
+    pub feature_set: FeatureSet,
+}
+
+impl PartitionPredictor {
+    /// Train on a database with the given model family and feature set.
+    ///
+    /// # Panics
+    /// Panics on an empty database.
+    pub fn train(db: &TrainingDb, model: &ModelConfig, feature_set: FeatureSet) -> Self {
+        let (data, label_space) = db.to_dataset(feature_set);
+        assert!(!data.is_empty(), "cannot train a predictor on an empty database");
+        let x: Vec<Vec<f64>> = data.x.iter().map(|r| log_compress(r)).collect();
+        let pipeline = Pipeline::fit(model, &x, &data.y, label_space.len());
+        Self { label_space, pipeline, feature_set }
+    }
+
+    /// Predict a partitioning from a raw feature vector (already matching
+    /// this predictor's feature set).
+    pub fn predict_vec(&self, features: &[f64]) -> Partition {
+        let class = self.pipeline.predict(&log_compress(features));
+        self.label_space[class.min(self.label_space.len() - 1)].clone()
+    }
+
+    /// Predict from a compiled kernel's static features plus collected
+    /// runtime features.
+    pub fn predict(&self, kernel: &CompiledKernel, rt: &RuntimeFeatures) -> Partition {
+        let features = match self.feature_set {
+            FeatureSet::StaticOnly => kernel.static_features.to_vec(),
+            FeatureSet::RuntimeOnly => rt.to_vec(),
+            FeatureSet::Both => {
+                let mut v = kernel.static_features.to_vec();
+                v.extend(rt.to_vec());
+                v
+            }
+        };
+        self.predict_vec(&features)
+    }
+}
+
+/// The deployed system: executor + trained predictor. Mirrors the paper's
+/// deployment phase — when a (new) program is launched, its static
+/// features and freshly collected runtime features are fed to the model,
+/// and the launch runs with the predicted partitioning.
+#[derive(Debug, Clone)]
+pub struct Framework {
+    pub executor: Executor,
+    pub predictor: PartitionPredictor,
+}
+
+impl Framework {
+    /// Predict the partitioning for a launch without executing it.
+    pub fn plan(
+        &self,
+        kernel: &CompiledKernel,
+        nd: &NdRange,
+        args: &[ArgValue],
+        bufs: &[BufferData],
+    ) -> Result<Partition, VmError> {
+        let rt =
+            runtime_features(kernel, nd, args, bufs, self.executor.sample_items)?;
+        Ok(self.predictor.predict(kernel, &rt))
+    }
+
+    /// Plan and execute: returns the chosen partitioning and the full
+    /// execution report; output buffers receive the kernel results.
+    pub fn run_auto(
+        &self,
+        kernel: &CompiledKernel,
+        nd: &NdRange,
+        args: &[ArgValue],
+        bufs: &mut [BufferData],
+    ) -> Result<(Partition, ExecutionReport), VmError> {
+        let partition = self.plan(kernel, nd, args, bufs)?;
+        let launch = Launch::new(kernel, nd.clone(), args.to_vec());
+        let report = self.executor.run(&launch, bufs, &partition)?;
+        Ok((partition, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HarnessConfig;
+    use crate::train::collect_training_db;
+    use hetpart_ml::TreeConfig;
+    use hetpart_oclsim::machines;
+
+    fn small_db() -> TrainingDb {
+        let benches: Vec<_> = hetpart_suite::all()
+            .into_iter()
+            .filter(|b| ["vec_add", "nbody", "blackscholes", "sgemm"].contains(&b.name))
+            .collect();
+        let cfg = HarnessConfig {
+            sizes_per_benchmark: 2,
+            sample_items: 32,
+            step_tenths: 5,
+            ..HarnessConfig::quick()
+        };
+        collect_training_db(&machines::mc2(), &benches, &cfg)
+    }
+
+    #[test]
+    fn trains_and_predicts_valid_partitions() {
+        let db = small_db();
+        let p = PartitionPredictor::train(
+            &db,
+            &ModelConfig::Tree(TreeConfig::default()),
+            FeatureSet::Both,
+        );
+        for r in &db.records {
+            let pred = p.predict_vec(&r.features(FeatureSet::Both));
+            assert_eq!(pred.num_devices(), 3);
+            assert!(p.label_space.contains(&pred));
+        }
+    }
+
+    #[test]
+    fn training_set_predictions_recover_oracle_labels() {
+        // A tree evaluated on its own training set should match the oracle
+        // labels nearly always — this checks the label plumbing, not
+        // generalization.
+        let db = small_db();
+        let p = PartitionPredictor::train(
+            &db,
+            &ModelConfig::Tree(TreeConfig::default()),
+            FeatureSet::Both,
+        );
+        let hits = db
+            .records
+            .iter()
+            .filter(|r| p.predict_vec(&r.features(FeatureSet::Both)) == r.best().partition)
+            .count();
+        assert!(
+            hits * 10 >= db.records.len() * 8,
+            "tree should fit its training set: {hits}/{}",
+            db.records.len()
+        );
+    }
+
+    #[test]
+    fn framework_runs_auto_and_produces_correct_outputs() {
+        let db = small_db();
+        let predictor = PartitionPredictor::train(
+            &db,
+            &ModelConfig::Tree(TreeConfig::default()),
+            FeatureSet::Both,
+        );
+        let fw = Framework {
+            executor: Executor::new(machines::mc2()),
+            predictor,
+        };
+        // Deploy on a program the model has seen and one it has not.
+        for name in ["vec_add", "triad"] {
+            let bench = hetpart_suite::by_name(name).unwrap();
+            let kernel = bench.compile();
+            let inst = bench.instance(bench.smallest_size());
+            let mut bufs = inst.bufs.clone();
+            let (partition, report) = fw
+                .run_auto(&kernel, &inst.nd, &inst.args, &mut bufs)
+                .unwrap();
+            assert_eq!(partition.num_devices(), 3);
+            assert!(report.time > 0.0);
+            bench.check_outputs(&inst, &bufs).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn predictor_serde_roundtrip() {
+        let db = small_db();
+        let p = PartitionPredictor::train(
+            &db,
+            &ModelConfig::Knn { k: 3 },
+            FeatureSet::RuntimeOnly,
+        );
+        let js = serde_json::to_string(&p).unwrap();
+        let back: PartitionPredictor = serde_json::from_str(&js).unwrap();
+        let f = db.records[0].features(FeatureSet::RuntimeOnly);
+        assert_eq!(p.predict_vec(&f), back.predict_vec(&f));
+    }
+}

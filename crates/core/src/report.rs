@@ -1,0 +1,46 @@
+//! Plain-text rendering helpers for experiment reports.
+
+/// A left-aligned fixed-width cell.
+pub fn cell(s: &str, width: usize) -> String {
+    format!("{s:<width$}")
+}
+
+/// A right-aligned fixed-width numeric cell with 2 decimals.
+pub fn num(v: f64, width: usize) -> String {
+    format!("{v:>width$.2}")
+}
+
+/// An ASCII bar of `width` columns representing `value` on a `0..=max`
+/// scale.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || !value.is_finite() {
+        return String::new();
+    }
+    let filled = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    "#".repeat(filled)
+}
+
+/// A horizontal rule.
+pub fn rule(width: usize) -> String {
+    "-".repeat(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(10.0, 10.0, 10), "##########");
+        assert_eq!(bar(25.0, 10.0, 10), "##########");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn cells_align() {
+        assert_eq!(cell("ab", 5), "ab   ");
+        assert_eq!(num(2.4649, 8), "    2.46");
+    }
+}

@@ -1,0 +1,132 @@
+//! The training phase: run every benchmark at every problem size under
+//! every partitioning on a machine, and collect features + measurements.
+
+use hetpart_runtime::{runtime_features, sweep_partitions, Executor, Launch};
+use hetpart_oclsim::Machine;
+use hetpart_suite::Benchmark;
+use rayon::prelude::*;
+
+use crate::config::HarnessConfig;
+use crate::db::{TrainingDb, TrainingRecord};
+
+/// Collect the full training database for one machine.
+///
+/// Parallelizes over (benchmark, size) pairs with rayon; each pair
+/// compiles the kernel, builds the instance, extracts runtime features and
+/// sweeps the partition space in simulation (no buffers are mutated).
+///
+/// # Panics
+/// Panics if a bundled benchmark fails to compile or execute — the suite's
+/// own tests guarantee both, so a failure here is a bug.
+pub fn collect_training_db(
+    machine: &Machine,
+    benchmarks: &[Benchmark],
+    cfg: &HarnessConfig,
+) -> TrainingDb {
+    let executor = Executor { machine: machine.clone(), sample_items: cfg.sample_items };
+
+    let work: Vec<(usize, &Benchmark, usize)> = benchmarks
+        .iter()
+        .enumerate()
+        .flat_map(|(idx, b)| {
+            cfg.select_sizes(b).into_iter().map(move |n| (idx, b, n))
+        })
+        .collect();
+
+    let mut records: Vec<TrainingRecord> = work
+        .par_iter()
+        .map(|&(program_idx, bench, size)| {
+            let kernel = bench.compile();
+            let inst = bench.instance(size);
+            let rt = runtime_features(
+                &kernel,
+                &inst.nd,
+                &inst.args,
+                &inst.bufs,
+                cfg.sample_items,
+            )
+            .unwrap_or_else(|e| panic!("{}: runtime features failed: {e}", bench.name));
+            let launch = Launch::new(&kernel, inst.nd.clone(), inst.args.clone());
+            let sweep = sweep_partitions(&executor, &launch, &inst.bufs, cfg.step_tenths)
+                .unwrap_or_else(|e| panic!("{}: sweep failed: {e}", bench.name));
+            TrainingRecord {
+                program: bench.name.to_string(),
+                program_idx,
+                size,
+                static_features: kernel.static_features.to_vec(),
+                runtime_features: rt.to_vec(),
+                sweep,
+            }
+        })
+        .collect();
+
+    // Deterministic order regardless of rayon scheduling.
+    records.sort_by_key(|r| (r.program_idx, r.size));
+    TrainingDb { machine: machine.name.clone(), records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetpart_oclsim::machines;
+    use hetpart_runtime::Partition;
+
+    fn tiny_cfg() -> HarnessConfig {
+        HarnessConfig {
+            sizes_per_benchmark: 2,
+            sample_items: 32,
+            step_tenths: 5,
+            ..HarnessConfig::quick()
+        }
+    }
+
+    #[test]
+    fn collects_records_for_each_benchmark_and_size() {
+        let benches: Vec<_> = hetpart_suite::all().into_iter().take(3).collect();
+        let db = collect_training_db(&machines::mc1(), &benches, &tiny_cfg());
+        assert_eq!(db.machine, "mc1");
+        assert_eq!(db.records.len(), 3 * 2);
+        for r in &db.records {
+            assert_eq!(r.sweep.entries.len(), 6, "step=5 space has 6 partitions");
+            assert!(!r.static_features.is_empty());
+            assert!(!r.runtime_features.is_empty());
+            assert!(r.best().time > 0.0);
+        }
+    }
+
+    #[test]
+    fn records_are_sorted_and_grouped() {
+        let benches: Vec<_> = hetpart_suite::all().into_iter().take(2).collect();
+        let db = collect_training_db(&machines::mc2(), &benches, &tiny_cfg());
+        let keys: Vec<(usize, usize)> =
+            db.records.iter().map(|r| (r.program_idx, r.size)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn best_partition_varies_across_the_db() {
+        // With a diverse suite and sizes, the oracle should not pick the
+        // same partitioning for everything (the paper's premise).
+        let benches: Vec<_> = hetpart_suite::all()
+            .into_iter()
+            .filter(|b| ["vec_add", "nbody", "sgemm", "blackscholes"].contains(&b.name))
+            .collect();
+        let cfg = HarnessConfig {
+            sizes_per_benchmark: 3,
+            ..tiny_cfg()
+        };
+        let db = collect_training_db(&machines::mc2(), &benches, &cfg);
+        let bests: Vec<Partition> =
+            db.records.iter().map(|r| r.best().partition.clone()).collect();
+        let mut distinct = bests.clone();
+        distinct.sort();
+        distinct.dedup();
+        assert!(
+            distinct.len() >= 2,
+            "expected multiple optimal partitionings, got only {:?}",
+            distinct
+        );
+    }
+}

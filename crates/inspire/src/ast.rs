@@ -1,0 +1,181 @@
+//! Untyped abstract syntax tree produced by the parser.
+
+use crate::token::Span;
+
+/// A parsed translation unit: one or more kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub kernels: Vec<KernelDecl>,
+}
+
+/// A `kernel void name(params) { body }` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDecl {
+    pub name: String,
+    pub params: Vec<ParamDecl>,
+    pub body: Vec<Stmt>,
+    pub span: Span,
+}
+
+/// Scalar type names that can appear in source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeName {
+    Int,
+    UInt,
+    Float,
+    Bool,
+}
+
+/// A kernel parameter: either a global buffer pointer or a scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    pub name: String,
+    pub kind: ParamKind,
+    pub span: Span,
+}
+
+/// What sort of parameter a [`ParamDecl`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// `global [const] T*`; `is_const` records the `const` qualifier.
+    Buffer { elem: TypeName, is_const: bool },
+    /// A scalar passed by value.
+    Scalar(TypeName),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `T name = init;` (initializer required).
+    Decl { ty: TypeName, name: String, init: Expr, span: Span },
+    /// `target op= value;` where `target` is a variable or buffer element.
+    Assign { target: Expr, op: AssignOp, value: Expr, span: Span },
+    /// `if (cond) then [else els]`.
+    If { cond: Expr, then: Vec<Stmt>, els: Vec<Stmt>, span: Span },
+    /// C-style `for (init; cond; step) body`. All three headers optional.
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+        span: Span,
+    },
+    /// `while (cond) body`.
+    While { cond: Expr, body: Vec<Stmt>, span: Span },
+    /// `break;`
+    Break(Span),
+    /// `continue;`
+    Continue(Span),
+    /// `return;` (kernels are `void`, so no value).
+    Return(Span),
+    /// A bare block `{ ... }`.
+    Block(Vec<Stmt>, Span),
+}
+
+impl Stmt {
+    /// The source span of this statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Decl { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::Break(span)
+            | Stmt::Continue(span)
+            | Stmt::Return(span)
+            | Stmt::Block(_, span) => *span,
+        }
+    }
+}
+
+/// Compound-assignment operators (plain `=` is `Set`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    Set,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+/// Expression node kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    IntLit { value: i64, unsigned: bool },
+    FloatLit(f64),
+    BoolLit(bool),
+    Ident(String),
+    /// `a OP b`.
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// `OP a`.
+    Unary { op: UnOp, operand: Box<Expr> },
+    /// `name(args...)` — builtins only; the language has no user functions.
+    Call { name: String, args: Vec<Expr> },
+    /// `buf[index]`.
+    Index { base: Box<Expr>, index: Box<Expr> },
+    /// `(T) expr`.
+    Cast { ty: TypeName, operand: Box<Expr> },
+    /// `cond ? a : b`.
+    Ternary { cond: Box<Expr>, then: Box<Expr>, els: Box<Expr> },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogAnd,
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stmt_span_accessor_covers_all_variants() {
+        let s = Span::new(1, 2);
+        let e = Expr { kind: ExprKind::BoolLit(true), span: s };
+        let all = vec![
+            Stmt::Break(s),
+            Stmt::Continue(s),
+            Stmt::Return(s),
+            Stmt::Block(vec![], s),
+            Stmt::While { cond: e, body: vec![], span: s },
+        ];
+        for st in all {
+            assert_eq!(st.span(), s);
+        }
+    }
+}

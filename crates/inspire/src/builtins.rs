@@ -1,0 +1,182 @@
+//! Builtin functions of the kernel language.
+//!
+//! The language has no user-defined functions; every call resolves to one
+//! of these intrinsics. `get_global_id` / `get_global_size` are handled
+//! directly by semantic analysis (they become dedicated IR nodes) and do
+//! not appear here.
+
+use crate::ir::ScalarType;
+
+/// A resolved builtin call target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    // Float unary.
+    Sqrt,
+    Rsqrt,
+    Exp,
+    Log,
+    Sin,
+    Cos,
+    Tan,
+    Fabs,
+    Floor,
+    Ceil,
+    // Float binary.
+    Pow,
+    Fmin,
+    Fmax,
+    Fmod,
+    // Integer intrinsics (operate on `Int`/`UInt`, compare per `unsigned`).
+    IMin,
+    IMax,
+    IAbs,
+    // Ternary clamp.
+    FClamp,
+    IClamp,
+}
+
+impl Builtin {
+    /// Number of arguments the builtin takes.
+    pub fn arity(self) -> usize {
+        use Builtin::*;
+        match self {
+            Sqrt | Rsqrt | Exp | Log | Sin | Cos | Tan | Fabs | Floor | Ceil | IAbs => 1,
+            Pow | Fmin | Fmax | Fmod | IMin | IMax => 2,
+            FClamp | IClamp => 3,
+        }
+    }
+
+    /// Whether this builtin is a transcendental / special function (the
+    /// feature extractor and the device cost model weight these separately,
+    /// since GPUs have dedicated SFUs for them).
+    pub fn is_transcendental(self) -> bool {
+        use Builtin::*;
+        matches!(self, Sqrt | Rsqrt | Exp | Log | Sin | Cos | Tan | Pow)
+    }
+
+    /// Result/operand scalar type class: true if float-typed.
+    pub fn is_float(self) -> bool {
+        use Builtin::*;
+        !matches!(self, IMin | IMax | IAbs | IClamp)
+    }
+
+    /// Human-readable name (as written in source).
+    pub fn name(self) -> &'static str {
+        use Builtin::*;
+        match self {
+            Sqrt => "sqrt",
+            Rsqrt => "rsqrt",
+            Exp => "exp",
+            Log => "log",
+            Sin => "sin",
+            Cos => "cos",
+            Tan => "tan",
+            Fabs => "fabs",
+            Floor => "floor",
+            Ceil => "ceil",
+            Pow => "pow",
+            Fmin => "fmin",
+            Fmax => "fmax",
+            Fmod => "fmod",
+            IMin => "min",
+            IMax => "max",
+            IAbs => "abs",
+            FClamp => "clamp",
+            IClamp => "clamp",
+        }
+    }
+}
+
+/// Resolve a call by name and argument types.
+///
+/// Polymorphic names (`min`, `max`, `abs`, `clamp`) resolve on whether any
+/// argument is float; `fmin`/`fmax`/`fabs` force the float form. Returns
+/// `None` for unknown names.
+pub fn resolve(name: &str, arg_types: &[ScalarType]) -> Option<Builtin> {
+    use Builtin::*;
+    let any_float = arg_types.contains(&ScalarType::Float);
+    let b = match name {
+        "sqrt" => Sqrt,
+        "rsqrt" | "native_rsqrt" => Rsqrt,
+        "exp" | "native_exp" => Exp,
+        "log" | "native_log" => Log,
+        "sin" | "native_sin" => Sin,
+        "cos" | "native_cos" => Cos,
+        "tan" => Tan,
+        "fabs" => Fabs,
+        "floor" => Floor,
+        "ceil" => Ceil,
+        "pow" | "powr" => Pow,
+        "fmin" => Fmin,
+        "fmax" => Fmax,
+        "fmod" => Fmod,
+        "min" => {
+            if any_float {
+                Fmin
+            } else {
+                IMin
+            }
+        }
+        "max" => {
+            if any_float {
+                Fmax
+            } else {
+                IMax
+            }
+        }
+        "abs" => {
+            if any_float {
+                Fabs
+            } else {
+                IAbs
+            }
+        }
+        "clamp" => {
+            if any_float {
+                FClamp
+            } else {
+                IClamp
+            }
+        }
+        _ => return None,
+    };
+    Some(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ScalarType::*;
+
+    #[test]
+    fn resolves_fixed_names() {
+        assert_eq!(resolve("sqrt", &[Float]), Some(Builtin::Sqrt));
+        assert_eq!(resolve("pow", &[Float, Float]), Some(Builtin::Pow));
+        assert_eq!(resolve("nope", &[Float]), None);
+    }
+
+    #[test]
+    fn resolves_polymorphic_names_by_arg_type() {
+        assert_eq!(resolve("min", &[Int, Int]), Some(Builtin::IMin));
+        assert_eq!(resolve("min", &[Float, Int]), Some(Builtin::Fmin));
+        assert_eq!(resolve("abs", &[Int]), Some(Builtin::IAbs));
+        assert_eq!(resolve("abs", &[Float]), Some(Builtin::Fabs));
+        assert_eq!(resolve("clamp", &[Int, Int, Int]), Some(Builtin::IClamp));
+        assert_eq!(resolve("clamp", &[Float, Float, Float]), Some(Builtin::FClamp));
+    }
+
+    #[test]
+    fn arity_matches_shape() {
+        assert_eq!(Builtin::Sqrt.arity(), 1);
+        assert_eq!(Builtin::Pow.arity(), 2);
+        assert_eq!(Builtin::FClamp.arity(), 3);
+    }
+
+    #[test]
+    fn transcendental_classification() {
+        assert!(Builtin::Exp.is_transcendental());
+        assert!(Builtin::Sqrt.is_transcendental());
+        assert!(!Builtin::Fabs.is_transcendental());
+        assert!(!Builtin::IMin.is_transcendental());
+    }
+}

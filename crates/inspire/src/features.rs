@@ -1,0 +1,505 @@
+//! Static program features extracted from the IR at compile time.
+//!
+//! These correspond to the paper's "static program features, whose values
+//! can be extracted from the source code at compile time". They describe
+//! the *shape* of the computation independent of the problem size; the
+//! size-dependent signal comes from the runtime features collected by the
+//! `hetpart-runtime` crate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::{BinOp, UnOp};
+use crate::ir::{Expr, ExprKind, Kernel, ScalarType, Stmt};
+
+/// The static feature vector of a kernel.
+///
+/// All counts are *static* occurrence counts in the IR (each operation is
+/// counted once regardless of loop trip counts), except where noted.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StaticFeatures {
+    /// Integer arithmetic/bitwise operations.
+    pub int_ops: u32,
+    /// Floating-point add/sub/mul/div and float intrinsics (non-transcendental).
+    pub float_ops: u32,
+    /// Transcendental / special-function calls (sqrt, exp, sin, pow, …).
+    pub transcendental_ops: u32,
+    /// Comparison operations.
+    pub compare_ops: u32,
+    /// Buffer loads.
+    pub loads: u32,
+    /// Buffer stores.
+    pub stores: u32,
+    /// Conditional branches (`if`, ternary, logical short-circuit points).
+    pub branches: u32,
+    /// Loop statements (`for` + `while`).
+    pub loops: u32,
+    /// Deepest loop nesting level.
+    pub max_loop_depth: u32,
+    /// Total kernel parameters.
+    pub num_params: u32,
+    /// Buffer parameters.
+    pub num_buffers: u32,
+    /// Buffer accesses whose index expression involves `get_global_id`
+    /// directly (coalescing-friendly accesses).
+    pub gid_accesses: u32,
+    /// Buffer accesses whose index involves a value loaded from memory
+    /// (indirect / gather accesses).
+    pub indirect_accesses: u32,
+    /// Branch or loop conditions that depend on `get_global_id` or loaded
+    /// data — a static proxy for control-flow divergence between
+    /// neighbouring work-items.
+    pub divergent_conditions: u32,
+    /// Product of constant loop trip counts along the deepest constant
+    /// nest (1 if there are no constant-bound loops). A static estimate of
+    /// per-work-item work.
+    pub const_trip_weight: u64,
+    /// Static arithmetic intensity: (int+float+transcendental ops) /
+    /// (loads+stores), with the denominator clamped to ≥1.
+    pub arithmetic_intensity: f64,
+}
+
+/// Number of entries in [`StaticFeatures::to_vec`].
+pub const STATIC_FEATURE_DIM: usize = 15;
+
+/// Feature names, aligned with [`StaticFeatures::to_vec`].
+pub const STATIC_FEATURE_NAMES: [&str; STATIC_FEATURE_DIM] = [
+    "static.int_ops",
+    "static.float_ops",
+    "static.transcendental_ops",
+    "static.compare_ops",
+    "static.loads",
+    "static.stores",
+    "static.branches",
+    "static.loops",
+    "static.max_loop_depth",
+    "static.num_params",
+    "static.num_buffers",
+    "static.gid_accesses",
+    "static.indirect_accesses",
+    "static.divergent_conditions",
+    "static.arithmetic_intensity",
+];
+
+impl StaticFeatures {
+    /// Flatten into the numeric vector consumed by the ML models.
+    ///
+    /// `const_trip_weight` is folded into the op counts implicitly by the
+    /// *runtime* features (dynamic counts); statically we expose the raw
+    /// shape counts plus the intensity ratio.
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            f64::from(self.int_ops),
+            f64::from(self.float_ops),
+            f64::from(self.transcendental_ops),
+            f64::from(self.compare_ops),
+            f64::from(self.loads),
+            f64::from(self.stores),
+            f64::from(self.branches),
+            f64::from(self.loops),
+            f64::from(self.max_loop_depth),
+            f64::from(self.num_params),
+            f64::from(self.num_buffers),
+            f64::from(self.gid_accesses),
+            f64::from(self.indirect_accesses),
+            f64::from(self.divergent_conditions),
+            self.arithmetic_intensity,
+        ]
+    }
+}
+
+/// Extract the static features of a kernel.
+pub fn extract(kernel: &Kernel) -> StaticFeatures {
+    let mut w = Walker {
+        f: StaticFeatures::default(),
+        depth: 0,
+        gid_taint: vec![false; kernel.var_types.len()],
+        load_taint: vec![false; kernel.var_types.len()],
+    };
+    w.f.num_params = kernel.params.len() as u32;
+    w.f.num_buffers = kernel.num_buffers() as u32;
+    w.f.const_trip_weight = 1;
+    for s in &kernel.body {
+        w.stmt(s);
+    }
+    let mem = u64::from(w.f.loads) + u64::from(w.f.stores);
+    let ops =
+        u64::from(w.f.int_ops) + u64::from(w.f.float_ops) + u64::from(w.f.transcendental_ops);
+    w.f.arithmetic_intensity = ops as f64 / mem.max(1) as f64;
+    w.f
+}
+
+struct Walker {
+    f: StaticFeatures,
+    depth: u32,
+    /// Per-variable: value derived (transitively) from `get_global_id`.
+    gid_taint: Vec<bool>,
+    /// Per-variable: value derived (transitively) from a buffer load.
+    load_taint: Vec<bool>,
+}
+
+impl Walker {
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl { var, init } | Stmt::AssignVar { var, value: init } => {
+                let g = self.contains_gid(init);
+                let l = self.contains_load_taint(init);
+                let vi = var.0 as usize;
+                self.gid_taint[vi] = self.gid_taint[vi] || g;
+                self.load_taint[vi] = self.load_taint[vi] || l;
+                self.expr(init);
+            }
+            Stmt::Store { index, value, .. } => {
+                self.f.stores += 1;
+                self.classify_access(index);
+                self.expr(index);
+                self.expr(value);
+            }
+            Stmt::If { cond, then, els } => {
+                self.f.branches += 1;
+                if self.is_divergent(cond) {
+                    self.f.divergent_conditions += 1;
+                }
+                self.expr(cond);
+                for s in then {
+                    self.stmt(s);
+                }
+                for s in els {
+                    self.stmt(s);
+                }
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.f.loops += 1;
+                if let Some(c) = cond {
+                    if self.is_divergent(c) {
+                        self.f.divergent_conditions += 1;
+                    }
+                    self.expr(c);
+                }
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                if let Some(st) = step {
+                    self.stmt(st);
+                }
+                if let Some(n) = const_trip_count(init.as_deref(), cond.as_ref()) {
+                    self.f.const_trip_weight = self.f.const_trip_weight.saturating_mul(n.max(1));
+                }
+                self.depth += 1;
+                self.f.max_loop_depth = self.f.max_loop_depth.max(self.depth);
+                for s in body {
+                    self.stmt(s);
+                }
+                self.depth -= 1;
+            }
+            Stmt::While { cond, body } => {
+                self.f.loops += 1;
+                if self.is_divergent(cond) {
+                    self.f.divergent_conditions += 1;
+                }
+                self.expr(cond);
+                self.depth += 1;
+                self.f.max_loop_depth = self.f.max_loop_depth.max(self.depth);
+                for s in body {
+                    self.stmt(s);
+                }
+                self.depth -= 1;
+            }
+            Stmt::Block(body) => {
+                for s in body {
+                    self.stmt(s);
+                }
+            }
+            Stmt::Break | Stmt::Continue | Stmt::Return => {}
+        }
+    }
+
+    fn classify_access(&mut self, index: &Expr) {
+        let indirect = self.contains_load_taint(index);
+        if indirect {
+            // Data-dependent indexing is a gather/scatter even when the
+            // loaded index was itself derived from the global id.
+            self.f.indirect_accesses += 1;
+        } else if self.contains_gid(index) {
+            self.f.gid_accesses += 1;
+        }
+    }
+
+    /// Taint-aware: does `e` depend on `get_global_id`, directly or through
+    /// a variable derived from it?
+    fn contains_gid(&self, e: &Expr) -> bool {
+        expr_contains(e, |k| match k {
+            ExprKind::GlobalId(_) => true,
+            ExprKind::Var(v) => self.gid_taint[v.0 as usize],
+            _ => false,
+        })
+    }
+
+    /// Taint-aware: does `e` depend on loaded data?
+    fn contains_load_taint(&self, e: &Expr) -> bool {
+        expr_contains(e, |k| match k {
+            ExprKind::Load { .. } => true,
+            ExprKind::Var(v) => self.load_taint[v.0 as usize],
+            _ => false,
+        })
+    }
+
+    /// A condition diverges between work-items if it depends on the global
+    /// id or on loaded data.
+    fn is_divergent(&self, e: &Expr) -> bool {
+        self.contains_gid(e) || self.contains_load_taint(e)
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::IntConst(_)
+            | ExprKind::FloatConst(_)
+            | ExprKind::BoolConst(_)
+            | ExprKind::Var(_)
+            | ExprKind::Param(_)
+            | ExprKind::GlobalId(_)
+            | ExprKind::GlobalSize(_) => {}
+            ExprKind::Binary { op, lhs, rhs } => {
+                match op {
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+                        self.f.compare_ops += 1;
+                    }
+                    BinOp::LogAnd | BinOp::LogOr => {
+                        // Short-circuit evaluation is a branch.
+                        self.f.branches += 1;
+                        self.f.int_ops += 1;
+                    }
+                    _ => {
+                        if lhs.ty == ScalarType::Float {
+                            self.f.float_ops += 1;
+                        } else {
+                            self.f.int_ops += 1;
+                        }
+                    }
+                }
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            ExprKind::Unary { operand, op } => {
+                match (op, operand.ty) {
+                    (UnOp::Neg, ScalarType::Float) => self.f.float_ops += 1,
+                    _ => self.f.int_ops += 1,
+                }
+                self.expr(operand);
+            }
+            ExprKind::Cast(inner) => {
+                // A conversion costs an op of the *destination* class.
+                if e.ty == ScalarType::Float || inner.ty == ScalarType::Float {
+                    self.f.float_ops += 1;
+                } else {
+                    self.f.int_ops += 1;
+                }
+                self.expr(inner);
+            }
+            ExprKind::Load { index, .. } => {
+                self.f.loads += 1;
+                self.classify_access(index);
+                self.expr(index);
+            }
+            ExprKind::Call { f, args } => {
+                if f.is_transcendental() {
+                    self.f.transcendental_ops += 1;
+                } else if f.is_float() {
+                    self.f.float_ops += 1;
+                } else {
+                    self.f.int_ops += 1;
+                }
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ExprKind::Select { cond, then, els } => {
+                self.f.branches += 1;
+                if self.is_divergent(cond) {
+                    self.f.divergent_conditions += 1;
+                }
+                self.expr(cond);
+                self.expr(then);
+                self.expr(els);
+            }
+        }
+    }
+}
+
+fn expr_contains<F: Fn(&ExprKind) -> bool + Copy>(e: &Expr, pred: F) -> bool {
+    if pred(&e.kind) {
+        return true;
+    }
+    match &e.kind {
+        ExprKind::Binary { lhs, rhs, .. } => {
+            expr_contains(lhs, pred) || expr_contains(rhs, pred)
+        }
+        ExprKind::Unary { operand, .. } | ExprKind::Cast(operand) => expr_contains(operand, pred),
+        ExprKind::Load { index, .. } => expr_contains(index, pred),
+        ExprKind::Call { args, .. } => args.iter().any(|a| expr_contains(a, pred)),
+        ExprKind::Select { cond, then, els } => {
+            expr_contains(cond, pred) || expr_contains(then, pred) || expr_contains(els, pred)
+        }
+        _ => false,
+    }
+}
+
+/// Whether `e` mentions `get_global_id` anywhere.
+pub fn expr_contains_gid(e: &Expr) -> bool {
+    expr_contains(e, |k| matches!(k, ExprKind::GlobalId(_)))
+}
+
+/// Whether `e` contains a buffer load anywhere.
+pub fn expr_contains_load(e: &Expr) -> bool {
+    expr_contains(e, |k| matches!(k, ExprKind::Load { .. }))
+}
+
+/// If a `for` loop has the canonical shape
+/// `for (v = C0; v < C1; v += C2)` with integer constants, return its trip
+/// count.
+fn const_trip_count(init: Option<&Stmt>, cond: Option<&Expr>) -> Option<u64> {
+    let (var, start) = match init? {
+        Stmt::Decl { var, init } | Stmt::AssignVar { var, value: init } => {
+            (*var, const_int(init)?)
+        }
+        _ => return None,
+    };
+    let ExprKind::Binary { op, lhs, rhs } = &cond?.kind else {
+        return None;
+    };
+    let ExprKind::Var(cv) = lhs.kind else { return None };
+    if cv != var {
+        return None;
+    }
+    let limit = const_int(rhs)?;
+    let n = match op {
+        BinOp::Lt => limit - start,
+        BinOp::Le => limit - start + 1,
+        _ => return None,
+    };
+    (n > 0).then_some(n as u64)
+}
+
+fn const_int(e: &Expr) -> Option<i64> {
+    match &e.kind {
+        ExprKind::IntConst(v) => Some(*v),
+        ExprKind::Cast(inner) => const_int(inner),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::sema::analyze;
+
+    fn feats(src: &str) -> StaticFeatures {
+        let prog = parse(&lex(src).unwrap()).unwrap();
+        extract(&analyze(&prog.kernels[0]).unwrap())
+    }
+
+    #[test]
+    fn counts_vec_add() {
+        let f = feats(
+            "kernel void k(global const float* a, global const float* b, global float* c, int n) {
+                int i = get_global_id(0);
+                if (i < n) { c[i] = a[i] + b[i]; }
+            }",
+        );
+        assert_eq!(f.loads, 2);
+        assert_eq!(f.stores, 1);
+        assert_eq!(f.float_ops, 1);
+        assert_eq!(f.branches, 1);
+        assert_eq!(f.compare_ops, 1);
+        assert_eq!(f.num_buffers, 3);
+        assert_eq!(f.num_params, 4);
+        assert_eq!(f.gid_accesses, 3);
+        assert_eq!(f.indirect_accesses, 0);
+        // The `i < n` condition depends on gid through `i`? No — static
+        // analysis is syntactic: `i` is a variable, so not flagged.
+        assert!((f.arithmetic_intensity - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_loops_and_depth() {
+        let f = feats(
+            "kernel void k(global float* o, int n) {
+                for (int i = 0; i < 16; i++) {
+                    for (int j = 0; j < 8; j++) {
+                        o[i] += 1.0;
+                    }
+                }
+                int m = n;
+                while (m > 0) { m -= 1; }
+            }",
+        );
+        assert_eq!(f.loops, 3);
+        assert_eq!(f.max_loop_depth, 2);
+        assert_eq!(f.const_trip_weight, 128);
+    }
+
+    #[test]
+    fn counts_transcendentals() {
+        let f = feats(
+            "kernel void k(global float* o) {
+                int i = get_global_id(0);
+                o[i] = exp(sin((float)i)) + sqrt(2.0) * fabs(-1.0);
+            }",
+        );
+        assert_eq!(f.transcendental_ops, 3); // exp, sin, sqrt
+        assert!(f.float_ops >= 2); // fabs + add + mul + neg + cast
+    }
+
+    #[test]
+    fn flags_indirect_accesses() {
+        let f = feats(
+            "kernel void k(global const int* idx, global const float* v, global float* o) {
+                int i = get_global_id(0);
+                o[i] = v[idx[i]];
+            }",
+        );
+        assert_eq!(f.indirect_accesses, 1);
+        assert_eq!(f.loads, 2);
+    }
+
+    #[test]
+    fn flags_divergent_conditions() {
+        let f = feats(
+            "kernel void k(global const float* a, global float* o, int n) {
+                int i = get_global_id(0);
+                if (get_global_id(0) > 5) { o[i] = 1.0; }
+                if (a[i] > 0.0) { o[i] = 2.0; }
+                if (n > 5) { o[i] = 3.0; }
+            }",
+        );
+        // gid-condition + load-condition are divergent; `n > 5` is uniform.
+        assert_eq!(f.divergent_conditions, 2);
+        assert_eq!(f.branches, 3);
+    }
+
+    #[test]
+    fn ternary_counts_as_branch() {
+        let f = feats(
+            "kernel void k(global float* o) {
+                int i = get_global_id(0);
+                o[i] = i > 2 ? 1.0 : 0.0;
+            }",
+        );
+        assert_eq!(f.branches, 1);
+    }
+
+    #[test]
+    fn feature_vector_dim_matches_names() {
+        let f = feats("kernel void k(int n) { }");
+        assert_eq!(f.to_vec().len(), STATIC_FEATURE_DIM);
+        assert_eq!(STATIC_FEATURE_NAMES.len(), STATIC_FEATURE_DIM);
+    }
+
+    #[test]
+    fn empty_kernel_has_unit_intensity_denominator() {
+        let f = feats("kernel void k(int n) { int x = n + 1; }");
+        assert_eq!(f.loads + f.stores, 0);
+        assert!((f.arithmetic_intensity - 1.0).abs() < 1e-12);
+    }
+}

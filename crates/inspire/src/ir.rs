@@ -1,0 +1,314 @@
+//! The typed, INSPIRE-like intermediate representation.
+//!
+//! The IR mirrors the structured form of the source (it is not a CFG — the
+//! bytecode compiler lowers it to basic blocks), but every expression node
+//! carries its resolved [`ScalarType`], every name is resolved to a
+//! [`VarId`] or [`ParamId`], and all implicit conversions have been made
+//! explicit as [`ExprKind::Cast`] nodes. All analyses (static features,
+//! access ranges) and the bytecode compiler consume this form.
+
+use serde::{Deserialize, Serialize};
+
+pub use crate::ast::{BinOp, UnOp};
+use crate::builtins::Builtin;
+
+/// Scalar value types of the kernel language.
+///
+/// `Int`/`UInt` are 32-bit; `Float` is `f32` in buffers and computed in
+/// `f64` registers (matching how scalar OpenCL code runs on CPUs, and a
+/// strict superset of `f32` precision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalarType {
+    Int,
+    UInt,
+    Float,
+    Bool,
+}
+
+impl ScalarType {
+    /// Whether this type participates in arithmetic.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ScalarType::Int | ScalarType::UInt | ScalarType::Float)
+    }
+
+    /// Whether this type is an integer type.
+    pub fn is_integer(self) -> bool {
+        matches!(self, ScalarType::Int | ScalarType::UInt)
+    }
+
+    /// Size in bytes of one element of this type in a buffer.
+    pub fn size_bytes(self) -> usize {
+        4
+    }
+
+    /// Name as written in source.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalarType::Int => "int",
+            ScalarType::UInt => "uint",
+            ScalarType::Float => "float",
+            ScalarType::Bool => "bool",
+        }
+    }
+}
+
+/// Index of a local variable within a kernel (unique across scopes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// Index of a kernel parameter (position in the signature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub u32);
+
+/// A kernel parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: String,
+    pub kind: ParamKind,
+}
+
+/// Buffer or scalar parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// A `global` pointer; `is_const` means the kernel may not store to it.
+    Buffer { elem: ScalarType, is_const: bool },
+    /// A scalar passed by value.
+    Scalar(ScalarType),
+}
+
+impl ParamKind {
+    /// Element type for buffers, value type for scalars.
+    pub fn scalar_type(self) -> ScalarType {
+        match self {
+            ParamKind::Buffer { elem, .. } => elem,
+            ParamKind::Scalar(t) => t,
+        }
+    }
+
+    /// Whether this is a buffer parameter.
+    pub fn is_buffer(self) -> bool {
+        matches!(self, ParamKind::Buffer { .. })
+    }
+}
+
+/// A type-checked kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Vec<Stmt>,
+    /// Type of each declared local variable, indexed by [`VarId`].
+    pub var_types: Vec<ScalarType>,
+}
+
+impl Kernel {
+    /// Indices of the buffer parameters, in signature order.
+    pub fn buffer_params(&self) -> impl Iterator<Item = ParamId> + '_ {
+        self.params
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.kind.is_buffer())
+            .map(|(i, _)| ParamId(i as u32))
+    }
+
+    /// Number of buffer parameters.
+    pub fn num_buffers(&self) -> usize {
+        self.buffer_params().count()
+    }
+
+    /// Look up a parameter.
+    pub fn param(&self, id: ParamId) -> &Param {
+        &self.params[id.0 as usize]
+    }
+}
+
+/// Typed statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Declare local `var` and initialize it.
+    Decl { var: VarId, init: Expr },
+    /// `var = value` (compound assignments are desugared).
+    AssignVar { var: VarId, value: Expr },
+    /// `buf[index] = value`.
+    Store { buf: ParamId, index: Expr, value: Expr },
+    /// Two-armed conditional; either arm may be empty.
+    If { cond: Expr, then: Vec<Stmt>, els: Vec<Stmt> },
+    /// Structured `for` (kept structured so the access analysis can bound
+    /// the induction variable).
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+    },
+    /// `while (cond) body`.
+    While { cond: Expr, body: Vec<Stmt> },
+    Break,
+    Continue,
+    Return,
+    /// Scoped block.
+    Block(Vec<Stmt>),
+}
+
+/// A typed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub ty: ScalarType,
+}
+
+impl Expr {
+    /// Shorthand constructor.
+    pub fn new(kind: ExprKind, ty: ScalarType) -> Self {
+        Self { kind, ty }
+    }
+
+    /// An `Int` constant.
+    pub fn int(v: i64) -> Self {
+        Self::new(ExprKind::IntConst(v), ScalarType::Int)
+    }
+}
+
+/// Typed expression node kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer constant (`Int` or `UInt` per the node type).
+    IntConst(i64),
+    /// Float constant.
+    FloatConst(f64),
+    /// Boolean constant.
+    BoolConst(bool),
+    /// Read a local variable.
+    Var(VarId),
+    /// Read a scalar parameter.
+    Param(ParamId),
+    /// `get_global_id(dim)`.
+    GlobalId(u8),
+    /// `get_global_size(dim)`.
+    GlobalSize(u8),
+    /// Binary operation; operand type is `lhs.ty` (both sides equal after
+    /// promotion), except shifts where `rhs` is `Int`.
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// Unary operation.
+    Unary { op: UnOp, operand: Box<Expr> },
+    /// Explicit or compiler-inserted conversion to the node's type.
+    Cast(Box<Expr>),
+    /// `buf[index]` read; `index` is `Int`.
+    Load { buf: ParamId, index: Box<Expr> },
+    /// Builtin call.
+    Call { f: Builtin, args: Vec<Expr> },
+    /// `cond ? then : els` — short-circuit (only the chosen arm executes).
+    Select { cond: Box<Expr>, then: Box<Expr>, els: Box<Expr> },
+}
+
+/// An N-dimensional launch range (1, 2 or 3 dimensions).
+///
+/// `dims[0]` is the innermost (x) dimension; partitioning always splits the
+/// **last** (outermost) dimension, which for row-major 2D kernels yields
+/// contiguous row blocks.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NdRange {
+    dims: Vec<usize>,
+}
+
+impl NdRange {
+    /// Create a range with the given per-dimension sizes (1–3 dims, all
+    /// non-zero).
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            (1..=3).contains(&dims.len()),
+            "NdRange must have 1..=3 dimensions, got {}",
+            dims.len()
+        );
+        assert!(dims.iter().all(|&d| d > 0), "NdRange dimensions must be non-zero");
+        Self { dims: dims.to_vec() }
+    }
+
+    /// 1-D range.
+    pub fn d1(n: usize) -> Self {
+        Self::new(&[n])
+    }
+
+    /// 2-D range (`x` innermost, `y` outermost).
+    pub fn d2(x: usize, y: usize) -> Self {
+        Self::new(&[x, y])
+    }
+
+    /// Per-dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Size of dimension `d` (1 for dimensions beyond the rank, matching
+    /// OpenCL's `get_global_size` behaviour).
+    pub fn dim(&self, d: usize) -> usize {
+        self.dims.get(d).copied().unwrap_or(1)
+    }
+
+    /// Total number of work-items.
+    pub fn total(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// The dimension along which partitioning splits this range.
+    pub fn split_dim(&self) -> usize {
+        self.dims.len() - 1
+    }
+
+    /// Extent of the split dimension.
+    pub fn split_extent(&self) -> usize {
+        self.dims[self.split_dim()]
+    }
+
+    /// Work-items per unit of the split dimension.
+    pub fn items_per_slice(&self) -> usize {
+        self.total() / self.split_extent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndrange_basics() {
+        let r = NdRange::d2(8, 4);
+        assert_eq!(r.total(), 32);
+        assert_eq!(r.split_dim(), 1);
+        assert_eq!(r.split_extent(), 4);
+        assert_eq!(r.items_per_slice(), 8);
+        assert_eq!(r.dim(0), 8);
+        assert_eq!(r.dim(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn ndrange_rejects_zero_dim() {
+        NdRange::new(&[4, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=3")]
+    fn ndrange_rejects_rank_4() {
+        NdRange::new(&[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn scalar_type_properties() {
+        assert!(ScalarType::Float.is_numeric());
+        assert!(!ScalarType::Bool.is_numeric());
+        assert!(ScalarType::UInt.is_integer());
+        assert!(!ScalarType::Float.is_integer());
+        assert_eq!(ScalarType::Int.size_bytes(), 4);
+        assert_eq!(ScalarType::Float.name(), "float");
+    }
+
+    #[test]
+    fn param_kind_helpers() {
+        let b = ParamKind::Buffer { elem: ScalarType::Float, is_const: true };
+        assert!(b.is_buffer());
+        assert_eq!(b.scalar_type(), ScalarType::Float);
+        let s = ParamKind::Scalar(ScalarType::Int);
+        assert!(!s.is_buffer());
+    }
+}

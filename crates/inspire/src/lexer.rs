@@ -1,0 +1,384 @@
+//! Hand-written lexer for the kernel language.
+
+use crate::error::CompileError;
+use crate::token::{Span, Token, TokenKind};
+
+/// Tokenize `src`, returning the token stream terminated by [`TokenKind::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src: src.as_bytes(), pos: 0, tokens: Vec::new() }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, CompileError> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(c) = self.peek() else {
+                self.push(TokenKind::Eof, start);
+                return Ok(self.tokens);
+            };
+            match c {
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.ident(start),
+                b'0'..=b'9' => self.number(start)?,
+                b'.' if self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) => {
+                    self.number(start)?
+                }
+                _ => self.symbol(start)?,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens.push(Token { kind, span: Span::new(start, self.pos) });
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let open = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(CompileError::lex(
+                                    "unterminated block comment",
+                                    open,
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident(&mut self, start: usize) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("identifier bytes are ASCII");
+        let kind = match text {
+            "kernel" | "__kernel" => TokenKind::KwKernel,
+            "void" => TokenKind::KwVoid,
+            "global" | "__global" => TokenKind::KwGlobal,
+            "const" => TokenKind::KwConst,
+            "int" => TokenKind::KwInt,
+            "uint" | "unsigned" => TokenKind::KwUInt,
+            "float" => TokenKind::KwFloat,
+            "bool" => TokenKind::KwBool,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "for" => TokenKind::KwFor,
+            "while" => TokenKind::KwWhile,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "return" => TokenKind::KwReturn,
+            "true" => TokenKind::KwTrue,
+            "false" => TokenKind::KwFalse,
+            _ => TokenKind::Ident(text.to_string()),
+        };
+        self.push(kind, start);
+    }
+
+    fn number(&mut self, start: usize) -> Result<(), CompileError> {
+        let mut is_float = false;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            // Disambiguate from a hypothetical member access: digits '.' digits.
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let save = self.pos;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            } else {
+                // Not an exponent after all (e.g. `1else` is `1` `else`).
+                self.pos = save;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("number bytes are ASCII");
+        if is_float {
+            // Consume an optional `f` suffix.
+            if matches!(self.peek(), Some(b'f') | Some(b'F')) {
+                self.pos += 1;
+            }
+            let value: f64 = text.parse().map_err(|_| {
+                CompileError::lex(format!("invalid float literal `{text}`"), start)
+            })?;
+            self.push(TokenKind::FloatLit(value), start);
+        } else {
+            let mut unsigned = false;
+            if matches!(self.peek(), Some(b'u') | Some(b'U')) {
+                unsigned = true;
+                self.pos += 1;
+            } else if matches!(self.peek(), Some(b'f') | Some(b'F')) {
+                // `1f` is a float literal.
+                self.pos += 1;
+                let value: f64 = text.parse().map_err(|_| {
+                    CompileError::lex(format!("invalid float literal `{text}`"), start)
+                })?;
+                self.push(TokenKind::FloatLit(value), start);
+                return Ok(());
+            }
+            let value: i64 = if unsigned {
+                text.parse::<u64>()
+                    .ok()
+                    .filter(|&v| v <= u32::MAX as u64)
+                    .map(|v| v as i64)
+                    .ok_or_else(|| {
+                        CompileError::lex(
+                            format!("unsigned literal `{text}u` out of 32-bit range"),
+                            start,
+                        )
+                    })?
+            } else {
+                text.parse::<i64>()
+                    .ok()
+                    .filter(|&v| v <= i64::from(u32::MAX))
+                    .ok_or_else(|| {
+                        CompileError::lex(
+                            format!("integer literal `{text}` out of range"),
+                            start,
+                        )
+                    })?
+            };
+            self.push(TokenKind::IntLit { value, unsigned }, start);
+        }
+        Ok(())
+    }
+
+    fn symbol(&mut self, start: usize) -> Result<(), CompileError> {
+        use TokenKind::*;
+        let c = self.bump().expect("symbol() called at end of input");
+        let two = |l: &mut Self, second: u8, yes: TokenKind, no: TokenKind| {
+            if l.peek() == Some(second) {
+                l.pos += 1;
+                yes
+            } else {
+                no
+            }
+        };
+        let kind = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b',' => Comma,
+            b';' => Semicolon,
+            b'?' => Question,
+            b':' => Colon,
+            b'~' => Tilde,
+            b'^' => Caret,
+            b'+' => {
+                if self.peek() == Some(b'+') {
+                    self.pos += 1;
+                    PlusPlus
+                } else {
+                    two(self, b'=', PlusAssign, Plus)
+                }
+            }
+            b'-' => {
+                if self.peek() == Some(b'-') {
+                    self.pos += 1;
+                    MinusMinus
+                } else {
+                    two(self, b'=', MinusAssign, Minus)
+                }
+            }
+            b'*' => two(self, b'=', StarAssign, Star),
+            b'/' => two(self, b'=', SlashAssign, Slash),
+            b'%' => two(self, b'=', PercentAssign, Percent),
+            b'&' => two(self, b'&', AmpAmp, Amp),
+            b'|' => two(self, b'|', PipePipe, Pipe),
+            b'!' => two(self, b'=', BangEq, Bang),
+            b'=' => two(self, b'=', EqEq, Assign),
+            b'<' => {
+                if self.peek() == Some(b'<') {
+                    self.pos += 1;
+                    Shl
+                } else {
+                    two(self, b'=', Le, Lt)
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'>') {
+                    self.pos += 1;
+                    Shr
+                } else {
+                    two(self, b'=', Ge, Gt)
+                }
+            }
+            other => {
+                return Err(CompileError::lex(
+                    format!("unexpected character `{}`", other as char),
+                    start,
+                ))
+            }
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("kernel void foo __global global"),
+            vec![KwKernel, KwVoid, Ident("foo".into()), KwGlobal, KwGlobal, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_integer_literals() {
+        assert_eq!(
+            kinds("0 42 4294967295u"),
+            vec![
+                IntLit { value: 0, unsigned: false },
+                IntLit { value: 42, unsigned: false },
+                IntLit { value: u32::MAX as i64, unsigned: true },
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_literals() {
+        assert!(lex("4294967296u").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn lexes_float_literals() {
+        assert_eq!(
+            kinds("1.5 2.0f .25 1e-3 3f 7."),
+            vec![
+                FloatLit(1.5),
+                FloatLit(2.0),
+                FloatLit(0.25),
+                FloatLit(1e-3),
+                FloatLit(3.0),
+                FloatLit(7.0),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn float_exponent_requires_digits() {
+        // `1e` must lex as int 1 followed by identifier `e`.
+        assert_eq!(
+            kinds("1e"),
+            vec![IntLit { value: 1, unsigned: false }, Ident("e".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_greedily() {
+        assert_eq!(kinds("<<= "), vec![Shl, Assign, Eof]);
+        assert_eq!(kinds("a+=b"), vec![Ident("a".into()), PlusAssign, Ident("b".into()), Eof]);
+        assert_eq!(kinds("i++ --j"), vec![Ident("i".into()), PlusPlus, MinusMinus, Ident("j".into()), Eof]);
+        assert_eq!(kinds("&& & || |"), vec![AmpAmp, Amp, PipePipe, Pipe, Eof]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("a // line\n b /* block\n comment */ c"),
+            vec![Ident("a".into()), Ident("b".into()), Ident("c".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        let err = lex("x /* never ends").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("@").is_err());
+        assert!(lex("#include").is_err());
+    }
+
+    #[test]
+    fn spans_cover_lexemes() {
+        let toks = lex("ab + cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 4));
+        assert_eq!(toks[2].span, Span::new(5, 7));
+    }
+}

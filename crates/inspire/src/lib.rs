@@ -1,0 +1,135 @@
+//! # hetpart-inspire
+//!
+//! The compiler front end of the hetpart framework: a small OpenCL-C-like
+//! kernel language, an INSPIRE-like typed intermediate representation,
+//! static program-feature extraction, a buffer access-range analysis, and a
+//! register-bytecode virtual machine that functionally executes kernels on
+//! host buffers while counting dynamic operations per basic block.
+//!
+//! The paper's Insieme compiler translates single-device OpenCL programs
+//! into the INSPIRE IR, extracts *static program features* from it, and
+//! hands the IR to a backend that emits multi-device code. This crate plays
+//! the same role: [`compile`] takes kernel source text and produces a
+//! [`CompiledKernel`] bundling the typed IR, the static feature vector, the
+//! per-buffer access summaries used by the runtime to plan partial
+//! transfers, and executable bytecode.
+//!
+//! ## Example
+//!
+//! ```
+//! use hetpart_inspire::{compile, vm::{Vm, BufferData, ArgValue}, NdRange};
+//!
+//! let src = r#"
+//!     kernel void vec_add(global const float* a, global const float* b,
+//!                         global float* c, int n) {
+//!         int i = get_global_id(0);
+//!         if (i < n) { c[i] = a[i] + b[i]; }
+//!     }
+//! "#;
+//! let k = compile(src).unwrap();
+//! assert_eq!(k.name, "vec_add");
+//!
+//! let mut bufs = vec![
+//!     BufferData::F32(vec![1.0, 2.0, 3.0, 4.0]),
+//!     BufferData::F32(vec![10.0, 20.0, 30.0, 40.0]),
+//!     BufferData::F32(vec![0.0; 4]),
+//! ];
+//! let args = vec![
+//!     ArgValue::Buffer(0), ArgValue::Buffer(1), ArgValue::Buffer(2),
+//!     ArgValue::Int(4),
+//! ];
+//! let mut vm = Vm::new();
+//! vm.run_range(&k.bytecode, &NdRange::d1(4), 0..4, &args, &mut bufs)
+//!   .unwrap();
+//! assert_eq!(bufs[2].as_f32().unwrap(), &[11.0, 22.0, 33.0, 44.0]);
+//! ```
+
+pub mod access;
+pub mod ast;
+pub mod builtins;
+pub mod bytecode;
+pub mod error;
+pub mod features;
+pub mod ir;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod sema;
+pub mod token;
+pub mod vm;
+
+pub use access::{AccessSummary, BufferAccess};
+pub use bytecode::Function;
+pub use error::{CompileError, VmError};
+pub use features::StaticFeatures;
+pub use ir::{Kernel, NdRange, ScalarType};
+
+/// A fully compiled kernel: typed IR plus every analysis product the
+/// runtime and the machine-learning pipeline consume.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// Kernel name as written in the source.
+    pub name: String,
+    /// Typed INSPIRE-like IR (used by analyses and for inspection).
+    pub ir: Kernel,
+    /// Static program features extracted from the IR at "compile time".
+    pub static_features: StaticFeatures,
+    /// Per-buffer access summaries for transfer planning.
+    pub access: AccessSummary,
+    /// Executable register bytecode.
+    pub bytecode: Function,
+}
+
+/// Compile kernel source text containing exactly one `kernel` function.
+///
+/// Returns a [`CompileError`] describing the first problem found, with a
+/// byte offset into `src`.
+pub fn compile(src: &str) -> Result<CompiledKernel, CompileError> {
+    let kernels = compile_all(src)?;
+    match kernels.len() {
+        1 => Ok(kernels.into_iter().next().expect("len checked")),
+        n => Err(CompileError::other(format!(
+            "expected exactly one kernel in translation unit, found {n}"
+        ))),
+    }
+}
+
+/// Compile kernel source text containing one or more `kernel` functions.
+pub fn compile_all(src: &str) -> Result<Vec<CompiledKernel>, CompileError> {
+    let tokens = lexer::lex(src)?;
+    let program = parser::parse(&tokens)?;
+    program
+        .kernels
+        .into_iter()
+        .map(|k| {
+            let ir = sema::analyze(&k)?;
+            let static_features = features::extract(&ir);
+            let access = access::analyze(&ir);
+            let bytecode = bytecode::compile(&ir)?;
+            Ok(CompiledKernel {
+                name: ir.name.clone(),
+                ir,
+                static_features,
+                access,
+                bytecode,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_rejects_empty_source() {
+        assert!(compile("").is_err());
+    }
+
+    #[test]
+    fn compile_rejects_two_kernels_via_single_entry() {
+        let src = "kernel void a(int n) { } kernel void b(int n) { }";
+        assert!(compile(src).is_err());
+        assert_eq!(compile_all(src).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,675 @@
+//! Recursive-descent parser with precedence climbing.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::token::{Span, Token, TokenKind};
+
+/// Parse a token stream (as produced by [`crate::lexer::lex`]) into a
+/// [`Program`].
+pub fn parse(tokens: &[Token]) -> Result<Program, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut kernels = Vec::new();
+    while !p.at(&TokenKind::Eof) {
+        kernels.push(p.kernel()?);
+    }
+    if kernels.is_empty() {
+        return Err(CompileError::parse("no kernel found in source", 0));
+    }
+    Ok(Program { kernels })
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, CompileError> {
+        if self.at(&kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.err_here(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek_kind().describe()
+            )))
+        }
+    }
+
+    fn err_here(&self, msg: String) -> CompileError {
+        CompileError::parse(msg, self.peek().span.start)
+    }
+
+    fn type_name(&mut self) -> Result<TypeName, CompileError> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::KwInt => Ok(TypeName::Int),
+            TokenKind::KwUInt => Ok(TypeName::UInt),
+            TokenKind::KwFloat => Ok(TypeName::Float),
+            TokenKind::KwBool => Ok(TypeName::Bool),
+            other => Err(CompileError::parse(
+                format!("expected type name, found {}", other.describe()),
+                t.span.start,
+            )),
+        }
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(
+            self.peek_kind(),
+            TokenKind::KwInt | TokenKind::KwUInt | TokenKind::KwFloat | TokenKind::KwBool
+        )
+    }
+
+    // kernel void name ( params ) { body }
+    fn kernel(&mut self) -> Result<KernelDecl, CompileError> {
+        let start = self.peek().span;
+        self.expect(TokenKind::KwKernel)?;
+        self.expect(TokenKind::KwVoid)?;
+        let name_tok = self.bump();
+        let name = match name_tok.kind {
+            TokenKind::Ident(s) => s,
+            other => {
+                return Err(CompileError::parse(
+                    format!("expected kernel name, found {}", other.describe()),
+                    name_tok.span.start,
+                ))
+            }
+        };
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                params.push(self.param()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let body = self.block()?;
+        let end = self.tokens[self.pos.saturating_sub(1)].span;
+        Ok(KernelDecl { name, params, body, span: start.merge(end) })
+    }
+
+    // global [const] T * name   |   T name
+    fn param(&mut self) -> Result<ParamDecl, CompileError> {
+        let start = self.peek().span;
+        if self.eat(&TokenKind::KwGlobal) {
+            let is_const = self.eat(&TokenKind::KwConst);
+            let elem = self.type_name()?;
+            self.expect(TokenKind::Star)?;
+            let name = self.ident()?;
+            Ok(ParamDecl {
+                name,
+                kind: ParamKind::Buffer { elem, is_const },
+                span: start.merge(self.prev_span()),
+            })
+        } else {
+            // Also accept `const T name` for scalars.
+            self.eat(&TokenKind::KwConst);
+            let ty = self.type_name()?;
+            if self.at(&TokenKind::Star) {
+                return Err(self.err_here(
+                    "pointer parameters must be `global` (no local/private pointers)"
+                        .to_string(),
+                ));
+            }
+            let name = self.ident()?;
+            Ok(ParamDecl {
+                name,
+                kind: ParamKind::Scalar(ty),
+                span: start.merge(self.prev_span()),
+            })
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(CompileError::parse(
+                format!("expected identifier, found {}", other.describe()),
+                t.span.start,
+            )),
+        }
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            if self.at(&TokenKind::Eof) {
+                return Err(self.err_here("unexpected end of input inside block".into()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(stmts)
+    }
+
+    /// A statement body: either a braced block or a single statement.
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if self.at(&TokenKind::LBrace) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let start = self.peek().span;
+        match self.peek_kind() {
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let then = self.stmt_or_block()?;
+                let els = if self.eat(&TokenKind::KwElse) {
+                    self.stmt_or_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then, els, span: start.merge(self.prev_span()) })
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.stmt_or_block()?;
+                Ok(Stmt::While { cond, body, span: start.merge(self.prev_span()) })
+            }
+            TokenKind::KwFor => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let init = if self.at(&TokenKind::Semicolon) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(TokenKind::Semicolon)?;
+                let cond = if self.at(&TokenKind::Semicolon) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semicolon)?;
+                let step = if self.at(&TokenKind::RParen) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(TokenKind::RParen)?;
+                let body = self.stmt_or_block()?;
+                Ok(Stmt::For { init, cond, step, body, span: start.merge(self.prev_span()) })
+            }
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(TokenKind::Semicolon)?;
+                Ok(Stmt::Break(start))
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(TokenKind::Semicolon)?;
+                Ok(Stmt::Continue(start))
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                self.expect(TokenKind::Semicolon)?;
+                Ok(Stmt::Return(start))
+            }
+            TokenKind::LBrace => {
+                let body = self.block()?;
+                Ok(Stmt::Block(body, start.merge(self.prev_span())))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(TokenKind::Semicolon)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// Declaration, assignment, or increment/decrement — the statement forms
+    /// allowed in `for` headers (no trailing semicolon).
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let start = self.peek().span;
+        if self.is_type_start() {
+            let ty = self.type_name()?;
+            let name = self.ident()?;
+            self.expect(TokenKind::Assign)?;
+            let init = self.expr()?;
+            return Ok(Stmt::Decl { ty, name, init, span: start.merge(self.prev_span()) });
+        }
+        // Prefix increment/decrement: ++i / --i.
+        if matches!(self.peek_kind(), TokenKind::PlusPlus | TokenKind::MinusMinus) {
+            let op_tok = self.bump();
+            let target = self.postfix_expr()?;
+            return self.incdec(target, &op_tok.kind, start);
+        }
+        let target = self.postfix_expr()?;
+        match self.peek_kind().clone() {
+            TokenKind::PlusPlus | TokenKind::MinusMinus => {
+                let op = self.bump().kind;
+                self.incdec(target, &op, start)
+            }
+            k => {
+                let op = match k {
+                    TokenKind::Assign => AssignOp::Set,
+                    TokenKind::PlusAssign => AssignOp::Add,
+                    TokenKind::MinusAssign => AssignOp::Sub,
+                    TokenKind::StarAssign => AssignOp::Mul,
+                    TokenKind::SlashAssign => AssignOp::Div,
+                    TokenKind::PercentAssign => AssignOp::Rem,
+                    other => {
+                        return Err(self.err_here(format!(
+                            "expected assignment operator, found {}",
+                            other.describe()
+                        )))
+                    }
+                };
+                self.bump();
+                let value = self.expr()?;
+                self.check_assign_target(&target)?;
+                Ok(Stmt::Assign { target, op, value, span: start.merge(self.prev_span()) })
+            }
+        }
+    }
+
+    fn incdec(
+        &mut self,
+        target: Expr,
+        op: &TokenKind,
+        start: Span,
+    ) -> Result<Stmt, CompileError> {
+        self.check_assign_target(&target)?;
+        let one = Expr {
+            kind: ExprKind::IntLit { value: 1, unsigned: false },
+            span: target.span,
+        };
+        let aop = if matches!(op, TokenKind::PlusPlus) { AssignOp::Add } else { AssignOp::Sub };
+        Ok(Stmt::Assign { target, op: aop, value: one, span: start.merge(self.prev_span()) })
+    }
+
+    fn check_assign_target(&self, target: &Expr) -> Result<(), CompileError> {
+        match &target.kind {
+            ExprKind::Ident(_) | ExprKind::Index { .. } => Ok(()),
+            _ => Err(CompileError::parse(
+                "assignment target must be a variable or a buffer element".to_string(),
+                target.span.start,
+            )),
+        }
+    }
+
+    // ---- Expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, CompileError> {
+        let cond = self.binary(0)?;
+        if self.eat(&TokenKind::Question) {
+            let then = self.expr()?;
+            self.expect(TokenKind::Colon)?;
+            let els = self.ternary()?;
+            let span = cond.span.merge(els.span);
+            Ok(Expr {
+                kind: ExprKind::Ternary {
+                    cond: Box::new(cond),
+                    then: Box::new(then),
+                    els: Box::new(els),
+                },
+                span,
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn bin_op_of(kind: &TokenKind) -> Option<(BinOp, u8)> {
+        use BinOp::*;
+        use TokenKind as T;
+        Some(match kind {
+            T::PipePipe => (LogOr, 1),
+            T::AmpAmp => (LogAnd, 2),
+            T::Pipe => (BitOr, 3),
+            T::Caret => (BitXor, 4),
+            T::Amp => (BitAnd, 5),
+            T::EqEq => (Eq, 6),
+            T::BangEq => (Ne, 6),
+            T::Lt => (Lt, 7),
+            T::Le => (Le, 7),
+            T::Gt => (Gt, 7),
+            T::Ge => (Ge, 7),
+            T::Shl => (Shl, 8),
+            T::Shr => (Shr, 8),
+            T::Plus => (Add, 9),
+            T::Minus => (Sub, 9),
+            T::Star => (Mul, 10),
+            T::Slash => (Div, 10),
+            T::Percent => (Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        while let Some((op, prec)) = Self::bin_op_of(self.peek_kind()) {
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let start = self.peek().span;
+        let op = match self.peek_kind() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Bang => Some(UnOp::Not),
+            TokenKind::Tilde => Some(UnOp::BitNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary()?;
+            let span = start.merge(operand.span);
+            return Ok(Expr { kind: ExprKind::Unary { op, operand: Box::new(operand) }, span });
+        }
+        // Cast: `(T) unary`.
+        if self.at(&TokenKind::LParen) {
+            if let Some(next) = self.tokens.get(self.pos + 1) {
+                let is_cast = matches!(
+                    next.kind,
+                    TokenKind::KwInt | TokenKind::KwUInt | TokenKind::KwFloat | TokenKind::KwBool
+                ) && self
+                    .tokens
+                    .get(self.pos + 2)
+                    .is_some_and(|t| t.kind == TokenKind::RParen);
+                if is_cast {
+                    self.bump(); // (
+                    let ty = self.type_name()?;
+                    self.bump(); // )
+                    let operand = self.unary()?;
+                    let span = start.merge(operand.span);
+                    return Ok(Expr {
+                        kind: ExprKind::Cast { ty, operand: Box::new(operand) },
+                        span,
+                    });
+                }
+            }
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.at(&TokenKind::LBracket) {
+                self.bump();
+                let index = self.expr()?;
+                let rb = self.expect(TokenKind::RBracket)?;
+                let span = e.span.merge(rb.span);
+                e = Expr {
+                    kind: ExprKind::Index { base: Box::new(e), index: Box::new(index) },
+                    span,
+                };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let t = self.bump();
+        let span = t.span;
+        match t.kind {
+            TokenKind::IntLit { value, unsigned } => {
+                Ok(Expr { kind: ExprKind::IntLit { value, unsigned }, span })
+            }
+            TokenKind::FloatLit(v) => Ok(Expr { kind: ExprKind::FloatLit(v), span }),
+            TokenKind::KwTrue => Ok(Expr { kind: ExprKind::BoolLit(true), span }),
+            TokenKind::KwFalse => Ok(Expr { kind: ExprKind::BoolLit(false), span }),
+            TokenKind::Ident(name) => {
+                if self.at(&TokenKind::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let rp = self.expect(TokenKind::RParen)?;
+                    Ok(Expr { kind: ExprKind::Call { name, args }, span: span.merge(rp.span) })
+                } else {
+                    Ok(Expr { kind: ExprKind::Ident(name), span })
+                }
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(CompileError::parse(
+                format!("expected expression, found {}", other.describe()),
+                span.start,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Program, CompileError> {
+        parse(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn parses_minimal_kernel() {
+        let p = parse_src("kernel void k(int n) { }").unwrap();
+        assert_eq!(p.kernels.len(), 1);
+        assert_eq!(p.kernels[0].name, "k");
+        assert_eq!(p.kernels[0].params.len(), 1);
+    }
+
+    #[test]
+    fn parses_buffer_params() {
+        let p = parse_src(
+            "kernel void k(global const float* a, global int* b, uint m) { }",
+        )
+        .unwrap();
+        let params = &p.kernels[0].params;
+        assert_eq!(
+            params[0].kind,
+            ParamKind::Buffer { elem: TypeName::Float, is_const: true }
+        );
+        assert_eq!(
+            params[1].kind,
+            ParamKind::Buffer { elem: TypeName::Int, is_const: false }
+        );
+        assert_eq!(params[2].kind, ParamKind::Scalar(TypeName::UInt));
+    }
+
+    #[test]
+    fn rejects_non_global_pointer() {
+        assert!(parse_src("kernel void k(float* a) { }").is_err());
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let p = parse_src("kernel void k(int n) { int x = 1 + 2 * 3; }").unwrap();
+        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else { panic!() };
+        let ExprKind::Binary { op: BinOp::Add, rhs, .. } = &init.kind else {
+            panic!("expected + at top: {init:?}")
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn shift_binds_tighter_than_compare() {
+        let p = parse_src("kernel void k(int n) { bool b = 1 << 2 < n; }").unwrap();
+        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else { panic!() };
+        assert!(matches!(
+            init.kind,
+            ExprKind::Binary { op: BinOp::Lt, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_for_loop_with_incdec() {
+        let p = parse_src(
+            "kernel void k(int n) { for (int i = 0; i < n; i++) { int y = i; } }",
+        )
+        .unwrap();
+        let Stmt::For { init, cond, step, body, .. } = &p.kernels[0].body[0] else {
+            panic!()
+        };
+        assert!(init.is_some());
+        assert!(cond.is_some());
+        assert!(matches!(
+            step.as_deref(),
+            Some(Stmt::Assign { op: AssignOp::Add, .. })
+        ));
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let p = parse_src(
+            "kernel void k(int n) { if (n < 0) { return; } else if (n == 0) { } else { } }",
+        )
+        .unwrap();
+        let Stmt::If { els, .. } = &p.kernels[0].body[0] else { panic!() };
+        assert!(matches!(els[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_ternary_right_associative() {
+        let p = parse_src("kernel void k(int n) { int x = n ? 1 : n ? 2 : 3; }").unwrap();
+        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else { panic!() };
+        let ExprKind::Ternary { els, .. } = &init.kind else { panic!() };
+        assert!(matches!(els.kind, ExprKind::Ternary { .. }));
+    }
+
+    #[test]
+    fn parses_casts_and_calls() {
+        let p = parse_src(
+            "kernel void k(global float* a) { a[0] = (float) get_global_id(0) + sqrt(2.0); }",
+        )
+        .unwrap();
+        let Stmt::Assign { value, .. } = &p.kernels[0].body[0] else { panic!() };
+        assert!(matches!(value.kind, ExprKind::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn parses_nested_indexing() {
+        let p = parse_src(
+            "kernel void k(global int* idx, global float* v, global float* o) { o[0] = v[idx[0]]; }",
+        )
+        .unwrap();
+        let Stmt::Assign { value, .. } = &p.kernels[0].body[0] else { panic!() };
+        let ExprKind::Index { index, .. } = &value.kind else { panic!() };
+        assert!(matches!(index.kind, ExprKind::Index { .. }));
+    }
+
+    #[test]
+    fn rejects_assignment_to_literal() {
+        assert!(parse_src("kernel void k(int n) { 3 = 4; }").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_after_kernel() {
+        assert!(parse_src("kernel void k(int n) { } trailing").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        assert!(parse_src("kernel void k(int n) { int x = 1 }").is_err());
+    }
+
+    #[test]
+    fn parses_compound_assignment_targets() {
+        let p = parse_src(
+            "kernel void k(global float* a, int n) { a[n] += 1.0; }",
+        )
+        .unwrap();
+        let Stmt::Assign { op, target, .. } = &p.kernels[0].body[0] else { panic!() };
+        assert_eq!(*op, AssignOp::Add);
+        assert!(matches!(target.kind, ExprKind::Index { .. }));
+    }
+
+    #[test]
+    fn parses_while_and_break_continue() {
+        let p = parse_src(
+            "kernel void k(int n) { while (true) { if (n < 0) break; continue; } }",
+        )
+        .unwrap();
+        let Stmt::While { body, .. } = &p.kernels[0].body[0] else { panic!() };
+        assert_eq!(body.len(), 2);
+    }
+
+    #[test]
+    fn paren_expr_is_not_cast_when_ident() {
+        // `(n) + 1` is a parenthesized expr, not a cast.
+        let p = parse_src("kernel void k(int n) { int x = (n) + 1; }").unwrap();
+        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else { panic!() };
+        assert!(matches!(init.kind, ExprKind::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn logical_ops_have_lowest_precedence() {
+        let p =
+            parse_src("kernel void k(int n) { bool b = n < 1 && n > -1 || n == 5; }").unwrap();
+        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else { panic!() };
+        assert!(matches!(init.kind, ExprKind::Binary { op: BinOp::LogOr, .. }));
+    }
+}

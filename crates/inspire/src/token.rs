@@ -1,0 +1,200 @@
+//! Tokens produced by the lexer.
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First byte of the lexeme.
+    pub start: usize,
+    /// One past the last byte of the lexeme.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+}
+
+/// One lexical token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// The kinds of token the kernel language knows about.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or non-reserved word.
+    Ident(String),
+    /// Integer literal; `unsigned` records a trailing `u`/`U` suffix.
+    IntLit { value: i64, unsigned: bool },
+    /// Floating-point literal (an `f`/`F` suffix is accepted and ignored).
+    FloatLit(f64),
+
+    // Keywords.
+    KwKernel,
+    KwVoid,
+    KwGlobal,
+    KwConst,
+    KwInt,
+    KwUInt,
+    KwFloat,
+    KwBool,
+    KwIf,
+    KwElse,
+    KwFor,
+    KwWhile,
+    KwBreak,
+    KwContinue,
+    KwReturn,
+    KwTrue,
+    KwFalse,
+
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Question,
+    Colon,
+
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    BangEq,
+    AmpAmp,
+    PipePipe,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    PlusPlus,
+    MinusMinus,
+
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable name used in diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::IntLit { value, .. } => format!("integer literal `{value}`"),
+            TokenKind::FloatLit(v) => format!("float literal `{v}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        match self {
+            TokenKind::KwKernel => "kernel",
+            TokenKind::KwVoid => "void",
+            TokenKind::KwGlobal => "global",
+            TokenKind::KwConst => "const",
+            TokenKind::KwInt => "int",
+            TokenKind::KwUInt => "uint",
+            TokenKind::KwFloat => "float",
+            TokenKind::KwBool => "bool",
+            TokenKind::KwIf => "if",
+            TokenKind::KwElse => "else",
+            TokenKind::KwFor => "for",
+            TokenKind::KwWhile => "while",
+            TokenKind::KwBreak => "break",
+            TokenKind::KwContinue => "continue",
+            TokenKind::KwReturn => "return",
+            TokenKind::KwTrue => "true",
+            TokenKind::KwFalse => "false",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Semicolon => ";",
+            TokenKind::Question => "?",
+            TokenKind::Colon => ":",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Amp => "&",
+            TokenKind::Pipe => "|",
+            TokenKind::Caret => "^",
+            TokenKind::Tilde => "~",
+            TokenKind::Bang => "!",
+            TokenKind::Shl => "<<",
+            TokenKind::Shr => ">>",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::EqEq => "==",
+            TokenKind::BangEq => "!=",
+            TokenKind::AmpAmp => "&&",
+            TokenKind::PipePipe => "||",
+            TokenKind::Assign => "=",
+            TokenKind::PlusAssign => "+=",
+            TokenKind::MinusAssign => "-=",
+            TokenKind::StarAssign => "*=",
+            TokenKind::SlashAssign => "/=",
+            TokenKind::PercentAssign => "%=",
+            TokenKind::PlusPlus => "++",
+            TokenKind::MinusMinus => "--",
+            _ => unreachable!("symbol() called on non-symbol token"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn describe_names_tokens() {
+        assert_eq!(TokenKind::Shl.describe(), "`<<`");
+        assert_eq!(
+            TokenKind::Ident("foo".into()).describe(),
+            "identifier `foo`"
+        );
+    }
+}

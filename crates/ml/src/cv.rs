@@ -1,0 +1,179 @@
+//! Cross-validation: k-fold and leave-one-group-out.
+//!
+//! The paper's deployment scenario is "a *new* OpenCL program is provided
+//! to the analyzer" — the model has never seen it. Leave-one-group-out
+//! (group = benchmark program) reproduces that setting exactly; all
+//! headline numbers in the evaluation use it.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::metrics::accuracy;
+use crate::model::{ModelConfig, Pipeline};
+
+/// Result of a cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvResult {
+    /// Accuracy per fold.
+    pub fold_accuracies: Vec<f64>,
+    /// Overall accuracy (weighted by fold size).
+    pub accuracy: f64,
+    /// For every dataset row: the label predicted by the model that did
+    /// *not* see that row during training. `usize::MAX` for rows that were
+    /// in folds that could not be evaluated (never happens with valid
+    /// input).
+    pub predictions: Vec<usize>,
+}
+
+/// Deterministically split `n` row indices into `k` folds.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(n >= k, "need at least one row per fold");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds = vec![Vec::new(); k];
+    for (i, row) in idx.into_iter().enumerate() {
+        folds[i % k].push(row);
+    }
+    folds
+}
+
+/// Standard k-fold cross-validation.
+pub fn kfold_cv(config: &ModelConfig, data: &Dataset, k: usize, seed: u64) -> CvResult {
+    let folds = kfold_indices(data.len(), k, seed);
+    let n_classes = data.n_classes();
+    let mut predictions = vec![usize::MAX; data.len()];
+    let mut fold_accuracies = Vec::with_capacity(k);
+    for fold in &folds {
+        let train_idx: Vec<usize> =
+            (0..data.len()).filter(|i| !fold.contains(i)).collect();
+        let train = data.subset(&train_idx);
+        let pipe = Pipeline::fit(config, &train.x, &train.y, n_classes);
+        let mut y_true = Vec::new();
+        let mut y_pred = Vec::new();
+        for &i in fold {
+            let p = pipe.predict(&data.x[i]);
+            predictions[i] = p;
+            y_true.push(data.y[i]);
+            y_pred.push(p);
+        }
+        fold_accuracies.push(accuracy(&y_true, &y_pred));
+    }
+    let acc = accuracy(
+        &data.y,
+        &predictions,
+    );
+    CvResult { fold_accuracies, accuracy: acc, predictions }
+}
+
+/// Leave-one-group-out cross-validation: for each distinct group, train on
+/// every other group and predict the held-out rows.
+///
+/// Returns per-row predictions (each made by a model that never saw the
+/// row's group) and per-group accuracies in `group_ids()` order.
+pub fn leave_one_group_out(config: &ModelConfig, data: &Dataset) -> CvResult {
+    let groups = data.group_ids();
+    assert!(groups.len() >= 2, "leave-one-group-out needs at least two groups");
+    let n_classes = data.n_classes();
+    let mut predictions = vec![usize::MAX; data.len()];
+    let mut fold_accuracies = Vec::with_capacity(groups.len());
+    for &g in &groups {
+        let (train, _) = data.split_by_group(g);
+        let pipe = Pipeline::fit(config, &train.x, &train.y, n_classes);
+        let mut y_true = Vec::new();
+        let mut y_pred = Vec::new();
+        for (i, pred_slot) in predictions.iter_mut().enumerate() {
+            if data.groups[i] == g {
+                let p = pipe.predict(&data.x[i]);
+                *pred_slot = p;
+                y_true.push(data.y[i]);
+                y_pred.push(p);
+            }
+        }
+        fold_accuracies.push(accuracy(&y_true, &y_pred));
+    }
+    let acc = accuracy(&data.y, &predictions);
+    CvResult { fold_accuracies, accuracy: acc, predictions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use crate::tree::TreeConfig;
+
+    /// Dataset where the label is a simple threshold on feature 0, split
+    /// into 4 groups.
+    fn learnable() -> Dataset {
+        let mut d = Dataset::new(vec!["f0".into(), "f1".into()]);
+        for i in 0..80 {
+            let v = i as f64;
+            d.push(vec![v, (i % 5) as f64], usize::from(v >= 40.0), i % 4);
+        }
+        d
+    }
+
+    #[test]
+    fn kfold_indices_partition_rows() {
+        let folds = kfold_indices(23, 5, 9);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        assert!(folds.iter().all(|f| !f.is_empty()));
+    }
+
+    #[test]
+    fn kfold_cv_learns_learnable_data() {
+        let d = learnable();
+        let r = kfold_cv(&ModelConfig::Tree(TreeConfig::default()), &d, 5, 3);
+        assert!(r.accuracy > 0.9, "accuracy {}", r.accuracy);
+        assert_eq!(r.fold_accuracies.len(), 5);
+        assert!(r.predictions.iter().all(|&p| p != usize::MAX));
+    }
+
+    #[test]
+    fn logo_cv_holds_out_whole_groups() {
+        let d = learnable();
+        let r = leave_one_group_out(&ModelConfig::Tree(TreeConfig::default()), &d);
+        assert_eq!(r.fold_accuracies.len(), 4);
+        assert!(r.accuracy > 0.9, "accuracy {}", r.accuracy);
+    }
+
+    #[test]
+    fn logo_predictions_never_use_own_group() {
+        // A dataset where each group has a *different* constant label and
+        // a constant feature: a model trained without the group cannot
+        // know its label, so per-group accuracy must be 0.
+        let mut d = Dataset::new(vec!["f".into()]);
+        for g in 0..3 {
+            for _ in 0..5 {
+                d.push(vec![g as f64], g, g);
+            }
+        }
+        let r = leave_one_group_out(&ModelConfig::Knn { k: 1 }, &d);
+        assert!(
+            r.accuracy < 0.01,
+            "a leaky implementation would score perfectly, got {}",
+            r.accuracy
+        );
+    }
+
+    #[test]
+    fn deterministic_kfold() {
+        let a = kfold_indices(50, 5, 7);
+        let b = kfold_indices(50, 5, 7);
+        assert_eq!(a, b);
+        let c = kfold_indices(50, 5, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two groups")]
+    fn logo_needs_two_groups() {
+        let mut d = Dataset::new(vec!["f".into()]);
+        d.push(vec![0.0], 0, 7);
+        leave_one_group_out(&ModelConfig::Knn { k: 1 }, &d);
+    }
+}

@@ -1,0 +1,165 @@
+//! Training datasets: feature matrices with class labels and group ids.
+
+use serde::{Deserialize, Serialize};
+
+/// A labelled dataset for classification.
+///
+/// `groups` carries the program id of each pattern so cross-validation can
+/// hold out *whole programs* (the paper's deployment scenario: predict the
+/// partitioning of a program the model has never seen).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature rows (all the same length).
+    pub x: Vec<Vec<f64>>,
+    /// Class label per row (dense, `0..n_classes`).
+    pub y: Vec<usize>,
+    /// Group id per row (e.g. benchmark-program index).
+    pub groups: Vec<usize>,
+    /// Feature names, length = feature dimension.
+    pub feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Create an empty dataset with the given feature names.
+    pub fn new(feature_names: Vec<String>) -> Self {
+        Self { x: Vec::new(), y: Vec::new(), groups: Vec::new(), feature_names }
+    }
+
+    /// Append one pattern.
+    ///
+    /// # Panics
+    /// Panics if the feature length does not match the dataset.
+    pub fn push(&mut self, features: Vec<f64>, label: usize, group: usize) {
+        assert_eq!(
+            features.len(),
+            self.feature_names.len(),
+            "feature vector length mismatch"
+        );
+        self.x.push(features);
+        self.y.push(label);
+        self.groups.push(group);
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the dataset holds no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Number of distinct classes (`max(y) + 1`, dense labels).
+    pub fn n_classes(&self) -> usize {
+        self.y.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Distinct group ids in first-appearance order.
+    pub fn group_ids(&self) -> Vec<usize> {
+        let mut seen = Vec::new();
+        for &g in &self.groups {
+            if !seen.contains(&g) {
+                seen.push(g);
+            }
+        }
+        seen
+    }
+
+    /// Split into (rows with `group != held_out`, rows with `group ==
+    /// held_out`) — the leave-one-group-out partition.
+    pub fn split_by_group(&self, held_out: usize) -> (Dataset, Dataset) {
+        let mut train = Dataset::new(self.feature_names.clone());
+        let mut test = Dataset::new(self.feature_names.clone());
+        for i in 0..self.len() {
+            let dst = if self.groups[i] == held_out { &mut test } else { &mut train };
+            dst.push(self.x[i].clone(), self.y[i], self.groups[i]);
+        }
+        (train, test)
+    }
+
+    /// Select rows by index.
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.feature_names.clone());
+        for &i in idx {
+            out.push(self.x[i].clone(), self.y[i], self.groups[i]);
+        }
+        out
+    }
+
+    /// Keep only the feature columns in `cols` (used by the feature
+    /// ablation experiment).
+    pub fn select_features(&self, cols: &[usize]) -> Dataset {
+        let names = cols.iter().map(|&c| self.feature_names[c].clone()).collect();
+        let mut out = Dataset::new(names);
+        for i in 0..self.len() {
+            let row = cols.iter().map(|&c| self.x[i][c]).collect();
+            out.push(row, self.y[i], self.groups[i]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        d.push(vec![1.0, 2.0], 0, 0);
+        d.push(vec![3.0, 4.0], 1, 0);
+        d.push(vec![5.0, 6.0], 2, 1);
+        d.push(vec![7.0, 8.0], 1, 2);
+        d
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = sample();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.n_classes(), 3);
+        assert_eq!(d.group_ids(), vec![0, 1, 2]);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn split_by_group_partitions_rows() {
+        let d = sample();
+        let (train, test) = d.split_by_group(0);
+        assert_eq!(train.len(), 2);
+        assert_eq!(test.len(), 2);
+        assert!(test.groups.iter().all(|&g| g == 0));
+        assert!(train.groups.iter().all(|&g| g != 0));
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = sample();
+        let s = d.subset(&[0, 3]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.y, vec![0, 1]);
+        assert_eq!(s.x[1], vec![7.0, 8.0]);
+    }
+
+    #[test]
+    fn select_features_projects_columns() {
+        let d = sample();
+        let p = d.select_features(&[1]);
+        assert_eq!(p.dim(), 1);
+        assert_eq!(p.x[2], vec![6.0]);
+        assert_eq!(p.feature_names, vec!["b".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn push_rejects_wrong_dim() {
+        let mut d = sample();
+        d.push(vec![1.0], 0, 0);
+    }
+}

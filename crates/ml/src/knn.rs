@@ -1,0 +1,107 @@
+//! k-nearest-neighbour classifier (Euclidean distance).
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted (memorized) k-NN classifier.
+///
+/// Expects its inputs to be scaled (see [`crate::scale::StandardScaler`]);
+/// raw counts would let one feature dominate the distance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Knn {
+    pub k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl Knn {
+    /// Memorize the training set.
+    pub fn fit(k: usize, x: &[Vec<f64>], y: &[usize], n_classes: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(!x.is_empty(), "cannot fit on an empty dataset");
+        assert_eq!(x.len(), y.len());
+        Self { k, x: x.to_vec(), y: y.to_vec(), n_classes }
+    }
+
+    fn dist2(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    /// Vote distribution over classes among the k nearest neighbours.
+    pub fn predict_proba(&self, q: &[f64]) -> Vec<f64> {
+        let mut d: Vec<(f64, usize)> =
+            self.x.iter().zip(&self.y).map(|(xi, &yi)| (Self::dist2(xi, q), yi)).collect();
+        let k = self.k.min(d.len());
+        d.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let mut votes = vec![0.0; self.n_classes];
+        for &(_, yi) in &d[..k] {
+            votes[yi] += 1.0;
+        }
+        for v in &mut votes {
+            *v /= k as f64;
+        }
+        votes
+    }
+
+    /// Majority class among the k nearest neighbours (ties broken toward
+    /// the lower class index).
+    pub fn predict(&self, q: &[f64]) -> usize {
+        let p = self.predict_proba(q);
+        let mut best = 0;
+        for (i, &v) in p.iter().enumerate() {
+            if v > p[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_nn_memorizes_training_set() {
+        let x = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![5.0, 5.0]];
+        let y = vec![0, 1, 2];
+        let m = Knn::fit(1, &x, &y, 3);
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(m.predict(xi), yi);
+        }
+    }
+
+    #[test]
+    fn k3_votes() {
+        // Two class-0 points near the query outvote one closer class-1.
+        let x = vec![vec![0.1], vec![-0.1], vec![0.0], vec![9.0]];
+        let y = vec![0, 0, 1, 1];
+        let m = Knn::fit(3, &x, &y, 2);
+        assert_eq!(m.predict(&[0.01]), 0);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0, 1];
+        let m = Knn::fit(10, &x, &y, 2);
+        // Vote is split 50/50; tie goes to class 0.
+        assert_eq!(m.predict(&[0.5]), 0);
+    }
+
+    #[test]
+    fn proba_is_vote_fraction() {
+        let x = vec![vec![0.0], vec![0.2], vec![0.4], vec![10.0]];
+        let y = vec![0, 0, 1, 1];
+        let m = Knn::fit(3, &x, &y, 2);
+        let p = m.predict_proba(&[0.1]);
+        assert!((p[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        Knn::fit(0, &[vec![0.0]], &[0], 1);
+    }
+}

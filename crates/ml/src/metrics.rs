@@ -1,0 +1,65 @@
+//! Classification metrics.
+
+/// Fraction of matching labels. Empty input counts as zero accuracy.
+pub fn accuracy(y_true: &[usize], y_pred: &[usize]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let hits = y_true.iter().zip(y_pred).filter(|(t, p)| t == p).count();
+    hits as f64 / y_true.len() as f64
+}
+
+/// `n_classes × n_classes` confusion matrix; `m[t][p]` counts rows with
+/// true label `t` predicted as `p`.
+pub fn confusion_matrix(n_classes: usize, y_true: &[usize], y_pred: &[usize]) -> Vec<Vec<usize>> {
+    assert_eq!(y_true.len(), y_pred.len());
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Geometric mean of a slice of positive values (used for speedup
+/// summaries, the standard aggregation for ratios).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of nothing");
+    assert!(values.iter().all(|&v| v > 0.0), "geometric mean needs positive values");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_shape_and_counts() {
+        let m = confusion_matrix(3, &[0, 1, 2, 1], &[0, 2, 2, 1]);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][2], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][2], 1);
+        assert_eq!(m.iter().flatten().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn geometric_mean_of_ratios() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_zero() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,343 @@
+//! A multi-layer perceptron classifier trained with backpropagation.
+//!
+//! This is the paper family's model of choice (the Insieme framework used
+//! artificial neural networks for its task-partitioning predictor). The
+//! implementation is a plain, dependency-free MLP: tanh hidden layers,
+//! softmax output, cross-entropy loss, mini-batch SGD with momentum and L2
+//! regularization, fully deterministic for a fixed seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`Mlp`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Hidden layer widths (e.g. `[32, 16]`).
+    pub hidden: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// L2 weight decay.
+    pub l2: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// PRNG seed (initialization + shuffling).
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![32, 16],
+            epochs: 300,
+            lr: 0.02,
+            momentum: 0.9,
+            l2: 1e-4,
+            batch_size: 16,
+            seed: 42,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Layer {
+    /// Row-major `out × in` weights.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
+        // Xavier/Glorot uniform initialization.
+        let bound = (6.0 / (n_in + n_out) as f64).sqrt();
+        let w = (0..n_in * n_out).map(|_| rng.gen_range(-bound..bound)).collect();
+        Self { w, b: vec![0.0; n_out], n_in, n_out }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let z: f64 = row.iter().zip(x).map(|(w, x)| w * x).sum::<f64>() + self.b[o];
+            out.push(z);
+        }
+    }
+}
+
+/// The trained model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    pub config: MlpConfig,
+    layers: Vec<Layer>,
+    n_classes: usize,
+    dim: usize,
+}
+
+fn softmax(z: &mut [f64]) {
+    let m = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in z.iter_mut() {
+        *v = (*v - m).exp();
+        sum += *v;
+    }
+    for v in z.iter_mut() {
+        *v /= sum;
+    }
+}
+
+impl Mlp {
+    /// Train a classifier on `x` / dense labels `y` with `n_classes`
+    /// classes.
+    ///
+    /// # Panics
+    /// Panics on empty data, inconsistent dimensions, or labels outside
+    /// `0..n_classes`.
+    #[allow(clippy::needless_range_loop)] // index loops mirror the math
+    pub fn fit(config: MlpConfig, x: &[Vec<f64>], y: &[usize], n_classes: usize) -> Self {
+        assert!(!x.is_empty(), "cannot train on an empty dataset");
+        assert_eq!(x.len(), y.len());
+        assert!(n_classes >= 1);
+        assert!(y.iter().all(|&l| l < n_classes), "label out of range");
+        let dim = x[0].len();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Build layers: dim -> hidden... -> n_classes.
+        let mut sizes = vec![dim];
+        sizes.extend(&config.hidden);
+        sizes.push(n_classes);
+        let mut layers: Vec<Layer> =
+            sizes.windows(2).map(|w| Layer::new(w[0], w[1], &mut rng)).collect();
+
+        // Momentum buffers.
+        let mut vel_w: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        let mut vel_b: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+
+        let n = x.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let batch = config.batch_size.max(1);
+
+        // Per-layer activation storage (input + post-activation of each
+        // layer).
+        for _epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(batch) {
+                // Accumulate gradients over the batch.
+                let mut grad_w: Vec<Vec<f64>> =
+                    layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+                let mut grad_b: Vec<Vec<f64>> =
+                    layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+
+                for &i in chunk {
+                    // Forward pass, keeping activations.
+                    let mut acts: Vec<Vec<f64>> = Vec::with_capacity(layers.len() + 1);
+                    acts.push(x[i].clone());
+                    for (li, layer) in layers.iter().enumerate() {
+                        let mut z = Vec::new();
+                        layer.forward(acts.last().expect("non-empty"), &mut z);
+                        if li + 1 < layers.len() {
+                            for v in z.iter_mut() {
+                                *v = v.tanh();
+                            }
+                        } else {
+                            softmax(&mut z);
+                        }
+                        acts.push(z);
+                    }
+
+                    // Backward pass. delta starts as softmax − one-hot.
+                    let mut delta: Vec<f64> = acts.last().expect("non-empty").clone();
+                    delta[y[i]] -= 1.0;
+                    for li in (0..layers.len()).rev() {
+                        let input = &acts[li];
+                        {
+                            let gw = &mut grad_w[li];
+                            let gb = &mut grad_b[li];
+                            for o in 0..layers[li].n_out {
+                                gb[o] += delta[o];
+                                let row = &mut gw
+                                    [o * layers[li].n_in..(o + 1) * layers[li].n_in];
+                                for (g, xi) in row.iter_mut().zip(input) {
+                                    *g += delta[o] * xi;
+                                }
+                            }
+                        }
+                        if li > 0 {
+                            // Propagate through W^T and the tanh derivative.
+                            let l = &layers[li];
+                            let mut next = vec![0.0; l.n_in];
+                            for o in 0..l.n_out {
+                                let row = &l.w[o * l.n_in..(o + 1) * l.n_in];
+                                for (nv, w) in next.iter_mut().zip(row) {
+                                    *nv += delta[o] * w;
+                                }
+                            }
+                            for (nv, a) in next.iter_mut().zip(&acts[li]) {
+                                *nv *= 1.0 - a * a;
+                            }
+                            delta = next;
+                        }
+                    }
+                }
+
+                // SGD with momentum + L2.
+                let scale = config.lr / chunk.len() as f64;
+                for li in 0..layers.len() {
+                    for (j, g) in grad_w[li].iter().enumerate() {
+                        let reg = config.l2 * layers[li].w[j];
+                        vel_w[li][j] =
+                            config.momentum * vel_w[li][j] - scale * (g + reg);
+                        layers[li].w[j] += vel_w[li][j];
+                    }
+                    for (j, g) in grad_b[li].iter().enumerate() {
+                        vel_b[li][j] = config.momentum * vel_b[li][j] - scale * g;
+                        layers[li].b[j] += vel_b[li][j];
+                    }
+                }
+            }
+        }
+        Self { config, layers, n_classes, dim }
+    }
+
+    /// Class probabilities for one feature row.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if li + 1 < self.layers.len() {
+                for v in next.iter_mut() {
+                    *v = v.tanh();
+                }
+            } else {
+                softmax(&mut next);
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Most likely class for one feature row.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let p = self.predict_proba(x);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+
+    /// Number of classes the model was trained with.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..25 {
+            for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+                x.push(vec![a, b]);
+                y.push(usize::from((a != b) as u8 == 1));
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let cfg = MlpConfig { hidden: vec![8], epochs: 400, ..Default::default() };
+        let m = Mlp::fit(cfg, &x, &y, 2);
+        for (xi, yi) in x.iter().zip(&y) {
+            assert_eq!(m.predict(xi), *yi, "xor({xi:?})");
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (x, y) = xor_data();
+        let m = Mlp::fit(MlpConfig { epochs: 10, ..Default::default() }, &x, &y, 2);
+        let p = m.predict_proba(&[0.5, 0.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (x, y) = xor_data();
+        let cfg = MlpConfig { epochs: 50, ..Default::default() };
+        let a = Mlp::fit(cfg.clone(), &x, &y, 2);
+        let b = Mlp::fit(cfg, &x, &y, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (x, y) = xor_data();
+        let a = Mlp::fit(MlpConfig { epochs: 20, seed: 1, ..Default::default() }, &x, &y, 2);
+        let b = Mlp::fit(MlpConfig { epochs: 20, seed: 2, ..Default::default() }, &x, &y, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn multiclass_blobs() {
+        // Three well-separated clusters.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let centers = [(-4.0, 0.0), (4.0, 0.0), (0.0, 5.0)];
+        let mut rng = StdRng::seed_from_u64(7);
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..40 {
+                x.push(vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)]);
+                y.push(c);
+            }
+        }
+        let m = Mlp::fit(
+            MlpConfig { hidden: vec![16], epochs: 200, ..Default::default() },
+            &x,
+            &y,
+            3,
+        );
+        let correct =
+            x.iter().zip(&y).filter(|(xi, &yi)| m.predict(xi) == yi).count();
+        assert!(correct as f64 / x.len() as f64 > 0.95, "accuracy {correct}/{}", x.len());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_predictions() {
+        let (x, y) = xor_data();
+        let m = Mlp::fit(MlpConfig { epochs: 100, ..Default::default() }, &x, &y, 2);
+        let js = serde_json::to_string(&m).unwrap();
+        let back: Mlp = serde_json::from_str(&js).unwrap();
+        for xi in &x {
+            assert_eq!(m.predict(xi), back.predict(xi));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        Mlp::fit(MlpConfig::default(), &[vec![0.0]], &[5], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_bad_predict_dim() {
+        let (x, y) = xor_data();
+        let m = Mlp::fit(MlpConfig { epochs: 1, ..Default::default() }, &x, &y, 2);
+        m.predict(&[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Feature scaling.
+//!
+//! The feature vectors mix counts spanning many orders of magnitude
+//! (work-items vs. divergence fractions), so every model except the trees
+//! is fit on z-scored features.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-column standardization to zero mean and unit variance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    pub mean: Vec<f64>,
+    pub std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit the scaler on a feature matrix.
+    ///
+    /// Constant columns get `std = 1` so they transform to zero instead of
+    /// NaN.
+    ///
+    /// # Panics
+    /// Panics on an empty matrix.
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        assert!(!x.is_empty(), "cannot fit a scaler on no data");
+        let dim = x[0].len();
+        let n = x.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for row in x {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; dim];
+        for row in x {
+            for ((v, m), x) in var.iter_mut().zip(&mean).zip(row) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { mean, std }
+    }
+
+    /// Transform one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for ((x, m), s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+            *x = (*x - m) / s;
+        }
+    }
+
+    /// Transform a whole matrix (copies).
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter()
+            .map(|row| {
+                let mut r = row.clone();
+                self.transform_row(&mut r);
+                r
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_variance() {
+        let x = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]];
+        let sc = StandardScaler::fit(&x);
+        let t = sc.transform(&x);
+        for c in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[c]).sum::<f64>() / 3.0;
+            let var: f64 = t.iter().map(|r| r[c] * r[c]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12, "column {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-9, "column {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_columns_map_to_zero() {
+        let x = vec![vec![7.0], vec![7.0], vec![7.0]];
+        let sc = StandardScaler::fit(&x);
+        let t = sc.transform(&x);
+        assert!(t.iter().all(|r| r[0] == 0.0));
+    }
+
+    #[test]
+    fn roundtrips_serde() {
+        let sc = StandardScaler::fit(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let js = serde_json::to_string(&sc).unwrap();
+        let back: StandardScaler = serde_json::from_str(&js).unwrap();
+        assert_eq!(sc, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_fit_panics() {
+        StandardScaler::fit(&[]);
+    }
+}

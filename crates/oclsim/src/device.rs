@@ -1,0 +1,216 @@
+//! Device performance profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a device within a [`crate::Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub usize);
+
+/// Broad architectural class of a device; selects which inefficiency terms
+/// of the cost model apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Multi-core CPU exposed as one OpenCL device (MIMD; divergence is
+    /// nearly free, memory attaches directly to host RAM).
+    Cpu,
+    /// Scalar SIMT GPU (NVIDIA Fermi-style): lock-step warps pay for
+    /// divergence; uncoalesced access wastes bandwidth.
+    GpuSimt,
+    /// VLIW SIMD GPU (AMD TeraScale-style, e.g. Radeon HD 5870): peak
+    /// throughput requires filling several issue slots per lane, which
+    /// untuned scalar code does not; branches are extra painful.
+    GpuVliw,
+}
+
+/// Per-class operation costs in cycles per lane.
+///
+/// These follow published instruction-throughput tables shape-wise: integer
+/// multiplies and transcendentals are several times more expensive than
+/// simple ALU ops everywhere; GPUs run transcendentals on special-function
+/// units (cheap relative to their ALU rate), CPUs call libm (expensive).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpCosts {
+    /// Integer ALU operation.
+    pub int_op: f64,
+    /// Float add/sub/mul/div (averaged).
+    pub float_op: f64,
+    /// Transcendental / special function.
+    pub transcendental: f64,
+    /// Compare.
+    pub cmp: f64,
+    /// Branch (taken-or-not, excludes the divergence penalty).
+    pub branch: f64,
+    /// Everything else (moves, constants, id queries).
+    pub other: f64,
+}
+
+impl OpCosts {
+    /// A rough CPU cost table for *untuned scalar OpenCL kernels* (no
+    /// vectorization — the paper stresses none of the codes was tuned):
+    /// roughly one scalar op per cycle, libm transcendentals.
+    pub fn cpu() -> Self {
+        Self { int_op: 1.1, float_op: 1.2, transcendental: 18.0, cmp: 1.0, branch: 1.5, other: 0.6 }
+    }
+
+    /// A CPU cost table for a *vectorizing* OpenCL CPU runtime (Intel's
+    /// 2012 driver auto-vectorized kernels to SSE, including SVML
+    /// transcendentals): several scalar ops per cycle per core.
+    pub fn cpu_vectorizing() -> Self {
+        Self { int_op: 0.8, float_op: 0.75, transcendental: 5.5, cmp: 0.7, branch: 1.1, other: 0.4 }
+    }
+
+    /// A scalar SIMT GPU cost table (per-lane cycles; SFU transcendentals).
+    pub fn gpu_simt() -> Self {
+        Self { int_op: 1.0, float_op: 1.0, transcendental: 4.0, cmp: 1.0, branch: 2.0, other: 0.5 }
+    }
+
+    /// A VLIW GPU cost table (per-slot cycles; the T-unit handles
+    /// transcendentals).
+    pub fn gpu_vliw() -> Self {
+        Self { int_op: 1.0, float_op: 1.0, transcendental: 5.0, cmp: 1.0, branch: 3.0, other: 0.5 }
+    }
+}
+
+/// A complete device performance profile.
+///
+/// The defaults produced by the constructors are calibrated against the
+/// devices of the paper's machines; see [`crate::machines`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Marketing name, for reports.
+    pub name: String,
+    pub class: DeviceClass,
+    /// Compute units (CPU cores / GPU SMs / GPU SIMD engines).
+    pub compute_units: u32,
+    /// Lanes per compute unit (1 for CPU scalar issue, warp/wavefront lane
+    /// count for GPUs).
+    pub lanes_per_unit: u32,
+    /// VLIW issue slots per lane (1 for everything except VLIW GPUs).
+    pub ilp_width: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Per-op cycle costs.
+    pub cost: OpCosts,
+    /// Peak device memory bandwidth, GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Fraction of peak bandwidth achieved by fully uncoalesced access.
+    pub uncoalesced_efficiency: f64,
+    /// Host↔device link bandwidth, GB/s. `None` means the device shares
+    /// host memory (the CPU device: zero-copy, no transfers).
+    pub link_bandwidth_gbs: Option<f64>,
+    /// One-way link latency per transfer batch, microseconds.
+    pub link_latency_us: f64,
+    /// Fixed kernel-launch overhead, microseconds.
+    pub launch_overhead_us: f64,
+    /// Extra slowdown factor at full control-flow divergence (0 ⇒ immune).
+    pub divergence_penalty: f64,
+    /// Work-items needed to reach full throughput; fewer items leave
+    /// lanes idle.
+    pub saturation_items: f64,
+    /// Fraction of VLIW slots an untuned scalar kernel fills beyond the
+    /// first (only meaningful for `GpuVliw`; the model refines this with
+    /// the instruction mix).
+    pub base_ilp_fill: f64,
+}
+
+impl DeviceProfile {
+    /// Effective parallel lanes (`compute_units × lanes_per_unit`).
+    pub fn total_lanes(&self) -> f64 {
+        f64::from(self.compute_units) * f64::from(self.lanes_per_unit)
+    }
+
+    /// Whether the device reads host memory directly (no PCIe transfers).
+    pub fn is_host_device(&self) -> bool {
+        self.link_bandwidth_gbs.is_none()
+    }
+
+    /// Sanity-check the numbers; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("device name must not be empty".into());
+        }
+        if self.compute_units == 0 || self.lanes_per_unit == 0 || self.ilp_width == 0 {
+            return Err(format!("{}: unit/lane/slot counts must be non-zero", self.name));
+        }
+        if self.clock_ghz.is_nan() || self.clock_ghz <= 0.0 {
+            return Err(format!("{}: clock must be positive", self.name));
+        }
+        if self.mem_bandwidth_gbs.is_nan() || self.mem_bandwidth_gbs <= 0.0 {
+            return Err(format!("{}: memory bandwidth must be positive", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.uncoalesced_efficiency)
+            || self.uncoalesced_efficiency == 0.0
+        {
+            return Err(format!(
+                "{}: uncoalesced efficiency must be in (0, 1]",
+                self.name
+            ));
+        }
+        if let Some(bw) = self.link_bandwidth_gbs {
+            if bw.is_nan() || bw <= 0.0 {
+                return Err(format!("{}: link bandwidth must be positive", self.name));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.base_ilp_fill) {
+            return Err(format!("{}: base ILP fill must be in [0, 1]", self.name));
+        }
+        if self.divergence_penalty < 0.0 {
+            return Err(format!("{}: divergence penalty must be non-negative", self.name));
+        }
+        if self.saturation_items.is_nan() || self.saturation_items < 1.0 {
+            return Err(format!("{}: saturation_items must be >= 1", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    #[test]
+    fn stock_profiles_validate() {
+        for m in [machines::mc1(), machines::mc2()] {
+            for d in &m.devices {
+                d.validate().unwrap_or_else(|e| panic!("{e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn total_lanes_multiplies() {
+        let d = machines::mc2().devices[1].clone();
+        assert_eq!(d.total_lanes(), f64::from(d.compute_units * d.lanes_per_unit));
+    }
+
+    #[test]
+    fn cpu_is_host_device_gpus_are_not() {
+        let m = machines::mc1();
+        assert!(m.devices[0].is_host_device());
+        assert!(!m.devices[1].is_host_device());
+        assert!(!m.devices[2].is_host_device());
+    }
+
+    #[test]
+    fn validate_catches_bad_numbers() {
+        let mut d = machines::mc1().devices[0].clone();
+        d.clock_ghz = 0.0;
+        assert!(d.validate().is_err());
+        let mut d2 = machines::mc1().devices[1].clone();
+        d2.uncoalesced_efficiency = 0.0;
+        assert!(d2.validate().is_err());
+        let mut d3 = machines::mc1().devices[1].clone();
+        d3.saturation_items = 0.0;
+        assert!(d3.validate().is_err());
+    }
+
+    #[test]
+    fn profiles_roundtrip_serde() {
+        let d = machines::mc2().devices[2].clone();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DeviceProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

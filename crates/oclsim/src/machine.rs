@@ -1,0 +1,103 @@
+//! A machine: a named collection of OpenCL devices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::{DeviceId, DeviceProfile};
+
+/// A heterogeneous target platform (what the paper calls a "target
+/// architecture"): one host CPU device plus zero or more accelerators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Short identifier used in reports (`mc1`, `mc2`, …).
+    pub name: String,
+    /// Devices in fixed order; by convention device 0 is the CPU device.
+    pub devices: Vec<DeviceProfile>,
+    /// Constant extra overhead (µs) paid once per *multi-device* launch
+    /// for cross-device coordination and result merging.
+    pub multi_device_overhead_us: f64,
+}
+
+impl Machine {
+    /// Create a machine, validating every device profile.
+    ///
+    /// # Panics
+    /// Panics if a profile fails validation or the device list is empty —
+    /// machines are constructed from code, so a bad profile is a bug.
+    pub fn new(
+        name: impl Into<String>,
+        devices: Vec<DeviceProfile>,
+        multi_device_overhead_us: f64,
+    ) -> Self {
+        let name = name.into();
+        assert!(!devices.is_empty(), "machine `{name}` must have at least one device");
+        for d in &devices {
+            if let Err(e) = d.validate() {
+                panic!("machine `{name}`: {e}");
+            }
+        }
+        Self { name, devices, multi_device_overhead_us }
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Device by id.
+    pub fn device(&self, id: DeviceId) -> &DeviceProfile {
+        &self.devices[id.0]
+    }
+
+    /// All device ids.
+    pub fn device_ids(&self) -> impl Iterator<Item = DeviceId> {
+        (0..self.devices.len()).map(DeviceId)
+    }
+
+    /// Id of the CPU (host) device, by convention index 0.
+    pub fn cpu(&self) -> DeviceId {
+        DeviceId(0)
+    }
+
+    /// Id of the first accelerator device, if any.
+    pub fn first_gpu(&self) -> Option<DeviceId> {
+        (self.devices.len() > 1).then_some(DeviceId(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    #[test]
+    fn paper_machines_have_three_devices() {
+        // "two heterogeneous target platforms composed of three OpenCL
+        // devices: two GPUs and two multi-core CPUs in a dual-socket
+        // infrastructure [reported as a single OpenCL device]".
+        assert_eq!(machines::mc1().num_devices(), 3);
+        assert_eq!(machines::mc2().num_devices(), 3);
+    }
+
+    #[test]
+    fn accessors_work() {
+        let m = machines::mc1();
+        assert_eq!(m.cpu(), DeviceId(0));
+        assert_eq!(m.first_gpu(), Some(DeviceId(1)));
+        assert_eq!(m.device_ids().count(), 3);
+        assert!(m.device(DeviceId(0)).is_host_device());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_machine_panics() {
+        Machine::new("empty", vec![], 0.0);
+    }
+
+    #[test]
+    fn machine_roundtrips_serde() {
+        let m = machines::mc2();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Machine = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,312 @@
+//! The analytic device cost model.
+//!
+//! Converts a chunk's dynamic operation counts (measured exactly by the
+//! `hetpart-inspire` VM, or extrapolated from a sampled run) into a
+//! simulated wall-clock time on a given [`DeviceProfile`], using a
+//! roofline-style formulation:
+//!
+//! ```text
+//! t = launch + transfer_in + max(t_alu, t_mem) + transfer_out
+//! ```
+//!
+//! with the throughput terms degraded by lane under-utilization, SIMT
+//! divergence, VLIW slot under-fill, and memory-coalescing efficiency.
+//! Transfers are included in every measurement, following the paper
+//! (which follows Gregg & Hazelwood's "Where is the data?").
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::{DeviceClass, DeviceProfile};
+
+/// Dynamic shape of one kernel chunk, the cost-model input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadShape {
+    /// Work-items in the chunk.
+    pub items: u64,
+    /// Dynamic integer ALU operations.
+    pub int_ops: u64,
+    /// Dynamic float ALU operations.
+    pub float_ops: u64,
+    /// Dynamic transcendental operations.
+    pub transcendental_ops: u64,
+    /// Dynamic comparisons.
+    pub cmp_ops: u64,
+    /// Dynamic conditional branches.
+    pub branch_ops: u64,
+    /// Dynamic moves/constants/other.
+    pub other_ops: u64,
+    /// Dynamic buffer loads (elements).
+    pub loads: u64,
+    /// Dynamic buffer stores (elements).
+    pub stores: u64,
+    /// Bytes transferred host→device before the chunk runs.
+    pub bytes_in: u64,
+    /// Bytes transferred device→host after the chunk runs.
+    pub bytes_out: u64,
+    /// Control-flow divergence estimate in `[0, 1]` (coefficient of
+    /// variation of per-item instruction counts, clamped).
+    pub divergence: f64,
+    /// Fraction of memory accesses indexed directly by the global id
+    /// (coalescing-friendly), in `[0, 1]`.
+    pub coalesced_fraction: f64,
+}
+
+impl WorkloadShape {
+    /// An empty workload (zero items).
+    pub fn empty() -> Self {
+        Self {
+            items: 0,
+            int_ops: 0,
+            float_ops: 0,
+            transcendental_ops: 0,
+            cmp_ops: 0,
+            branch_ops: 0,
+            other_ops: 0,
+            loads: 0,
+            stores: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            divergence: 0.0,
+            coalesced_fraction: 1.0,
+        }
+    }
+
+    /// Total ALU-class operations.
+    pub fn alu_ops(&self) -> u64 {
+        self.int_ops + self.float_ops + self.transcendental_ops
+    }
+
+    /// Bytes touched in device memory by loads and stores (4-byte
+    /// elements).
+    pub fn mem_bytes(&self) -> u64 {
+        4 * (self.loads + self.stores)
+    }
+}
+
+/// Simulated time, with the individual terms exposed for reports and
+/// tests. All values in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    pub launch: f64,
+    pub xfer_in: f64,
+    /// ALU-limited compute time (before taking the roofline max).
+    pub alu: f64,
+    /// Memory-limited compute time (before taking the roofline max).
+    pub mem: f64,
+    /// `max(alu, mem)`.
+    pub compute: f64,
+    pub xfer_out: f64,
+    /// Sum of launch, transfer-in, compute, transfer-out.
+    pub total: f64,
+}
+
+const US: f64 = 1e-6;
+const GB: f64 = 1e9;
+
+/// Estimate the execution time of a chunk on a device.
+///
+/// A zero-item workload costs nothing (the device is not used at all — no
+/// launch is issued for it).
+pub fn estimate_time(dev: &DeviceProfile, w: &WorkloadShape) -> TimeBreakdown {
+    if w.items == 0 {
+        return TimeBreakdown::default();
+    }
+    let divergence = w.divergence.clamp(0.0, 1.0);
+    let coalesced = w.coalesced_fraction.clamp(0.0, 1.0);
+
+    // --- ALU term ---------------------------------------------------
+    let cycles = w.int_ops as f64 * dev.cost.int_op
+        + w.float_ops as f64 * dev.cost.float_op
+        + w.transcendental_ops as f64 * dev.cost.transcendental
+        + w.cmp_ops as f64 * dev.cost.cmp
+        + w.branch_ops as f64 * dev.cost.branch
+        + w.other_ops as f64 * dev.cost.other;
+
+    // VLIW slot fill: scalar untuned code fills slot 0 always, and a
+    // mix-dependent fraction of the remaining slots. Heavy float ALU
+    // content packs better than branchy integer code; divergence breaks
+    // clause packing further.
+    let ilp_factor = match dev.class {
+        DeviceClass::GpuVliw => {
+            let alu = (w.alu_ops() + w.cmp_ops).max(1) as f64;
+            let float_fraction = w.float_ops as f64 / alu;
+            let fill = 1.0
+                + dev.base_ilp_fill
+                    * f64::from(dev.ilp_width - 1)
+                    * float_fraction
+                    * (1.0 - divergence);
+            fill / f64::from(dev.ilp_width)
+        }
+        DeviceClass::Cpu | DeviceClass::GpuSimt => 1.0,
+    };
+
+    // Lock-step divergence: lanes idle while the other path executes.
+    let divergence_factor = 1.0 / (1.0 + dev.divergence_penalty * divergence);
+
+    // Under-saturation: fewer items than the device needs to fill its
+    // lanes/pipelines leaves throughput on the table.
+    let utilization = (w.items as f64 / dev.saturation_items).min(1.0);
+
+    let peak_cycles_per_sec =
+        dev.total_lanes() * f64::from(dev.ilp_width) * dev.clock_ghz * 1e9;
+    let alu_throughput =
+        peak_cycles_per_sec * ilp_factor * divergence_factor * utilization;
+    let alu = cycles / alu_throughput;
+
+    // --- Memory term ------------------------------------------------
+    let coalesce_eff = coalesced + (1.0 - coalesced) * dev.uncoalesced_efficiency;
+    let mem_bw = dev.mem_bandwidth_gbs * GB * coalesce_eff * utilization.max(0.05);
+    let mem = w.mem_bytes() as f64 / mem_bw;
+
+    let compute = alu.max(mem);
+
+    // --- Transfers and launch ---------------------------------------
+    let (xfer_in, xfer_out) = match dev.link_bandwidth_gbs {
+        None => (0.0, 0.0),
+        Some(bw) => {
+            let t_in = if w.bytes_in > 0 {
+                dev.link_latency_us * US + w.bytes_in as f64 / (bw * GB)
+            } else {
+                0.0
+            };
+            let t_out = if w.bytes_out > 0 {
+                dev.link_latency_us * US + w.bytes_out as f64 / (bw * GB)
+            } else {
+                0.0
+            };
+            (t_in, t_out)
+        }
+    };
+    let launch = dev.launch_overhead_us * US;
+
+    let total = launch + xfer_in + compute + xfer_out;
+    TimeBreakdown { launch, xfer_in, alu, mem, compute, xfer_out, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    fn uniform(items: u64, flops_per_item: u64, bytes_per_item: u64) -> WorkloadShape {
+        WorkloadShape {
+            items,
+            int_ops: 2 * items,
+            float_ops: flops_per_item * items,
+            transcendental_ops: 0,
+            cmp_ops: items,
+            branch_ops: items,
+            other_ops: items,
+            loads: bytes_per_item / 4 * items,
+            stores: items,
+            bytes_in: bytes_per_item * items,
+            bytes_out: 4 * items,
+            divergence: 0.0,
+            coalesced_fraction: 1.0,
+        }
+    }
+
+    #[test]
+    fn zero_items_cost_nothing() {
+        let d = machines::mc1().devices[0].clone();
+        let t = estimate_time(&d, &WorkloadShape::empty());
+        assert_eq!(t.total, 0.0);
+    }
+
+    #[test]
+    fn total_is_sum_of_terms() {
+        let d = machines::mc2().devices[1].clone();
+        let t = estimate_time(&d, &uniform(1 << 16, 100, 16));
+        let sum = t.launch + t.xfer_in + t.compute + t.xfer_out;
+        assert!((t.total - sum).abs() < 1e-15);
+        assert_eq!(t.compute, t.alu.max(t.mem));
+    }
+
+    #[test]
+    fn host_device_pays_no_transfer() {
+        let d = machines::mc1().devices[0].clone();
+        let t = estimate_time(&d, &uniform(1 << 16, 100, 16));
+        assert_eq!(t.xfer_in, 0.0);
+        assert_eq!(t.xfer_out, 0.0);
+    }
+
+    #[test]
+    fn gpu_pays_transfer_proportional_to_bytes() {
+        let d = machines::mc2().devices[1].clone();
+        let small = estimate_time(&d, &uniform(1 << 10, 10, 16));
+        let large = estimate_time(&d, &uniform(1 << 20, 10, 16));
+        assert!(large.xfer_in > small.xfer_in * 100.0);
+    }
+
+    #[test]
+    fn time_is_monotone_in_work() {
+        let d = machines::mc2().devices[0].clone();
+        let mut prev = 0.0;
+        for items in [1u64 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18] {
+            let t = estimate_time(&d, &uniform(items, 50, 16)).total;
+            assert!(t > prev, "time must grow with items: {t} vs {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn divergence_slows_gpus_more_than_cpu() {
+        let cpu = machines::mc2().devices[0].clone();
+        let gpu = machines::mc2().devices[1].clone();
+        let base = uniform(1 << 18, 200, 8);
+        let mut div = base;
+        div.divergence = 1.0;
+        let cpu_ratio =
+            estimate_time(&cpu, &div).compute / estimate_time(&cpu, &base).compute;
+        let gpu_ratio =
+            estimate_time(&gpu, &div).compute / estimate_time(&gpu, &base).compute;
+        assert!(gpu_ratio > cpu_ratio * 1.5, "gpu={gpu_ratio:.2} cpu={cpu_ratio:.2}");
+    }
+
+    #[test]
+    fn vliw_benefits_from_float_heavy_mix() {
+        let hd = machines::mc1().devices[1].clone();
+        // Same total op count; one mix is float-heavy, the other int-heavy.
+        let mut float_heavy = uniform(1 << 18, 100, 8);
+        let mut int_heavy = float_heavy;
+        int_heavy.int_ops = float_heavy.float_ops;
+        int_heavy.float_ops = 2 * (1 << 18);
+        float_heavy.int_ops = 2 * (1 << 18);
+        let tf = estimate_time(&hd, &float_heavy).alu;
+        let ti = estimate_time(&hd, &int_heavy).alu;
+        assert!(tf < ti, "float-heavy should pack VLIW slots better: {tf} vs {ti}");
+    }
+
+    #[test]
+    fn uncoalesced_access_wastes_gpu_bandwidth() {
+        let gpu = machines::mc2().devices[1].clone();
+        let base = uniform(1 << 20, 2, 32);
+        let mut gathered = base;
+        gathered.coalesced_fraction = 0.0;
+        let t_c = estimate_time(&gpu, &base).mem;
+        let t_g = estimate_time(&gpu, &gathered).mem;
+        assert!(t_g > 4.0 * t_c, "gather must be much slower: {t_g} vs {t_c}");
+    }
+
+    #[test]
+    fn under_saturation_hurts_wide_devices() {
+        let gpu = machines::mc2().devices[1].clone();
+        // 64 items on a 480-lane GPU: per-item cost must be far higher than
+        // in a saturated launch.
+        let small = estimate_time(&gpu, &uniform(64, 100, 16));
+        let big = estimate_time(&gpu, &uniform(1 << 20, 100, 16));
+        let per_item_small = small.compute / 64.0;
+        let per_item_big = big.compute / (1 << 20) as f64;
+        assert!(per_item_small > 10.0 * per_item_big);
+    }
+
+    #[test]
+    fn breakdown_serializes() {
+        let d = machines::mc1().devices[1].clone();
+        let t = estimate_time(&d, &uniform(1024, 10, 8));
+        let js = serde_json::to_string(&t).unwrap();
+        let back: TimeBreakdown = serde_json::from_str(&js).unwrap();
+        assert!((t.total - back.total).abs() <= 1e-12 * t.total.abs());
+        assert!((t.compute - back.compute).abs() <= 1e-12 * t.compute.abs());
+    }
+}

@@ -1,0 +1,550 @@
+//! Partitioned multi-device kernel execution.
+//!
+//! This is the runtime half of the paper's system: given a compiled
+//! kernel, a launch NDRange and a [`Partition`], it splits the range into
+//! one contiguous chunk per device, plans the host↔device transfers for
+//! each chunk using the compiler's access-range analysis, executes (or
+//! samples) the chunks on the VM, and prices each chunk on its device's
+//! cost model. The reported launch time is the maximum over the devices
+//! (they run concurrently) plus a coordination overhead for multi-device
+//! launches — kernel time *including* memory transfers, the paper's
+//! measurement convention.
+
+use std::ops::Range;
+
+use hetpart_inspire::access::{access_ranges, BufferRange, LaunchBounds};
+use hetpart_inspire::ir::{NdRange, ParamKind, ScalarType};
+use hetpart_inspire::vm::{dynamic_counts, ArgValue, BufferData, DynamicCounts, Vm};
+use hetpart_inspire::{CompiledKernel, VmError};
+use hetpart_oclsim::model::{estimate_time, TimeBreakdown, WorkloadShape};
+use hetpart_oclsim::{DeviceId, Machine};
+use serde::{Deserialize, Serialize};
+
+use crate::partition::Partition;
+
+/// A kernel launch: what the host enqueues.
+#[derive(Debug, Clone)]
+pub struct Launch<'a> {
+    pub kernel: &'a CompiledKernel,
+    pub nd: NdRange,
+    pub args: Vec<ArgValue>,
+}
+
+impl<'a> Launch<'a> {
+    /// Convenience constructor.
+    pub fn new(kernel: &'a CompiledKernel, nd: NdRange, args: Vec<ArgValue>) -> Self {
+        Self { kernel, nd, args }
+    }
+}
+
+/// What one device did during a partitioned launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceRun {
+    pub device: DeviceId,
+    /// The slice of the split dimension this device executed.
+    pub chunk_start: usize,
+    pub chunk_end: usize,
+    /// The measured/extrapolated dynamic shape of the chunk.
+    pub shape: WorkloadShape,
+    /// Simulated time on this device.
+    pub time: TimeBreakdown,
+}
+
+/// The result of one partitioned launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    pub partition: Partition,
+    /// One entry per device that received work.
+    pub device_runs: Vec<DeviceRun>,
+    /// End-to-end simulated launch time in seconds.
+    pub time: f64,
+}
+
+impl ExecutionReport {
+    /// The slowest device's breakdown (the launch critical path).
+    pub fn critical_device(&self) -> Option<&DeviceRun> {
+        self.device_runs
+            .iter()
+            .max_by(|a, b| a.time.total.total_cmp(&b.time.total))
+    }
+}
+
+/// Work-items to sample per chunk when estimating dynamic behaviour.
+pub const DEFAULT_SAMPLE_ITEMS: usize = 128;
+
+/// The multi-device executor.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    pub machine: Machine,
+    /// Per-chunk sample budget for `simulate` and divergence estimation.
+    pub sample_items: usize,
+}
+
+impl Executor {
+    /// Create an executor for a machine.
+    pub fn new(machine: Machine) -> Self {
+        Self { machine, sample_items: DEFAULT_SAMPLE_ITEMS }
+    }
+
+    /// Execute a launch **functionally**: every work-item runs, the output
+    /// buffers in `bufs` receive the kernel's results, and the simulated
+    /// time uses exact dynamic counts.
+    pub fn run(
+        &self,
+        launch: &Launch,
+        bufs: &mut [BufferData],
+        partition: &Partition,
+    ) -> Result<ExecutionReport, VmError> {
+        self.execute(launch, bufs, partition, true)
+    }
+
+    /// Estimate a launch without observable effects: each chunk is sampled
+    /// on scratch copies of the buffers and extrapolated. Orders of
+    /// magnitude faster for large NDRanges; used by the training sweep.
+    pub fn simulate(
+        &self,
+        launch: &Launch,
+        bufs: &[BufferData],
+        partition: &Partition,
+    ) -> Result<ExecutionReport, VmError> {
+        let mut scratch = bufs.to_vec();
+        self.execute(launch, &mut scratch, partition, false)
+    }
+
+    /// Estimate a launch from a pre-collected [`LaunchProfile`]: no kernel
+    /// execution happens at all — chunk counts come from the profile,
+    /// transfer sizes from the access analysis. This is what the training
+    /// sweep uses (one profile per launch, 66 partitionings priced from
+    /// it).
+    pub fn simulate_with_profile(
+        &self,
+        launch: &Launch,
+        bufs: &[BufferData],
+        partition: &Partition,
+        profile: &crate::profile::LaunchProfile,
+    ) -> ExecutionReport {
+        assert_eq!(
+            partition.num_devices(),
+            self.machine.num_devices(),
+            "partition is for {} devices but machine `{}` has {}",
+            partition.num_devices(),
+            self.machine.name,
+            self.machine.num_devices()
+        );
+        let kernel = launch.kernel;
+        let nd = &launch.nd;
+        let chunks = partition.chunks(nd.split_extent());
+        let coalesced = coalesced_fraction(kernel);
+        let scalars = scalar_values(kernel, &launch.args);
+
+        let mut device_runs = Vec::new();
+        for (dev, chunk) in self.machine.device_ids().zip(&chunks) {
+            if chunk.is_empty() {
+                continue;
+            }
+            let (bytes_in, bytes_out) =
+                transfer_bytes(kernel, nd, chunk.clone(), &scalars, &launch.args, bufs);
+            let (counts, divergence) = profile.estimate(chunk.clone());
+            let shape = workload_shape(&counts, bytes_in, bytes_out, divergence, coalesced);
+            let time = estimate_time(self.machine.device(dev), &shape);
+            device_runs.push(DeviceRun {
+                device: dev,
+                chunk_start: chunk.start,
+                chunk_end: chunk.end,
+                shape,
+                time,
+            });
+        }
+        let slowest = device_runs.iter().map(|r| r.time.total).fold(0.0, f64::max);
+        let coordination = if device_runs.len() > 1 {
+            self.machine.multi_device_overhead_us * 1e-6
+        } else {
+            0.0
+        };
+        ExecutionReport {
+            partition: partition.clone(),
+            device_runs,
+            time: slowest + coordination,
+        }
+    }
+
+    fn execute(
+        &self,
+        launch: &Launch,
+        bufs: &mut [BufferData],
+        partition: &Partition,
+        full: bool,
+    ) -> Result<ExecutionReport, VmError> {
+        assert_eq!(
+            partition.num_devices(),
+            self.machine.num_devices(),
+            "partition is for {} devices but machine `{}` has {}",
+            partition.num_devices(),
+            self.machine.name,
+            self.machine.num_devices()
+        );
+        let kernel = launch.kernel;
+        let nd = &launch.nd;
+        Vm::check_args(&kernel.bytecode, &launch.args, bufs)?;
+
+        let chunks = partition.chunks(nd.split_extent());
+        let coalesced = coalesced_fraction(kernel);
+        let scalars = scalar_values(kernel, &launch.args);
+
+        // Divergence estimation (and, in simulate mode, op counting) runs
+        // sampled items against scratch buffers so it never perturbs the
+        // real outputs.
+        let mut scratch: Option<Vec<BufferData>> = None;
+
+        let mut device_runs = Vec::new();
+        let mut vm = Vm::new();
+        for (dev, chunk) in self.machine.device_ids().zip(&chunks) {
+            if chunk.is_empty() {
+                continue;
+            }
+            let (bytes_in, bytes_out) =
+                transfer_bytes(kernel, nd, chunk.clone(), &scalars, &launch.args, bufs);
+
+            let scratch_bufs = scratch.get_or_insert_with(|| bufs.to_vec());
+            let sample = vm.run_sampled(
+                &kernel.bytecode,
+                nd,
+                chunk.clone(),
+                &launch.args,
+                scratch_bufs,
+                self.sample_items,
+            )?;
+            let divergence = sample.ops_cv.clamp(0.0, 1.0);
+
+            let counts: DynamicCounts = if full {
+                let c = vm.run_range(
+                    &kernel.bytecode,
+                    nd,
+                    chunk.clone(),
+                    &launch.args,
+                    bufs,
+                )?;
+                dynamic_counts(&kernel.bytecode, &c)
+            } else {
+                sample.extrapolated(&kernel.bytecode)
+            };
+
+            let shape = workload_shape(&counts, bytes_in, bytes_out, divergence, coalesced);
+            let time = estimate_time(self.machine.device(dev), &shape);
+            device_runs.push(DeviceRun {
+                device: dev,
+                chunk_start: chunk.start,
+                chunk_end: chunk.end,
+                shape,
+                time,
+            });
+        }
+
+        let slowest = device_runs.iter().map(|r| r.time.total).fold(0.0, f64::max);
+        let coordination = if device_runs.len() > 1 {
+            self.machine.multi_device_overhead_us * 1e-6
+        } else {
+            0.0
+        };
+        Ok(ExecutionReport {
+            partition: partition.clone(),
+            device_runs,
+            time: slowest + coordination,
+        })
+    }
+}
+
+/// Static coalescing estimate: the fraction of buffer accesses whose index
+/// is derived from the global id.
+pub fn coalesced_fraction(kernel: &CompiledKernel) -> f64 {
+    let f = &kernel.static_features;
+    let accesses = f.loads + f.stores;
+    if accesses == 0 {
+        return 1.0;
+    }
+    (f64::from(f.gid_accesses) / f64::from(accesses)).clamp(0.0, 1.0)
+}
+
+/// Extract integer scalar argument values for the access analysis.
+pub fn scalar_values(kernel: &CompiledKernel, args: &[ArgValue]) -> Vec<Option<i64>> {
+    kernel
+        .ir
+        .params
+        .iter()
+        .zip(args)
+        .map(|(p, a)| match (p.kind, a) {
+            (ParamKind::Scalar(ScalarType::Int), ArgValue::Int(v)) => Some(i64::from(*v)),
+            (ParamKind::Scalar(ScalarType::UInt), ArgValue::UInt(v)) => Some(i64::from(*v)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Compute the bytes a device must receive before and send back after
+/// executing `chunk`, using the interval access analysis. The union is
+/// over read buffers (host→device) and written buffers (device→host).
+pub fn transfer_bytes(
+    kernel: &CompiledKernel,
+    nd: &NdRange,
+    chunk: Range<usize>,
+    scalars: &[Option<i64>],
+    args: &[ArgValue],
+    bufs: &[BufferData],
+) -> (u64, u64) {
+    let mut gid = [(0i64, 0i64); 3];
+    for (d, g) in gid.iter_mut().enumerate() {
+        *g = (0, nd.dim(d) as i64 - 1);
+    }
+    gid[nd.split_dim()] = (chunk.start as i64, chunk.end as i64 - 1);
+    let bounds = LaunchBounds {
+        gid,
+        gsize: [nd.dim(0) as i64, nd.dim(1) as i64, nd.dim(2) as i64],
+        scalars: scalars.to_vec(),
+    };
+    let ranges = access_ranges(&kernel.ir, &bounds);
+
+    let buf_len = |param_idx: usize| -> Option<usize> {
+        match args.get(param_idx) {
+            Some(ArgValue::Buffer(b)) => bufs.get(*b).map(|bd| bd.len()),
+            _ => None,
+        }
+    };
+    let range_bytes = |r: &BufferRange, len: usize| -> u64 {
+        match *r {
+            BufferRange::Untouched => 0,
+            BufferRange::Whole => len as u64 * 4,
+            BufferRange::Exact { lo, hi } => {
+                let lo = lo.max(0);
+                let hi = hi.min(len as i64 - 1);
+                if hi < lo {
+                    0
+                } else {
+                    (hi - lo + 1) as u64 * 4
+                }
+            }
+        }
+    };
+
+    let mut bytes_in = 0u64;
+    let mut bytes_out = 0u64;
+    for (i, _) in kernel.ir.params.iter().enumerate() {
+        let Some(len) = buf_len(i) else { continue };
+        bytes_in += range_bytes(&ranges.read[i], len);
+        bytes_out += range_bytes(&ranges.write[i], len);
+    }
+    (bytes_in, bytes_out)
+}
+
+/// Assemble the cost-model input from dynamic counts and transfer sizes.
+pub fn workload_shape(
+    d: &DynamicCounts,
+    bytes_in: u64,
+    bytes_out: u64,
+    divergence: f64,
+    coalesced_fraction: f64,
+) -> WorkloadShape {
+    use hetpart_inspire::bytecode::OpClass::*;
+    WorkloadShape {
+        items: d.items,
+        int_ops: d.per_class[IntOp as usize],
+        float_ops: d.per_class[FloatOp as usize],
+        transcendental_ops: d.per_class[Transcendental as usize],
+        cmp_ops: d.per_class[Cmp as usize],
+        branch_ops: d.per_class[Branch as usize],
+        other_ops: d.per_class[Other as usize],
+        loads: d.per_class[Load as usize],
+        stores: d.per_class[Store as usize],
+        bytes_in,
+        bytes_out,
+        divergence,
+        coalesced_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetpart_inspire::compile;
+    use hetpart_oclsim::machines;
+
+    const VEC_ADD: &str = "kernel void vec_add(global const float* a, global const float* b,
+                                               global float* c, int n) {
+        int i = get_global_id(0);
+        if (i < n) { c[i] = a[i] + b[i]; }
+    }";
+
+    fn vec_add_setup(n: usize) -> (Vec<BufferData>, Vec<ArgValue>) {
+        let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..n).map(|i| (2 * i) as f32).collect();
+        let bufs = vec![
+            BufferData::F32(a),
+            BufferData::F32(b),
+            BufferData::F32(vec![0.0; n]),
+        ];
+        let args = vec![
+            ArgValue::Buffer(0),
+            ArgValue::Buffer(1),
+            ArgValue::Buffer(2),
+            ArgValue::Int(n as i32),
+        ];
+        (bufs, args)
+    }
+
+    #[test]
+    fn partitioned_run_equals_single_device_run() {
+        let k = compile(VEC_ADD).unwrap();
+        let n = 1000;
+        let ex = Executor::new(machines::mc1());
+        let launch = Launch::new(&k, NdRange::d1(n), vec_add_setup(n).1);
+
+        let (mut ref_bufs, _) = vec_add_setup(n);
+        ex.run(&launch, &mut ref_bufs, &Partition::cpu_only(3)).unwrap();
+
+        for p in [
+            Partition::from_tenths(vec![3, 4, 3]),
+            Partition::from_tenths(vec![0, 5, 5]),
+            Partition::even(3),
+        ] {
+            let (mut bufs, _) = vec_add_setup(n);
+            ex.run(&launch, &mut bufs, &p).unwrap();
+            assert_eq!(
+                bufs[2].as_f32().unwrap(),
+                ref_bufs[2].as_f32().unwrap(),
+                "partition {p} must produce identical results"
+            );
+        }
+    }
+
+    #[test]
+    fn simulate_does_not_touch_buffers() {
+        let k = compile(VEC_ADD).unwrap();
+        let n = 512;
+        let (bufs, args) = vec_add_setup(n);
+        let before = bufs.clone();
+        let ex = Executor::new(machines::mc2());
+        let launch = Launch::new(&k, NdRange::d1(n), args);
+        ex.simulate(&launch, &bufs, &Partition::even(3)).unwrap();
+        assert_eq!(bufs, before);
+    }
+
+    #[test]
+    fn report_covers_active_devices_only() {
+        let k = compile(VEC_ADD).unwrap();
+        let n = 100;
+        let (bufs, args) = vec_add_setup(n);
+        let ex = Executor::new(machines::mc1());
+        let launch = Launch::new(&k, NdRange::d1(n), args);
+        let r = ex.simulate(&launch, &bufs, &Partition::from_tenths(vec![5, 0, 5])).unwrap();
+        assert_eq!(r.device_runs.len(), 2);
+        assert_eq!(r.device_runs[0].device, DeviceId(0));
+        assert_eq!(r.device_runs[1].device, DeviceId(2));
+        assert!(r.critical_device().is_some());
+    }
+
+    #[test]
+    fn multi_device_pays_coordination_overhead() {
+        let k = compile(VEC_ADD).unwrap();
+        let n = 64;
+        let (bufs, args) = vec_add_setup(n);
+        let ex = Executor::new(machines::mc1());
+        let launch = Launch::new(&k, NdRange::d1(n), args);
+        let single = ex.simulate(&launch, &bufs, &Partition::cpu_only(3)).unwrap();
+        assert_eq!(
+            single.time,
+            single.device_runs[0].time.total,
+            "single device launch has no coordination overhead"
+        );
+        let multi = ex.simulate(&launch, &bufs, &Partition::even(3)).unwrap();
+        let slowest = multi.device_runs.iter().map(|r| r.time.total).fold(0.0, f64::max);
+        assert!(multi.time > slowest);
+    }
+
+    #[test]
+    fn transfer_bytes_scale_with_chunk() {
+        let k = compile(VEC_ADD).unwrap();
+        let n = 1000usize;
+        let (bufs, args) = vec_add_setup(n);
+        let scalars = scalar_values(&k, &args);
+        let nd = NdRange::d1(n);
+        let (in_all, out_all) = transfer_bytes(&k, &nd, 0..n, &scalars, &args, &bufs);
+        // Whole range: two 4000-byte inputs in, one 4000-byte output back.
+        assert_eq!(in_all, 8000);
+        assert_eq!(out_all, 4000);
+        let (in_half, out_half) = transfer_bytes(&k, &nd, 0..n / 2, &scalars, &args, &bufs);
+        assert_eq!(in_half, 4000);
+        assert_eq!(out_half, 2000);
+    }
+
+    #[test]
+    fn indirect_kernel_transfers_whole_input() {
+        let gather = compile(
+            "kernel void gather(global const int* idx, global const float* v,
+                                global float* o, int n) {
+                int i = get_global_id(0);
+                o[i] = v[idx[i]];
+            }",
+        )
+        .unwrap();
+        let n = 100usize;
+        let bufs = vec![
+            BufferData::I32((0..n as i32).rev().collect()),
+            BufferData::F32(vec![1.0; n]),
+            BufferData::F32(vec![0.0; n]),
+        ];
+        let args = vec![
+            ArgValue::Buffer(0),
+            ArgValue::Buffer(1),
+            ArgValue::Buffer(2),
+            ArgValue::Int(n as i32),
+        ];
+        let scalars = scalar_values(&gather, &args);
+        let nd = NdRange::d1(n);
+        let (bytes_in, _) = transfer_bytes(&gather, &nd, 0..10, &scalars, &args, &bufs);
+        // idx: 10 elements exactly; v: whole buffer (data-dependent).
+        assert_eq!(bytes_in, 10 * 4 + (n as u64) * 4);
+    }
+
+    #[test]
+    fn coalesced_fraction_reflects_access_pattern() {
+        let direct = compile(VEC_ADD).unwrap();
+        assert!(coalesced_fraction(&direct) > 0.99);
+        let gather = compile(
+            "kernel void g(global const int* idx, global const float* v, global float* o) {
+                int i = get_global_id(0);
+                o[i] = v[idx[i]];
+            }",
+        )
+        .unwrap();
+        let f = coalesced_fraction(&gather);
+        assert!(f < 1.0 && f > 0.0, "gather mixes direct and indirect: {f}");
+    }
+
+    #[test]
+    fn full_counts_match_extrapolated_counts_for_uniform_kernel() {
+        let k = compile(VEC_ADD).unwrap();
+        let n = 4096;
+        let (mut bufs, args) = vec_add_setup(n);
+        let ex = Executor::new(machines::mc2());
+        let launch = Launch::new(&k, NdRange::d1(n), args);
+        let p = Partition::gpu_only(3);
+        let full = ex.run(&launch, &mut bufs, &p).unwrap();
+        let (bufs2, _) = vec_add_setup(n);
+        let sim = ex.simulate(&launch, &bufs2, &p).unwrap();
+        let sf = full.device_runs[0].shape;
+        let ss = sim.device_runs[0].shape;
+        assert_eq!(sf.items, ss.items);
+        assert_eq!(sf.loads, ss.loads);
+        assert_eq!(sf.float_ops, ss.float_ops);
+        assert_eq!(sf.bytes_in, ss.bytes_in);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition is for")]
+    fn wrong_partition_arity_panics() {
+        let k = compile(VEC_ADD).unwrap();
+        let (mut bufs, args) = vec_add_setup(16);
+        let ex = Executor::new(machines::mc1());
+        let launch = Launch::new(&k, NdRange::d1(16), args);
+        let _ = ex.run(&launch, &mut bufs, &Partition::from_tenths(vec![5, 5]));
+    }
+}

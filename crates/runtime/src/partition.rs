@@ -1,0 +1,270 @@
+//! Task partitionings: how an NDRange is split across devices.
+//!
+//! Following the paper, "p is selected from a discretized partitioning
+//! space with a stepsize of 10%": a partitioning assigns each device a
+//! multiple of 10% of the split dimension, summing to 100%.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// Granularity denominator of the partition space (10% steps).
+pub const TENTHS: u8 = 10;
+
+/// A task partitioning: per-device shares in tenths (10% units), summing
+/// to [`TENTHS`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Partition {
+    shares: Vec<u8>,
+}
+
+impl Partition {
+    /// Build from per-device tenths.
+    ///
+    /// # Panics
+    /// Panics if the shares do not sum to 10 — partitions come from
+    /// [`Partition::enumerate`] or explicit constructors, so anything else
+    /// is a programming error.
+    pub fn from_tenths(shares: Vec<u8>) -> Self {
+        assert!(!shares.is_empty(), "partition needs at least one device");
+        let sum: u32 = shares.iter().map(|&s| u32::from(s)).sum();
+        assert_eq!(sum, u32::from(TENTHS), "partition shares must sum to 10, got {shares:?}");
+        Self { shares }
+    }
+
+    /// All work on a single device.
+    pub fn single_device(device: usize, num_devices: usize) -> Self {
+        assert!(device < num_devices);
+        let mut shares = vec![0; num_devices];
+        shares[device] = TENTHS;
+        Self { shares }
+    }
+
+    /// The CPU-only default strategy (device 0 by convention).
+    pub fn cpu_only(num_devices: usize) -> Self {
+        Self::single_device(0, num_devices)
+    }
+
+    /// The GPU-only default strategy (device 1, the first accelerator).
+    ///
+    /// # Panics
+    /// Panics if the machine has no accelerator.
+    pub fn gpu_only(num_devices: usize) -> Self {
+        assert!(num_devices > 1, "gpu_only requires an accelerator device");
+        Self::single_device(1, num_devices)
+    }
+
+    /// An even split across all devices (remainder to the first devices).
+    pub fn even(num_devices: usize) -> Self {
+        assert!(num_devices > 0);
+        let base = TENTHS / num_devices as u8;
+        let mut rem = TENTHS % num_devices as u8;
+        let shares = (0..num_devices)
+            .map(|_| {
+                let extra = u8::from(rem > 0);
+                rem = rem.saturating_sub(1);
+                base + extra
+            })
+            .collect();
+        Self { shares }
+    }
+
+    /// Enumerate the whole partition space for `num_devices` devices at a
+    /// step of `step_tenths` (1 ⇒ the paper's 10% granularity; 2 ⇒ 20%
+    /// steps, etc.). Shares are multiples of the step; the space is every
+    /// composition of 10 into `num_devices` such multiples.
+    pub fn enumerate(num_devices: usize, step_tenths: u8) -> Vec<Partition> {
+        assert!(num_devices >= 1);
+        assert!(
+            (1..=TENTHS).contains(&step_tenths) && TENTHS.is_multiple_of(step_tenths),
+            "step must divide 10"
+        );
+        let mut out = Vec::new();
+        let mut shares = vec![0u8; num_devices];
+        fn rec(shares: &mut Vec<u8>, idx: usize, left: u8, step: u8, out: &mut Vec<Partition>) {
+            if idx == shares.len() - 1 {
+                shares[idx] = left;
+                out.push(Partition { shares: shares.clone() });
+                return;
+            }
+            let mut s = 0;
+            while s <= left {
+                shares[idx] = s;
+                rec(shares, idx + 1, left - s, step, out);
+                s += step;
+            }
+        }
+        rec(&mut shares, 0, TENTHS, step_tenths, &mut out);
+        out
+    }
+
+    /// Per-device shares in tenths.
+    pub fn shares(&self) -> &[u8] {
+        &self.shares
+    }
+
+    /// Number of devices this partition addresses.
+    pub fn num_devices(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Devices with a non-zero share.
+    pub fn active_devices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.shares.iter().enumerate().filter(|(_, &s)| s > 0).map(|(i, _)| i)
+    }
+
+    /// How many devices receive work.
+    pub fn num_active(&self) -> usize {
+        self.active_devices().count()
+    }
+
+    /// Whether all work goes to one device.
+    pub fn is_single_device(&self) -> bool {
+        self.num_active() == 1
+    }
+
+    /// Fraction (0..=1) of the work assigned to `device`.
+    pub fn fraction(&self, device: usize) -> f64 {
+        f64::from(self.shares[device]) / f64::from(TENTHS)
+    }
+
+    /// Split `extent` units of the NDRange's split dimension into one
+    /// contiguous range per device, proportional to the shares.
+    ///
+    /// Uses cumulative rounding so the chunks are contiguous, exhaustive
+    /// and never overlap; zero-share devices get empty ranges.
+    pub fn chunks(&self, extent: usize) -> Vec<Range<usize>> {
+        let mut out = Vec::with_capacity(self.shares.len());
+        let mut cum = 0u32;
+        let mut start = 0usize;
+        for &s in &self.shares {
+            cum += u32::from(s);
+            let end = (extent as u64 * u64::from(cum) / u64::from(TENTHS)) as usize;
+            out.push(start..end);
+            start = end;
+        }
+        debug_assert_eq!(start, extent);
+        out
+    }
+
+    /// A dense class label for ML models: index into the enumeration order
+    /// of [`Partition::enumerate`] with the same device count and step 1.
+    pub fn class_index(&self, space: &[Partition]) -> Option<usize> {
+        space.iter().position(|p| p == self)
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> =
+            self.shares.iter().map(|&s| format!("{}", u32::from(s) * 10)).collect();
+        write!(f, "{}", parts.join("/"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_size_matches_compositions() {
+        // Compositions of 10 into 3 parts: C(12, 2) = 66 — the paper's
+        // partition space for a 3-device machine at 10% steps.
+        assert_eq!(Partition::enumerate(3, 1).len(), 66);
+        assert_eq!(Partition::enumerate(2, 1).len(), 11);
+        assert_eq!(Partition::enumerate(1, 1).len(), 1);
+        // Coarser steps shrink the space: multiples of 2 summing to 10.
+        assert_eq!(Partition::enumerate(3, 2).len(), 21);
+        assert_eq!(Partition::enumerate(3, 5).len(), 6);
+    }
+
+    #[test]
+    fn enumeration_is_unique_and_valid() {
+        let space = Partition::enumerate(3, 1);
+        for p in &space {
+            assert_eq!(p.shares().iter().map(|&s| u32::from(s)).sum::<u32>(), 10);
+        }
+        let mut dedup = space.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), space.len());
+    }
+
+    #[test]
+    fn single_device_constructors() {
+        let c = Partition::cpu_only(3);
+        assert_eq!(c.shares(), &[10, 0, 0]);
+        assert!(c.is_single_device());
+        let g = Partition::gpu_only(3);
+        assert_eq!(g.shares(), &[0, 10, 0]);
+        assert_eq!(g.fraction(1), 1.0);
+    }
+
+    #[test]
+    fn even_split_sums_to_ten() {
+        assert_eq!(Partition::even(3).shares(), &[4, 3, 3]);
+        assert_eq!(Partition::even(2).shares(), &[5, 5]);
+        assert_eq!(Partition::even(4).shares(), &[3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn chunks_are_contiguous_exhaustive_disjoint() {
+        for extent in [1usize, 7, 10, 33, 1000, 1023] {
+            for p in Partition::enumerate(3, 1) {
+                let chunks = p.chunks(extent);
+                assert_eq!(chunks.len(), 3);
+                let mut pos = 0;
+                for c in &chunks {
+                    assert_eq!(c.start, pos, "contiguous at {p} extent {extent}");
+                    pos = c.end;
+                }
+                assert_eq!(pos, extent, "exhaustive at {p} extent {extent}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_are_proportional() {
+        let p = Partition::from_tenths(vec![5, 3, 2]);
+        let chunks = p.chunks(1000);
+        assert_eq!(chunks[0].len(), 500);
+        assert_eq!(chunks[1].len(), 300);
+        assert_eq!(chunks[2].len(), 200);
+    }
+
+    #[test]
+    fn zero_share_devices_get_empty_chunks() {
+        let p = Partition::from_tenths(vec![10, 0, 0]);
+        let chunks = p.chunks(64);
+        assert_eq!(chunks[0], 0..64);
+        assert!(chunks[1].is_empty());
+        assert!(chunks[2].is_empty());
+    }
+
+    #[test]
+    fn display_is_percentages() {
+        assert_eq!(Partition::from_tenths(vec![5, 3, 2]).to_string(), "50/30/20");
+        assert_eq!(Partition::cpu_only(3).to_string(), "100/0/0");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 10")]
+    fn invalid_shares_panic() {
+        Partition::from_tenths(vec![5, 4]);
+    }
+
+    #[test]
+    fn class_index_roundtrips() {
+        let space = Partition::enumerate(3, 1);
+        for (i, p) in space.iter().enumerate() {
+            assert_eq!(p.class_index(&space), Some(i));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Partition::from_tenths(vec![1, 2, 7]);
+        let s = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<Partition>(&s).unwrap(), p);
+    }
+}

@@ -1,0 +1,217 @@
+//! Exhaustive partition-space measurement — the training-phase oracle.
+//!
+//! During the paper's training phase every program is "executed with
+//! various problem sizes and the available task partitionings" and the
+//! best partitioning per (program, size) becomes the training label. This
+//! module runs that sweep on the simulated machine, in parallel across
+//! partitionings with rayon.
+
+use hetpart_inspire::vm::BufferData;
+use hetpart_inspire::VmError;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::exec::{Executor, Launch};
+use crate::partition::Partition;
+use crate::profile::LaunchProfile;
+
+/// Samples collected per launch profile during a sweep.
+pub const SWEEP_PROFILE_SAMPLES: usize = 256;
+
+/// One measured partitioning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepEntry {
+    pub partition: Partition,
+    /// Simulated launch time in seconds.
+    pub time: f64,
+}
+
+/// All partitionings of one launch, measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSweep {
+    pub entries: Vec<SweepEntry>,
+}
+
+impl PartitionSweep {
+    /// The oracle-best entry (minimum time).
+    ///
+    /// # Panics
+    /// Panics if the sweep is empty.
+    pub fn best(&self) -> &SweepEntry {
+        self.entries
+            .iter()
+            .min_by(|a, b| a.time.total_cmp(&b.time))
+            .expect("sweep must not be empty")
+    }
+
+    /// Time of a specific partitioning, if it was measured.
+    pub fn time_of(&self, p: &Partition) -> Option<f64> {
+        self.entries.iter().find(|e| &e.partition == p).map(|e| e.time)
+    }
+
+    /// Time of the CPU-only default strategy.
+    pub fn cpu_only_time(&self) -> f64 {
+        let n = self.entries[0].partition.num_devices();
+        self.time_of(&Partition::cpu_only(n)).expect("cpu-only is always in the space")
+    }
+
+    /// Time of the GPU-only default strategy (first accelerator).
+    pub fn gpu_only_time(&self) -> f64 {
+        let n = self.entries[0].partition.num_devices();
+        self.time_of(&Partition::gpu_only(n)).expect("gpu-only is always in the space")
+    }
+
+    /// Rank of a partitioning within the sweep (0 = best).
+    pub fn rank_of(&self, p: &Partition) -> Option<usize> {
+        let t = self.time_of(p)?;
+        Some(self.entries.iter().filter(|e| e.time < t).count())
+    }
+}
+
+/// Measure every partitioning of the space at `step_tenths` granularity
+/// (1 = the paper's 10% steps) for one launch.
+///
+/// Uses [`Executor::simulate`], so `bufs` is never modified; the sweep
+/// parallelizes over partitionings.
+pub fn sweep_partitions(
+    executor: &Executor,
+    launch: &Launch,
+    bufs: &[BufferData],
+    step_tenths: u8,
+) -> Result<PartitionSweep, VmError> {
+    // One sampled profile per launch; every partitioning is then priced
+    // from it without re-executing the kernel.
+    let profile = LaunchProfile::collect(
+        launch.kernel,
+        &launch.nd,
+        &launch.args,
+        bufs,
+        SWEEP_PROFILE_SAMPLES.max(executor.sample_items),
+    )?;
+    let space = Partition::enumerate(executor.machine.num_devices(), step_tenths);
+    let entries: Vec<SweepEntry> = space
+        .into_par_iter()
+        .map(|partition| {
+            let report = executor.simulate_with_profile(launch, bufs, &partition, &profile);
+            SweepEntry { partition, time: report.time }
+        })
+        .collect();
+    Ok(PartitionSweep { entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetpart_inspire::compile;
+    use hetpart_inspire::ir::NdRange;
+    use hetpart_inspire::vm::ArgValue;
+    use hetpart_oclsim::machines;
+
+    const STREAM: &str = "kernel void s(global const float* a, global float* o, int n) {
+        int i = get_global_id(0);
+        if (i < n) { o[i] = a[i] * 2.0 + 1.0; }
+    }";
+
+    const HEAVY: &str = "kernel void h(global const float* a, global float* o, int n) {
+        int i = get_global_id(0);
+        float s = a[i];
+        for (int j = 0; j < 400; j++) { s = s * 1.0001 + sin(s) * 0.001; }
+        o[i] = s;
+    }";
+
+    fn setup(n: usize) -> (Vec<BufferData>, Vec<ArgValue>) {
+        (
+            vec![BufferData::F32(vec![1.5; n]), BufferData::F32(vec![0.0; n])],
+            vec![ArgValue::Buffer(0), ArgValue::Buffer(1), ArgValue::Int(n as i32)],
+        )
+    }
+
+    #[test]
+    fn sweep_covers_the_full_space() {
+        let k = compile(STREAM).unwrap();
+        let (bufs, args) = setup(256);
+        let ex = Executor::new(machines::mc1());
+        let launch = Launch::new(&k, NdRange::d1(256), args);
+        let sweep = sweep_partitions(&ex, &launch, &bufs, 1).unwrap();
+        assert_eq!(sweep.entries.len(), 66);
+        assert!(sweep.entries.iter().all(|e| e.time.is_finite() && e.time > 0.0));
+    }
+
+    #[test]
+    fn best_is_minimum_and_defaults_are_present() {
+        let k = compile(STREAM).unwrap();
+        let (bufs, args) = setup(1024);
+        let ex = Executor::new(machines::mc2());
+        let launch = Launch::new(&k, NdRange::d1(1024), args);
+        let sweep = sweep_partitions(&ex, &launch, &bufs, 1).unwrap();
+        let best = sweep.best();
+        assert!(best.time <= sweep.cpu_only_time());
+        assert!(best.time <= sweep.gpu_only_time());
+        assert_eq!(sweep.rank_of(&best.partition.clone()), Some(0));
+    }
+
+    #[test]
+    fn tiny_streaming_launch_prefers_cpu_only() {
+        // Small problem + streaming kernel: transfers and launch overheads
+        // make accelerator shares useless on both machines.
+        let k = compile(STREAM).unwrap();
+        let (bufs, args) = setup(128);
+        for m in [machines::mc1(), machines::mc2()] {
+            let ex = Executor::new(m);
+            let launch = Launch::new(&k, NdRange::d1(128), args.clone());
+            let sweep = sweep_partitions(&ex, &launch, &bufs, 1).unwrap();
+            assert_eq!(
+                sweep.best().partition,
+                Partition::cpu_only(3),
+                "machine {} picked {}",
+                ex.machine.name,
+                sweep.best().partition
+            );
+        }
+    }
+
+    #[test]
+    fn large_compute_bound_launch_uses_accelerators_on_mc2() {
+        let k = compile(HEAVY).unwrap();
+        let n = 1 << 15;
+        let (bufs, args) = setup(n);
+        let ex = Executor::new(machines::mc2());
+        let launch = Launch::new(&k, NdRange::d1(n), args);
+        let sweep = sweep_partitions(&ex, &launch, &bufs, 1).unwrap();
+        let best = &sweep.best().partition;
+        let gpu_share = best.fraction(1) + best.fraction(2);
+        assert!(
+            gpu_share > 0.5,
+            "large compute-bound work should mostly go to the GTX 480s, got {best}"
+        );
+    }
+
+    #[test]
+    fn best_partition_depends_on_problem_size() {
+        // The paper's central observation: the optimum moves as the
+        // problem grows.
+        let k = compile(HEAVY).unwrap();
+        let ex = Executor::new(machines::mc2());
+        let mut bests = Vec::new();
+        for n in [64usize, 1 << 14] {
+            let (bufs, args) = setup(n);
+            let launch = Launch::new(&k, NdRange::d1(n), args);
+            let sweep = sweep_partitions(&ex, &launch, &bufs, 1).unwrap();
+            bests.push(sweep.best().partition.clone());
+        }
+        assert_ne!(bests[0], bests[1], "optimal partitioning must change with size");
+    }
+
+    #[test]
+    fn coarser_steps_are_a_subset_space() {
+        let k = compile(STREAM).unwrap();
+        let (bufs, args) = setup(512);
+        let ex = Executor::new(machines::mc1());
+        let launch = Launch::new(&k, NdRange::d1(512), args);
+        let fine = sweep_partitions(&ex, &launch, &bufs, 1).unwrap();
+        let coarse = sweep_partitions(&ex, &launch, &bufs, 5).unwrap();
+        assert_eq!(coarse.entries.len(), 6);
+        // The coarse best can never beat the fine best.
+        assert!(coarse.best().time >= fine.best().time - 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! Sparse / irregular workloads (SHOC): `spmv_csr`.
+
+use hetpart_inspire::ir::NdRange;
+use hetpart_inspire::vm::{ArgValue, BufferData};
+
+use crate::workload::{hash_f32, hash_u64, Benchmark, Instance};
+
+/// Average non-zeros per row of the generated matrices.
+pub const NNZ_PER_ROW: usize = 8;
+
+const SPMV_SRC: &str = r#"
+kernel void spmv_csr(global const int* row_ptr, global const int* col_idx,
+                     global const float* vals, global const float* x,
+                     global float* y, int n) {
+    int i = get_global_id(0);
+    float s = 0.0;
+    int start = row_ptr[i];
+    int end = row_ptr[i + 1];
+    for (int j = start; j < end; j++) {
+        s += vals[j] * x[col_idx[j]];
+    }
+    y[i] = s;
+}
+"#;
+
+/// `spmv_csr` — CSR sparse matrix-vector product; the canonical
+/// irregular-gather workload (data-dependent inner loop bounds and
+/// indices).
+pub fn spmv_csr() -> Benchmark {
+    Benchmark {
+        name: "spmv_csr",
+        origin: "SHOC",
+        description: "CSR sparse matrix-vector multiplication",
+        source: SPMV_SRC,
+        sizes: &[1024, 4096, 16384, 65536, 262144, 1048576],
+        setup: |n, seed| {
+            // Deterministic sparsity: row i has 1 + (hash % (2*avg-1))
+            // entries at pseudo-random columns, so row lengths diverge.
+            let mut row_ptr = Vec::with_capacity(n + 1);
+            let mut col_idx = Vec::new();
+            let mut vals = Vec::new();
+            row_ptr.push(0i32);
+            for i in 0..n {
+                let nnz = 1 + (hash_u64(seed ^ 41, i as u64) as usize) % (2 * NNZ_PER_ROW - 1);
+                for j in 0..nnz {
+                    let col =
+                        (hash_u64(seed ^ 42, (i * 131 + j) as u64) as usize) % n;
+                    col_idx.push(col as i32);
+                    vals.push(hash_f32(seed ^ 43, (i * 131 + j) as u64, -1.0, 1.0));
+                }
+                row_ptr.push(col_idx.len() as i32);
+            }
+            let x: Vec<f32> =
+                (0..n).map(|i| hash_f32(seed ^ 44, i as u64, -1.0, 1.0)).collect();
+            Instance {
+                nd: NdRange::d1(n),
+                args: vec![
+                    ArgValue::Buffer(0),
+                    ArgValue::Buffer(1),
+                    ArgValue::Buffer(2),
+                    ArgValue::Buffer(3),
+                    ArgValue::Buffer(4),
+                    ArgValue::Int(n as i32),
+                ],
+                bufs: vec![
+                    BufferData::I32(row_ptr),
+                    BufferData::I32(col_idx),
+                    BufferData::F32(vals),
+                    BufferData::F32(x),
+                    BufferData::F32(vec![0.0; n]),
+                ],
+                outputs: vec![4],
+            }
+        },
+        reference: |inst| {
+            let row_ptr = inst.bufs[0].as_i32().expect("i32");
+            let col_idx = inst.bufs[1].as_i32().expect("i32");
+            let vals = inst.bufs[2].as_f32().expect("f32");
+            let x = inst.bufs[3].as_f32().expect("f32");
+            let n = inst.bufs[4].len();
+            let mut y = vec![0.0f32; n];
+            for (i, yo) in y.iter_mut().enumerate() {
+                let mut s = 0.0f64;
+                for j in row_ptr[i] as usize..row_ptr[i + 1] as usize {
+                    s += f64::from(vals[j]) * f64::from(x[col_idx[j] as usize]);
+                }
+                *yo = s as f32;
+            }
+            vec![(4, BufferData::F32(y))]
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spmv_verifies() {
+        spmv_csr().run_and_verify(1024).unwrap();
+    }
+
+    #[test]
+    fn spmv_has_irregular_rows() {
+        let b = spmv_csr();
+        let inst = (b.setup)(1024, 3);
+        let row_ptr = inst.bufs[0].as_i32().unwrap();
+        let lens: Vec<i32> = row_ptr.windows(2).map(|w| w[1] - w[0]).collect();
+        let min = lens.iter().min().unwrap();
+        let max = lens.iter().max().unwrap();
+        assert!(max > min, "row lengths must vary: min={min} max={max}");
+        assert!(*max as usize <= 2 * NNZ_PER_ROW);
+    }
+
+    #[test]
+    fn spmv_is_flagged_indirect_by_the_compiler() {
+        let k = spmv_csr().compile();
+        assert!(k.static_features.indirect_accesses >= 1);
+    }
+}

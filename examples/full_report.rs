@@ -1,0 +1,86 @@
+//! Generate the complete evaluation report: Figure 1, both prose claims,
+//! and all three extension experiments, printed to stdout and saved as
+//! JSON + text under `reports/`.
+//!
+//! Run with: `cargo run --release --example full_report`
+//! (set `HETPART_FAST=1` for a reduced configuration).
+
+use std::fs;
+use std::path::Path;
+
+use hetpart_core::{eval, HarnessConfig};
+
+fn save(dir: &Path, name: &str, text: &str, json: &impl serde::Serialize) {
+    fs::write(dir.join(format!("{name}.txt")), text).expect("write txt");
+    fs::write(
+        dir.join(format!("{name}.json")),
+        serde_json::to_string_pretty(json).expect("serialize"),
+    )
+    .expect("write json");
+}
+
+fn main() {
+    let fast = std::env::var("HETPART_FAST").is_ok();
+    let cfg = if fast {
+        HarnessConfig { sizes_per_benchmark: 2, ..HarnessConfig::quick() }
+    } else {
+        HarnessConfig { sizes_per_benchmark: 4, ..HarnessConfig::paper() }
+    };
+    let dir = Path::new("reports");
+    fs::create_dir_all(dir).expect("create reports dir");
+
+    let t0 = std::time::Instant::now();
+    eprintln!("collecting training databases (23 programs, 2 machines) ...");
+    let ctx = eval::EvalContext::build_full_suite(cfg);
+    eprintln!("  done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let fig = eval::figure1(&ctx);
+    let txt = fig.render();
+    println!("{txt}");
+    save(dir, "figure1", &txt, &fig);
+
+    let p1 = eval::default_strategy_comparison(&ctx);
+    let txt = p1.render();
+    println!("{txt}");
+    save(dir, "p1_default_strategies", &txt, &p1);
+
+    let p2 = eval::oracle_sensitivity(&ctx);
+    let txt = p2.render();
+    println!("{txt}");
+    save(dir, "p2_oracle_sensitivity", &txt, &p2);
+
+    eprintln!("running model comparison (E1) ...");
+    let e1 = eval::model_comparison(&ctx);
+    let txt = e1.render();
+    println!("{txt}");
+    save(dir, "e1_model_comparison", &txt, &e1);
+
+    eprintln!("running feature ablation (E2) ...");
+    let e2 = eval::feature_ablation(&ctx);
+    let txt = e2.render();
+    println!("{txt}");
+    save(dir, "e2_feature_ablation", &txt, &e2);
+
+    eprintln!("running dynamic-scheduler baseline (E4) ...");
+    let e4 = eval::scheduler_comparison(&ctx);
+    let txt = e4.render();
+    println!("{txt}");
+    save(dir, "e4_scheduler_baseline", &txt, &e4);
+
+    eprintln!("running feature importance (E5) ...");
+    let e5 = eval::feature_importance(&ctx);
+    let txt = e5.render();
+    println!("{txt}");
+    save(dir, "e5_feature_importance", &txt, &e5);
+
+    let e3 = eval::step_sensitivity(&ctx);
+    let txt = e3.render();
+    println!("{txt}");
+    save(dir, "e3_step_sensitivity", &txt, &e3);
+
+    eprintln!(
+        "full report generated in {:.1}s; artifacts in {}/",
+        t0.elapsed().as_secs_f64(),
+        dir.display()
+    );
+}

@@ -1,0 +1,87 @@
+//! Quickstart: compile a kernel, train a small partitioning model, and let
+//! the framework place the launch across a heterogeneous machine.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hetpart_core::{collect_training_db, FeatureSet, Framework, HarnessConfig, PartitionPredictor};
+use hetpart_inspire::compile;
+use hetpart_inspire::vm::{ArgValue, BufferData};
+use hetpart_inspire::NdRange;
+use hetpart_oclsim::machines;
+use hetpart_runtime::Executor;
+
+fn main() {
+    // 1. A user kernel, written in the OpenCL-C-like kernel language.
+    let kernel = compile(
+        r#"
+        kernel void waves(global const float* a, global float* o, int n, int steps) {
+            int i = get_global_id(0);
+            if (i < n) {
+                float x = a[i];
+                for (int s = 0; s < steps; s++) {
+                    x = x + 0.01 * sin(x);
+                }
+                o[i] = x;
+            }
+        }
+        "#,
+    )
+    .expect("kernel compiles");
+    println!("compiled `{}`:", kernel.name);
+    println!("  static features: {:?}\n", kernel.static_features);
+
+    // 2. Train a partition predictor on a handful of suite programs
+    //    (training phase: exhaustive partition sweeps on the simulated
+    //    machine mc2 — dual Xeon + two GTX 480s).
+    let machine = machines::mc2();
+    let cfg = HarnessConfig { sizes_per_benchmark: 3, ..HarnessConfig::quick() };
+    let benches: Vec<_> = hetpart_suite::all()
+        .into_iter()
+        .filter(|b| {
+            ["vec_add", "blackscholes", "nbody", "sgemm", "mandelbrot", "spmv_csr"]
+                .contains(&b.name)
+        })
+        .collect();
+    println!(
+        "training on {} programs x 3 sizes on {} ...",
+        benches.len(),
+        machine.name
+    );
+    let db = collect_training_db(&machine, &benches, &cfg);
+    let predictor = PartitionPredictor::train(&db, &cfg.model, FeatureSet::Both);
+    println!(
+        "label space: {} distinct optimal partitionings\n",
+        predictor.label_space.len()
+    );
+
+    // 3. Deployment phase: the framework predicts a partitioning for the
+    //    *new* kernel at two very different problem sizes and executes it.
+    let framework = Framework { executor: Executor::new(machine), predictor };
+    for (n, steps) in [(2_048usize, 4i32), (1_048_576, 400)] {
+        let a: Vec<f32> = (0..n).map(|i| (i % 97) as f32 / 97.0).collect();
+        let mut bufs = vec![BufferData::F32(a), BufferData::F32(vec![0.0; n])];
+        let args = vec![
+            ArgValue::Buffer(0),
+            ArgValue::Buffer(1),
+            ArgValue::Int(n as i32),
+            ArgValue::Int(steps),
+        ];
+        let (partition, report) = framework
+            .run_auto(&kernel, &NdRange::d1(n), &args, &mut bufs)
+            .expect("launch succeeds");
+        println!(
+            "n = {n:>8}, steps = {steps:>3}  ->  partition CPU/GPU0/GPU1 = {partition}, \
+             simulated time {:.3} ms",
+            report.time * 1e3
+        );
+        for run in &report.device_runs {
+            println!(
+                "    device {}: items {:>8}  time {:.3} ms",
+                run.device.0,
+                run.shape.items,
+                run.time.total * 1e3
+            );
+        }
+    }
+    println!("\nSmall launches stay on the CPU; large compute-heavy ones spread out.");
+}

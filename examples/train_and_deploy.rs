@@ -1,0 +1,72 @@
+//! The full two-phase workflow of the paper, with persistence:
+//!
+//! 1. **Training phase**: measure the suite on `mc2`, save the training
+//!    database and the trained predictor to `reports/`.
+//! 2. **Deployment phase**: reload the predictor from disk (as a freshly
+//!    started runtime would) and auto-partition a program that was *held
+//!    out* of training.
+//!
+//! Run with: `cargo run --release --example train_and_deploy`
+
+use std::fs;
+use std::path::Path;
+
+use hetpart_core::{collect_training_db, FeatureSet, Framework, HarnessConfig, PartitionPredictor};
+use hetpart_oclsim::machines;
+use hetpart_runtime::{Executor, Partition};
+
+fn main() {
+    let out_dir = Path::new("reports");
+    fs::create_dir_all(out_dir).expect("create reports dir");
+
+    // ---- Training phase --------------------------------------------
+    let machine = machines::mc2();
+    let cfg = HarnessConfig { sizes_per_benchmark: 3, ..HarnessConfig::quick() };
+    let held_out = "blackscholes";
+    let training_set: Vec<_> =
+        hetpart_suite::all().into_iter().filter(|b| b.name != held_out).collect();
+    println!(
+        "training phase: {} programs x 3 sizes on {} (holding out `{held_out}`) ...",
+        training_set.len(),
+        machine.name
+    );
+    let db = collect_training_db(&machine, &training_set, &cfg);
+    let db_path = out_dir.join("training_db_mc2.json");
+    db.save(&db_path).expect("save db");
+    println!("  saved {} training records -> {}", db.records.len(), db_path.display());
+
+    let predictor = PartitionPredictor::train(&db, &cfg.model, FeatureSet::Both);
+    let model_path = out_dir.join("predictor_mc2.json");
+    fs::write(&model_path, serde_json::to_string_pretty(&predictor).expect("serialize"))
+        .expect("save predictor");
+    println!("  saved trained predictor -> {}\n", model_path.display());
+
+    // ---- Deployment phase ------------------------------------------
+    let loaded: PartitionPredictor =
+        serde_json::from_str(&fs::read_to_string(&model_path).expect("read model"))
+            .expect("deserialize predictor");
+    let framework = Framework { executor: Executor::new(machine), predictor: loaded };
+
+    let bench = hetpart_suite::by_name(held_out).expect("exists");
+    let kernel = bench.compile();
+    println!("deployment phase: auto-partitioning unseen program `{held_out}`");
+    for &n in bench.sizes {
+        let inst = bench.instance(n);
+        let mut bufs = inst.bufs.clone();
+        let (partition, report) = framework
+            .run_auto(&kernel, &inst.nd, &inst.args, &mut bufs)
+            .expect("launch succeeds");
+        bench.check_outputs(&inst, &bufs).expect("outputs verify");
+        let marker = if partition == Partition::cpu_only(3) {
+            "(cpu only)"
+        } else if partition.is_single_device() {
+            "(single device)"
+        } else {
+            "(split)"
+        };
+        println!(
+            "  n = {n:>8}: partition {partition} {marker:>15}, time {:.3} ms, outputs verified",
+            report.time * 1e3
+        );
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration test harness for the hetpart workspace.

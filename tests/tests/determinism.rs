@@ -1,0 +1,51 @@
+//! Determinism: the whole pipeline is reproducible bit-for-bit for a fixed
+//! configuration — measurements, labels, trained models and predictions.
+
+use hetpart_core::{collect_training_db, FeatureSet, HarnessConfig, PartitionPredictor};
+use hetpart_ml::ModelConfig;
+use hetpart_oclsim::machines;
+
+fn benches() -> Vec<hetpart_suite::Benchmark> {
+    hetpart_suite::all()
+        .into_iter()
+        .filter(|b| ["vec_add", "kmeans", "mandelbrot"].contains(&b.name))
+        .collect()
+}
+
+fn cfg() -> HarnessConfig {
+    HarnessConfig {
+        sizes_per_benchmark: 2,
+        sample_items: 24,
+        step_tenths: 5,
+        ..HarnessConfig::quick()
+    }
+}
+
+#[test]
+fn training_db_is_deterministic() {
+    let a = collect_training_db(&machines::mc1(), &benches(), &cfg());
+    let b = collect_training_db(&machines::mc1(), &benches(), &cfg());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn trained_predictors_agree_exactly() {
+    let db = collect_training_db(&machines::mc2(), &benches(), &cfg());
+    let m = ModelConfig::Mlp(hetpart_ml::MlpConfig { epochs: 40, ..Default::default() });
+    let p1 = PartitionPredictor::train(&db, &m, FeatureSet::Both);
+    let p2 = PartitionPredictor::train(&db, &m, FeatureSet::Both);
+    for r in &db.records {
+        let f = r.features(FeatureSet::Both);
+        assert_eq!(p1.predict_vec(&f), p2.predict_vec(&f));
+    }
+}
+
+#[test]
+fn suite_instances_are_reproducible() {
+    for b in benches() {
+        let x = b.instance(b.smallest_size());
+        let y = b.instance(b.smallest_size());
+        assert_eq!(x.bufs, y.bufs, "{}", b.name);
+        assert_eq!(x.args, y.args, "{}", b.name);
+    }
+}

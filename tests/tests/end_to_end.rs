@@ -1,0 +1,121 @@
+//! End-to-end pipeline tests: training phase → model → deployment phase,
+//! exactly the paper's two-phase workflow.
+
+use hetpart_core::{
+    collect_training_db, eval, FeatureSet, Framework, HarnessConfig, PartitionPredictor,
+};
+use hetpart_ml::ModelConfig;
+use hetpart_oclsim::machines;
+use hetpart_runtime::Executor;
+use hetpart_suite::Benchmark;
+
+fn pipeline_benches() -> Vec<Benchmark> {
+    hetpart_suite::all()
+        .into_iter()
+        .filter(|b| {
+            ["vec_add", "triad", "nbody", "blackscholes", "sgemm", "mandelbrot"]
+                .contains(&b.name)
+        })
+        .collect()
+}
+
+fn quick_cfg() -> HarnessConfig {
+    HarnessConfig {
+        sizes_per_benchmark: 2,
+        sample_items: 32,
+        step_tenths: 5,
+        model: ModelConfig::Knn { k: 3 },
+        ..HarnessConfig::quick()
+    }
+}
+
+#[test]
+fn train_then_deploy_on_held_out_program() {
+    let cfg = quick_cfg();
+    let machine = machines::mc2();
+    // Hold out triad entirely (the deployment scenario: a new program).
+    let train_set: Vec<Benchmark> =
+        pipeline_benches().into_iter().filter(|b| b.name != "triad").collect();
+    let db = collect_training_db(&machine, &train_set, &cfg);
+    let predictor = PartitionPredictor::train(&db, &cfg.model, FeatureSet::Both);
+    let fw = Framework { executor: Executor::new(machine), predictor };
+
+    let bench = hetpart_suite::by_name("triad").unwrap();
+    let kernel = bench.compile();
+    for &n in &bench.sizes[..2] {
+        let inst = bench.instance(n);
+        let mut bufs = inst.bufs.clone();
+        let (partition, report) =
+            fw.run_auto(&kernel, &inst.nd, &inst.args, &mut bufs).unwrap();
+        assert_eq!(partition.num_devices(), 3);
+        assert!(report.time > 0.0);
+        bench.check_outputs(&inst, &bufs).unwrap();
+    }
+}
+
+#[test]
+fn ml_guided_partitioning_beats_defaults_on_average() {
+    // The paper's headline: averaged over programs and sizes, the
+    // ML-guided partitioning outperforms both default strategies (here on
+    // a reduced suite; the benches run the full one).
+    let ctx = eval::EvalContext::build(quick_cfg(), pipeline_benches());
+    let fig = eval::figure1(&ctx);
+    for m in &fig.machines {
+        assert!(
+            m.geomean_over_gpu > 1.0,
+            "{}: must beat GPU-only on average, got {:.3}",
+            m.machine,
+            m.geomean_over_gpu
+        );
+        assert!(
+            m.geomean_over_cpu > 0.9,
+            "{}: must be at least competitive with CPU-only, got {:.3}",
+            m.machine,
+            m.geomean_over_cpu
+        );
+        assert!(m.oracle_fraction > 0.5, "{}: oracle fraction {:.3}", m.machine, m.oracle_fraction);
+    }
+}
+
+#[test]
+fn predictions_price_within_the_measured_sweep() {
+    let ctx = eval::EvalContext::build(quick_cfg(), pipeline_benches());
+    for db in &ctx.dbs {
+        let outcomes = eval::lopo_outcomes(db, &ctx.cfg.model, FeatureSet::Both);
+        assert_eq!(outcomes.len(), db.records.len());
+        for (o, r) in outcomes.iter().zip(&db.records) {
+            // The predicted partitioning's time must be one of the sweep's
+            // measured times, bounded by oracle and worst.
+            let worst = r
+                .sweep
+                .entries
+                .iter()
+                .map(|e| e.time)
+                .fold(0.0f64, f64::max);
+            assert!(o.predicted_time >= o.oracle_time - 1e-15);
+            assert!(o.predicted_time <= worst + 1e-15);
+        }
+    }
+}
+
+#[test]
+fn feature_ablation_shows_runtime_features_matter() {
+    // The paper's thesis: static features alone cannot capture problem
+    // size. With sizes spanning orders of magnitude, two records of the
+    // same program share static features but need different partitionings,
+    // so the static-only model cannot reach the combined model's accuracy.
+    let cfg = HarnessConfig {
+        sizes_per_benchmark: 3,
+        ..quick_cfg()
+    };
+    let ctx = eval::EvalContext::build(cfg, pipeline_benches());
+    let ablation = eval::feature_ablation(&ctx);
+    let static_only = &ablation.rows[0];
+    let both = &ablation.rows[2];
+    assert!(
+        both.oracle_fraction >= static_only.oracle_fraction - 0.02,
+        "combined features must not be materially worse: {:.3} vs {:.3}",
+        both.oracle_fraction,
+        static_only.oracle_fraction
+    );
+}

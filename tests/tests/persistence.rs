@@ -1,0 +1,62 @@
+//! Persistence: the training database and trained predictors survive a
+//! JSON round-trip (the deployment phase loads the offline-generated model
+//! from disk).
+
+use hetpart_core::{collect_training_db, FeatureSet, HarnessConfig, PartitionPredictor, TrainingDb};
+use hetpart_ml::ModelConfig;
+use hetpart_oclsim::{machines, Machine};
+
+#[test]
+fn training_db_roundtrips_through_disk() {
+    let benches: Vec<_> = hetpart_suite::all()
+        .into_iter()
+        .filter(|b| ["vec_add", "spmv_csr"].contains(&b.name))
+        .collect();
+    let cfg = HarnessConfig {
+        sizes_per_benchmark: 2,
+        sample_items: 16,
+        step_tenths: 5,
+        ..HarnessConfig::quick()
+    };
+    let db = collect_training_db(&machines::mc1(), &benches, &cfg);
+    let dir = std::env::temp_dir().join("hetpart_persistence_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("db.json");
+    db.save(&path).unwrap();
+    let loaded = TrainingDb::load(&path).unwrap();
+    assert_eq!(db, loaded);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn predictor_roundtrips_and_predicts_identically() {
+    let benches: Vec<_> = hetpart_suite::all()
+        .into_iter()
+        .filter(|b| ["triad", "nbody", "kmeans"].contains(&b.name))
+        .collect();
+    let cfg = HarnessConfig {
+        sizes_per_benchmark: 2,
+        sample_items: 16,
+        step_tenths: 5,
+        ..HarnessConfig::quick()
+    };
+    let db = collect_training_db(&machines::mc2(), &benches, &cfg);
+    for model in [ModelConfig::Knn { k: 3 }, ModelConfig::Tree(Default::default())] {
+        let p = PartitionPredictor::train(&db, &model, FeatureSet::Both);
+        let js = serde_json::to_string(&p).unwrap();
+        let q: PartitionPredictor = serde_json::from_str(&js).unwrap();
+        for r in &db.records {
+            let f = r.features(FeatureSet::Both);
+            assert_eq!(p.predict_vec(&f), q.predict_vec(&f));
+        }
+    }
+}
+
+#[test]
+fn machines_roundtrip_through_json() {
+    for m in machines::paper_machines() {
+        let js = serde_json::to_string_pretty(&m).unwrap();
+        let back: Machine = serde_json::from_str(&js).unwrap();
+        assert_eq!(m, back);
+    }
+}
