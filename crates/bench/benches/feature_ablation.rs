@@ -16,7 +16,9 @@ fn feature_ablation(c: &mut Criterion) {
     let bench = hetpart_suite::by_name("srad").expect("exists");
     let kernel = compile(bench.source).unwrap();
     let mut g = c.benchmark_group("feature_extraction");
-    g.bench_function("compile_srad", |b| b.iter(|| compile(black_box(bench.source)).unwrap()));
+    g.bench_function("compile_srad", |b| {
+        b.iter(|| compile(black_box(bench.source)).unwrap())
+    });
     g.bench_function("static_features_srad", |b| {
         b.iter(|| features::extract(black_box(&kernel.ir)))
     });

@@ -13,22 +13,17 @@ fn fig1(c: &mut Criterion) {
     banner("Figure 1: ML-guided partitioning vs CPU-only / GPU-only");
     let fig = eval::figure1(&ctx);
     println!("{}", fig.render());
-    println!(
-        "paper reference peaks: mc1 13.5x/19.8x, mc2 5.7x/4.9x (over CPU / over GPU)\n"
-    );
+    println!("paper reference peaks: mc1 13.5x/19.8x, mc2 5.7x/4.9x (over CPU / over GPU)\n");
 
     // Deployment-path cost: what the runtime pays per launch.
-    let predictor =
-        PartitionPredictor::train(&ctx.dbs[1], &ctx.cfg.model, FeatureSet::Both);
+    let predictor = PartitionPredictor::train(&ctx.dbs[1], &ctx.cfg.model, FeatureSet::Both);
     let bench = hetpart_suite::by_name("blackscholes").expect("exists");
     let kernel = bench.compile();
     let inst = bench.instance(bench.default_size());
 
     let mut g = c.benchmark_group("fig1");
     g.bench_function("collect_runtime_features", |b| {
-        b.iter(|| {
-            runtime_features(&kernel, &inst.nd, &inst.args, &inst.bufs, 128).unwrap()
-        })
+        b.iter(|| runtime_features(&kernel, &inst.nd, &inst.args, &inst.bufs, 128).unwrap())
     });
     let rt = runtime_features(&kernel, &inst.nd, &inst.args, &inst.bufs, 128).unwrap();
     g.bench_function("predict_partitioning", |b| {

@@ -41,7 +41,12 @@ fn micro(c: &mut Criterion) {
         b.iter(|| {
             hetpart_suite::all()
                 .iter()
-                .map(|bench| compile(black_box(bench.source)).unwrap().bytecode.num_instrs())
+                .map(|bench| {
+                    compile(black_box(bench.source))
+                        .unwrap()
+                        .bytecode
+                        .num_instrs()
+                })
                 .sum::<usize>()
         })
     });

@@ -22,8 +22,7 @@ fn scheduler_baseline(c: &mut Criterion) {
         .sample_size(10)
         .bench_function("dynamic_schedule_16_chunks", |b| {
             b.iter(|| {
-                dynamic_schedule(&ex, &launch, &inst.bufs, DynSchedConfig::default())
-                    .unwrap()
+                dynamic_schedule(&ex, &launch, &inst.bufs, DynSchedConfig::default()).unwrap()
             })
         });
 }

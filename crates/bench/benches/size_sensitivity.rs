@@ -19,8 +19,7 @@ fn size_sensitivity(c: &mut Criterion) {
         .sample_size(20)
         .bench_function("launch_profile_mandelbrot_256", |b| {
             b.iter(|| {
-                LaunchProfile::collect(&kernel, &inst.nd, &inst.args, &inst.bufs, 256)
-                    .unwrap()
+                LaunchProfile::collect(&kernel, &inst.nd, &inst.args, &inst.bufs, 256).unwrap()
             })
         });
 }

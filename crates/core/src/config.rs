@@ -94,7 +94,10 @@ mod tests {
         assert_eq!(c.machines[0].name, "mc1");
         assert_eq!(c.machines[1].name, "mc2");
         assert_eq!(c.step_tenths, 1, "10% step size");
-        assert!(matches!(c.model, ModelConfig::Mlp(_)), "the paper used an ANN");
+        assert!(
+            matches!(c.model, ModelConfig::Mlp(_)),
+            "the paper used an ANN"
+        );
     }
 
     #[test]

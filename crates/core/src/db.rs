@@ -11,8 +11,8 @@ use std::io;
 use std::path::Path;
 
 use hetpart_inspire::features::STATIC_FEATURE_NAMES;
-use hetpart_runtime::{Partition, PartitionSweep, SweepEntry, RUNTIME_FEATURE_NAMES};
 use hetpart_ml::Dataset;
+use hetpart_runtime::{Partition, PartitionSweep, SweepEntry, RUNTIME_FEATURE_NAMES};
 use serde::{Deserialize, Serialize};
 
 /// Which feature columns a model sees (the E2 ablation axis).
@@ -128,7 +128,9 @@ impl TrainingDb {
         let canonical = feature_names(set);
         let names = match self.records.first() {
             Some(r) if r.features(set).len() == canonical.len() => canonical,
-            Some(r) => (0..r.features(set).len()).map(|i| format!("f{i}")).collect(),
+            Some(r) => (0..r.features(set).len())
+                .map(|i| format!("f{i}"))
+                .collect(),
             None => canonical,
         };
         let mut data = Dataset::new(names);
@@ -151,9 +153,18 @@ mod tests {
     fn record(program: &str, idx: usize, size: usize, best: Vec<u8>) -> TrainingRecord {
         let sweep = PartitionSweep {
             entries: vec![
-                SweepEntry { partition: Partition::from_tenths(best), time: 1.0 },
-                SweepEntry { partition: Partition::cpu_only(3), time: 2.0 },
-                SweepEntry { partition: Partition::gpu_only(3), time: 3.0 },
+                SweepEntry {
+                    partition: Partition::from_tenths(best),
+                    time: 1.0,
+                },
+                SweepEntry {
+                    partition: Partition::cpu_only(3),
+                    time: 2.0,
+                },
+                SweepEntry {
+                    partition: Partition::gpu_only(3),
+                    time: 3.0,
+                },
             ],
         };
         TrainingRecord {
@@ -207,8 +218,14 @@ mod tests {
     fn feature_names_match_real_dims() {
         use hetpart_inspire::features::STATIC_FEATURE_DIM;
         use hetpart_runtime::RUNTIME_FEATURE_DIM;
-        assert_eq!(feature_names(FeatureSet::StaticOnly).len(), STATIC_FEATURE_DIM);
-        assert_eq!(feature_names(FeatureSet::RuntimeOnly).len(), RUNTIME_FEATURE_DIM);
+        assert_eq!(
+            feature_names(FeatureSet::StaticOnly).len(),
+            STATIC_FEATURE_DIM
+        );
+        assert_eq!(
+            feature_names(FeatureSet::RuntimeOnly).len(),
+            RUNTIME_FEATURE_DIM
+        );
         assert_eq!(
             feature_names(FeatureSet::Both).len(),
             STATIC_FEATURE_DIM + RUNTIME_FEATURE_DIM

@@ -31,7 +31,11 @@ impl EvalContext {
             .iter()
             .map(|m| collect_training_db(m, &benchmarks, &cfg))
             .collect();
-        Self { cfg, benchmarks, dbs }
+        Self {
+            cfg,
+            benchmarks,
+            dbs,
+        }
     }
 
     /// Build with the full 23-program suite.
@@ -151,12 +155,15 @@ fn figure1_for_machine(db: &TrainingDb, outcomes: &[PredictionOutcome]) -> Figur
     let mut peak_cpu = 0.0f64;
     let mut peak_gpu = 0.0f64;
     for p in &programs {
-        let per: Vec<&PredictionOutcome> =
-            outcomes.iter().filter(|o| &o.program == p).collect();
-        let cpu: Vec<f64> =
-            per.iter().map(|o| o.cpu_only_time / o.predicted_time).collect();
-        let gpu: Vec<f64> =
-            per.iter().map(|o| o.gpu_only_time / o.predicted_time).collect();
+        let per: Vec<&PredictionOutcome> = outcomes.iter().filter(|o| &o.program == p).collect();
+        let cpu: Vec<f64> = per
+            .iter()
+            .map(|o| o.cpu_only_time / o.predicted_time)
+            .collect();
+        let gpu: Vec<f64> = per
+            .iter()
+            .map(|o| o.gpu_only_time / o.predicted_time)
+            .collect();
         peak_cpu = peak_cpu.max(cpu.iter().copied().fold(0.0, f64::max));
         peak_gpu = peak_gpu.max(gpu.iter().copied().fold(0.0, f64::max));
         all_cpu.extend(&cpu);
@@ -168,8 +175,10 @@ fn figure1_for_machine(db: &TrainingDb, outcomes: &[PredictionOutcome]) -> Figur
         });
     }
     let hits = outcomes.iter().filter(|o| o.predicted == o.oracle).count();
-    let fractions: Vec<f64> =
-        outcomes.iter().map(|o| o.oracle_time / o.predicted_time).collect();
+    let fractions: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.oracle_time / o.predicted_time)
+        .collect();
     Figure1Machine {
         machine: db.machine.clone(),
         rows,
@@ -283,7 +292,11 @@ pub fn default_strategy_comparison(ctx: &EvalContext) -> DefaultStrategyReport {
                     gpu_wins.push(p.clone());
                 }
             }
-            DefaultStrategyMachine { machine: db.machine.clone(), cpu_wins, gpu_wins }
+            DefaultStrategyMachine {
+                machine: db.machine.clone(),
+                cpu_wins,
+                gpu_wins,
+            }
         })
         .collect();
     DefaultStrategyReport { machines }
@@ -328,8 +341,11 @@ pub fn oracle_sensitivity(ctx: &EvalContext) -> OracleSensitivity {
     let mut distinct_best_per_machine = Vec::new();
     let mut size_sensitive_fraction = Vec::new();
     for db in &ctx.dbs {
-        let mut all: Vec<Partition> =
-            db.records.iter().map(|r| r.best().partition.clone()).collect();
+        let mut all: Vec<Partition> = db
+            .records
+            .iter()
+            .map(|r| r.best().partition.clone())
+            .collect();
         all.sort();
         all.dedup();
         distinct_best_per_machine.push((db.machine.clone(), all.len()));
@@ -354,8 +370,10 @@ pub fn oracle_sensitivity(ctx: &EvalContext) -> OracleSensitivity {
                 bests.len() > 1
             })
             .count();
-        size_sensitive_fraction
-            .push((db.machine.clone(), sensitive as f64 / programs.len().max(1) as f64));
+        size_sensitive_fraction.push((
+            db.machine.clone(),
+            sensitive as f64 / programs.len().max(1) as f64,
+        ));
     }
 
     let cross_machine_disagreement = if ctx.dbs.len() >= 2 {
@@ -513,10 +531,14 @@ pub struct FeatureAblation {
 
 /// Run the feature ablation with the configured model.
 pub fn feature_ablation(ctx: &EvalContext) -> FeatureAblation {
-    let rows = [FeatureSet::StaticOnly, FeatureSet::RuntimeOnly, FeatureSet::Both]
-        .into_iter()
-        .map(|fs| summarize_model(ctx, &ctx.cfg.model, fs, fs.label().to_string()))
-        .collect();
+    let rows = [
+        FeatureSet::StaticOnly,
+        FeatureSet::RuntimeOnly,
+        FeatureSet::Both,
+    ]
+    .into_iter()
+    .map(|fs| summarize_model(ctx, &ctx.cfg.model, fs, fs.label().to_string()))
+    .collect();
     FeatureAblation { rows }
 }
 
@@ -577,18 +599,14 @@ pub fn step_sensitivity(ctx: &EvalContext) -> StepSensitivity {
                         .sweep
                         .entries
                         .iter()
-                        .filter(|e| {
-                            e.partition.shares().iter().all(|&sh| sh % step == 0)
-                        })
+                        .filter(|e| e.partition.shares().iter().all(|&sh| sh % step == 0))
                         .map(|e| e.time)
                         .fold(f64::INFINITY, f64::min);
                     space_size = space_size.max(
                         r.sweep
                             .entries
                             .iter()
-                            .filter(|e| {
-                                e.partition.shares().iter().all(|&sh| sh % step == 0)
-                            })
+                            .filter(|e| e.partition.shares().iter().all(|&sh| sh % step == 0))
                             .count(),
                     );
                     ratios.push(coarse_best / fine_best);
@@ -636,8 +654,7 @@ mod tests {
         let benches: Vec<Benchmark> = hetpart_suite::all()
             .into_iter()
             .filter(|b| {
-                ["vec_add", "nbody", "blackscholes", "mandelbrot", "sgemm"]
-                    .contains(&b.name)
+                ["vec_add", "nbody", "blackscholes", "mandelbrot", "sgemm"].contains(&b.name)
             })
             .collect();
         let cfg = HarnessConfig {
@@ -709,7 +726,10 @@ mod tests {
         assert_eq!(s.rows.len(), 2);
         let mut prev = 1.0 - 1e-12;
         for (_, _, slow) in &s.rows {
-            assert!(*slow >= prev, "coarser spaces cannot be faster: {slow} < {prev}");
+            assert!(
+                *slow >= prev,
+                "coarser spaces cannot be faster: {slow} < {prev}"
+            );
             prev = *slow;
         }
         assert!(s.render().contains("oracle slowdown"));
@@ -795,8 +815,10 @@ pub fn scheduler_comparison(ctx: &EvalContext) -> SchedulerComparison {
         .iter()
         .zip(&ctx.dbs)
         .map(|(machine, db)| {
-            let executor =
-                Executor { machine: machine.clone(), sample_items: ctx.cfg.sample_items };
+            let executor = Executor {
+                machine: machine.clone(),
+                sample_items: ctx.cfg.sample_items,
+            };
             let outcomes = lopo_outcomes(db, &ctx.cfg.model, FeatureSet::Both);
             let mut ratios_pred = Vec::new();
             let mut ratios_oracle = Vec::new();

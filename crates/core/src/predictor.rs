@@ -5,7 +5,7 @@ use hetpart_inspire::vm::{ArgValue, BufferData};
 use hetpart_inspire::{CompiledKernel, VmError};
 use hetpart_ml::{ModelConfig, Pipeline};
 use hetpart_runtime::{
-    runtime_features, Executor, ExecutionReport, Launch, Partition, RuntimeFeatures,
+    runtime_features, ExecutionReport, Executor, Launch, Partition, RuntimeFeatures,
 };
 use serde::{Deserialize, Serialize};
 
@@ -35,10 +35,17 @@ impl PartitionPredictor {
     /// Panics on an empty database.
     pub fn train(db: &TrainingDb, model: &ModelConfig, feature_set: FeatureSet) -> Self {
         let (data, label_space) = db.to_dataset(feature_set);
-        assert!(!data.is_empty(), "cannot train a predictor on an empty database");
+        assert!(
+            !data.is_empty(),
+            "cannot train a predictor on an empty database"
+        );
         let x: Vec<Vec<f64>> = data.x.iter().map(|r| log_compress(r)).collect();
         let pipeline = Pipeline::fit(model, &x, &data.y, label_space.len());
-        Self { label_space, pipeline, feature_set }
+        Self {
+            label_space,
+            pipeline,
+            feature_set,
+        }
     }
 
     /// Predict a partitioning from a raw feature vector (already matching
@@ -83,8 +90,7 @@ impl Framework {
         args: &[ArgValue],
         bufs: &[BufferData],
     ) -> Result<Partition, VmError> {
-        let rt =
-            runtime_features(kernel, nd, args, bufs, self.executor.sample_items)?;
+        let rt = runtime_features(kernel, nd, args, bufs, self.executor.sample_items)?;
         Ok(self.predictor.predict(kernel, &rt))
     }
 
@@ -187,18 +193,16 @@ mod tests {
                 .unwrap();
             assert_eq!(partition.num_devices(), 3);
             assert!(report.time > 0.0);
-            bench.check_outputs(&inst, &bufs).unwrap_or_else(|e| panic!("{e}"));
+            bench
+                .check_outputs(&inst, &bufs)
+                .unwrap_or_else(|e| panic!("{e}"));
         }
     }
 
     #[test]
     fn predictor_serde_roundtrip() {
         let db = small_db();
-        let p = PartitionPredictor::train(
-            &db,
-            &ModelConfig::Knn { k: 3 },
-            FeatureSet::RuntimeOnly,
-        );
+        let p = PartitionPredictor::train(&db, &ModelConfig::Knn { k: 3 }, FeatureSet::RuntimeOnly);
         let js = serde_json::to_string(&p).unwrap();
         let back: PartitionPredictor = serde_json::from_str(&js).unwrap();
         let f = db.records[0].features(FeatureSet::RuntimeOnly);

@@ -16,7 +16,9 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     if max <= 0.0 || !value.is_finite() {
         return String::new();
     }
-    let filled = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let filled = ((value / max) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
     "#".repeat(filled)
 }
 

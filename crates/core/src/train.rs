@@ -1,19 +1,37 @@
 //! The training phase: run every benchmark at every problem size under
 //! every partitioning on a machine, and collect features + measurements.
 
-use hetpart_runtime::{runtime_features, sweep_partitions, Executor, Launch};
+use hetpart_inspire::CompiledKernel;
 use hetpart_oclsim::Machine;
-use hetpart_suite::Benchmark;
+use hetpart_runtime::{
+    runtime_features, sweep_many, sweep_partitions, Executor, Launch, RuntimeFeatures, SweepJob,
+};
+use hetpart_suite::{Benchmark, Instance};
 use rayon::prelude::*;
 
 use crate::config::HarnessConfig;
 use crate::db::{TrainingDb, TrainingRecord};
 
+/// How many (benchmark, size) launches each [`sweep_many`] call batches.
+///
+/// Bounds peak memory: every job in flight holds a full benchmark
+/// instance (input + output buffers, tens of MB at the top of a paper
+/// size ladder), so an unbounded batch over the whole suite could reach
+/// gigabytes. 32 jobs keep a few times the worker-thread count in
+/// flight — enough that both sweep phases stay saturated (a batch spans
+/// 32 × |space| pricing units) — while capping live buffers.
+const SWEEP_BATCH_JOBS: usize = 32;
+
 /// Collect the full training database for one machine.
 ///
-/// Parallelizes over (benchmark, size) pairs with rayon; each pair
-/// compiles the kernel, builds the instance, extracts runtime features and
-/// sweeps the partition space in simulation (no buffers are mutated).
+/// The suite trains as **batched sweeps**: every benchmark is compiled
+/// exactly once (shared across all of its problem sizes), then
+/// (benchmark, size) pairs stream through [`sweep_many`] in groups of
+/// [`SWEEP_BATCH_JOBS`] — instances and runtime features prepared in
+/// parallel, every (launch × partitioning) pair of the group priced in
+/// one flat rayon pass with per-launch access-analysis caches. No
+/// buffers are mutated, and batch boundaries cannot affect results
+/// (batched sweeps are bit-identical to sequential ones).
 ///
 /// # Panics
 /// Panics if a bundled benchmark fails to compile or execute — the suite's
@@ -23,46 +41,90 @@ pub fn collect_training_db(
     benchmarks: &[Benchmark],
     cfg: &HarnessConfig,
 ) -> TrainingDb {
-    let executor = Executor { machine: machine.clone(), sample_items: cfg.sample_items };
+    let executor = Executor {
+        machine: machine.clone(),
+        sample_items: cfg.sample_items,
+    };
 
-    let work: Vec<(usize, &Benchmark, usize)> = benchmarks
+    // Compiled-kernel cache: one compile per benchmark, shared by every
+    // problem size's launch below.
+    let kernels: Vec<CompiledKernel> = benchmarks.par_iter().map(|bench| bench.compile()).collect();
+
+    let work: Vec<(usize, usize)> = benchmarks
         .iter()
         .enumerate()
-        .flat_map(|(idx, b)| {
-            cfg.select_sizes(b).into_iter().map(move |n| (idx, b, n))
-        })
+        .flat_map(|(idx, b)| cfg.select_sizes(b).into_iter().map(move |n| (idx, n)))
         .collect();
 
-    let mut records: Vec<TrainingRecord> = work
-        .par_iter()
-        .map(|&(program_idx, bench, size)| {
-            let kernel = bench.compile();
-            let inst = bench.instance(size);
-            let rt = runtime_features(
-                &kernel,
-                &inst.nd,
-                &inst.args,
-                &inst.bufs,
-                cfg.sample_items,
-            )
-            .unwrap_or_else(|e| panic!("{}: runtime features failed: {e}", bench.name));
-            let launch = Launch::new(&kernel, inst.nd.clone(), inst.args.clone());
-            let sweep = sweep_partitions(&executor, &launch, &inst.bufs, cfg.step_tenths)
-                .unwrap_or_else(|e| panic!("{}: sweep failed: {e}", bench.name));
-            TrainingRecord {
-                program: bench.name.to_string(),
+    let mut records: Vec<TrainingRecord> = Vec::with_capacity(work.len());
+    for group in work.chunks(SWEEP_BATCH_JOBS) {
+        // Instances + runtime features, in parallel over (benchmark, size).
+        let prepared: Vec<(Instance, RuntimeFeatures)> = group
+            .par_iter()
+            .map(|&(program_idx, size)| {
+                let bench = &benchmarks[program_idx];
+                let inst = bench.instance(size);
+                let rt = runtime_features(
+                    &kernels[program_idx],
+                    &inst.nd,
+                    &inst.args,
+                    &inst.bufs,
+                    cfg.sample_items,
+                )
+                .unwrap_or_else(|e| panic!("{}: runtime features failed: {e}", bench.name));
+                (inst, rt)
+            })
+            .collect();
+
+        // One batched oracle sweep over the group.
+        let launches: Vec<Launch> = group
+            .iter()
+            .zip(&prepared)
+            .map(|(&(program_idx, _), (inst, _))| {
+                Launch::new(&kernels[program_idx], inst.nd.clone(), inst.args.clone())
+            })
+            .collect();
+        let jobs: Vec<SweepJob> = launches
+            .iter()
+            .zip(&prepared)
+            .map(|(launch, (inst, _))| SweepJob {
+                launch,
+                bufs: &inst.bufs,
+                step_tenths: cfg.step_tenths,
+            })
+            .collect();
+        let sweeps = sweep_many(&executor, &jobs).unwrap_or_else(|batch_err| {
+            // Localize which launch of the batch failed so the panic names
+            // the benchmark and size instead of a 32-job group.
+            for (job, &(program_idx, size)) in jobs.iter().zip(group) {
+                if let Err(e) = sweep_partitions(&executor, job.launch, job.bufs, job.step_tenths) {
+                    panic!(
+                        "{} (n = {size}): sweep failed: {e}",
+                        benchmarks[program_idx].name
+                    );
+                }
+            }
+            panic!("batched training sweep failed: {batch_err}");
+        });
+
+        records.extend(group.iter().zip(prepared).zip(sweeps).map(
+            |((&(program_idx, size), (_, rt)), sweep)| TrainingRecord {
+                program: benchmarks[program_idx].name.to_string(),
                 program_idx,
                 size,
-                static_features: kernel.static_features.to_vec(),
+                static_features: kernels[program_idx].static_features.to_vec(),
                 runtime_features: rt.to_vec(),
                 sweep,
-            }
-        })
-        .collect();
+            },
+        ));
+    }
 
-    // Deterministic order regardless of rayon scheduling.
+    // Deterministic order regardless of batch construction.
     records.sort_by_key(|r| (r.program_idx, r.size));
-    TrainingDb { machine: machine.name.clone(), records }
+    TrainingDb {
+        machine: machine.name.clone(),
+        records,
+    }
 }
 
 #[cfg(test)]
@@ -118,8 +180,11 @@ mod tests {
             ..tiny_cfg()
         };
         let db = collect_training_db(&machines::mc2(), &benches, &cfg);
-        let bests: Vec<Partition> =
-            db.records.iter().map(|r| r.best().partition.clone()).collect();
+        let bests: Vec<Partition> = db
+            .records
+            .iter()
+            .map(|r| r.best().partition.clone())
+            .collect();
         let mut distinct = bests.clone();
         distinct.sort();
         distinct.dedup();

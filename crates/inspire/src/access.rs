@@ -40,7 +40,11 @@ pub struct BufferAccess {
 /// Compute the static read/write sets of a kernel.
 pub fn analyze(k: &Kernel) -> AccessSummary {
     let mut buffers: Vec<BufferAccess> = (0..k.params.len())
-        .map(|i| BufferAccess { param: ParamId(i as u32), is_read: false, is_written: false })
+        .map(|i| BufferAccess {
+            param: ParamId(i as u32),
+            is_read: false,
+            is_written: false,
+        })
         .collect();
     fn walk_expr(e: &Expr, buffers: &mut [BufferAccess]) {
         match &e.kind {
@@ -79,7 +83,12 @@ pub fn analyze(k: &Kernel) -> AccessSummary {
                 then.iter().for_each(|s| walk_stmt(s, buffers));
                 els.iter().for_each(|s| walk_stmt(s, buffers));
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     walk_stmt(i, buffers);
                 }
@@ -220,7 +229,10 @@ impl BufferRange {
             (BufferRange::Untouched, n) => n,
             (e @ BufferRange::Exact { .. }, BufferRange::Untouched) => e,
             (BufferRange::Exact { lo: a, hi: b }, BufferRange::Exact { lo: c, hi: d }) => {
-                BufferRange::Exact { lo: a.min(c), hi: b.max(d) }
+                BufferRange::Exact {
+                    lo: a.min(c),
+                    hi: b.max(d),
+                }
             }
         };
     }
@@ -247,7 +259,10 @@ pub fn access_ranges(k: &Kernel, bounds: &LaunchBounds) -> AccessRanges {
     for s in &k.body {
         interp.stmt(s);
     }
-    AccessRanges { read: interp.read, write: interp.write }
+    AccessRanges {
+        read: interp.read,
+        write: interp.write,
+    }
 }
 
 struct AbstractInterp<'a> {
@@ -280,7 +295,12 @@ impl<'a> AbstractInterp<'a> {
                     *e = e.union(t);
                 }
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     self.stmt(i);
                 }
@@ -483,7 +503,9 @@ fn canonical_for_var<'a>(
     let ExprKind::Binary { op, lhs, rhs } = &cond?.kind else {
         return None;
     };
-    let ExprKind::Var(cv) = lhs.kind else { return None };
+    let ExprKind::Var(cv) = lhs.kind else {
+        return None;
+    };
     if cv != var {
         return None;
     }
@@ -501,7 +523,9 @@ fn collect_assigned(s: &Stmt, out: &mut Vec<VarId>) {
             then.iter().for_each(|s| collect_assigned(s, out));
             els.iter().for_each(|s| collect_assigned(s, out));
         }
-        Stmt::For { init, step, body, .. } => {
+        Stmt::For {
+            init, step, body, ..
+        } => {
             if let Some(i) = init {
                 collect_assigned(i, out);
             }

@@ -47,11 +47,26 @@ pub enum ParamKind {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `T name = init;` (initializer required).
-    Decl { ty: TypeName, name: String, init: Expr, span: Span },
+    Decl {
+        ty: TypeName,
+        name: String,
+        init: Expr,
+        span: Span,
+    },
     /// `target op= value;` where `target` is a variable or buffer element.
-    Assign { target: Expr, op: AssignOp, value: Expr, span: Span },
+    Assign {
+        target: Expr,
+        op: AssignOp,
+        value: Expr,
+        span: Span,
+    },
     /// `if (cond) then [else els]`.
-    If { cond: Expr, then: Vec<Stmt>, els: Vec<Stmt>, span: Span },
+    If {
+        cond: Expr,
+        then: Vec<Stmt>,
+        els: Vec<Stmt>,
+        span: Span,
+    },
     /// C-style `for (init; cond; step) body`. All three headers optional.
     For {
         init: Option<Box<Stmt>>,
@@ -61,7 +76,11 @@ pub enum Stmt {
         span: Span,
     },
     /// `while (cond) body`.
-    While { cond: Expr, body: Vec<Stmt>, span: Span },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        span: Span,
+    },
     /// `break;`
     Break(Span),
     /// `continue;`
@@ -110,22 +129,45 @@ pub struct Expr {
 /// Expression node kinds.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExprKind {
-    IntLit { value: i64, unsigned: bool },
+    IntLit {
+        value: i64,
+        unsigned: bool,
+    },
     FloatLit(f64),
     BoolLit(bool),
     Ident(String),
     /// `a OP b`.
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// `OP a`.
-    Unary { op: UnOp, operand: Box<Expr> },
+    Unary {
+        op: UnOp,
+        operand: Box<Expr>,
+    },
     /// `name(args...)` — builtins only; the language has no user functions.
-    Call { name: String, args: Vec<Expr> },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
     /// `buf[index]`.
-    Index { base: Box<Expr>, index: Box<Expr> },
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
     /// `(T) expr`.
-    Cast { ty: TypeName, operand: Box<Expr> },
+    Cast {
+        ty: TypeName,
+        operand: Box<Expr>,
+    },
     /// `cond ? a : b`.
-    Ternary { cond: Box<Expr>, then: Box<Expr>, els: Box<Expr> },
+    Ternary {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        els: Box<Expr>,
+    },
 }
 
 /// Binary operators.
@@ -166,13 +208,20 @@ mod tests {
     #[test]
     fn stmt_span_accessor_covers_all_variants() {
         let s = Span::new(1, 2);
-        let e = Expr { kind: ExprKind::BoolLit(true), span: s };
+        let e = Expr {
+            kind: ExprKind::BoolLit(true),
+            span: s,
+        };
         let all = vec![
             Stmt::Break(s),
             Stmt::Continue(s),
             Stmt::Return(s),
             Stmt::Block(vec![], s),
-            Stmt::While { cond: e, body: vec![], span: s },
+            Stmt::While {
+                cond: e,
+                body: vec![],
+                span: s,
+            },
         ];
         for st in all {
             assert_eq!(st.span(), s);

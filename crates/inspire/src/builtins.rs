@@ -162,7 +162,10 @@ mod tests {
         assert_eq!(resolve("abs", &[Int]), Some(Builtin::IAbs));
         assert_eq!(resolve("abs", &[Float]), Some(Builtin::Fabs));
         assert_eq!(resolve("clamp", &[Int, Int, Int]), Some(Builtin::IClamp));
-        assert_eq!(resolve("clamp", &[Float, Float, Float]), Some(Builtin::FClamp));
+        assert_eq!(
+            resolve("clamp", &[Float, Float, Float]),
+            Some(Builtin::FClamp)
+        );
     }
 
     #[test]

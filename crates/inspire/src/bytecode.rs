@@ -41,8 +41,16 @@ pub enum OpClass {
 pub const N_OP_CLASSES: usize = 8;
 
 /// Human-readable op-class names aligned with the histogram layout.
-pub const OP_CLASS_NAMES: [&str; N_OP_CLASSES] =
-    ["int", "float", "transcendental", "cmp", "load", "store", "branch", "other"];
+pub const OP_CLASS_NAMES: [&str; N_OP_CLASSES] = [
+    "int",
+    "float",
+    "transcendental",
+    "cmp",
+    "load",
+    "store",
+    "branch",
+    "other",
+];
 
 /// Integer binary ALU operations (wrap to 32 bits per `unsigned`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,40 +114,140 @@ pub enum MathFn2 {
 /// One bytecode instruction.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Instr {
-    ConstI { dst: u16, v: i64 },
-    ConstF { dst: u16, v: f64 },
-    MovI { dst: u16, src: u16 },
-    MovF { dst: u16, src: u16 },
-    IBin { op: IBinOp, dst: u16, a: u16, b: u16, unsigned: bool },
-    FBin { op: FBinOp, dst: u16, a: u16, b: u16 },
-    CmpI { op: CmpOp, dst: u16, a: u16, b: u16 },
-    CmpF { op: CmpOp, dst: u16, a: u16, b: u16 },
+    ConstI {
+        dst: u16,
+        v: i64,
+    },
+    ConstF {
+        dst: u16,
+        v: f64,
+    },
+    MovI {
+        dst: u16,
+        src: u16,
+    },
+    MovF {
+        dst: u16,
+        src: u16,
+    },
+    IBin {
+        op: IBinOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+        unsigned: bool,
+    },
+    FBin {
+        op: FBinOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    CmpI {
+        op: CmpOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    CmpF {
+        op: CmpOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
     /// Arithmetic negation (wraps like C).
-    NegI { dst: u16, a: u16, unsigned: bool },
-    NegF { dst: u16, a: u16 },
+    NegI {
+        dst: u16,
+        a: u16,
+        unsigned: bool,
+    },
+    NegF {
+        dst: u16,
+        a: u16,
+    },
     /// Logical not: `dst = (a == 0)`.
-    NotI { dst: u16, a: u16 },
-    BitNotI { dst: u16, a: u16, unsigned: bool },
+    NotI {
+        dst: u16,
+        a: u16,
+    },
+    BitNotI {
+        dst: u16,
+        a: u16,
+        unsigned: bool,
+    },
     /// int → float.
-    CastIF { dst: u16, a: u16 },
+    CastIF {
+        dst: u16,
+        a: u16,
+    },
     /// float → int/uint (saturating, like Rust `as`).
-    CastFI { dst: u16, a: u16, unsigned: bool },
+    CastFI {
+        dst: u16,
+        a: u16,
+        unsigned: bool,
+    },
     /// Reinterpret between int and uint 32-bit canonical forms.
-    CastII { dst: u16, a: u16, to_unsigned: bool },
-    Math1 { f: MathFn1, dst: u16, a: u16 },
-    Math2 { f: MathFn2, dst: u16, a: u16, b: u16 },
-    IMin { dst: u16, a: u16, b: u16 },
-    IMax { dst: u16, a: u16, b: u16 },
-    IAbs { dst: u16, a: u16 },
+    CastII {
+        dst: u16,
+        a: u16,
+        to_unsigned: bool,
+    },
+    Math1 {
+        f: MathFn1,
+        dst: u16,
+        a: u16,
+    },
+    Math2 {
+        f: MathFn2,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    IMin {
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    IMax {
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    IAbs {
+        dst: u16,
+        a: u16,
+    },
     /// Load from a float buffer into an F register.
-    LoadF { dst: u16, buf: u16, idx: u16 },
+    LoadF {
+        dst: u16,
+        buf: u16,
+        idx: u16,
+    },
     /// Load from an int/uint buffer into an I register (extension per the
     /// buffer's element type).
-    LoadI { dst: u16, buf: u16, idx: u16 },
-    StoreF { buf: u16, idx: u16, src: u16 },
-    StoreI { buf: u16, idx: u16, src: u16 },
-    GlobalId { dst: u16, dim: u8 },
-    GlobalSize { dst: u16, dim: u8 },
+    LoadI {
+        dst: u16,
+        buf: u16,
+        idx: u16,
+    },
+    StoreF {
+        buf: u16,
+        idx: u16,
+        src: u16,
+    },
+    StoreI {
+        buf: u16,
+        idx: u16,
+        src: u16,
+    },
+    GlobalId {
+        dst: u16,
+        dim: u8,
+    },
+    GlobalSize {
+        dst: u16,
+        dim: u8,
+    },
 }
 
 impl Instr {
@@ -147,10 +255,20 @@ impl Instr {
     pub fn class(&self) -> OpClass {
         use Instr::*;
         match self {
-            ConstI { .. } | ConstF { .. } | MovI { .. } | MovF { .. } | GlobalId { .. }
+            ConstI { .. }
+            | ConstF { .. }
+            | MovI { .. }
+            | MovF { .. }
+            | GlobalId { .. }
             | GlobalSize { .. } => OpClass::Other,
-            IBin { .. } | NegI { .. } | NotI { .. } | BitNotI { .. } | IMin { .. }
-            | IMax { .. } | IAbs { .. } | CastII { .. } => OpClass::IntOp,
+            IBin { .. }
+            | NegI { .. }
+            | NotI { .. }
+            | BitNotI { .. }
+            | IMin { .. }
+            | IMax { .. }
+            | IAbs { .. }
+            | CastII { .. } => OpClass::IntOp,
             FBin { .. } | NegF { .. } | CastIF { .. } | CastFI { .. } => OpClass::FloatOp,
             Math1 { f, .. } => match f {
                 MathFn1::Fabs | MathFn1::Floor | MathFn1::Ceil => OpClass::FloatOp,
@@ -322,7 +440,10 @@ impl<'a> Compiler<'a> {
         }
         Ok(Self {
             k,
-            blocks: vec![BlockBuilder { instrs: Vec::new(), term: None }],
+            blocks: vec![BlockBuilder {
+                instrs: Vec::new(),
+                term: None,
+            }],
             current: 0,
             var_regs,
             params,
@@ -343,7 +464,10 @@ impl<'a> Compiler<'a> {
     }
 
     fn new_block(&mut self) -> u32 {
-        self.blocks.push(BlockBuilder { instrs: Vec::new(), term: None });
+        self.blocks.push(BlockBuilder {
+            instrs: Vec::new(),
+            term: None,
+        });
         (self.blocks.len() - 1) as u32
     }
 
@@ -363,7 +487,9 @@ impl<'a> Compiler<'a> {
         self.next_i += 1;
         self.max_i = self.max_i.max(self.next_i);
         if r >= MAX_REGS {
-            return Err(CompileError::codegen("expression too complex (I registers)"));
+            return Err(CompileError::codegen(
+                "expression too complex (I registers)",
+            ));
         }
         Ok(r as u16)
     }
@@ -373,7 +499,9 @@ impl<'a> Compiler<'a> {
         self.next_f += 1;
         self.max_f = self.max_f.max(self.next_f);
         if r >= MAX_REGS {
-            return Err(CompileError::codegen("expression too complex (F registers)"));
+            return Err(CompileError::codegen(
+                "expression too complex (F registers)",
+            ));
         }
         Ok(r as u16)
     }
@@ -400,20 +528,27 @@ impl<'a> Compiler<'a> {
 
     fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
         match s {
-            Stmt::Decl { var, init } | Stmt::AssignVar { var, value: init } => {
-                self.with_temp_scope(|c| {
+            Stmt::Decl { var, init } | Stmt::AssignVar { var, value: init } => self
+                .with_temp_scope(|c| {
                     let v = c.expr(init)?;
                     c.store_var(*var, v);
                     Ok(())
-                })
-            }
+                }),
             Stmt::Store { buf, index, value } => self.with_temp_scope(|c| {
                 let idx = c.expr(index)?.i();
                 let val = c.expr(value)?;
                 let b = buf.0 as u16;
                 match val {
-                    Reg::F(r) => c.emit(Instr::StoreF { buf: b, idx, src: r }),
-                    Reg::I(r) => c.emit(Instr::StoreI { buf: b, idx, src: r }),
+                    Reg::F(r) => c.emit(Instr::StoreF {
+                        buf: b,
+                        idx,
+                        src: r,
+                    }),
+                    Reg::I(r) => c.emit(Instr::StoreI {
+                        buf: b,
+                        idx,
+                        src: r,
+                    }),
                 }
                 Ok(())
             }),
@@ -428,7 +563,11 @@ impl<'a> Compiler<'a> {
                 let then_bb = self.new_block();
                 let els_bb = self.new_block();
                 let join_bb = self.new_block();
-                self.terminate(Terminator::Branch { cond: cond_reg, then: then_bb, els: els_bb });
+                self.terminate(Terminator::Branch {
+                    cond: cond_reg,
+                    then: then_bb,
+                    els: els_bb,
+                });
                 self.switch_to(then_bb);
                 for s in then {
                     self.stmt(s)?;
@@ -449,7 +588,11 @@ impl<'a> Compiler<'a> {
                 self.terminate(Terminator::Jump(head));
                 self.switch_to(head);
                 let cond_reg = self.with_temp_scope(|c| Ok(c.expr(cond)?.i()))?;
-                self.terminate(Terminator::Branch { cond: cond_reg, then: body_bb, els: exit });
+                self.terminate(Terminator::Branch {
+                    cond: cond_reg,
+                    then: body_bb,
+                    els: exit,
+                });
                 self.switch_to(body_bb);
                 self.loop_stack.push((exit, head));
                 for s in body {
@@ -460,7 +603,12 @@ impl<'a> Compiler<'a> {
                 self.switch_to(exit);
                 Ok(())
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     self.stmt(i)?;
                 }
@@ -473,7 +621,11 @@ impl<'a> Compiler<'a> {
                 match cond {
                     Some(c) => {
                         let r = self.with_temp_scope(|cc| Ok(cc.expr(c)?.i()))?;
-                        self.terminate(Terminator::Branch { cond: r, then: body_bb, els: exit });
+                        self.terminate(Terminator::Branch {
+                            cond: r,
+                            then: body_bb,
+                            els: exit,
+                        });
                     }
                     None => self.terminate(Terminator::Jump(body_bb)),
                 }
@@ -553,19 +705,30 @@ impl<'a> Compiler<'a> {
             }
             ExprKind::BoolConst(b) => {
                 let dst = self.temp_i()?;
-                self.emit(Instr::ConstI { dst, v: i64::from(*b) });
+                self.emit(Instr::ConstI {
+                    dst,
+                    v: i64::from(*b),
+                });
                 Ok(Reg::I(dst))
             }
             ExprKind::Var(v) => {
                 let r = self.var_regs[v.0 as usize];
-                Ok(if is_float(self.k.var_types[v.0 as usize]) { Reg::F(r) } else { Reg::I(r) })
+                Ok(if is_float(self.k.var_types[v.0 as usize]) {
+                    Reg::F(r)
+                } else {
+                    Reg::I(r)
+                })
             }
             ExprKind::Param(p) => {
                 let fp = self.params[p.0 as usize];
                 let ParamKind::Scalar(t) = fp.kind else {
                     return Err(CompileError::codegen("buffer parameter used as scalar"));
                 };
-                Ok(if is_float(t) { Reg::F(fp.reg) } else { Reg::I(fp.reg) })
+                Ok(if is_float(t) {
+                    Reg::F(fp.reg)
+                } else {
+                    Reg::I(fp.reg)
+                })
             }
             ExprKind::GlobalId(d) => {
                 let dst = self.temp_i()?;
@@ -588,7 +751,11 @@ impl<'a> Compiler<'a> {
                     }
                     (UnOp::Neg, Reg::I(a)) => {
                         let dst = self.temp_i()?;
-                        self.emit(Instr::NegI { dst, a, unsigned: e.ty == ScalarType::UInt });
+                        self.emit(Instr::NegI {
+                            dst,
+                            a,
+                            unsigned: e.ty == ScalarType::UInt,
+                        });
                         Ok(Reg::I(dst))
                     }
                     (UnOp::Not, Reg::I(a)) => {
@@ -598,7 +765,11 @@ impl<'a> Compiler<'a> {
                     }
                     (UnOp::BitNot, Reg::I(a)) => {
                         let dst = self.temp_i()?;
-                        self.emit(Instr::BitNotI { dst, a, unsigned: e.ty == ScalarType::UInt });
+                        self.emit(Instr::BitNotI {
+                            dst,
+                            a,
+                            unsigned: e.ty == ScalarType::UInt,
+                        });
                         Ok(Reg::I(dst))
                     }
                     _ => Err(CompileError::codegen("type error in unary op")),
@@ -660,7 +831,11 @@ impl<'a> Compiler<'a> {
                 let then_bb = self.new_block();
                 let els_bb = self.new_block();
                 let join = self.new_block();
-                self.terminate(Terminator::Branch { cond: cond_reg, then: then_bb, els: els_bb });
+                self.terminate(Terminator::Branch {
+                    cond: cond_reg,
+                    then: then_bb,
+                    els: els_bb,
+                });
                 self.switch_to(then_bb);
                 let tv = self.expr(then)?;
                 self.mov(dst, tv);
@@ -699,7 +874,11 @@ impl<'a> Compiler<'a> {
             let join = self.new_block();
             let short_val = i64::from(op == LogOr);
             self.emit(Instr::ConstI { dst, v: short_val });
-            let (then, els) = if op == LogAnd { (rhs_bb, join) } else { (join, rhs_bb) };
+            let (then, els) = if op == LogAnd {
+                (rhs_bb, join)
+            } else {
+                (join, rhs_bb)
+            };
             self.terminate(Terminator::Branch { cond: l, then, els });
             self.switch_to(rhs_bb);
             let r = self.expr(rhs)?.i();
@@ -721,7 +900,12 @@ impl<'a> Compiler<'a> {
                     _ => FBinOp::Div,
                 };
                 let dst = self.temp_f()?;
-                self.emit(Instr::FBin { op: fop, dst, a: l.f(), b: r.f() });
+                self.emit(Instr::FBin {
+                    op: fop,
+                    dst,
+                    a: l.f(),
+                    b: r.f(),
+                });
                 Ok(Reg::F(dst))
             }
             Add | Sub | Mul | Div | Rem | BitAnd | BitOr | BitXor | Shl | Shr => {
@@ -758,9 +942,19 @@ impl<'a> Compiler<'a> {
                 };
                 let dst = self.temp_i()?;
                 if operand_float {
-                    self.emit(Instr::CmpF { op: cop, dst, a: l.f(), b: r.f() });
+                    self.emit(Instr::CmpF {
+                        op: cop,
+                        dst,
+                        a: l.f(),
+                        b: r.f(),
+                    });
                 } else {
-                    self.emit(Instr::CmpI { op: cop, dst, a: l.i(), b: r.i() });
+                    self.emit(Instr::CmpI {
+                        op: cop,
+                        dst,
+                        a: l.i(),
+                        b: r.i(),
+                    });
                 }
                 Ok(Reg::I(dst))
             }
@@ -770,7 +964,10 @@ impl<'a> Compiler<'a> {
 
     fn call(&mut self, f: Builtin, args: &[Expr]) -> Result<Reg, CompileError> {
         use Builtin::*;
-        let regs: Vec<Reg> = args.iter().map(|a| self.expr(a)).collect::<Result<_, _>>()?;
+        let regs: Vec<Reg> = args
+            .iter()
+            .map(|a| self.expr(a))
+            .collect::<Result<_, _>>()?;
         let m1 = |f| match f {
             Sqrt => MathFn1::Sqrt,
             Rsqrt => MathFn1::Rsqrt,
@@ -787,7 +984,11 @@ impl<'a> Compiler<'a> {
         match f {
             Sqrt | Rsqrt | Exp | Log | Sin | Cos | Tan | Fabs | Floor | Ceil => {
                 let dst = self.temp_f()?;
-                self.emit(Instr::Math1 { f: m1(f), dst, a: regs[0].f() });
+                self.emit(Instr::Math1 {
+                    f: m1(f),
+                    dst,
+                    a: regs[0].f(),
+                });
                 Ok(Reg::F(dst))
             }
             Pow | Fmin | Fmax | Fmod => {
@@ -798,14 +999,27 @@ impl<'a> Compiler<'a> {
                     _ => MathFn2::Fmod,
                 };
                 let dst = self.temp_f()?;
-                self.emit(Instr::Math2 { f: f2, dst, a: regs[0].f(), b: regs[1].f() });
+                self.emit(Instr::Math2 {
+                    f: f2,
+                    dst,
+                    a: regs[0].f(),
+                    b: regs[1].f(),
+                });
                 Ok(Reg::F(dst))
             }
             IMin | IMax => {
                 let dst = self.temp_i()?;
-                let i = Instr::IMin { dst, a: regs[0].i(), b: regs[1].i() };
+                let i = Instr::IMin {
+                    dst,
+                    a: regs[0].i(),
+                    b: regs[1].i(),
+                };
                 let i = if f == IMax {
-                    Instr::IMax { dst, a: regs[0].i(), b: regs[1].i() }
+                    Instr::IMax {
+                        dst,
+                        a: regs[0].i(),
+                        b: regs[1].i(),
+                    }
                 } else {
                     i
                 };
@@ -814,22 +1028,43 @@ impl<'a> Compiler<'a> {
             }
             IAbs => {
                 let dst = self.temp_i()?;
-                self.emit(Instr::IAbs { dst, a: regs[0].i() });
+                self.emit(Instr::IAbs {
+                    dst,
+                    a: regs[0].i(),
+                });
                 Ok(Reg::I(dst))
             }
             IClamp => {
                 // clamp(x, lo, hi) = min(max(x, lo), hi)
                 let t = self.temp_i()?;
-                self.emit(Instr::IMax { dst: t, a: regs[0].i(), b: regs[1].i() });
+                self.emit(Instr::IMax {
+                    dst: t,
+                    a: regs[0].i(),
+                    b: regs[1].i(),
+                });
                 let dst = self.temp_i()?;
-                self.emit(Instr::IMin { dst, a: t, b: regs[2].i() });
+                self.emit(Instr::IMin {
+                    dst,
+                    a: t,
+                    b: regs[2].i(),
+                });
                 Ok(Reg::I(dst))
             }
             FClamp => {
                 let t = self.temp_f()?;
-                self.emit(Instr::Math2 { f: MathFn2::Fmax, dst: t, a: regs[0].f(), b: regs[1].f() });
+                self.emit(Instr::Math2 {
+                    f: MathFn2::Fmax,
+                    dst: t,
+                    a: regs[0].f(),
+                    b: regs[1].f(),
+                });
                 let dst = self.temp_f()?;
-                self.emit(Instr::Math2 { f: MathFn2::Fmin, dst, a: t, b: regs[2].f() });
+                self.emit(Instr::Math2 {
+                    f: MathFn2::Fmin,
+                    dst,
+                    a: t,
+                    b: regs[2].f(),
+                });
                 Ok(Reg::F(dst))
             }
         }
@@ -860,7 +1095,15 @@ impl<'a> Compiler<'a> {
                 if matches!(term, Terminator::Branch { .. }) {
                     classes[OpClass::Branch as usize] += 1;
                 }
-                Block { instrs: b.instrs, term, histo: OpHistogram { classes, buf_reads, buf_writes } }
+                Block {
+                    instrs: b.instrs,
+                    term,
+                    histo: OpHistogram {
+                        classes,
+                        buf_reads,
+                        buf_writes,
+                    },
+                }
             })
             .collect();
         Ok(Function {
@@ -898,11 +1141,17 @@ mod tests {
         assert_eq!(f.params.len(), 4);
         // entry + then + else + join = 4 blocks.
         assert_eq!(f.blocks.len(), 4);
-        let total_loads: u32 =
-            f.blocks.iter().map(|b| b.histo.classes[OpClass::Load as usize]).sum();
+        let total_loads: u32 = f
+            .blocks
+            .iter()
+            .map(|b| b.histo.classes[OpClass::Load as usize])
+            .sum();
         assert_eq!(total_loads, 2);
-        let total_stores: u32 =
-            f.blocks.iter().map(|b| b.histo.classes[OpClass::Store as usize]).sum();
+        let total_stores: u32 = f
+            .blocks
+            .iter()
+            .map(|b| b.histo.classes[OpClass::Store as usize])
+            .sum();
         assert_eq!(total_stores, 1);
     }
 
@@ -946,8 +1195,11 @@ mod tests {
             .map(|b| b.histo.classes[OpClass::Transcendental as usize])
             .sum();
         assert_eq!(h, 1);
-        let fl: u32 =
-            f.blocks.iter().map(|b| b.histo.classes[OpClass::FloatOp as usize]).sum();
+        let fl: u32 = f
+            .blocks
+            .iter()
+            .map(|b| b.histo.classes[OpClass::FloatOp as usize])
+            .sum();
         assert!(fl >= 2); // cast + add
     }
 

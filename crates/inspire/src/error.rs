@@ -33,19 +33,39 @@ pub enum Phase {
 
 impl CompileError {
     pub fn lex(message: impl Into<String>, offset: usize) -> Self {
-        Self { phase: Phase::Lex, message: message.into(), offset: Some(offset) }
+        Self {
+            phase: Phase::Lex,
+            message: message.into(),
+            offset: Some(offset),
+        }
     }
     pub fn parse(message: impl Into<String>, offset: usize) -> Self {
-        Self { phase: Phase::Parse, message: message.into(), offset: Some(offset) }
+        Self {
+            phase: Phase::Parse,
+            message: message.into(),
+            offset: Some(offset),
+        }
     }
     pub fn sema(message: impl Into<String>, offset: usize) -> Self {
-        Self { phase: Phase::Sema, message: message.into(), offset: Some(offset) }
+        Self {
+            phase: Phase::Sema,
+            message: message.into(),
+            offset: Some(offset),
+        }
     }
     pub fn codegen(message: impl Into<String>) -> Self {
-        Self { phase: Phase::Codegen, message: message.into(), offset: None }
+        Self {
+            phase: Phase::Codegen,
+            message: message.into(),
+            offset: None,
+        }
     }
     pub fn other(message: impl Into<String>) -> Self {
-        Self { phase: Phase::Other, message: message.into(), offset: None }
+        Self {
+            phase: Phase::Other,
+            message: message.into(),
+            offset: None,
+        }
     }
 }
 
@@ -101,7 +121,10 @@ impl fmt::Display for VmError {
             ),
             VmError::DivisionByZero => write!(f, "integer division by zero"),
             VmError::StepLimitExceeded { limit } => {
-                write!(f, "work-item exceeded the step limit of {limit} instructions")
+                write!(
+                    f,
+                    "work-item exceeded the step limit of {limit} instructions"
+                )
             }
             VmError::ArgumentMismatch(m) => write!(f, "argument mismatch: {m}"),
             VmError::InvalidShift(s) => write!(f, "invalid shift amount {s}"),
@@ -131,7 +154,11 @@ mod tests {
 
     #[test]
     fn vm_error_display() {
-        let e = VmError::OutOfBounds { buffer: 2, index: -1, len: 8 };
+        let e = VmError::OutOfBounds {
+            buffer: 2,
+            index: -1,
+            len: 8,
+        };
         let s = e.to_string();
         assert!(s.contains("buffer argument 2"), "{s}");
         assert!(VmError::DivisionByZero.to_string().contains("division"));

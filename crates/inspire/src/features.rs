@@ -122,8 +122,7 @@ pub fn extract(kernel: &Kernel) -> StaticFeatures {
         w.stmt(s);
     }
     let mem = u64::from(w.f.loads) + u64::from(w.f.stores);
-    let ops =
-        u64::from(w.f.int_ops) + u64::from(w.f.float_ops) + u64::from(w.f.transcendental_ops);
+    let ops = u64::from(w.f.int_ops) + u64::from(w.f.float_ops) + u64::from(w.f.transcendental_ops);
     w.f.arithmetic_intensity = ops as f64 / mem.max(1) as f64;
     w.f
 }
@@ -167,7 +166,12 @@ impl Walker {
                     self.stmt(s);
                 }
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.f.loops += 1;
                 if let Some(c) = cond {
                     if self.is_divergent(c) {
@@ -330,9 +334,7 @@ fn expr_contains<F: Fn(&ExprKind) -> bool + Copy>(e: &Expr, pred: F) -> bool {
         return true;
     }
     match &e.kind {
-        ExprKind::Binary { lhs, rhs, .. } => {
-            expr_contains(lhs, pred) || expr_contains(rhs, pred)
-        }
+        ExprKind::Binary { lhs, rhs, .. } => expr_contains(lhs, pred) || expr_contains(rhs, pred),
         ExprKind::Unary { operand, .. } | ExprKind::Cast(operand) => expr_contains(operand, pred),
         ExprKind::Load { index, .. } => expr_contains(index, pred),
         ExprKind::Call { args, .. } => args.iter().any(|a| expr_contains(a, pred)),
@@ -358,15 +360,15 @@ pub fn expr_contains_load(e: &Expr) -> bool {
 /// count.
 fn const_trip_count(init: Option<&Stmt>, cond: Option<&Expr>) -> Option<u64> {
     let (var, start) = match init? {
-        Stmt::Decl { var, init } | Stmt::AssignVar { var, value: init } => {
-            (*var, const_int(init)?)
-        }
+        Stmt::Decl { var, init } | Stmt::AssignVar { var, value: init } => (*var, const_int(init)?),
         _ => return None,
     };
     let ExprKind::Binary { op, lhs, rhs } = &cond?.kind else {
         return None;
     };
-    let ExprKind::Var(cv) = lhs.kind else { return None };
+    let ExprKind::Var(cv) = lhs.kind else {
+        return None;
+    };
     if cv != var {
         return None;
     }

@@ -126,13 +126,27 @@ impl Kernel {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// Declare local `var` and initialize it.
-    Decl { var: VarId, init: Expr },
+    Decl {
+        var: VarId,
+        init: Expr,
+    },
     /// `var = value` (compound assignments are desugared).
-    AssignVar { var: VarId, value: Expr },
+    AssignVar {
+        var: VarId,
+        value: Expr,
+    },
     /// `buf[index] = value`.
-    Store { buf: ParamId, index: Expr, value: Expr },
+    Store {
+        buf: ParamId,
+        index: Expr,
+        value: Expr,
+    },
     /// Two-armed conditional; either arm may be empty.
-    If { cond: Expr, then: Vec<Stmt>, els: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then: Vec<Stmt>,
+        els: Vec<Stmt>,
+    },
     /// Structured `for` (kept structured so the access analysis can bound
     /// the induction variable).
     For {
@@ -142,7 +156,10 @@ pub enum Stmt {
         body: Vec<Stmt>,
     },
     /// `while (cond) body`.
-    While { cond: Expr, body: Vec<Stmt> },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
     Break,
     Continue,
     Return,
@@ -188,7 +205,11 @@ pub enum ExprKind {
     GlobalSize(u8),
     /// Binary operation; operand type is `lhs.ty` (both sides equal after
     /// promotion), except shifts where `rhs` is `Int`.
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// Unary operation.
     Unary { op: UnOp, operand: Box<Expr> },
     /// Explicit or compiler-inserted conversion to the node's type.
@@ -198,7 +219,11 @@ pub enum ExprKind {
     /// Builtin call.
     Call { f: Builtin, args: Vec<Expr> },
     /// `cond ? then : els` — short-circuit (only the chosen arm executes).
-    Select { cond: Box<Expr>, then: Box<Expr>, els: Box<Expr> },
+    Select {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        els: Box<Expr>,
+    },
 }
 
 /// An N-dimensional launch range (1, 2 or 3 dimensions).
@@ -220,8 +245,13 @@ impl NdRange {
             "NdRange must have 1..=3 dimensions, got {}",
             dims.len()
         );
-        assert!(dims.iter().all(|&d| d > 0), "NdRange dimensions must be non-zero");
-        Self { dims: dims.to_vec() }
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "NdRange dimensions must be non-zero"
+        );
+        Self {
+            dims: dims.to_vec(),
+        }
     }
 
     /// 1-D range.
@@ -305,7 +335,10 @@ mod tests {
 
     #[test]
     fn param_kind_helpers() {
-        let b = ParamKind::Buffer { elem: ScalarType::Float, is_const: true };
+        let b = ParamKind::Buffer {
+            elem: ScalarType::Float,
+            is_const: true,
+        };
         assert!(b.is_buffer());
         assert_eq!(b.scalar_type(), ScalarType::Float);
         let s = ParamKind::Scalar(ScalarType::Int);

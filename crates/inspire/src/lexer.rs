@@ -16,7 +16,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Self { src: src.as_bytes(), pos: 0, tokens: Vec::new() }
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
     }
 
     fn run(mut self) -> Result<Vec<Token>, CompileError> {
@@ -55,7 +59,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn push(&mut self, kind: TokenKind, start: usize) {
-        self.tokens.push(Token { kind, span: Span::new(start, self.pos) });
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(start, self.pos),
+        });
     }
 
     fn skip_trivia(&mut self) -> Result<(), CompileError> {
@@ -83,10 +90,7 @@ impl<'a> Lexer<'a> {
                             }
                             (Some(_), _) => self.pos += 1,
                             (None, _) => {
-                                return Err(CompileError::lex(
-                                    "unterminated block comment",
-                                    open,
-                                ))
+                                return Err(CompileError::lex("unterminated block comment", open))
                             }
                         }
                     }
@@ -104,8 +108,8 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos])
-            .expect("identifier bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.src[start..self.pos]).expect("identifier bytes are ASCII");
         let kind = match text {
             "kernel" | "__kernel" => TokenKind::KwKernel,
             "void" => TokenKind::KwVoid,
@@ -158,16 +162,15 @@ impl<'a> Lexer<'a> {
                 self.pos = save;
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("number bytes are ASCII");
         if is_float {
             // Consume an optional `f` suffix.
             if matches!(self.peek(), Some(b'f') | Some(b'F')) {
                 self.pos += 1;
             }
-            let value: f64 = text.parse().map_err(|_| {
-                CompileError::lex(format!("invalid float literal `{text}`"), start)
-            })?;
+            let value: f64 = text
+                .parse()
+                .map_err(|_| CompileError::lex(format!("invalid float literal `{text}`"), start))?;
             self.push(TokenKind::FloatLit(value), start);
         } else {
             let mut unsigned = false;
@@ -199,10 +202,7 @@ impl<'a> Lexer<'a> {
                     .ok()
                     .filter(|&v| v <= i64::from(u32::MAX))
                     .ok_or_else(|| {
-                        CompileError::lex(
-                            format!("integer literal `{text}` out of range"),
-                            start,
-                        )
+                        CompileError::lex(format!("integer literal `{text}` out of range"), start)
                     })?
             };
             self.push(TokenKind::IntLit { value, unsigned }, start);
@@ -298,7 +298,14 @@ mod tests {
     fn lexes_keywords_and_idents() {
         assert_eq!(
             kinds("kernel void foo __global global"),
-            vec![KwKernel, KwVoid, Ident("foo".into()), KwGlobal, KwGlobal, Eof]
+            vec![
+                KwKernel,
+                KwVoid,
+                Ident("foo".into()),
+                KwGlobal,
+                KwGlobal,
+                Eof
+            ]
         );
     }
 
@@ -307,9 +314,18 @@ mod tests {
         assert_eq!(
             kinds("0 42 4294967295u"),
             vec![
-                IntLit { value: 0, unsigned: false },
-                IntLit { value: 42, unsigned: false },
-                IntLit { value: u32::MAX as i64, unsigned: true },
+                IntLit {
+                    value: 0,
+                    unsigned: false
+                },
+                IntLit {
+                    value: 42,
+                    unsigned: false
+                },
+                IntLit {
+                    value: u32::MAX as i64,
+                    unsigned: true
+                },
                 Eof
             ]
         );
@@ -342,15 +358,34 @@ mod tests {
         // `1e` must lex as int 1 followed by identifier `e`.
         assert_eq!(
             kinds("1e"),
-            vec![IntLit { value: 1, unsigned: false }, Ident("e".into()), Eof]
+            vec![
+                IntLit {
+                    value: 1,
+                    unsigned: false
+                },
+                Ident("e".into()),
+                Eof
+            ]
         );
     }
 
     #[test]
     fn lexes_operators_greedily() {
         assert_eq!(kinds("<<= "), vec![Shl, Assign, Eof]);
-        assert_eq!(kinds("a+=b"), vec![Ident("a".into()), PlusAssign, Ident("b".into()), Eof]);
-        assert_eq!(kinds("i++ --j"), vec![Ident("i".into()), PlusPlus, MinusMinus, Ident("j".into()), Eof]);
+        assert_eq!(
+            kinds("a+=b"),
+            vec![Ident("a".into()), PlusAssign, Ident("b".into()), Eof]
+        );
+        assert_eq!(
+            kinds("i++ --j"),
+            vec![
+                Ident("i".into()),
+                PlusPlus,
+                MinusMinus,
+                Ident("j".into()),
+                Eof
+            ]
+        );
         assert_eq!(kinds("&& & || |"), vec![AmpAmp, Amp, PipePipe, Pipe, Eof]);
     }
 

@@ -118,7 +118,12 @@ impl<'a> Parser<'a> {
         self.expect(TokenKind::RParen)?;
         let body = self.block()?;
         let end = self.tokens[self.pos.saturating_sub(1)].span;
-        Ok(KernelDecl { name, params, body, span: start.merge(end) })
+        Ok(KernelDecl {
+            name,
+            params,
+            body,
+            span: start.merge(end),
+        })
     }
 
     // global [const] T * name   |   T name
@@ -140,8 +145,7 @@ impl<'a> Parser<'a> {
             let ty = self.type_name()?;
             if self.at(&TokenKind::Star) {
                 return Err(self.err_here(
-                    "pointer parameters must be `global` (no local/private pointers)"
-                        .to_string(),
+                    "pointer parameters must be `global` (no local/private pointers)".to_string(),
                 ));
             }
             let name = self.ident()?;
@@ -204,7 +208,12 @@ impl<'a> Parser<'a> {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { cond, then, els, span: start.merge(self.prev_span()) })
+                Ok(Stmt::If {
+                    cond,
+                    then,
+                    els,
+                    span: start.merge(self.prev_span()),
+                })
             }
             TokenKind::KwWhile => {
                 self.bump();
@@ -212,7 +221,11 @@ impl<'a> Parser<'a> {
                 let cond = self.expr()?;
                 self.expect(TokenKind::RParen)?;
                 let body = self.stmt_or_block()?;
-                Ok(Stmt::While { cond, body, span: start.merge(self.prev_span()) })
+                Ok(Stmt::While {
+                    cond,
+                    body,
+                    span: start.merge(self.prev_span()),
+                })
             }
             TokenKind::KwFor => {
                 self.bump();
@@ -236,7 +249,13 @@ impl<'a> Parser<'a> {
                 };
                 self.expect(TokenKind::RParen)?;
                 let body = self.stmt_or_block()?;
-                Ok(Stmt::For { init, cond, step, body, span: start.merge(self.prev_span()) })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    span: start.merge(self.prev_span()),
+                })
             }
             TokenKind::KwBreak => {
                 self.bump();
@@ -274,10 +293,18 @@ impl<'a> Parser<'a> {
             let name = self.ident()?;
             self.expect(TokenKind::Assign)?;
             let init = self.expr()?;
-            return Ok(Stmt::Decl { ty, name, init, span: start.merge(self.prev_span()) });
+            return Ok(Stmt::Decl {
+                ty,
+                name,
+                init,
+                span: start.merge(self.prev_span()),
+            });
         }
         // Prefix increment/decrement: ++i / --i.
-        if matches!(self.peek_kind(), TokenKind::PlusPlus | TokenKind::MinusMinus) {
+        if matches!(
+            self.peek_kind(),
+            TokenKind::PlusPlus | TokenKind::MinusMinus
+        ) {
             let op_tok = self.bump();
             let target = self.postfix_expr()?;
             return self.incdec(target, &op_tok.kind, start);
@@ -306,24 +333,36 @@ impl<'a> Parser<'a> {
                 self.bump();
                 let value = self.expr()?;
                 self.check_assign_target(&target)?;
-                Ok(Stmt::Assign { target, op, value, span: start.merge(self.prev_span()) })
+                Ok(Stmt::Assign {
+                    target,
+                    op,
+                    value,
+                    span: start.merge(self.prev_span()),
+                })
             }
         }
     }
 
-    fn incdec(
-        &mut self,
-        target: Expr,
-        op: &TokenKind,
-        start: Span,
-    ) -> Result<Stmt, CompileError> {
+    fn incdec(&mut self, target: Expr, op: &TokenKind, start: Span) -> Result<Stmt, CompileError> {
         self.check_assign_target(&target)?;
         let one = Expr {
-            kind: ExprKind::IntLit { value: 1, unsigned: false },
+            kind: ExprKind::IntLit {
+                value: 1,
+                unsigned: false,
+            },
             span: target.span,
         };
-        let aop = if matches!(op, TokenKind::PlusPlus) { AssignOp::Add } else { AssignOp::Sub };
-        Ok(Stmt::Assign { target, op: aop, value: one, span: start.merge(self.prev_span()) })
+        let aop = if matches!(op, TokenKind::PlusPlus) {
+            AssignOp::Add
+        } else {
+            AssignOp::Sub
+        };
+        Ok(Stmt::Assign {
+            target,
+            op: aop,
+            value: one,
+            span: start.merge(self.prev_span()),
+        })
     }
 
     fn check_assign_target(&self, target: &Expr) -> Result<(), CompileError> {
@@ -398,7 +437,11 @@ impl<'a> Parser<'a> {
             let rhs = self.binary(prec + 1)?;
             let span = lhs.span.merge(rhs.span);
             lhs = Expr {
-                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             };
         }
@@ -417,7 +460,13 @@ impl<'a> Parser<'a> {
             self.bump();
             let operand = self.unary()?;
             let span = start.merge(operand.span);
-            return Ok(Expr { kind: ExprKind::Unary { op, operand: Box::new(operand) }, span });
+            return Ok(Expr {
+                kind: ExprKind::Unary {
+                    op,
+                    operand: Box::new(operand),
+                },
+                span,
+            });
         }
         // Cast: `(T) unary`.
         if self.at(&TokenKind::LParen) {
@@ -436,7 +485,10 @@ impl<'a> Parser<'a> {
                     let operand = self.unary()?;
                     let span = start.merge(operand.span);
                     return Ok(Expr {
-                        kind: ExprKind::Cast { ty, operand: Box::new(operand) },
+                        kind: ExprKind::Cast {
+                            ty,
+                            operand: Box::new(operand),
+                        },
                         span,
                     });
                 }
@@ -454,7 +506,10 @@ impl<'a> Parser<'a> {
                 let rb = self.expect(TokenKind::RBracket)?;
                 let span = e.span.merge(rb.span);
                 e = Expr {
-                    kind: ExprKind::Index { base: Box::new(e), index: Box::new(index) },
+                    kind: ExprKind::Index {
+                        base: Box::new(e),
+                        index: Box::new(index),
+                    },
                     span,
                 };
             } else {
@@ -467,12 +522,22 @@ impl<'a> Parser<'a> {
         let t = self.bump();
         let span = t.span;
         match t.kind {
-            TokenKind::IntLit { value, unsigned } => {
-                Ok(Expr { kind: ExprKind::IntLit { value, unsigned }, span })
-            }
-            TokenKind::FloatLit(v) => Ok(Expr { kind: ExprKind::FloatLit(v), span }),
-            TokenKind::KwTrue => Ok(Expr { kind: ExprKind::BoolLit(true), span }),
-            TokenKind::KwFalse => Ok(Expr { kind: ExprKind::BoolLit(false), span }),
+            TokenKind::IntLit { value, unsigned } => Ok(Expr {
+                kind: ExprKind::IntLit { value, unsigned },
+                span,
+            }),
+            TokenKind::FloatLit(v) => Ok(Expr {
+                kind: ExprKind::FloatLit(v),
+                span,
+            }),
+            TokenKind::KwTrue => Ok(Expr {
+                kind: ExprKind::BoolLit(true),
+                span,
+            }),
+            TokenKind::KwFalse => Ok(Expr {
+                kind: ExprKind::BoolLit(false),
+                span,
+            }),
             TokenKind::Ident(name) => {
                 if self.at(&TokenKind::LParen) {
                     self.bump();
@@ -486,9 +551,15 @@ impl<'a> Parser<'a> {
                         }
                     }
                     let rp = self.expect(TokenKind::RParen)?;
-                    Ok(Expr { kind: ExprKind::Call { name, args }, span: span.merge(rp.span) })
+                    Ok(Expr {
+                        kind: ExprKind::Call { name, args },
+                        span: span.merge(rp.span),
+                    })
                 } else {
-                    Ok(Expr { kind: ExprKind::Ident(name), span })
+                    Ok(Expr {
+                        kind: ExprKind::Ident(name),
+                        span,
+                    })
                 }
             }
             TokenKind::LParen => {
@@ -523,18 +594,22 @@ mod tests {
 
     #[test]
     fn parses_buffer_params() {
-        let p = parse_src(
-            "kernel void k(global const float* a, global int* b, uint m) { }",
-        )
-        .unwrap();
+        let p =
+            parse_src("kernel void k(global const float* a, global int* b, uint m) { }").unwrap();
         let params = &p.kernels[0].params;
         assert_eq!(
             params[0].kind,
-            ParamKind::Buffer { elem: TypeName::Float, is_const: true }
+            ParamKind::Buffer {
+                elem: TypeName::Float,
+                is_const: true
+            }
         );
         assert_eq!(
             params[1].kind,
-            ParamKind::Buffer { elem: TypeName::Int, is_const: false }
+            ParamKind::Buffer {
+                elem: TypeName::Int,
+                is_const: false
+            }
         );
         assert_eq!(params[2].kind, ParamKind::Scalar(TypeName::UInt));
     }
@@ -547,8 +622,15 @@ mod tests {
     #[test]
     fn precedence_mul_binds_tighter_than_add() {
         let p = parse_src("kernel void k(int n) { int x = 1 + 2 * 3; }").unwrap();
-        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else { panic!() };
-        let ExprKind::Binary { op: BinOp::Add, rhs, .. } = &init.kind else {
+        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else {
+            panic!()
+        };
+        let ExprKind::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = &init.kind
+        else {
             panic!("expected + at top: {init:?}")
         };
         assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
@@ -557,27 +639,34 @@ mod tests {
     #[test]
     fn shift_binds_tighter_than_compare() {
         let p = parse_src("kernel void k(int n) { bool b = 1 << 2 < n; }").unwrap();
-        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else { panic!() };
-        assert!(matches!(
-            init.kind,
-            ExprKind::Binary { op: BinOp::Lt, .. }
-        ));
+        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(init.kind, ExprKind::Binary { op: BinOp::Lt, .. }));
     }
 
     #[test]
     fn parses_for_loop_with_incdec() {
-        let p = parse_src(
-            "kernel void k(int n) { for (int i = 0; i < n; i++) { int y = i; } }",
-        )
-        .unwrap();
-        let Stmt::For { init, cond, step, body, .. } = &p.kernels[0].body[0] else {
+        let p = parse_src("kernel void k(int n) { for (int i = 0; i < n; i++) { int y = i; } }")
+            .unwrap();
+        let Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } = &p.kernels[0].body[0]
+        else {
             panic!()
         };
         assert!(init.is_some());
         assert!(cond.is_some());
         assert!(matches!(
             step.as_deref(),
-            Some(Stmt::Assign { op: AssignOp::Add, .. })
+            Some(Stmt::Assign {
+                op: AssignOp::Add,
+                ..
+            })
         ));
         assert_eq!(body.len(), 1);
     }
@@ -588,15 +677,21 @@ mod tests {
             "kernel void k(int n) { if (n < 0) { return; } else if (n == 0) { } else { } }",
         )
         .unwrap();
-        let Stmt::If { els, .. } = &p.kernels[0].body[0] else { panic!() };
+        let Stmt::If { els, .. } = &p.kernels[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(els[0], Stmt::If { .. }));
     }
 
     #[test]
     fn parses_ternary_right_associative() {
         let p = parse_src("kernel void k(int n) { int x = n ? 1 : n ? 2 : 3; }").unwrap();
-        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else { panic!() };
-        let ExprKind::Ternary { els, .. } = &init.kind else { panic!() };
+        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else {
+            panic!()
+        };
+        let ExprKind::Ternary { els, .. } = &init.kind else {
+            panic!()
+        };
         assert!(matches!(els.kind, ExprKind::Ternary { .. }));
     }
 
@@ -606,8 +701,13 @@ mod tests {
             "kernel void k(global float* a) { a[0] = (float) get_global_id(0) + sqrt(2.0); }",
         )
         .unwrap();
-        let Stmt::Assign { value, .. } = &p.kernels[0].body[0] else { panic!() };
-        assert!(matches!(value.kind, ExprKind::Binary { op: BinOp::Add, .. }));
+        let Stmt::Assign { value, .. } = &p.kernels[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            value.kind,
+            ExprKind::Binary { op: BinOp::Add, .. }
+        ));
     }
 
     #[test]
@@ -616,8 +716,12 @@ mod tests {
             "kernel void k(global int* idx, global float* v, global float* o) { o[0] = v[idx[0]]; }",
         )
         .unwrap();
-        let Stmt::Assign { value, .. } = &p.kernels[0].body[0] else { panic!() };
-        let ExprKind::Index { index, .. } = &value.kind else { panic!() };
+        let Stmt::Assign { value, .. } = &p.kernels[0].body[0] else {
+            panic!()
+        };
+        let ExprKind::Index { index, .. } = &value.kind else {
+            panic!()
+        };
         assert!(matches!(index.kind, ExprKind::Index { .. }));
     }
 
@@ -638,22 +742,21 @@ mod tests {
 
     #[test]
     fn parses_compound_assignment_targets() {
-        let p = parse_src(
-            "kernel void k(global float* a, int n) { a[n] += 1.0; }",
-        )
-        .unwrap();
-        let Stmt::Assign { op, target, .. } = &p.kernels[0].body[0] else { panic!() };
+        let p = parse_src("kernel void k(global float* a, int n) { a[n] += 1.0; }").unwrap();
+        let Stmt::Assign { op, target, .. } = &p.kernels[0].body[0] else {
+            panic!()
+        };
         assert_eq!(*op, AssignOp::Add);
         assert!(matches!(target.kind, ExprKind::Index { .. }));
     }
 
     #[test]
     fn parses_while_and_break_continue() {
-        let p = parse_src(
-            "kernel void k(int n) { while (true) { if (n < 0) break; continue; } }",
-        )
-        .unwrap();
-        let Stmt::While { body, .. } = &p.kernels[0].body[0] else { panic!() };
+        let p = parse_src("kernel void k(int n) { while (true) { if (n < 0) break; continue; } }")
+            .unwrap();
+        let Stmt::While { body, .. } = &p.kernels[0].body[0] else {
+            panic!()
+        };
         assert_eq!(body.len(), 2);
     }
 
@@ -661,15 +764,24 @@ mod tests {
     fn paren_expr_is_not_cast_when_ident() {
         // `(n) + 1` is a parenthesized expr, not a cast.
         let p = parse_src("kernel void k(int n) { int x = (n) + 1; }").unwrap();
-        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else { panic!() };
+        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(init.kind, ExprKind::Binary { op: BinOp::Add, .. }));
     }
 
     #[test]
     fn logical_ops_have_lowest_precedence() {
-        let p =
-            parse_src("kernel void k(int n) { bool b = n < 1 && n > -1 || n == 5; }").unwrap();
-        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else { panic!() };
-        assert!(matches!(init.kind, ExprKind::Binary { op: BinOp::LogOr, .. }));
+        let p = parse_src("kernel void k(int n) { bool b = n < 1 && n > -1 || n == 5; }").unwrap();
+        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            init.kind,
+            ExprKind::Binary {
+                op: BinOp::LogOr,
+                ..
+            }
+        ));
     }
 }

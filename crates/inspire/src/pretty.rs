@@ -27,7 +27,12 @@ pub fn pretty(kernel: &Kernel) -> String {
     while collides(&prefix) {
         prefix.insert(0, '_');
     }
-    let mut p = Printer { k: kernel, out: String::new(), indent: 0, prefix };
+    let mut p = Printer {
+        k: kernel,
+        out: String::new(),
+        indent: 0,
+        prefix,
+    };
     p.kernel();
     p.out
 }
@@ -53,7 +58,12 @@ impl<'a> Printer<'a> {
                 ParamKind::Scalar(t) => format!("{} {}", t.name(), p.name),
             })
             .collect();
-        let _ = writeln!(self.out, "kernel void {}({}) {{", self.k.name, params.join(", "));
+        let _ = writeln!(
+            self.out,
+            "kernel void {}({}) {{",
+            self.k.name,
+            params.join(", ")
+        );
         self.indent = 1;
         for s in &self.k.body {
             self.stmt(s);
@@ -109,7 +119,12 @@ impl<'a> Printer<'a> {
                     self.line("}");
                 }
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 let init_s = init.as_deref().map_or(String::new(), |s| self.simple(s));
                 let cond_s = cond.as_ref().map_or(String::new(), |c| self.expr(c));
                 let step_s = step.as_deref().map_or(String::new(), |s| self.simple(s));
@@ -198,7 +213,11 @@ impl<'a> Printer<'a> {
             }
             ExprKind::Cast(inner) => format!("({}){}", e.ty.name(), self.expr(inner)),
             ExprKind::Load { buf, index } => {
-                format!("{}[{}]", self.k.params[buf.0 as usize].name, self.expr(index))
+                format!(
+                    "{}[{}]",
+                    self.k.params[buf.0 as usize].name,
+                    self.expr(index)
+                )
             }
             ExprKind::Call { f, args } => {
                 let rendered: Vec<String> = args.iter().map(|a| self.expr(a)).collect();

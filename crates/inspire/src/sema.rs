@@ -7,7 +7,9 @@
 
 use std::collections::HashMap;
 
-use crate::ast::{self, AssignOp, BinOp, ExprKind as AK, ParamKind as AstParamKind, TypeName, UnOp};
+use crate::ast::{
+    self, AssignOp, BinOp, ExprKind as AK, ParamKind as AstParamKind, TypeName, UnOp,
+};
 use crate::builtins;
 use crate::error::CompileError;
 use crate::ir::{Expr, ExprKind, Kernel, Param, ParamId, ParamKind, ScalarType, Stmt, VarId};
@@ -75,7 +77,10 @@ impl Ctx {
                     p.span.start,
                 ));
             }
-            params.push(Param { name: p.name.clone(), kind });
+            params.push(Param {
+                name: p.name.clone(),
+                kind,
+            });
         }
         Ok(Self {
             params,
@@ -118,7 +123,12 @@ impl Ctx {
 
     fn stmt(&mut self, s: &ast::Stmt) -> Result<Stmt, CompileError> {
         match s {
-            ast::Stmt::Decl { ty, name, init, span } => {
+            ast::Stmt::Decl {
+                ty,
+                name,
+                init,
+                span,
+            } => {
                 let ty = scalar_of(*ty);
                 let init = self.expr(init)?;
                 let init = self.coerce(init, ty, *span)?;
@@ -127,8 +137,15 @@ impl Ctx {
                 let var = self.declare(name, ty, *span)?;
                 Ok(Stmt::Decl { var, init })
             }
-            ast::Stmt::Assign { target, op, value, span } => self.assign(target, *op, value, *span),
-            ast::Stmt::If { cond, then, els, .. } => {
+            ast::Stmt::Assign {
+                target,
+                op,
+                value,
+                span,
+            } => self.assign(target, *op, value, *span),
+            ast::Stmt::If {
+                cond, then, els, ..
+            } => {
                 let cond = self.condition(cond)?;
                 let then = self.block(then)?;
                 let els = self.block(els)?;
@@ -141,7 +158,13 @@ impl Ctx {
                 self.loop_depth -= 1;
                 Ok(Stmt::While { cond, body: body? })
             }
-            ast::Stmt::For { init, cond, step, body, .. } => {
+            ast::Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 // The init declaration scopes over cond/step/body.
                 self.scopes.push(HashMap::new());
                 let result = (|| {
@@ -207,8 +230,7 @@ impl Ctx {
             }
             AK::Index { base, index } => {
                 let (buf, elem) = self.buffer_of(base)?;
-                if let ParamKind::Buffer { is_const: true, .. } = self.params[buf.0 as usize].kind
-                {
+                if let ParamKind::Buffer { is_const: true, .. } = self.params[buf.0 as usize].kind {
                     return Err(CompileError::sema(
                         format!(
                             "cannot store to `const` buffer `{}`",
@@ -222,7 +244,10 @@ impl Ctx {
                     None => self.coerce(rhs, elem, span)?,
                     Some(bop) => {
                         let cur = Expr::new(
-                            ExprKind::Load { buf, index: Box::new(index.clone()) },
+                            ExprKind::Load {
+                                buf,
+                                index: Box::new(index.clone()),
+                            },
                             elem,
                         );
                         let combined = self.binary(bop, cur, rhs, span)?;
@@ -291,11 +316,18 @@ impl Ctx {
                     _ => Expr::new(ExprKind::IntConst(0), t),
                 };
                 Ok(Expr::new(
-                    ExprKind::Binary { op: BinOp::Ne, lhs: Box::new(e), rhs: Box::new(zero) },
+                    ExprKind::Binary {
+                        op: BinOp::Ne,
+                        lhs: Box::new(e),
+                        rhs: Box::new(zero),
+                    },
                     ScalarType::Bool,
                 ))
             }
-            _ => Err(CompileError::sema("expected a boolean or numeric condition", span.start)),
+            _ => Err(CompileError::sema(
+                "expected a boolean or numeric condition",
+                span.start,
+            )),
         }
     }
 
@@ -365,7 +397,11 @@ impl Ctx {
             Add | Sub | Mul | Div => {
                 let (l, r, t) = self.promote_pair(lhs, rhs, span)?;
                 Ok(Expr::new(
-                    ExprKind::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+                    ExprKind::Binary {
+                        op,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
                     t,
                 ))
             }
@@ -378,7 +414,11 @@ impl Ctx {
                     ));
                 }
                 Ok(Expr::new(
-                    ExprKind::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+                    ExprKind::Binary {
+                        op,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
                     t,
                 ))
             }
@@ -392,27 +432,43 @@ impl Ctx {
                 let t = lhs.ty;
                 let r = self.cast_to(rhs, ScalarType::Int);
                 Ok(Expr::new(
-                    ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(r) },
+                    ExprKind::Binary {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(r),
+                    },
                     t,
                 ))
             }
             Lt | Le | Gt | Ge => {
                 let (l, r, _) = self.promote_pair(lhs, rhs, span)?;
                 Ok(Expr::new(
-                    ExprKind::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+                    ExprKind::Binary {
+                        op,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
                     ScalarType::Bool,
                 ))
             }
             Eq | Ne => {
                 if lhs.ty == ScalarType::Bool && rhs.ty == ScalarType::Bool {
                     return Ok(Expr::new(
-                        ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                        ExprKind::Binary {
+                            op,
+                            lhs: Box::new(lhs),
+                            rhs: Box::new(rhs),
+                        },
                         ScalarType::Bool,
                     ));
                 }
                 let (l, r, _) = self.promote_pair(lhs, rhs, span)?;
                 Ok(Expr::new(
-                    ExprKind::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+                    ExprKind::Binary {
+                        op,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
                     ScalarType::Bool,
                 ))
             }
@@ -420,7 +476,11 @@ impl Ctx {
                 let l = self.to_bool(lhs, span)?;
                 let r = self.to_bool(rhs, span)?;
                 Ok(Expr::new(
-                    ExprKind::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+                    ExprKind::Binary {
+                        op,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
                     ScalarType::Bool,
                 ))
             }
@@ -431,7 +491,11 @@ impl Ctx {
         let span = e.span;
         match &e.kind {
             AK::IntLit { value, unsigned } => {
-                let ty = if *unsigned { ScalarType::UInt } else { ScalarType::Int };
+                let ty = if *unsigned {
+                    ScalarType::UInt
+                } else {
+                    ScalarType::Int
+                };
                 Ok(Expr::new(ExprKind::IntConst(*value), ty))
             }
             AK::FloatLit(v) => Ok(Expr::new(ExprKind::FloatConst(*v), ScalarType::Float)),
@@ -447,7 +511,10 @@ impl Ctx {
                         span.start,
                     )),
                 },
-                None => Err(CompileError::sema(format!("unknown name `{name}`"), span.start)),
+                None => Err(CompileError::sema(
+                    format!("unknown name `{name}`"),
+                    span.start,
+                )),
             },
             AK::Binary { op, lhs, rhs } => {
                 let l = self.expr(lhs)?;
@@ -466,14 +533,20 @@ impl Ctx {
                         }
                         let ty = o.ty;
                         Ok(Expr::new(
-                            ExprKind::Unary { op: UnOp::Neg, operand: Box::new(o) },
+                            ExprKind::Unary {
+                                op: UnOp::Neg,
+                                operand: Box::new(o),
+                            },
                             ty,
                         ))
                     }
                     UnOp::Not => {
                         let b = self.to_bool(o, span)?;
                         Ok(Expr::new(
-                            ExprKind::Unary { op: UnOp::Not, operand: Box::new(b) },
+                            ExprKind::Unary {
+                                op: UnOp::Not,
+                                operand: Box::new(b),
+                            },
                             ScalarType::Bool,
                         ))
                     }
@@ -486,7 +559,10 @@ impl Ctx {
                         }
                         let ty = o.ty;
                         Ok(Expr::new(
-                            ExprKind::Unary { op: UnOp::BitNot, operand: Box::new(o) },
+                            ExprKind::Unary {
+                                op: UnOp::BitNot,
+                                operand: Box::new(o),
+                            },
                             ty,
                         ))
                     }
@@ -499,7 +575,13 @@ impl Ctx {
             AK::Index { base, index } => {
                 let (buf, elem) = self.buffer_of(base)?;
                 let index = self.index_expr(index)?;
-                Ok(Expr::new(ExprKind::Load { buf, index: Box::new(index) }, elem))
+                Ok(Expr::new(
+                    ExprKind::Load {
+                        buf,
+                        index: Box::new(index),
+                    },
+                    elem,
+                ))
             }
             AK::Ternary { cond, then, els } => {
                 let c = self.condition(cond)?;
@@ -517,7 +599,11 @@ impl Ctx {
                 }
                 let (t, f, ty) = self.promote_pair(t, f, span)?;
                 Ok(Expr::new(
-                    ExprKind::Select { cond: Box::new(c), then: Box::new(t), els: Box::new(f) },
+                    ExprKind::Select {
+                        cond: Box::new(c),
+                        then: Box::new(t),
+                        els: Box::new(f),
+                    },
                     ty,
                 ))
             }
@@ -525,12 +611,7 @@ impl Ctx {
         }
     }
 
-    fn call(
-        &mut self,
-        name: &str,
-        args: &[ast::Expr],
-        span: Span,
-    ) -> Result<Expr, CompileError> {
+    fn call(&mut self, name: &str, args: &[ast::Expr], span: Span) -> Result<Expr, CompileError> {
         // get_global_id / get_global_size take a literal dimension 0..=2.
         if name == "get_global_id" || name == "get_global_size" {
             if args.len() != 1 {
@@ -572,7 +653,11 @@ impl Ctx {
         };
         if checked.len() != b.arity() {
             return Err(CompileError::sema(
-                format!("`{name}` takes {} argument(s), found {}", b.arity(), checked.len()),
+                format!(
+                    "`{name}` takes {} argument(s), found {}",
+                    b.arity(),
+                    checked.len()
+                ),
                 span.start,
             ));
         }
@@ -597,7 +682,13 @@ impl Ctx {
             let taken = std::mem::replace(a, Expr::int(0));
             *a = self.coerce(taken, target, span)?;
         }
-        Ok(Expr::new(ExprKind::Call { f: b, args: checked }, ret))
+        Ok(Expr::new(
+            ExprKind::Call {
+                f: b,
+                args: checked,
+            },
+            ret,
+        ))
     }
 }
 
@@ -631,13 +722,21 @@ mod tests {
         .unwrap();
         assert_eq!(k.var_types, vec![ScalarType::Int]);
         assert!(matches!(k.body[0], Stmt::Decl { var: VarId(0), .. }));
-        assert!(matches!(k.body[1], Stmt::Store { buf: ParamId(0), .. }));
+        assert!(matches!(
+            k.body[1],
+            Stmt::Store {
+                buf: ParamId(0),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn inserts_implicit_casts() {
         let k = sema("kernel void k(int n) { float x = n; }").unwrap();
-        let Stmt::Decl { init, .. } = &k.body[0] else { panic!() };
+        let Stmt::Decl { init, .. } = &k.body[0] else {
+            panic!()
+        };
         assert_eq!(init.ty, ScalarType::Float);
         assert!(matches!(init.kind, ExprKind::Cast(_)));
     }
@@ -645,8 +744,12 @@ mod tests {
     #[test]
     fn promotes_mixed_arithmetic_to_float() {
         let k = sema("kernel void k(int n) { float x = n * 2.0; }").unwrap();
-        let Stmt::Decl { init, .. } = &k.body[0] else { panic!() };
-        let ExprKind::Binary { lhs, rhs, .. } = &init.kind else { panic!() };
+        let Stmt::Decl { init, .. } = &k.body[0] else {
+            panic!()
+        };
+        let ExprKind::Binary { lhs, rhs, .. } = &init.kind else {
+            panic!()
+        };
         assert_eq!(lhs.ty, ScalarType::Float);
         assert_eq!(rhs.ty, ScalarType::Float);
     }
@@ -692,7 +795,9 @@ mod tests {
     #[test]
     fn numeric_condition_coerced_to_bool() {
         let k = sema("kernel void k(int n) { if (n) { } }").unwrap();
-        let Stmt::If { cond, .. } = &k.body[0] else { panic!() };
+        let Stmt::If { cond, .. } = &k.body[0] else {
+            panic!()
+        };
         assert_eq!(cond.ty, ScalarType::Bool);
         assert!(matches!(cond.kind, ExprKind::Binary { op: BinOp::Ne, .. }));
     }
@@ -700,8 +805,17 @@ mod tests {
     #[test]
     fn compound_assignment_desugars() {
         let k = sema("kernel void k(global float* a, int n) { a[n] += 2.0; }").unwrap();
-        let Stmt::Store { value, .. } = &k.body[0] else { panic!() };
-        let ExprKind::Binary { op: BinOp::Add, lhs, .. } = &value.kind else { panic!() };
+        let Stmt::Store { value, .. } = &k.body[0] else {
+            panic!()
+        };
+        let ExprKind::Binary {
+            op: BinOp::Add,
+            lhs,
+            ..
+        } = &value.kind
+        else {
+            panic!()
+        };
         assert!(matches!(lhs.kind, ExprKind::Load { .. }));
     }
 
@@ -737,15 +851,21 @@ mod tests {
     #[test]
     fn unsigned_promotion() {
         let k = sema("kernel void k(uint u, int n) { uint x = u + n; }").unwrap();
-        let Stmt::Decl { init, .. } = &k.body[0] else { panic!() };
+        let Stmt::Decl { init, .. } = &k.body[0] else {
+            panic!()
+        };
         assert_eq!(init.ty, ScalarType::UInt);
     }
 
     #[test]
     fn builtin_polymorphism_resolves() {
         let k = sema("kernel void k(int a, int b) { int m = min(a, b); }").unwrap();
-        let Stmt::Decl { init, .. } = &k.body[0] else { panic!() };
-        let ExprKind::Call { f, .. } = &init.kind else { panic!() };
+        let Stmt::Decl { init, .. } = &k.body[0] else {
+            panic!()
+        };
+        let ExprKind::Call { f, .. } = &init.kind else {
+            panic!()
+        };
         assert_eq!(*f, crate::builtins::Builtin::IMin);
     }
 
@@ -757,7 +877,9 @@ mod tests {
     #[test]
     fn ternary_promotes_arms() {
         let k = sema("kernel void k(int n) { float x = n > 0 ? 1 : 0.5; }").unwrap();
-        let Stmt::Decl { init, .. } = &k.body[0] else { panic!() };
+        let Stmt::Decl { init, .. } = &k.body[0] else {
+            panic!()
+        };
         assert_eq!(init.ty, ScalarType::Float);
     }
 
@@ -768,8 +890,9 @@ mod tests {
 
     #[test]
     fn for_init_scopes_over_body() {
-        assert!(sema("kernel void k(int n) { for (int i = 0; i < n; i++) { int y = i; } }")
-            .is_ok());
+        assert!(
+            sema("kernel void k(int n) { for (int i = 0; i < n; i++) { int y = i; } }").is_ok()
+        );
         // …but not past the loop.
         assert!(
             sema("kernel void k(int n) { for (int i = 0; i < n; i++) { } int y = i; }").is_err()

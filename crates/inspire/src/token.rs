@@ -34,7 +34,10 @@ pub enum TokenKind {
     /// Identifier or non-reserved word.
     Ident(String),
     /// Integer literal; `unsigned` records a trailing `u`/`U` suffix.
-    IntLit { value: i64, unsigned: bool },
+    IntLit {
+        value: i64,
+        unsigned: bool,
+    },
     /// Floating-point literal (an `f`/`F` suffix is accepted and ignored).
     FloatLit(f64),
 

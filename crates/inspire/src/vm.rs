@@ -108,7 +108,10 @@ pub struct Counters {
 impl Counters {
     /// Fresh counters for `f`.
     pub fn new(f: &Function) -> Self {
-        Self { block_counts: vec![0; f.blocks.len()], items: 0 }
+        Self {
+            block_counts: vec![0; f.blocks.len()],
+            items: 0,
+        }
     }
 
     /// Merge another counter set into this one.
@@ -211,15 +214,15 @@ impl Default for Vm {
 impl Vm {
     /// Create a VM with the default step limit.
     pub fn new() -> Self {
-        Self { iregs: Vec::new(), fregs: Vec::new(), step_limit: DEFAULT_STEP_LIMIT }
+        Self {
+            iregs: Vec::new(),
+            fregs: Vec::new(),
+            step_limit: DEFAULT_STEP_LIMIT,
+        }
     }
 
     /// Validate `args` against the kernel signature and buffer types.
-    pub fn check_args(
-        f: &Function,
-        args: &[ArgValue],
-        bufs: &[BufferData],
-    ) -> Result<(), VmError> {
+    pub fn check_args(f: &Function, args: &[ArgValue], bufs: &[BufferData]) -> Result<(), VmError> {
         if args.len() != f.params.len() {
             return Err(VmError::ArgumentMismatch(format!(
                 "kernel `{}` expects {} arguments, got {}",
@@ -406,7 +409,9 @@ impl Vm {
             let b = &f.blocks[block];
             steps += b.instrs.len() as u64 + 1;
             if steps > self.step_limit {
-                return Err(VmError::StepLimitExceeded { limit: self.step_limit });
+                return Err(VmError::StepLimitExceeded {
+                    limit: self.step_limit,
+                });
             }
             for ins in &b.instrs {
                 self.exec_instr(ins, gid, gsize, bmap, bufs)?;
@@ -440,7 +445,13 @@ impl Vm {
             ConstF { dst, v } => self.fregs[dst as usize] = v,
             MovI { dst, src } => self.iregs[dst as usize] = self.iregs[src as usize],
             MovF { dst, src } => self.fregs[dst as usize] = self.fregs[src as usize],
-            IBin { op, dst, a, b, unsigned } => {
+            IBin {
+                op,
+                dst,
+                a,
+                b,
+                unsigned,
+            } => {
                 let x = self.iregs[a as usize];
                 let y = self.iregs[b as usize];
                 self.iregs[dst as usize] = int_bin(op, x, y, unsigned)?;
@@ -478,9 +489,7 @@ impl Vm {
                 self.iregs[dst as usize] = wrap32(0i64.wrapping_sub(v), unsigned);
             }
             NegF { dst, a } => self.fregs[dst as usize] = -self.fregs[a as usize],
-            NotI { dst, a } => {
-                self.iregs[dst as usize] = i64::from(self.iregs[a as usize] == 0)
-            }
+            NotI { dst, a } => self.iregs[dst as usize] = i64::from(self.iregs[a as usize] == 0),
             BitNotI { dst, a, unsigned } => {
                 self.iregs[dst as usize] = wrap32(!self.iregs[a as usize], unsigned);
             }
@@ -493,7 +502,11 @@ impl Vm {
                     i64::from(v as i32)
                 };
             }
-            CastII { dst, a, to_unsigned } => {
+            CastII {
+                dst,
+                a,
+                to_unsigned,
+            } => {
                 self.iregs[dst as usize] = wrap32(self.iregs[a as usize], to_unsigned);
             }
             Math1 { f, dst, a } => {
@@ -537,7 +550,11 @@ impl Vm {
                     unreachable!("type-checked load");
                 };
                 let Some(val) = usize::try_from(i).ok().and_then(|i| v.get(i)) else {
-                    return Err(VmError::OutOfBounds { buffer: buf as usize, index: i, len: b.len() });
+                    return Err(VmError::OutOfBounds {
+                        buffer: buf as usize,
+                        index: i,
+                        len: b.len(),
+                    });
                 };
                 self.fregs[dst as usize] = f64::from(*val);
             }
@@ -545,16 +562,22 @@ impl Vm {
                 let i = self.iregs[idx as usize];
                 let b = &bufs[bmap[buf as usize]];
                 let val = match b {
-                    BufferData::I32(v) => {
-                        usize::try_from(i).ok().and_then(|i| v.get(i)).map(|&x| i64::from(x))
-                    }
-                    BufferData::U32(v) => {
-                        usize::try_from(i).ok().and_then(|i| v.get(i)).map(|&x| i64::from(x))
-                    }
+                    BufferData::I32(v) => usize::try_from(i)
+                        .ok()
+                        .and_then(|i| v.get(i))
+                        .map(|&x| i64::from(x)),
+                    BufferData::U32(v) => usize::try_from(i)
+                        .ok()
+                        .and_then(|i| v.get(i))
+                        .map(|&x| i64::from(x)),
                     BufferData::F32(_) => unreachable!("type-checked load"),
                 };
                 let Some(val) = val else {
-                    return Err(VmError::OutOfBounds { buffer: buf as usize, index: i, len: b.len() });
+                    return Err(VmError::OutOfBounds {
+                        buffer: buf as usize,
+                        index: i,
+                        len: b.len(),
+                    });
                 };
                 self.iregs[dst as usize] = val;
             }
@@ -567,7 +590,11 @@ impl Vm {
                     unreachable!("type-checked store");
                 };
                 let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
-                    return Err(VmError::OutOfBounds { buffer: buf as usize, index: i, len });
+                    return Err(VmError::OutOfBounds {
+                        buffer: buf as usize,
+                        index: i,
+                        len,
+                    });
                 };
                 *slot = val;
             }
@@ -578,16 +605,22 @@ impl Vm {
                 let len = b.len();
                 match b {
                     BufferData::I32(v) => {
-                        let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i))
-                        else {
-                            return Err(VmError::OutOfBounds { buffer: buf as usize, index: i, len });
+                        let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
+                            return Err(VmError::OutOfBounds {
+                                buffer: buf as usize,
+                                index: i,
+                                len,
+                            });
                         };
                         *slot = val as i32;
                     }
                     BufferData::U32(v) => {
-                        let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i))
-                        else {
-                            return Err(VmError::OutOfBounds { buffer: buf as usize, index: i, len });
+                        let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
+                            return Err(VmError::OutOfBounds {
+                                buffer: buf as usize,
+                                index: i,
+                                len,
+                            });
                         };
                         *slot = val as u32;
                     }
@@ -705,15 +738,11 @@ mod tests {
     use super::*;
     use crate::compile;
 
-    fn run1d(
-        src: &str,
-        n: usize,
-        args: Vec<ArgValue>,
-        bufs: &mut [BufferData],
-    ) -> Counters {
+    fn run1d(src: &str, n: usize, args: Vec<ArgValue>, bufs: &mut [BufferData]) -> Counters {
         let k = compile(src).unwrap();
         let mut vm = Vm::new();
-        vm.run_range(&k.bytecode, &NdRange::d1(n), 0..n, &args, bufs).unwrap()
+        vm.run_range(&k.bytecode, &NdRange::d1(n), 0..n, &args, bufs)
+            .unwrap()
     }
 
     #[test]
@@ -731,7 +760,12 @@ mod tests {
         run1d(
             src,
             3,
-            vec![ArgValue::Buffer(0), ArgValue::Buffer(1), ArgValue::Buffer(2), ArgValue::Int(3)],
+            vec![
+                ArgValue::Buffer(0),
+                ArgValue::Buffer(1),
+                ArgValue::Buffer(2),
+                ArgValue::Int(3),
+            ],
             &mut bufs,
         );
         assert_eq!(bufs[2].as_f32().unwrap(), &[1.5, 2.25, 3.125]);
@@ -840,7 +874,13 @@ mod tests {
         let mut bufs = vec![BufferData::F32(vec![0.0; 16])];
         let mut vm = Vm::new();
         let err = vm
-            .run_range(&k.bytecode, &NdRange::d1(1), 0..1, &[ArgValue::Buffer(0)], &mut bufs)
+            .run_range(
+                &k.bytecode,
+                &NdRange::d1(1),
+                0..1,
+                &[ArgValue::Buffer(0)],
+                &mut bufs,
+            )
             .unwrap_err();
         assert!(matches!(err, VmError::OutOfBounds { index: -10, .. }));
     }
@@ -948,7 +988,10 @@ mod tests {
             &mut bufs,
         )
         .unwrap();
-        assert_eq!(bufs[0].as_i32().unwrap()[0], 100_000i32.wrapping_mul(100_000));
+        assert_eq!(
+            bufs[0].as_i32().unwrap()[0],
+            100_000i32.wrapping_mul(100_000)
+        );
     }
 
     #[test]
@@ -959,17 +1002,21 @@ mod tests {
         }";
         let k = compile(src).unwrap();
         let mk = || {
-            vec![BufferData::F32(vec![1.0; 64]), BufferData::F32(vec![0.0; 64])]
+            vec![
+                BufferData::F32(vec![1.0; 64]),
+                BufferData::F32(vec![0.0; 64]),
+            ]
         };
-        let args =
-            vec![ArgValue::Buffer(0), ArgValue::Buffer(1), ArgValue::Int(64)];
+        let args = vec![ArgValue::Buffer(0), ArgValue::Buffer(1), ArgValue::Int(64)];
         let mut vm = Vm::new();
         let mut b1 = mk();
-        let c16 =
-            vm.run_range(&k.bytecode, &NdRange::d1(64), 0..16, &args, &mut b1).unwrap();
+        let c16 = vm
+            .run_range(&k.bytecode, &NdRange::d1(64), 0..16, &args, &mut b1)
+            .unwrap();
         let mut b2 = mk();
-        let c64 =
-            vm.run_range(&k.bytecode, &NdRange::d1(64), 0..64, &args, &mut b2).unwrap();
+        let c64 = vm
+            .run_range(&k.bytecode, &NdRange::d1(64), 0..64, &args, &mut b2)
+            .unwrap();
         let d16 = dynamic_counts(&k.bytecode, &c16);
         let d64 = dynamic_counts(&k.bytecode, &c64);
         assert_eq!(d16.items, 16);
@@ -988,13 +1035,25 @@ mod tests {
             o[i] = a[i] + 1.0;
         }";
         let k = compile(src).unwrap();
-        let args =
-            vec![ArgValue::Buffer(0), ArgValue::Buffer(1), ArgValue::Int(1024)];
+        let args = vec![
+            ArgValue::Buffer(0),
+            ArgValue::Buffer(1),
+            ArgValue::Int(1024),
+        ];
         let mut vm = Vm::new();
-        let mut scratch =
-            vec![BufferData::F32(vec![0.0; 1024]), BufferData::F32(vec![0.0; 1024])];
+        let mut scratch = vec![
+            BufferData::F32(vec![0.0; 1024]),
+            BufferData::F32(vec![0.0; 1024]),
+        ];
         let s = vm
-            .run_sampled(&k.bytecode, &NdRange::d1(1024), 0..1024, &args, &mut scratch, 32)
+            .run_sampled(
+                &k.bytecode,
+                &NdRange::d1(1024),
+                0..1024,
+                &args,
+                &mut scratch,
+                32,
+            )
             .unwrap();
         assert_eq!(s.sampled_items, 32);
         assert_eq!(s.total_items, 1024);
@@ -1017,9 +1076,20 @@ mod tests {
         let mut vm = Vm::new();
         let mut scratch = vec![BufferData::F32(vec![0.0; 256])];
         let s = vm
-            .run_sampled(&k.bytecode, &NdRange::d1(256), 0..256, &args, &mut scratch, 64)
+            .run_sampled(
+                &k.bytecode,
+                &NdRange::d1(256),
+                0..256,
+                &args,
+                &mut scratch,
+                64,
+            )
             .unwrap();
-        assert!(s.ops_cv > 0.2, "variable-trip-count kernel must show divergence, cv={}", s.ops_cv);
+        assert!(
+            s.ops_cv > 0.2,
+            "variable-trip-count kernel must show divergence, cv={}",
+            s.ops_cv
+        );
     }
 
     #[test]
@@ -1050,14 +1120,29 @@ mod tests {
         let mut vm = Vm::new();
         let mut b1 = vec![BufferData::F32(vec![0.0; 8])];
         let mut c1 = vm
-            .run_range(&k.bytecode, &NdRange::d1(8), 0..4, &[ArgValue::Buffer(0)], &mut b1)
+            .run_range(
+                &k.bytecode,
+                &NdRange::d1(8),
+                0..4,
+                &[ArgValue::Buffer(0)],
+                &mut b1,
+            )
             .unwrap();
         let c2 = vm
-            .run_range(&k.bytecode, &NdRange::d1(8), 4..8, &[ArgValue::Buffer(0)], &mut b1)
+            .run_range(
+                &k.bytecode,
+                &NdRange::d1(8),
+                4..8,
+                &[ArgValue::Buffer(0)],
+                &mut b1,
+            )
             .unwrap();
         c1.merge(&c2);
         assert_eq!(c1.items, 8);
-        assert_eq!(dynamic_counts(&k.bytecode, &c1).per_class[OpClass::Store as usize], 8);
+        assert_eq!(
+            dynamic_counts(&k.bytecode, &c1).per_class[OpClass::Store as usize],
+            8
+        );
     }
 
     #[test]
@@ -1069,8 +1154,7 @@ mod tests {
             o[i] = i < n ? a[i] : a[i + 1000000];
         }";
         let k = compile(src).unwrap();
-        let mut bufs =
-            vec![BufferData::F32(vec![7.0; 4]), BufferData::F32(vec![0.0; 4])];
+        let mut bufs = vec![BufferData::F32(vec![7.0; 4]), BufferData::F32(vec![0.0; 4])];
         let mut vm = Vm::new();
         vm.run_range(
             &k.bytecode,
@@ -1091,8 +1175,10 @@ mod tests {
         }";
         let k = compile(src).unwrap();
         // a has only n=2 valid entries but the range is 4: i<n guards a[i].
-        let mut bufs =
-            vec![BufferData::F32(vec![1.0, -1.0]), BufferData::F32(vec![9.0; 4])];
+        let mut bufs = vec![
+            BufferData::F32(vec![1.0, -1.0]),
+            BufferData::F32(vec![9.0; 4]),
+        ];
         let mut vm = Vm::new();
         vm.run_range(
             &k.bytecode,

@@ -47,8 +47,7 @@ pub fn kfold_cv(config: &ModelConfig, data: &Dataset, k: usize, seed: u64) -> Cv
     let mut predictions = vec![usize::MAX; data.len()];
     let mut fold_accuracies = Vec::with_capacity(k);
     for fold in &folds {
-        let train_idx: Vec<usize> =
-            (0..data.len()).filter(|i| !fold.contains(i)).collect();
+        let train_idx: Vec<usize> = (0..data.len()).filter(|i| !fold.contains(i)).collect();
         let train = data.subset(&train_idx);
         let pipe = Pipeline::fit(config, &train.x, &train.y, n_classes);
         let mut y_true = Vec::new();
@@ -61,11 +60,12 @@ pub fn kfold_cv(config: &ModelConfig, data: &Dataset, k: usize, seed: u64) -> Cv
         }
         fold_accuracies.push(accuracy(&y_true, &y_pred));
     }
-    let acc = accuracy(
-        &data.y,
-        &predictions,
-    );
-    CvResult { fold_accuracies, accuracy: acc, predictions }
+    let acc = accuracy(&data.y, &predictions);
+    CvResult {
+        fold_accuracies,
+        accuracy: acc,
+        predictions,
+    }
 }
 
 /// Leave-one-group-out cross-validation: for each distinct group, train on
@@ -75,7 +75,10 @@ pub fn kfold_cv(config: &ModelConfig, data: &Dataset, k: usize, seed: u64) -> Cv
 /// row's group) and per-group accuracies in `group_ids()` order.
 pub fn leave_one_group_out(config: &ModelConfig, data: &Dataset) -> CvResult {
     let groups = data.group_ids();
-    assert!(groups.len() >= 2, "leave-one-group-out needs at least two groups");
+    assert!(
+        groups.len() >= 2,
+        "leave-one-group-out needs at least two groups"
+    );
     let n_classes = data.n_classes();
     let mut predictions = vec![usize::MAX; data.len()];
     let mut fold_accuracies = Vec::with_capacity(groups.len());
@@ -95,7 +98,11 @@ pub fn leave_one_group_out(config: &ModelConfig, data: &Dataset) -> CvResult {
         fold_accuracies.push(accuracy(&y_true, &y_pred));
     }
     let acc = accuracy(&data.y, &predictions);
-    CvResult { fold_accuracies, accuracy: acc, predictions }
+    CvResult {
+        fold_accuracies,
+        accuracy: acc,
+        predictions,
+    }
 }
 
 #[cfg(test)]

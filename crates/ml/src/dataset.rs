@@ -22,7 +22,12 @@ pub struct Dataset {
 impl Dataset {
     /// Create an empty dataset with the given feature names.
     pub fn new(feature_names: Vec<String>) -> Self {
-        Self { x: Vec::new(), y: Vec::new(), groups: Vec::new(), feature_names }
+        Self {
+            x: Vec::new(),
+            y: Vec::new(),
+            groups: Vec::new(),
+            feature_names,
+        }
     }
 
     /// Append one pattern.
@@ -77,7 +82,11 @@ impl Dataset {
         let mut train = Dataset::new(self.feature_names.clone());
         let mut test = Dataset::new(self.feature_names.clone());
         for i in 0..self.len() {
-            let dst = if self.groups[i] == held_out { &mut test } else { &mut train };
+            let dst = if self.groups[i] == held_out {
+                &mut test
+            } else {
+                &mut train
+            };
             dst.push(self.x[i].clone(), self.y[i], self.groups[i]);
         }
         (train, test)
@@ -95,7 +104,10 @@ impl Dataset {
     /// Keep only the feature columns in `cols` (used by the feature
     /// ablation experiment).
     pub fn select_features(&self, cols: &[usize]) -> Dataset {
-        let names = cols.iter().map(|&c| self.feature_names[c].clone()).collect();
+        let names = cols
+            .iter()
+            .map(|&c| self.feature_names[c].clone())
+            .collect();
         let mut out = Dataset::new(names);
         for i in 0..self.len() {
             let row = cols.iter().map(|&c| self.x[i][c]).collect();

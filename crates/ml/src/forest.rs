@@ -19,7 +19,12 @@ pub struct ForestConfig {
 
 impl Default for ForestConfig {
     fn default() -> Self {
-        Self { n_trees: 50, tree: TreeConfig::default(), max_features: None, seed: 42 }
+        Self {
+            n_trees: 50,
+            tree: TreeConfig::default(),
+            max_features: None,
+            seed: 42,
+        }
     }
 }
 
@@ -36,7 +41,9 @@ impl RandomForest {
     pub fn fit(config: ForestConfig, x: &[Vec<f64>], y: &[usize], n_classes: usize) -> Self {
         assert!(!x.is_empty(), "cannot train on an empty dataset");
         let dim = x[0].len();
-        let m = config.max_features.unwrap_or_else(|| (dim as f64).sqrt().ceil() as usize);
+        let m = config
+            .max_features
+            .unwrap_or_else(|| (dim as f64).sqrt().ceil() as usize);
         let m = m.clamp(1, dim);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let n = x.len();
@@ -63,7 +70,11 @@ impl RandomForest {
                 &mut sampler,
             ));
         }
-        Self { config, trees, n_classes }
+        Self {
+            config,
+            trees,
+            n_classes,
+        }
     }
 
     /// Soft vote: summed leaf distributions, normalized.
@@ -130,21 +141,30 @@ mod tests {
     fn classifies_blobs_well() {
         let (x, y) = noisy_blobs(3);
         let f = RandomForest::fit(
-            ForestConfig { n_trees: 25, ..Default::default() },
+            ForestConfig {
+                n_trees: 25,
+                ..Default::default()
+            },
             &x,
             &y,
             3,
         );
-        let acc =
-            x.iter().zip(&y).filter(|(xi, &yi)| f.predict(xi) == yi).count() as f64
-                / x.len() as f64;
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| f.predict(xi) == yi)
+            .count() as f64
+            / x.len() as f64;
         assert!(acc > 0.9, "accuracy {acc}");
     }
 
     #[test]
     fn deterministic_for_fixed_seed() {
         let (x, y) = noisy_blobs(5);
-        let cfg = ForestConfig { n_trees: 10, ..Default::default() };
+        let cfg = ForestConfig {
+            n_trees: 10,
+            ..Default::default()
+        };
         let a = RandomForest::fit(cfg.clone(), &x, &y, 3);
         let b = RandomForest::fit(cfg, &x, &y, 3);
         assert_eq!(a, b);
@@ -153,7 +173,15 @@ mod tests {
     #[test]
     fn proba_sums_to_one() {
         let (x, y) = noisy_blobs(9);
-        let f = RandomForest::fit(ForestConfig { n_trees: 7, ..Default::default() }, &x, &y, 3);
+        let f = RandomForest::fit(
+            ForestConfig {
+                n_trees: 7,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            3,
+        );
         let p = f.predict_proba(&x[0]);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert_eq!(f.num_trees(), 7);
@@ -162,10 +190,22 @@ mod tests {
     #[test]
     fn single_tree_forest_matches_bagging_behaviour() {
         let (x, y) = noisy_blobs(11);
-        let f = RandomForest::fit(ForestConfig { n_trees: 1, ..Default::default() }, &x, &y, 3);
+        let f = RandomForest::fit(
+            ForestConfig {
+                n_trees: 1,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            3,
+        );
         assert_eq!(f.num_trees(), 1);
         // It should still classify most of the training set.
-        let acc = x.iter().zip(&y).filter(|(xi, &yi)| f.predict(xi) == yi).count();
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| f.predict(xi) == yi)
+            .count();
         assert!(acc * 2 > x.len());
     }
 }

@@ -31,7 +31,10 @@ pub fn permutation_importance(
     repeats: usize,
     seed: u64,
 ) -> Vec<FeatureImportance> {
-    assert!(!data.is_empty(), "cannot compute importance on an empty dataset");
+    assert!(
+        !data.is_empty(),
+        "cannot compute importance on an empty dataset"
+    );
     assert!(repeats >= 1);
     let preds: Vec<usize> = data.x.iter().map(|r| pipeline.predict(r)).collect();
     let baseline = accuracy(&data.y, &preds);

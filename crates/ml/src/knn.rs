@@ -20,7 +20,12 @@ impl Knn {
         assert!(k >= 1, "k must be at least 1");
         assert!(!x.is_empty(), "cannot fit on an empty dataset");
         assert_eq!(x.len(), y.len());
-        Self { k, x: x.to_vec(), y: y.to_vec(), n_classes }
+        Self {
+            k,
+            x: x.to_vec(),
+            y: y.to_vec(),
+            n_classes,
+        }
     }
 
     fn dist2(a: &[f64], b: &[f64]) -> f64 {
@@ -29,8 +34,12 @@ impl Knn {
 
     /// Vote distribution over classes among the k nearest neighbours.
     pub fn predict_proba(&self, q: &[f64]) -> Vec<f64> {
-        let mut d: Vec<(f64, usize)> =
-            self.x.iter().zip(&self.y).map(|(xi, &yi)| (Self::dist2(xi, q), yi)).collect();
+        let mut d: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(xi, &yi)| (Self::dist2(xi, q), yi))
+            .collect();
         let k = self.k.min(d.len());
         d.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
         let mut votes = vec![0.0; self.n_classes];

@@ -25,7 +25,10 @@ pub fn confusion_matrix(n_classes: usize, y_true: &[usize], y_pred: &[usize]) ->
 /// summaries, the standard aggregation for ratios).
 pub fn geometric_mean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "geometric mean of nothing");
-    assert!(values.iter().all(|&v| v > 0.0), "geometric mean needs positive values");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean needs positive values"
+    );
     let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
     (log_sum / values.len() as f64).exp()
 }

@@ -57,8 +57,15 @@ impl Layer {
     fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
         // Xavier/Glorot uniform initialization.
         let bound = (6.0 / (n_in + n_out) as f64).sqrt();
-        let w = (0..n_in * n_out).map(|_| rng.gen_range(-bound..bound)).collect();
-        Self { w, b: vec![0.0; n_out], n_in, n_out }
+        let w = (0..n_in * n_out)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Self {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+        }
     }
 
     fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
@@ -112,8 +119,10 @@ impl Mlp {
         let mut sizes = vec![dim];
         sizes.extend(&config.hidden);
         sizes.push(n_classes);
-        let mut layers: Vec<Layer> =
-            sizes.windows(2).map(|w| Layer::new(w[0], w[1], &mut rng)).collect();
+        let mut layers: Vec<Layer> = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
 
         // Momentum buffers.
         let mut vel_w: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
@@ -161,8 +170,7 @@ impl Mlp {
                             let gb = &mut grad_b[li];
                             for o in 0..layers[li].n_out {
                                 gb[o] += delta[o];
-                                let row = &mut gw
-                                    [o * layers[li].n_in..(o + 1) * layers[li].n_in];
+                                let row = &mut gw[o * layers[li].n_in..(o + 1) * layers[li].n_in];
                                 for (g, xi) in row.iter_mut().zip(input) {
                                     *g += delta[o] * xi;
                                 }
@@ -191,8 +199,7 @@ impl Mlp {
                 for li in 0..layers.len() {
                     for (j, g) in grad_w[li].iter().enumerate() {
                         let reg = config.l2 * layers[li].w[j];
-                        vel_w[li][j] =
-                            config.momentum * vel_w[li][j] - scale * (g + reg);
+                        vel_w[li][j] = config.momentum * vel_w[li][j] - scale * (g + reg);
                         layers[li].w[j] += vel_w[li][j];
                     }
                     for (j, g) in grad_b[li].iter().enumerate() {
@@ -202,7 +209,12 @@ impl Mlp {
                 }
             }
         }
-        Self { config, layers, n_classes, dim }
+        Self {
+            config,
+            layers,
+            n_classes,
+            dim,
+        }
     }
 
     /// Class probabilities for one feature row.
@@ -259,7 +271,11 @@ mod tests {
     #[test]
     fn learns_xor() {
         let (x, y) = xor_data();
-        let cfg = MlpConfig { hidden: vec![8], epochs: 400, ..Default::default() };
+        let cfg = MlpConfig {
+            hidden: vec![8],
+            epochs: 400,
+            ..Default::default()
+        };
         let m = Mlp::fit(cfg, &x, &y, 2);
         for (xi, yi) in x.iter().zip(&y) {
             assert_eq!(m.predict(xi), *yi, "xor({xi:?})");
@@ -269,7 +285,15 @@ mod tests {
     #[test]
     fn probabilities_sum_to_one() {
         let (x, y) = xor_data();
-        let m = Mlp::fit(MlpConfig { epochs: 10, ..Default::default() }, &x, &y, 2);
+        let m = Mlp::fit(
+            MlpConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            2,
+        );
         let p = m.predict_proba(&[0.5, 0.5]);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
@@ -278,7 +302,10 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let (x, y) = xor_data();
-        let cfg = MlpConfig { epochs: 50, ..Default::default() };
+        let cfg = MlpConfig {
+            epochs: 50,
+            ..Default::default()
+        };
         let a = Mlp::fit(cfg.clone(), &x, &y, 2);
         let b = Mlp::fit(cfg, &x, &y, 2);
         assert_eq!(a, b);
@@ -287,8 +314,26 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let (x, y) = xor_data();
-        let a = Mlp::fit(MlpConfig { epochs: 20, seed: 1, ..Default::default() }, &x, &y, 2);
-        let b = Mlp::fit(MlpConfig { epochs: 20, seed: 2, ..Default::default() }, &x, &y, 2);
+        let a = Mlp::fit(
+            MlpConfig {
+                epochs: 20,
+                seed: 1,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            2,
+        );
+        let b = Mlp::fit(
+            MlpConfig {
+                epochs: 20,
+                seed: 2,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            2,
+        );
         assert_ne!(a, b);
     }
 
@@ -301,25 +346,47 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         for (c, &(cx, cy)) in centers.iter().enumerate() {
             for _ in 0..40 {
-                x.push(vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)]);
+                x.push(vec![
+                    cx + rng.gen_range(-1.0..1.0),
+                    cy + rng.gen_range(-1.0..1.0),
+                ]);
                 y.push(c);
             }
         }
         let m = Mlp::fit(
-            MlpConfig { hidden: vec![16], epochs: 200, ..Default::default() },
+            MlpConfig {
+                hidden: vec![16],
+                epochs: 200,
+                ..Default::default()
+            },
             &x,
             &y,
             3,
         );
-        let correct =
-            x.iter().zip(&y).filter(|(xi, &yi)| m.predict(xi) == yi).count();
-        assert!(correct as f64 / x.len() as f64 > 0.95, "accuracy {correct}/{}", x.len());
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| m.predict(xi) == yi)
+            .count();
+        assert!(
+            correct as f64 / x.len() as f64 > 0.95,
+            "accuracy {correct}/{}",
+            x.len()
+        );
     }
 
     #[test]
     fn serde_roundtrip_preserves_predictions() {
         let (x, y) = xor_data();
-        let m = Mlp::fit(MlpConfig { epochs: 100, ..Default::default() }, &x, &y, 2);
+        let m = Mlp::fit(
+            MlpConfig {
+                epochs: 100,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            2,
+        );
         let js = serde_json::to_string(&m).unwrap();
         let back: Mlp = serde_json::from_str(&js).unwrap();
         for xi in &x {
@@ -337,7 +404,15 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn rejects_bad_predict_dim() {
         let (x, y) = xor_data();
-        let m = Mlp::fit(MlpConfig { epochs: 1, ..Default::default() }, &x, &y, 2);
+        let m = Mlp::fit(
+            MlpConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            2,
+        );
         m.predict(&[1.0, 2.0, 3.0]);
     }
 }

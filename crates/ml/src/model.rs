@@ -17,7 +17,9 @@ pub enum ModelConfig {
     Mlp(MlpConfig),
     Tree(TreeConfig),
     Forest(ForestConfig),
-    Knn { k: usize },
+    Knn {
+        k: usize,
+    },
     Svm(SvmConfig),
 }
 
@@ -131,7 +133,10 @@ mod tests {
         let mut y = Vec::new();
         for i in 0..60 {
             let c = usize::from(i >= 30);
-            x.push(vec![c as f64 * 1e6 + (i % 10) as f64 * 1e4, (i % 3) as f64 * 0.01]);
+            x.push(vec![
+                c as f64 * 1e6 + (i % 10) as f64 * 1e4,
+                (i % 3) as f64 * 0.01,
+            ]);
             y.push(c);
         }
         (x, y)
@@ -142,7 +147,11 @@ mod tests {
         let (x, y) = blobs();
         for cfg in ModelConfig::all_defaults() {
             let p = Pipeline::fit(&cfg, &x, &y, 2);
-            let acc = x.iter().zip(&y).filter(|(xi, &yi)| p.predict(xi) == yi).count() as f64
+            let acc = x
+                .iter()
+                .zip(&y)
+                .filter(|(xi, &yi)| p.predict(xi) == yi)
+                .count() as f64
                 / x.len() as f64;
             assert!(acc > 0.9, "{} accuracy {acc}", cfg.name());
         }
@@ -170,8 +179,10 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names: Vec<&str> =
-            ModelConfig::all_defaults().iter().map(|c| c.name()).collect();
+        let names: Vec<&str> = ModelConfig::all_defaults()
+            .iter()
+            .map(|c| c.name())
+            .collect();
         let mut dedup = names.clone();
         dedup.dedup();
         assert_eq!(names.len(), 5);

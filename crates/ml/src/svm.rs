@@ -17,7 +17,12 @@ pub struct SvmConfig {
 
 impl Default for SvmConfig {
     fn default() -> Self {
-        Self { epochs: 200, lr: 0.05, lambda: 1e-4, seed: 42 }
+        Self {
+            epochs: 200,
+            lr: 0.05,
+            lambda: 1e-4,
+            seed: 42,
+        }
     }
 }
 
@@ -44,29 +49,68 @@ impl LinearSvm {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut order: Vec<usize> = (0..x.len()).collect();
 
-        for _ in 0..config.epochs {
+        // Subgradient SGD on hinge + L2 does not converge with a constant
+        // step — it cycles, and the final iterate depends on the last
+        // epoch's shuffle. Decay the step per epoch and average the tail
+        // iterates (Polyak averaging) so training lands on the regularized
+        // minimizer regardless of shuffle order.
+        let avg_from = config.epochs - config.epochs / 2;
+        let mut avg_weights = vec![vec![0.0; dim]; n_classes];
+        let mut avg_biases = vec![0.0; n_classes];
+        let mut avg_count = 0u32;
+
+        for epoch in 0..config.epochs {
+            let lr = config.lr / (1.0 + 0.05 * epoch as f64);
             order.shuffle(&mut rng);
             for &i in &order {
                 for c in 0..n_classes {
                     let target = if y[i] == c { 1.0 } else { -1.0 };
-                    let margin = target
-                        * (dot(&weights[c], &x[i]) + biases[c]);
+                    let margin = target * (dot(&weights[c], &x[i]) + biases[c]);
                     // Subgradient step on hinge + L2.
                     let w = &mut weights[c];
                     if margin < 1.0 {
                         for (wj, xj) in w.iter_mut().zip(&x[i]) {
-                            *wj += config.lr * (target * xj - config.lambda * *wj);
+                            *wj += lr * (target * xj - config.lambda * *wj);
                         }
-                        biases[c] += config.lr * target;
+                        biases[c] += lr * target;
                     } else {
                         for wj in w.iter_mut() {
-                            *wj -= config.lr * config.lambda * *wj;
+                            *wj -= lr * config.lambda * *wj;
                         }
                     }
                 }
             }
+            if epoch >= avg_from {
+                for (aw, w) in avg_weights.iter_mut().zip(&weights) {
+                    for (a, v) in aw.iter_mut().zip(w) {
+                        *a += v;
+                    }
+                }
+                for (ab, b) in avg_biases.iter_mut().zip(&biases) {
+                    *ab += b;
+                }
+                avg_count += 1;
+            }
         }
-        Self { config, weights, biases, dim }
+        if avg_count > 0 {
+            let inv = 1.0 / f64::from(avg_count);
+            for w in &mut avg_weights {
+                for v in w.iter_mut() {
+                    *v *= inv;
+                }
+            }
+            for b in &mut avg_biases {
+                *b *= inv;
+            }
+            weights = avg_weights;
+            biases = avg_biases;
+        }
+        Self {
+            config,
+            weights,
+            biases,
+            dim,
+        }
     }
 
     /// Per-class decision values (not probabilities).
@@ -114,7 +158,11 @@ mod tests {
     fn separates_linear_data() {
         let (x, y) = linear_data();
         let m = LinearSvm::fit(SvmConfig::default(), &x, &y, 2);
-        let acc = x.iter().zip(&y).filter(|(xi, &yi)| m.predict(xi) == yi).count() as f64
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| m.predict(xi) == yi)
+            .count() as f64
             / x.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
     }
@@ -146,7 +194,15 @@ mod tests {
     #[test]
     fn decision_has_one_value_per_class() {
         let (x, y) = linear_data();
-        let m = LinearSvm::fit(SvmConfig { epochs: 5, ..Default::default() }, &x, &y, 2);
+        let m = LinearSvm::fit(
+            SvmConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            2,
+        );
         assert_eq!(m.decision(&x[0]).len(), 2);
     }
 }

@@ -12,7 +12,11 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        Self { max_depth: 12, min_samples_split: 4, min_samples_leaf: 1 }
+        Self {
+            max_depth: 12,
+            min_samples_split: 4,
+            min_samples_leaf: 1,
+        }
     }
 }
 
@@ -79,7 +83,11 @@ impl DecisionTree {
         assert!(y.iter().all(|&l| l < n_classes), "label out of range");
         let idx: Vec<usize> = (0..x.len()).collect();
         let root = Self::build(&config, x, y, n_classes, &idx, 0, sampler);
-        Self { config, root, n_classes }
+        Self {
+            config,
+            root,
+            n_classes,
+        }
     }
 
     fn build(
@@ -93,10 +101,7 @@ impl DecisionTree {
     ) -> Node {
         let counts = class_counts(y, idx, n_classes);
         let node_gini = gini(&counts);
-        if depth >= cfg.max_depth
-            || idx.len() < cfg.min_samples_split
-            || node_gini == 0.0
-        {
+        if depth >= cfg.max_depth || idx.len() < cfg.min_samples_split || node_gini == 0.0 {
             return Node::Leaf { counts };
         }
 
@@ -127,8 +132,7 @@ impl DecisionTree {
                 if ln < cfg.min_samples_leaf || rn < cfg.min_samples_leaf {
                     continue;
                 }
-                let score = (ln as f64 * gini(&lc) + rn as f64 * gini(&rc))
-                    / idx.len() as f64;
+                let score = (ln as f64 * gini(&lc) + rn as f64 * gini(&rc)) / idx.len() as f64;
                 if best.is_none_or(|(_, _, s)| score < s) {
                     best = Some((f, thr, score));
                 }
@@ -146,7 +150,12 @@ impl DecisionTree {
             idx.iter().partition(|&&i| x[i][feature] <= threshold);
         let left = Self::build(cfg, x, y, n_classes, &left_idx, depth + 1, sampler);
         let right = Self::build(cfg, x, y, n_classes, &right_idx, depth + 1, sampler);
-        Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// Class-count distribution at the leaf `x` lands in.
@@ -155,8 +164,17 @@ impl DecisionTree {
         loop {
             match node {
                 Node::Leaf { counts } => return counts,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -196,8 +214,9 @@ mod tests {
 
     #[test]
     fn fits_axis_aligned_data_perfectly() {
-        let x: Vec<Vec<f64>> =
-            (0..40).map(|i| vec![i as f64, (i * 7 % 11) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64, (i * 7 % 11) as f64])
+            .collect();
         let y: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
         let t = DecisionTree::fit(TreeConfig::default(), &x, &y, 2);
         for (xi, yi) in x.iter().zip(&y) {
@@ -212,8 +231,15 @@ mod tests {
         // Random-ish labels force deep trees unless capped.
         let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
         let y: Vec<usize> = (0..64).map(|i| ((i * 2654435761usize) >> 3) % 2).collect();
-        let shallow =
-            DecisionTree::fit(TreeConfig { max_depth: 2, ..Default::default() }, &x, &y, 2);
+        let shallow = DecisionTree::fit(
+            TreeConfig {
+                max_depth: 2,
+                ..Default::default()
+            },
+            &x,
+            &y,
+            2,
+        );
         // Depth-2 binary tree has at most 7 nodes.
         assert!(shallow.num_nodes() <= 7);
     }

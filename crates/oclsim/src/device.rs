@@ -49,25 +49,53 @@ impl OpCosts {
     /// vectorization — the paper stresses none of the codes was tuned):
     /// roughly one scalar op per cycle, libm transcendentals.
     pub fn cpu() -> Self {
-        Self { int_op: 1.1, float_op: 1.2, transcendental: 18.0, cmp: 1.0, branch: 1.5, other: 0.6 }
+        Self {
+            int_op: 1.1,
+            float_op: 1.2,
+            transcendental: 18.0,
+            cmp: 1.0,
+            branch: 1.5,
+            other: 0.6,
+        }
     }
 
     /// A CPU cost table for a *vectorizing* OpenCL CPU runtime (Intel's
     /// 2012 driver auto-vectorized kernels to SSE, including SVML
     /// transcendentals): several scalar ops per cycle per core.
     pub fn cpu_vectorizing() -> Self {
-        Self { int_op: 0.8, float_op: 0.75, transcendental: 5.5, cmp: 0.7, branch: 1.1, other: 0.4 }
+        Self {
+            int_op: 0.8,
+            float_op: 0.75,
+            transcendental: 5.5,
+            cmp: 0.7,
+            branch: 1.1,
+            other: 0.4,
+        }
     }
 
     /// A scalar SIMT GPU cost table (per-lane cycles; SFU transcendentals).
     pub fn gpu_simt() -> Self {
-        Self { int_op: 1.0, float_op: 1.0, transcendental: 4.0, cmp: 1.0, branch: 2.0, other: 0.5 }
+        Self {
+            int_op: 1.0,
+            float_op: 1.0,
+            transcendental: 4.0,
+            cmp: 1.0,
+            branch: 2.0,
+            other: 0.5,
+        }
     }
 
     /// A VLIW GPU cost table (per-slot cycles; the T-unit handles
     /// transcendentals).
     pub fn gpu_vliw() -> Self {
-        Self { int_op: 1.0, float_op: 1.0, transcendental: 5.0, cmp: 1.0, branch: 3.0, other: 0.5 }
+        Self {
+            int_op: 1.0,
+            float_op: 1.0,
+            transcendental: 5.0,
+            cmp: 1.0,
+            branch: 3.0,
+            other: 0.5,
+        }
     }
 }
 
@@ -131,7 +159,10 @@ impl DeviceProfile {
             return Err("device name must not be empty".into());
         }
         if self.compute_units == 0 || self.lanes_per_unit == 0 || self.ilp_width == 0 {
-            return Err(format!("{}: unit/lane/slot counts must be non-zero", self.name));
+            return Err(format!(
+                "{}: unit/lane/slot counts must be non-zero",
+                self.name
+            ));
         }
         if self.clock_ghz.is_nan() || self.clock_ghz <= 0.0 {
             return Err(format!("{}: clock must be positive", self.name));
@@ -139,8 +170,7 @@ impl DeviceProfile {
         if self.mem_bandwidth_gbs.is_nan() || self.mem_bandwidth_gbs <= 0.0 {
             return Err(format!("{}: memory bandwidth must be positive", self.name));
         }
-        if !(0.0..=1.0).contains(&self.uncoalesced_efficiency)
-            || self.uncoalesced_efficiency == 0.0
+        if !(0.0..=1.0).contains(&self.uncoalesced_efficiency) || self.uncoalesced_efficiency == 0.0
         {
             return Err(format!(
                 "{}: uncoalesced efficiency must be in (0, 1]",
@@ -156,7 +186,10 @@ impl DeviceProfile {
             return Err(format!("{}: base ILP fill must be in [0, 1]", self.name));
         }
         if self.divergence_penalty < 0.0 {
-            return Err(format!("{}: divergence penalty must be non-negative", self.name));
+            return Err(format!(
+                "{}: divergence penalty must be non-negative",
+                self.name
+            ));
         }
         if self.saturation_items.is_nan() || self.saturation_items < 1.0 {
             return Err(format!("{}: saturation_items must be >= 1", self.name));
@@ -182,7 +215,10 @@ mod tests {
     #[test]
     fn total_lanes_multiplies() {
         let d = machines::mc2().devices[1].clone();
-        assert_eq!(d.total_lanes(), f64::from(d.compute_units * d.lanes_per_unit));
+        assert_eq!(
+            d.total_lanes(),
+            f64::from(d.compute_units * d.lanes_per_unit)
+        );
     }
 
     #[test]

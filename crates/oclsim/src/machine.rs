@@ -29,13 +29,20 @@ impl Machine {
         multi_device_overhead_us: f64,
     ) -> Self {
         let name = name.into();
-        assert!(!devices.is_empty(), "machine `{name}` must have at least one device");
+        assert!(
+            !devices.is_empty(),
+            "machine `{name}` must have at least one device"
+        );
         for d in &devices {
             if let Err(e) = d.validate() {
                 panic!("machine `{name}`: {e}");
             }
         }
-        Self { name, devices, multi_device_overhead_us }
+        Self {
+            name,
+            devices,
+            multi_device_overhead_us,
+        }
     }
 
     /// Number of devices.

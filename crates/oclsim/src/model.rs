@@ -147,10 +147,8 @@ pub fn estimate_time(dev: &DeviceProfile, w: &WorkloadShape) -> TimeBreakdown {
     // lanes/pipelines leaves throughput on the table.
     let utilization = (w.items as f64 / dev.saturation_items).min(1.0);
 
-    let peak_cycles_per_sec =
-        dev.total_lanes() * f64::from(dev.ilp_width) * dev.clock_ghz * 1e9;
-    let alu_throughput =
-        peak_cycles_per_sec * ilp_factor * divergence_factor * utilization;
+    let peak_cycles_per_sec = dev.total_lanes() * f64::from(dev.ilp_width) * dev.clock_ghz * 1e9;
+    let alu_throughput = peak_cycles_per_sec * ilp_factor * divergence_factor * utilization;
     let alu = cycles / alu_throughput;
 
     // --- Memory term ------------------------------------------------
@@ -180,7 +178,15 @@ pub fn estimate_time(dev: &DeviceProfile, w: &WorkloadShape) -> TimeBreakdown {
     let launch = dev.launch_overhead_us * US;
 
     let total = launch + xfer_in + compute + xfer_out;
-    TimeBreakdown { launch, xfer_in, alu, mem, compute, xfer_out, total }
+    TimeBreakdown {
+        launch,
+        xfer_in,
+        alu,
+        mem,
+        compute,
+        xfer_out,
+        total,
+    }
 }
 
 #[cfg(test)]
@@ -256,11 +262,12 @@ mod tests {
         let base = uniform(1 << 18, 200, 8);
         let mut div = base;
         div.divergence = 1.0;
-        let cpu_ratio =
-            estimate_time(&cpu, &div).compute / estimate_time(&cpu, &base).compute;
-        let gpu_ratio =
-            estimate_time(&gpu, &div).compute / estimate_time(&gpu, &base).compute;
-        assert!(gpu_ratio > cpu_ratio * 1.5, "gpu={gpu_ratio:.2} cpu={cpu_ratio:.2}");
+        let cpu_ratio = estimate_time(&cpu, &div).compute / estimate_time(&cpu, &base).compute;
+        let gpu_ratio = estimate_time(&gpu, &div).compute / estimate_time(&gpu, &base).compute;
+        assert!(
+            gpu_ratio > cpu_ratio * 1.5,
+            "gpu={gpu_ratio:.2} cpu={cpu_ratio:.2}"
+        );
     }
 
     #[test]
@@ -274,7 +281,10 @@ mod tests {
         float_heavy.int_ops = 2 * (1 << 18);
         let tf = estimate_time(&hd, &float_heavy).alu;
         let ti = estimate_time(&hd, &int_heavy).alu;
-        assert!(tf < ti, "float-heavy should pack VLIW slots better: {tf} vs {ti}");
+        assert!(
+            tf < ti,
+            "float-heavy should pack VLIW slots better: {tf} vs {ti}"
+        );
     }
 
     #[test]
@@ -285,7 +295,10 @@ mod tests {
         gathered.coalesced_fraction = 0.0;
         let t_c = estimate_time(&gpu, &base).mem;
         let t_g = estimate_time(&gpu, &gathered).mem;
-        assert!(t_g > 4.0 * t_c, "gather must be much slower: {t_g} vs {t_c}");
+        assert!(
+            t_g > 4.0 * t_c,
+            "gather must be much slower: {t_g} vs {t_c}"
+        );
     }
 
     #[test]

@@ -135,11 +135,11 @@ pub fn dynamic_schedule_with_profile(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::sweep_partitions;
     use hetpart_inspire::compile;
     use hetpart_inspire::ir::NdRange;
     use hetpart_inspire::vm::ArgValue;
     use hetpart_oclsim::machines;
-    use crate::sweep::sweep_partitions;
 
     const HEAVY: &str = "kernel void h(global const float* a, global float* o, int n) {
         int i = get_global_id(0);
@@ -151,7 +151,11 @@ mod tests {
     fn setup(n: usize) -> (Vec<BufferData>, Vec<ArgValue>) {
         (
             vec![BufferData::F32(vec![1.0; n]), BufferData::F32(vec![0.0; n])],
-            vec![ArgValue::Buffer(0), ArgValue::Buffer(1), ArgValue::Int(n as i32)],
+            vec![
+                ArgValue::Buffer(0),
+                ArgValue::Buffer(1),
+                ArgValue::Int(n as i32),
+            ],
         )
     }
 
@@ -161,8 +165,7 @@ mod tests {
         let (bufs, args) = setup(1 << 14);
         let ex = Executor::new(machines::mc2());
         let launch = Launch::new(&k, NdRange::d1(1 << 14), args);
-        let r = dynamic_schedule(&ex, &launch, &bufs, DynSchedConfig { num_chunks: 16 })
-            .unwrap();
+        let r = dynamic_schedule(&ex, &launch, &bufs, DynSchedConfig { num_chunks: 16 }).unwrap();
         assert_eq!(r.chunks_per_device.iter().sum::<usize>(), 16);
         assert!(r.time > 0.0);
         let busy_max = r.busy_per_device.iter().copied().fold(0.0f64, f64::max);
@@ -178,7 +181,10 @@ mod tests {
         let launch = Launch::new(&k, NdRange::d1(n), args);
         let r = dynamic_schedule(&ex, &launch, &bufs, DynSchedConfig::default()).unwrap();
         let active = r.chunks_per_device.iter().filter(|&&c| c > 0).count();
-        assert!(active >= 2, "dynamic scheduling should use several devices: {r:?}");
+        assert!(
+            active >= 2,
+            "dynamic scheduling should use several devices: {r:?}"
+        );
     }
 
     #[test]
@@ -192,8 +198,7 @@ mod tests {
         let ex = Executor::new(machines::mc2());
         let launch = Launch::new(&k, NdRange::d1(n), args.clone());
         let sweep = sweep_partitions(&ex, &launch, &bufs, 1).unwrap();
-        let dynamic =
-            dynamic_schedule(&ex, &launch, &bufs, DynSchedConfig::default()).unwrap();
+        let dynamic = dynamic_schedule(&ex, &launch, &bufs, DynSchedConfig::default()).unwrap();
         assert!(
             sweep.best().time <= dynamic.time * 1.001,
             "oracle static {:.6} must not lose to dynamic {:.6}",
@@ -209,8 +214,7 @@ mod tests {
         let (bufs, args) = setup(n);
         let ex = Executor::new(machines::mc1());
         let launch = Launch::new(&k, NdRange::d1(n), args);
-        let r = dynamic_schedule(&ex, &launch, &bufs, DynSchedConfig { num_chunks: 1 })
-            .unwrap();
+        let r = dynamic_schedule(&ex, &launch, &bufs, DynSchedConfig { num_chunks: 1 }).unwrap();
         assert_eq!(r.chunks_per_device.iter().sum::<usize>(), 1);
         // One chunk, one device: time equals that device's single estimate,
         // and it is the minimum over devices. Compare against the sweep's

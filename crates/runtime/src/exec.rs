@@ -83,7 +83,10 @@ pub struct Executor {
 impl Executor {
     /// Create an executor for a machine.
     pub fn new(machine: Machine) -> Self {
-        Self { machine, sample_items: DEFAULT_SAMPLE_ITEMS }
+        Self {
+            machine,
+            sample_items: DEFAULT_SAMPLE_ITEMS,
+        }
     }
 
     /// Execute a launch **functionally**: every work-item runs, the output
@@ -123,6 +126,30 @@ impl Executor {
         partition: &Partition,
         profile: &crate::profile::LaunchProfile,
     ) -> ExecutionReport {
+        let kernel = launch.kernel;
+        let nd = &launch.nd;
+        let scalars = scalar_values(kernel, &launch.args);
+        self.price_with_profile(launch, partition, profile, |chunk| {
+            transfer_bytes(kernel, nd, chunk, &scalars, &launch.args, bufs)
+        })
+    }
+
+    /// Price one partitioning of a launch from a pre-collected profile,
+    /// with transfer sizes supplied by `transfer` — either a direct
+    /// [`transfer_bytes`] call (see [`Executor::simulate_with_profile`])
+    /// or a per-launch access-analysis cache (the batched training sweep,
+    /// [`crate::sweep::sweep_many`]). Both paths run exactly this code,
+    /// so cached and uncached pricing are bit-identical.
+    pub fn price_with_profile<F>(
+        &self,
+        launch: &Launch,
+        partition: &Partition,
+        profile: &crate::profile::LaunchProfile,
+        mut transfer: F,
+    ) -> ExecutionReport
+    where
+        F: FnMut(Range<usize>) -> (u64, u64),
+    {
         assert_eq!(
             partition.num_devices(),
             self.machine.num_devices(),
@@ -135,15 +162,13 @@ impl Executor {
         let nd = &launch.nd;
         let chunks = partition.chunks(nd.split_extent());
         let coalesced = coalesced_fraction(kernel);
-        let scalars = scalar_values(kernel, &launch.args);
 
         let mut device_runs = Vec::new();
         for (dev, chunk) in self.machine.device_ids().zip(&chunks) {
             if chunk.is_empty() {
                 continue;
             }
-            let (bytes_in, bytes_out) =
-                transfer_bytes(kernel, nd, chunk.clone(), &scalars, &launch.args, bufs);
+            let (bytes_in, bytes_out) = transfer(chunk.clone());
             let (counts, divergence) = profile.estimate(chunk.clone());
             let shape = workload_shape(&counts, bytes_in, bytes_out, divergence, coalesced);
             let time = estimate_time(self.machine.device(dev), &shape);
@@ -217,13 +242,7 @@ impl Executor {
             let divergence = sample.ops_cv.clamp(0.0, 1.0);
 
             let counts: DynamicCounts = if full {
-                let c = vm.run_range(
-                    &kernel.bytecode,
-                    nd,
-                    chunk.clone(),
-                    &launch.args,
-                    bufs,
-                )?;
+                let c = vm.run_range(&kernel.bytecode, nd, chunk.clone(), &launch.args, bufs)?;
                 dynamic_counts(&kernel.bytecode, &c)
             } else {
                 sample.extrapolated(&kernel.bytecode)
@@ -398,7 +417,8 @@ mod tests {
         let launch = Launch::new(&k, NdRange::d1(n), vec_add_setup(n).1);
 
         let (mut ref_bufs, _) = vec_add_setup(n);
-        ex.run(&launch, &mut ref_bufs, &Partition::cpu_only(3)).unwrap();
+        ex.run(&launch, &mut ref_bufs, &Partition::cpu_only(3))
+            .unwrap();
 
         for p in [
             Partition::from_tenths(vec![3, 4, 3]),
@@ -434,7 +454,9 @@ mod tests {
         let (bufs, args) = vec_add_setup(n);
         let ex = Executor::new(machines::mc1());
         let launch = Launch::new(&k, NdRange::d1(n), args);
-        let r = ex.simulate(&launch, &bufs, &Partition::from_tenths(vec![5, 0, 5])).unwrap();
+        let r = ex
+            .simulate(&launch, &bufs, &Partition::from_tenths(vec![5, 0, 5]))
+            .unwrap();
         assert_eq!(r.device_runs.len(), 2);
         assert_eq!(r.device_runs[0].device, DeviceId(0));
         assert_eq!(r.device_runs[1].device, DeviceId(2));
@@ -448,14 +470,19 @@ mod tests {
         let (bufs, args) = vec_add_setup(n);
         let ex = Executor::new(machines::mc1());
         let launch = Launch::new(&k, NdRange::d1(n), args);
-        let single = ex.simulate(&launch, &bufs, &Partition::cpu_only(3)).unwrap();
+        let single = ex
+            .simulate(&launch, &bufs, &Partition::cpu_only(3))
+            .unwrap();
         assert_eq!(
-            single.time,
-            single.device_runs[0].time.total,
+            single.time, single.device_runs[0].time.total,
             "single device launch has no coordination overhead"
         );
         let multi = ex.simulate(&launch, &bufs, &Partition::even(3)).unwrap();
-        let slowest = multi.device_runs.iter().map(|r| r.time.total).fold(0.0, f64::max);
+        let slowest = multi
+            .device_runs
+            .iter()
+            .map(|r| r.time.total)
+            .fold(0.0, f64::max);
         assert!(multi.time > slowest);
     }
 

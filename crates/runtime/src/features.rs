@@ -138,7 +138,11 @@ mod tests {
             BufferData::F32(vec![1.0; n_items]),
             BufferData::F32(vec![0.0; n_items]),
         ];
-        let args = vec![ArgValue::Buffer(0), ArgValue::Buffer(1), ArgValue::Int(inner)];
+        let args = vec![
+            ArgValue::Buffer(0),
+            ArgValue::Buffer(1),
+            ArgValue::Int(inner),
+        ];
         runtime_features(&k, &NdRange::d1(n_items), &args, &bufs, 64).unwrap()
     }
 
@@ -188,7 +192,10 @@ mod tests {
     #[test]
     fn does_not_mutate_inputs() {
         let k = compile(SRC).unwrap();
-        let bufs = vec![BufferData::F32(vec![1.0; 64]), BufferData::F32(vec![0.0; 64])];
+        let bufs = vec![
+            BufferData::F32(vec![1.0; 64]),
+            BufferData::F32(vec![0.0; 64]),
+        ];
         let before = bufs.clone();
         let args = vec![ArgValue::Buffer(0), ArgValue::Buffer(1), ArgValue::Int(3)];
         runtime_features(&k, &NdRange::d1(64), &args, &bufs, 16).unwrap();

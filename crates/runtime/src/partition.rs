@@ -28,7 +28,11 @@ impl Partition {
     pub fn from_tenths(shares: Vec<u8>) -> Self {
         assert!(!shares.is_empty(), "partition needs at least one device");
         let sum: u32 = shares.iter().map(|&s| u32::from(s)).sum();
-        assert_eq!(sum, u32::from(TENTHS), "partition shares must sum to 10, got {shares:?}");
+        assert_eq!(
+            sum,
+            u32::from(TENTHS),
+            "partition shares must sum to 10, got {shares:?}"
+        );
         Self { shares }
     }
 
@@ -84,7 +88,9 @@ impl Partition {
         fn rec(shares: &mut Vec<u8>, idx: usize, left: u8, step: u8, out: &mut Vec<Partition>) {
             if idx == shares.len() - 1 {
                 shares[idx] = left;
-                out.push(Partition { shares: shares.clone() });
+                out.push(Partition {
+                    shares: shares.clone(),
+                });
                 return;
             }
             let mut s = 0;
@@ -110,7 +116,11 @@ impl Partition {
 
     /// Devices with a non-zero share.
     pub fn active_devices(&self) -> impl Iterator<Item = usize> + '_ {
-        self.shares.iter().enumerate().filter(|(_, &s)| s > 0).map(|(i, _)| i)
+        self.shares
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s > 0)
+            .map(|(i, _)| i)
     }
 
     /// How many devices receive work.
@@ -156,8 +166,11 @@ impl Partition {
 
 impl fmt::Display for Partition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> =
-            self.shares.iter().map(|&s| format!("{}", u32::from(s) * 10)).collect();
+        let parts: Vec<String> = self
+            .shares
+            .iter()
+            .map(|&s| format!("{}", u32::from(s) * 10))
+            .collect();
         write!(f, "{}", parts.join("/"))
     }
 }
@@ -243,7 +256,10 @@ mod tests {
 
     #[test]
     fn display_is_percentages() {
-        assert_eq!(Partition::from_tenths(vec![5, 3, 2]).to_string(), "50/30/20");
+        assert_eq!(
+            Partition::from_tenths(vec![5, 3, 2]).to_string(),
+            "50/30/20"
+        );
         assert_eq!(Partition::cpu_only(3).to_string(), "100/0/0");
     }
 
@@ -258,6 +274,83 @@ mod tests {
         let space = Partition::enumerate(3, 1);
         for (i, p) in space.iter().enumerate() {
             assert_eq!(p.class_index(&space), Some(i));
+        }
+    }
+
+    #[test]
+    fn tenths_is_the_papers_ten_percent_granularity() {
+        assert_eq!(TENTHS, 10, "the paper discretizes the space in 10% steps");
+        // Every supported granularity divides the space evenly.
+        for step in [1u8, 2, 5, 10] {
+            assert_eq!(TENTHS % step, 0);
+        }
+    }
+
+    #[test]
+    fn from_tenths_preserves_shares_and_sums_to_tenths() {
+        for shares in [
+            vec![10],
+            vec![5, 5],
+            vec![4, 3, 3],
+            vec![0, 10, 0],
+            vec![1, 2, 3, 4],
+        ] {
+            let p = Partition::from_tenths(shares.clone());
+            assert_eq!(p.shares(), &shares[..]);
+            assert_eq!(p.num_devices(), shares.len());
+            let sum: u32 = p.shares().iter().map(|&s| u32::from(s)).sum();
+            assert_eq!(sum, u32::from(TENTHS));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn from_tenths_rejects_empty() {
+        Partition::from_tenths(vec![]);
+    }
+
+    #[test]
+    fn every_enumerated_partition_sums_to_tenths_across_steps_and_devices() {
+        for num_devices in 1..=4 {
+            for step in [1u8, 2, 5, 10] {
+                for p in Partition::enumerate(num_devices, step) {
+                    let sum: u32 = p.shares().iter().map(|&s| u32::from(s)).sum();
+                    assert_eq!(
+                        sum,
+                        u32::from(TENTHS),
+                        "{p} in space ({num_devices}, {step})"
+                    );
+                    assert!(
+                        p.shares().iter().all(|&s| s % step == 0),
+                        "{p}: shares must be multiples of the step {step}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_tile_the_extent_for_every_space_and_awkward_extent() {
+        // Chunk boundaries must stay contiguous, exhaustive and disjoint
+        // for every partition of every supported space, including extents
+        // smaller than the device count and extents that don't divide by
+        // ten.
+        for num_devices in 1..=4 {
+            for step in [1u8, 2, 5] {
+                for extent in [1usize, 2, 3, 9, 10, 11, 127, 1000] {
+                    for p in Partition::enumerate(num_devices, step) {
+                        let chunks = p.chunks(extent);
+                        assert_eq!(chunks.len(), num_devices);
+                        let mut pos = 0;
+                        for (dev, c) in chunks.iter().enumerate() {
+                            assert_eq!(c.start, pos, "{p} extent {extent} device {dev}");
+                            assert!(c.end >= c.start);
+                            pos = c.end;
+                        }
+                        assert_eq!(pos, extent, "{p} extent {extent} must be covered");
+                    }
+                }
+            }
         }
     }
 

@@ -64,9 +64,17 @@ impl LaunchProfile {
             run_one(&mut vm, kernel, nd, slice, args, &mut scratch, &mut c)?;
             let d = dynamic_counts(&kernel.bytecode, &c);
             let ops = d.total_ops() as f64;
-            samples.push(SamplePoint { slice, counts: d, ops });
+            samples.push(SamplePoint {
+                slice,
+                counts: d,
+                ops,
+            });
         }
-        Ok(Self { extent, items_per_slice: inner, samples })
+        Ok(Self {
+            extent,
+            items_per_slice: inner,
+            samples,
+        })
     }
 
     /// Number of collected samples.
@@ -80,7 +88,10 @@ impl LaunchProfile {
     /// Returns `(counts, divergence_cv)`. Panics if the range is empty or
     /// out of bounds — chunk construction guarantees validity.
     pub fn estimate(&self, slices: Range<usize>) -> (DynamicCounts, f64) {
-        assert!(!slices.is_empty() && slices.end <= self.extent, "invalid chunk {slices:?}");
+        assert!(
+            !slices.is_empty() && slices.end <= self.extent,
+            "invalid chunk {slices:?}"
+        );
         let chunk_items = (slices.len() * self.items_per_slice) as f64;
         let inside: Vec<&SamplePoint> = self
             .samples
@@ -170,7 +181,11 @@ mod tests {
     fn bufs_args(n: usize) -> (Vec<BufferData>, Vec<ArgValue>) {
         (
             vec![BufferData::F32(vec![1.0; n]), BufferData::F32(vec![0.0; n])],
-            vec![ArgValue::Buffer(0), ArgValue::Buffer(1), ArgValue::Int(n as i32)],
+            vec![
+                ArgValue::Buffer(0),
+                ArgValue::Buffer(1),
+                ArgValue::Int(n as i32),
+            ],
         )
     }
 

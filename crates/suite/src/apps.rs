@@ -222,8 +222,7 @@ pub fn nbody() -> Benchmark {
             let mut ay = vec![0.0f32; n];
             let mut az = vec![0.0f32; n];
             for i in 0..n {
-                let (xi, yi, zi) =
-                    (f64::from(px[i]), f64::from(py[i]), f64::from(pz[i]));
+                let (xi, yi, zi) = (f64::from(px[i]), f64::from(py[i]), f64::from(pz[i]));
                 let (mut fx, mut fy, mut fz) = (0.0f64, 0.0f64, 0.0f64);
                 for j in 0..n {
                     let dx = f64::from(px[j]) - xi;
@@ -434,12 +433,12 @@ pub fn blackscholes() -> Benchmark {
             let cnd = |d: f64| -> f64 {
                 let k = 1.0 / (1.0 + 0.2316419 * d.abs());
                 let c = 1.0
-                    - 0.398_942_280_401_432_7 * (-0.5 * d * d).exp()
+                    - 0.398_942_280_401_432_7
+                        * (-0.5 * d * d).exp()
                         * k
                         * (0.31938153
                             + k * (-0.356563782
-                                + k * (1.781477937
-                                    + k * (-1.821255978 + k * 1.330274429))));
+                                + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
                 if d < 0.0 {
                     1.0 - c
                 } else {
@@ -660,7 +659,9 @@ mod tests {
         let b = monte_carlo_pi();
         let inst = (b.setup)(4096, 0);
         let expected = (b.reference)(&inst);
-        let BufferData::U32(hits) = &expected[0].1 else { panic!() };
+        let BufferData::U32(hits) = &expected[0].1 else {
+            panic!()
+        };
         let total: u64 = hits.iter().map(|&h| u64::from(h)).sum();
         let samples = 4096u64 * MC_SAMPLES as u64;
         let pi = 4.0 * total as f64 / samples as f64;
@@ -672,7 +673,9 @@ mod tests {
         let b = mandelbrot();
         let inst = (b.setup)(32, 0);
         let expected = (b.reference)(&inst);
-        let BufferData::I32(out) = &expected[0].1 else { panic!() };
+        let BufferData::I32(out) = &expected[0].1 else {
+            panic!()
+        };
         // The set's interior (around the origin of the image) must
         // saturate; the far exterior must escape almost immediately.
         assert!(out.contains(&MANDEL_MAX_ITER));
@@ -684,7 +687,9 @@ mod tests {
         let b = kmeans();
         let inst = (b.setup)(1024, 1);
         let expected = (b.reference)(&inst);
-        let BufferData::I32(assign) = &expected[0].1 else { panic!() };
+        let BufferData::I32(assign) = &expected[0].1 else {
+            panic!()
+        };
         assert!(assign.iter().all(|&a| (0..KMEANS_K as i32).contains(&a)));
         // More than one cluster should actually be used.
         let first = assign[0];

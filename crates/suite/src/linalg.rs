@@ -7,7 +7,9 @@ use hetpart_inspire::vm::{ArgValue, BufferData};
 use crate::workload::{hash_f32, Benchmark, Instance};
 
 fn matrix(seed: u64, n: usize, m: usize, lo: f32, hi: f32) -> Vec<f32> {
-    (0..n * m).map(|i| hash_f32(seed, i as u64, lo, hi)).collect()
+    (0..n * m)
+        .map(|i| hash_f32(seed, i as u64, lo, hi))
+        .collect()
 }
 
 const SGEMM_SRC: &str = r#"
@@ -32,22 +34,20 @@ pub fn sgemm() -> Benchmark {
         description: "dense square matrix multiplication",
         source: SGEMM_SRC,
         sizes: &[16, 32, 64, 128, 256, 512],
-        setup: |n, seed| {
-            Instance {
-                nd: NdRange::d2(n, n),
-                args: vec![
-                    ArgValue::Buffer(0),
-                    ArgValue::Buffer(1),
-                    ArgValue::Buffer(2),
-                    ArgValue::Int(n as i32),
-                ],
-                bufs: vec![
-                    BufferData::F32(matrix(seed, n, n, -1.0, 1.0)),
-                    BufferData::F32(matrix(seed ^ 5, n, n, -1.0, 1.0)),
-                    BufferData::F32(vec![0.0; n * n]),
-                ],
-                outputs: vec![2],
-            }
+        setup: |n, seed| Instance {
+            nd: NdRange::d2(n, n),
+            args: vec![
+                ArgValue::Buffer(0),
+                ArgValue::Buffer(1),
+                ArgValue::Buffer(2),
+                ArgValue::Int(n as i32),
+            ],
+            bufs: vec![
+                BufferData::F32(matrix(seed, n, n, -1.0, 1.0)),
+                BufferData::F32(matrix(seed ^ 5, n, n, -1.0, 1.0)),
+                BufferData::F32(vec![0.0; n * n]),
+            ],
+            outputs: vec![2],
         },
         reference: |inst| {
             let a = inst.bufs[0].as_f32().expect("f32");
@@ -86,21 +86,19 @@ pub fn mat_transpose() -> Benchmark {
         description: "out-of-place matrix transpose",
         source: TRANSPOSE_SRC,
         sizes: &[16, 32, 64, 128, 256, 512],
-        setup: |n, seed| {
-            Instance {
-                nd: NdRange::d2(n, n),
-                args: vec![
-                    ArgValue::Buffer(0),
-                    ArgValue::Buffer(1),
-                    ArgValue::Int(n as i32),
-                    ArgValue::Int(n as i32),
-                ],
-                bufs: vec![
-                    BufferData::F32(matrix(seed, n, n, -4.0, 4.0)),
-                    BufferData::F32(vec![0.0; n * n]),
-                ],
-                outputs: vec![1],
-            }
+        setup: |n, seed| Instance {
+            nd: NdRange::d2(n, n),
+            args: vec![
+                ArgValue::Buffer(0),
+                ArgValue::Buffer(1),
+                ArgValue::Int(n as i32),
+                ArgValue::Int(n as i32),
+            ],
+            bufs: vec![
+                BufferData::F32(matrix(seed, n, n, -4.0, 4.0)),
+                BufferData::F32(vec![0.0; n * n]),
+            ],
+            outputs: vec![1],
         },
         reference: |inst| {
             let a = inst.bufs[0].as_f32().expect("f32");
@@ -141,26 +139,24 @@ pub fn mvt() -> Benchmark {
         description: "matrix-vector product and transposed product",
         source: MVT_SRC,
         sizes: &[64, 128, 256, 512, 1024, 2048],
-        setup: |n, seed| {
-            Instance {
-                nd: NdRange::d1(n),
-                args: vec![
-                    ArgValue::Buffer(0),
-                    ArgValue::Buffer(1),
-                    ArgValue::Buffer(2),
-                    ArgValue::Buffer(3),
-                    ArgValue::Buffer(4),
-                    ArgValue::Int(n as i32),
-                ],
-                bufs: vec![
-                    BufferData::F32(matrix(seed, n, n, -1.0, 1.0)),
-                    BufferData::F32(matrix(seed ^ 7, n, 1, -1.0, 1.0)),
-                    BufferData::F32(matrix(seed ^ 8, n, 1, -1.0, 1.0)),
-                    BufferData::F32(vec![0.0; n]),
-                    BufferData::F32(vec![0.0; n]),
-                ],
-                outputs: vec![3, 4],
-            }
+        setup: |n, seed| Instance {
+            nd: NdRange::d1(n),
+            args: vec![
+                ArgValue::Buffer(0),
+                ArgValue::Buffer(1),
+                ArgValue::Buffer(2),
+                ArgValue::Buffer(3),
+                ArgValue::Buffer(4),
+                ArgValue::Int(n as i32),
+            ],
+            bufs: vec![
+                BufferData::F32(matrix(seed, n, n, -1.0, 1.0)),
+                BufferData::F32(matrix(seed ^ 7, n, 1, -1.0, 1.0)),
+                BufferData::F32(matrix(seed ^ 8, n, 1, -1.0, 1.0)),
+                BufferData::F32(vec![0.0; n]),
+                BufferData::F32(vec![0.0; n]),
+            ],
+            outputs: vec![3, 4],
         },
         reference: |inst| {
             let a = inst.bufs[0].as_f32().expect("f32");
@@ -202,28 +198,26 @@ pub fn gemver() -> Benchmark {
         description: "rank-2 matrix update",
         source: GEMVER_SRC,
         sizes: &[16, 32, 64, 128, 256, 512],
-        setup: |n, seed| {
-            Instance {
-                nd: NdRange::d2(n, n),
-                args: vec![
-                    ArgValue::Buffer(0),
-                    ArgValue::Buffer(1),
-                    ArgValue::Buffer(2),
-                    ArgValue::Buffer(3),
-                    ArgValue::Buffer(4),
-                    ArgValue::Buffer(5),
-                    ArgValue::Int(n as i32),
-                ],
-                bufs: vec![
-                    BufferData::F32(matrix(seed, n, n, -1.0, 1.0)),
-                    BufferData::F32(matrix(seed ^ 11, n, 1, -1.0, 1.0)),
-                    BufferData::F32(matrix(seed ^ 12, n, 1, -1.0, 1.0)),
-                    BufferData::F32(matrix(seed ^ 13, n, 1, -1.0, 1.0)),
-                    BufferData::F32(matrix(seed ^ 14, n, 1, -1.0, 1.0)),
-                    BufferData::F32(vec![0.0; n * n]),
-                ],
-                outputs: vec![5],
-            }
+        setup: |n, seed| Instance {
+            nd: NdRange::d2(n, n),
+            args: vec![
+                ArgValue::Buffer(0),
+                ArgValue::Buffer(1),
+                ArgValue::Buffer(2),
+                ArgValue::Buffer(3),
+                ArgValue::Buffer(4),
+                ArgValue::Buffer(5),
+                ArgValue::Int(n as i32),
+            ],
+            bufs: vec![
+                BufferData::F32(matrix(seed, n, n, -1.0, 1.0)),
+                BufferData::F32(matrix(seed ^ 11, n, 1, -1.0, 1.0)),
+                BufferData::F32(matrix(seed ^ 12, n, 1, -1.0, 1.0)),
+                BufferData::F32(matrix(seed ^ 13, n, 1, -1.0, 1.0)),
+                BufferData::F32(matrix(seed ^ 14, n, 1, -1.0, 1.0)),
+                BufferData::F32(vec![0.0; n * n]),
+            ],
+            outputs: vec![5],
         },
         reference: |inst| {
             let a = inst.bufs[0].as_f32().expect("f32");
@@ -270,26 +264,24 @@ pub fn bicg() -> Benchmark {
         description: "BiCG dual matrix-vector kernel",
         source: BICG_SRC,
         sizes: &[64, 128, 256, 512, 1024, 2048],
-        setup: |n, seed| {
-            Instance {
-                nd: NdRange::d1(n),
-                args: vec![
-                    ArgValue::Buffer(0),
-                    ArgValue::Buffer(1),
-                    ArgValue::Buffer(2),
-                    ArgValue::Buffer(3),
-                    ArgValue::Buffer(4),
-                    ArgValue::Int(n as i32),
-                ],
-                bufs: vec![
-                    BufferData::F32(matrix(seed, n, n, -1.0, 1.0)),
-                    BufferData::F32(matrix(seed ^ 21, n, 1, -1.0, 1.0)),
-                    BufferData::F32(matrix(seed ^ 22, n, 1, -1.0, 1.0)),
-                    BufferData::F32(vec![0.0; n]),
-                    BufferData::F32(vec![0.0; n]),
-                ],
-                outputs: vec![3, 4],
-            }
+        setup: |n, seed| Instance {
+            nd: NdRange::d1(n),
+            args: vec![
+                ArgValue::Buffer(0),
+                ArgValue::Buffer(1),
+                ArgValue::Buffer(2),
+                ArgValue::Buffer(3),
+                ArgValue::Buffer(4),
+                ArgValue::Int(n as i32),
+            ],
+            bufs: vec![
+                BufferData::F32(matrix(seed, n, n, -1.0, 1.0)),
+                BufferData::F32(matrix(seed ^ 21, n, 1, -1.0, 1.0)),
+                BufferData::F32(matrix(seed ^ 22, n, 1, -1.0, 1.0)),
+                BufferData::F32(vec![0.0; n]),
+                BufferData::F32(vec![0.0; n]),
+            ],
+            outputs: vec![3, 4],
         },
         reference: |inst| {
             let a = inst.bufs[0].as_f32().expect("f32");
@@ -334,24 +326,22 @@ pub fn syrk() -> Benchmark {
         description: "symmetric rank-k matrix update",
         source: SYRK_SRC,
         sizes: &[16, 32, 64, 128, 256, 512],
-        setup: |n, seed| {
-            Instance {
-                nd: NdRange::d2(n, n),
-                args: vec![
-                    ArgValue::Buffer(0),
-                    ArgValue::Buffer(1),
-                    ArgValue::Buffer(2),
-                    ArgValue::Float(1.5),
-                    ArgValue::Float(0.5),
-                    ArgValue::Int(n as i32),
-                ],
-                bufs: vec![
-                    BufferData::F32(matrix(seed, n, n, -1.0, 1.0)),
-                    BufferData::F32(matrix(seed ^ 31, n, n, -1.0, 1.0)),
-                    BufferData::F32(vec![0.0; n * n]),
-                ],
-                outputs: vec![2],
-            }
+        setup: |n, seed| Instance {
+            nd: NdRange::d2(n, n),
+            args: vec![
+                ArgValue::Buffer(0),
+                ArgValue::Buffer(1),
+                ArgValue::Buffer(2),
+                ArgValue::Float(1.5),
+                ArgValue::Float(0.5),
+                ArgValue::Int(n as i32),
+            ],
+            bufs: vec![
+                BufferData::F32(matrix(seed, n, n, -1.0, 1.0)),
+                BufferData::F32(matrix(seed ^ 31, n, n, -1.0, 1.0)),
+                BufferData::F32(vec![0.0; n * n]),
+            ],
+            outputs: vec![2],
         },
         reference: |inst| {
             let a = inst.bufs[0].as_f32().expect("f32");
@@ -421,7 +411,8 @@ mod tests {
         let kernel = b.compile();
         let mut bufs = inst.bufs.clone();
         let mut vm = hetpart_inspire::vm::Vm::new();
-        vm.run_range(&kernel.bytecode, &inst.nd, 0..n, &inst.args, &mut bufs).unwrap();
+        vm.run_range(&kernel.bytecode, &inst.nd, 0..n, &inst.args, &mut bufs)
+            .unwrap();
         assert_eq!(bufs[2].as_f32().unwrap(), inst.bufs[0].as_f32().unwrap());
     }
 }

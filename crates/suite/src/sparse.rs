@@ -43,15 +43,15 @@ pub fn spmv_csr() -> Benchmark {
             for i in 0..n {
                 let nnz = 1 + (hash_u64(seed ^ 41, i as u64) as usize) % (2 * NNZ_PER_ROW - 1);
                 for j in 0..nnz {
-                    let col =
-                        (hash_u64(seed ^ 42, (i * 131 + j) as u64) as usize) % n;
+                    let col = (hash_u64(seed ^ 42, (i * 131 + j) as u64) as usize) % n;
                     col_idx.push(col as i32);
                     vals.push(hash_f32(seed ^ 43, (i * 131 + j) as u64, -1.0, 1.0));
                 }
                 row_ptr.push(col_idx.len() as i32);
             }
-            let x: Vec<f32> =
-                (0..n).map(|i| hash_f32(seed ^ 44, i as u64, -1.0, 1.0)).collect();
+            let x: Vec<f32> = (0..n)
+                .map(|i| hash_f32(seed ^ 44, i as u64, -1.0, 1.0))
+                .collect();
             Instance {
                 nd: NdRange::d1(n),
                 args: vec![

@@ -59,8 +59,7 @@ pub fn stencil2d() -> Benchmark {
                                 * (f64::from(a[(y - 1) * n + x])
                                     + f64::from(a[(y + 1) * n + x])
                                     + f64::from(a[y * n + x - 1])
-                                    + f64::from(a[y * n + x + 1])))
-                            as f32
+                                    + f64::from(a[y * n + x + 1]))) as f32
                     } else {
                         a[idx]
                     };
@@ -355,8 +354,9 @@ pub fn pathfinder() -> Benchmark {
             for (i, d) in dst.iter_mut().enumerate() {
                 let l = i.saturating_sub(1);
                 let r = (i + 1).min(n - 1);
-                let best =
-                    f64::from(prev[l]).min(f64::from(prev[i])).min(f64::from(prev[r]));
+                let best = f64::from(prev[l])
+                    .min(f64::from(prev[i]))
+                    .min(f64::from(prev[r]));
                 *d = (f64::from(row[i]) + best) as f32;
             }
             vec![(2, BufferData::F32(dst))]
@@ -400,7 +400,8 @@ mod tests {
         let kernel = b.compile();
         let mut bufs = inst.bufs.clone();
         let mut vm = hetpart_inspire::vm::Vm::new();
-        vm.run_range(&kernel.bytecode, &inst.nd, 0..16, &inst.args, &mut bufs).unwrap();
+        vm.run_range(&kernel.bytecode, &inst.nd, 0..16, &inst.args, &mut bufs)
+            .unwrap();
         let input = inst.bufs[0].as_f32().unwrap();
         let out = bufs[1].as_f32().unwrap();
         for x in 0..16 {

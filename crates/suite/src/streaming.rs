@@ -29,9 +29,12 @@ pub fn vec_add() -> Benchmark {
         source: VEC_ADD_SRC,
         sizes: &[1024, 4096, 16384, 65536, 262144, 1048576],
         setup: |n, seed| {
-            let a: Vec<f32> = (0..n).map(|i| hash_f32(seed, i as u64, -1.0, 1.0)).collect();
-            let b: Vec<f32> =
-                (0..n).map(|i| hash_f32(seed ^ 1, i as u64, -1.0, 1.0)).collect();
+            let a: Vec<f32> = (0..n)
+                .map(|i| hash_f32(seed, i as u64, -1.0, 1.0))
+                .collect();
+            let b: Vec<f32> = (0..n)
+                .map(|i| hash_f32(seed ^ 1, i as u64, -1.0, 1.0))
+                .collect();
             Instance {
                 nd: NdRange::d1(n),
                 args: vec![
@@ -81,9 +84,12 @@ pub fn triad() -> Benchmark {
         source: TRIAD_SRC,
         sizes: &[1024, 4096, 16384, 65536, 262144, 1048576],
         setup: |n, seed| {
-            let a: Vec<f32> = (0..n).map(|i| hash_f32(seed, i as u64, -2.0, 2.0)).collect();
-            let b: Vec<f32> =
-                (0..n).map(|i| hash_f32(seed ^ 2, i as u64, -2.0, 2.0)).collect();
+            let a: Vec<f32> = (0..n)
+                .map(|i| hash_f32(seed, i as u64, -2.0, 2.0))
+                .collect();
+            let b: Vec<f32> = (0..n)
+                .map(|i| hash_f32(seed ^ 2, i as u64, -2.0, 2.0))
+                .collect();
             Instance {
                 nd: NdRange::d1(n),
                 args: vec![
@@ -140,10 +146,12 @@ pub fn dot_product() -> Benchmark {
         sizes: &[4096, 16384, 65536, 262144, 1048576, 4194304],
         setup: |n, seed| {
             let items = n / REDUCTION_BLOCK;
-            let a: Vec<f32> =
-                (0..n).map(|i| hash_f32(seed, i as u64, -1.0, 1.0)).collect();
-            let b: Vec<f32> =
-                (0..n).map(|i| hash_f32(seed ^ 3, i as u64, -1.0, 1.0)).collect();
+            let a: Vec<f32> = (0..n)
+                .map(|i| hash_f32(seed, i as u64, -1.0, 1.0))
+                .collect();
+            let b: Vec<f32> = (0..n)
+                .map(|i| hash_f32(seed ^ 3, i as u64, -1.0, 1.0))
+                .collect();
             Instance {
                 nd: NdRange::d1(items),
                 args: vec![
@@ -205,8 +213,7 @@ pub fn reduction_sum() -> Benchmark {
         sizes: &[4096, 16384, 65536, 262144, 1048576, 4194304],
         setup: |n, seed| {
             let items = n.div_ceil(REDUCTION_BLOCK);
-            let a: Vec<f32> =
-                (0..n).map(|i| hash_f32(seed, i as u64, 0.0, 1.0)).collect();
+            let a: Vec<f32> = (0..n).map(|i| hash_f32(seed, i as u64, 0.0, 1.0)).collect();
             Instance {
                 nd: NdRange::d1(items),
                 args: vec![

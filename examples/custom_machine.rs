@@ -50,19 +50,32 @@ fn laptop() -> Machine {
 }
 
 fn main() {
-    let cfg = HarnessConfig { sizes_per_benchmark: 3, ..HarnessConfig::quick() };
+    let cfg = HarnessConfig {
+        sizes_per_benchmark: 3,
+        ..HarnessConfig::quick()
+    };
     let benches: Vec<_> = hetpart_suite::all()
         .into_iter()
         .filter(|b| {
-            ["vec_add", "blackscholes", "nbody", "sgemm", "stencil2d", "spmv_csr"]
-                .contains(&b.name)
+            [
+                "vec_add",
+                "blackscholes",
+                "nbody",
+                "sgemm",
+                "stencil2d",
+                "spmv_csr",
+            ]
+            .contains(&b.name)
         })
         .collect();
 
     // Train one predictor per machine (the paper's per-architecture
     // training).
     let targets = vec![laptop(), machines::mc1(), machines::mc2()];
-    println!("training a model per machine on {} programs ...\n", benches.len());
+    println!(
+        "training a model per machine on {} programs ...\n",
+        benches.len()
+    );
     let mut predictors = Vec::new();
     for m in &targets {
         let db = collect_training_db(m, &benches, &cfg);
@@ -73,7 +86,10 @@ fn main() {
     let bench = hetpart_suite::by_name("blackscholes").expect("exists");
     let kernel = bench.compile();
     println!("predicted partitioning for blackscholes, per machine and size:");
-    println!("{:>10}  {:>14}  {:>14}  {:>14}", "size", "laptop", "mc1", "mc2");
+    println!(
+        "{:>10}  {:>14}  {:>14}  {:>14}",
+        "size", "laptop", "mc1", "mc2"
+    );
     for &n in bench.sizes {
         let inst = bench.instance(n);
         let rt: RuntimeFeatures = hetpart_runtime::runtime_features(

@@ -11,9 +11,15 @@ use hetpart_core::{eval, HarnessConfig};
 fn main() {
     let fast = std::env::var("HETPART_FAST").is_ok();
     let cfg = if fast {
-        HarnessConfig { sizes_per_benchmark: 3, ..HarnessConfig::quick() }
+        HarnessConfig {
+            sizes_per_benchmark: 3,
+            ..HarnessConfig::quick()
+        }
     } else {
-        HarnessConfig { sizes_per_benchmark: 4, ..HarnessConfig::paper() }
+        HarnessConfig {
+            sizes_per_benchmark: 4,
+            ..HarnessConfig::paper()
+        }
     };
     eprintln!(
         "measuring 23 programs x {} sizes x {} partitionings on 2 machines ...",
@@ -22,7 +28,10 @@ fn main() {
     );
     let start = std::time::Instant::now();
     let ctx = eval::EvalContext::build_full_suite(cfg);
-    eprintln!("training data collected in {:.1}s", start.elapsed().as_secs_f64());
+    eprintln!(
+        "training data collected in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
 
     let fig = eval::figure1(&ctx);
     println!("{}", fig.render());

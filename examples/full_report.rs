@@ -22,9 +22,15 @@ fn save(dir: &Path, name: &str, text: &str, json: &impl serde::Serialize) {
 fn main() {
     let fast = std::env::var("HETPART_FAST").is_ok();
     let cfg = if fast {
-        HarnessConfig { sizes_per_benchmark: 2, ..HarnessConfig::quick() }
+        HarnessConfig {
+            sizes_per_benchmark: 2,
+            ..HarnessConfig::quick()
+        }
     } else {
-        HarnessConfig { sizes_per_benchmark: 4, ..HarnessConfig::paper() }
+        HarnessConfig {
+            sizes_per_benchmark: 4,
+            ..HarnessConfig::paper()
+        }
     };
     let dir = Path::new("reports");
     fs::create_dir_all(dir).expect("create reports dir");

@@ -1,0 +1,5 @@
+//! Runnable examples for the hetpart workspace.
+//!
+//! This crate exists only to host the `[[example]]` targets declared in
+//! its manifest; run them with e.g. `cargo run --release --example
+//! quickstart`.

@@ -34,12 +34,22 @@ fn main() {
     //    (training phase: exhaustive partition sweeps on the simulated
     //    machine mc2 — dual Xeon + two GTX 480s).
     let machine = machines::mc2();
-    let cfg = HarnessConfig { sizes_per_benchmark: 3, ..HarnessConfig::quick() };
+    let cfg = HarnessConfig {
+        sizes_per_benchmark: 3,
+        ..HarnessConfig::quick()
+    };
     let benches: Vec<_> = hetpart_suite::all()
         .into_iter()
         .filter(|b| {
-            ["vec_add", "blackscholes", "nbody", "sgemm", "mandelbrot", "spmv_csr"]
-                .contains(&b.name)
+            [
+                "vec_add",
+                "blackscholes",
+                "nbody",
+                "sgemm",
+                "mandelbrot",
+                "spmv_csr",
+            ]
+            .contains(&b.name)
         })
         .collect();
     println!(
@@ -56,7 +66,10 @@ fn main() {
 
     // 3. Deployment phase: the framework predicts a partitioning for the
     //    *new* kernel at two very different problem sizes and executes it.
-    let framework = Framework { executor: Executor::new(machine), predictor };
+    let framework = Framework {
+        executor: Executor::new(machine),
+        predictor,
+    };
     for (n, steps) in [(2_048usize, 4i32), (1_048_576, 400)] {
         let a: Vec<f32> = (0..n).map(|i| (i % 97) as f32 / 97.0).collect();
         let mut bufs = vec![BufferData::F32(a), BufferData::F32(vec![0.0; n])];

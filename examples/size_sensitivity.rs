@@ -26,8 +26,8 @@ fn main() {
             for &n in bench.sizes {
                 let inst = bench.instance(n);
                 let launch = Launch::new(&kernel, inst.nd.clone(), inst.args.clone());
-                let sweep = sweep_partitions(&executor, &launch, &inst.bufs, 1)
-                    .expect("sweep succeeds");
+                let sweep =
+                    sweep_partitions(&executor, &launch, &inst.bufs, 1).expect("sweep succeeds");
                 let best = sweep.best();
                 println!(
                     "  {n:>10}  {:>12}  {:>10.4}  {:>10.4}  {:>10.4}",

@@ -21,10 +21,15 @@ fn main() {
 
     // ---- Training phase --------------------------------------------
     let machine = machines::mc2();
-    let cfg = HarnessConfig { sizes_per_benchmark: 3, ..HarnessConfig::quick() };
+    let cfg = HarnessConfig {
+        sizes_per_benchmark: 3,
+        ..HarnessConfig::quick()
+    };
     let held_out = "blackscholes";
-    let training_set: Vec<_> =
-        hetpart_suite::all().into_iter().filter(|b| b.name != held_out).collect();
+    let training_set: Vec<_> = hetpart_suite::all()
+        .into_iter()
+        .filter(|b| b.name != held_out)
+        .collect();
     println!(
         "training phase: {} programs x 3 sizes on {} (holding out `{held_out}`) ...",
         training_set.len(),
@@ -33,19 +38,29 @@ fn main() {
     let db = collect_training_db(&machine, &training_set, &cfg);
     let db_path = out_dir.join("training_db_mc2.json");
     db.save(&db_path).expect("save db");
-    println!("  saved {} training records -> {}", db.records.len(), db_path.display());
+    println!(
+        "  saved {} training records -> {}",
+        db.records.len(),
+        db_path.display()
+    );
 
     let predictor = PartitionPredictor::train(&db, &cfg.model, FeatureSet::Both);
     let model_path = out_dir.join("predictor_mc2.json");
-    fs::write(&model_path, serde_json::to_string_pretty(&predictor).expect("serialize"))
-        .expect("save predictor");
+    fs::write(
+        &model_path,
+        serde_json::to_string_pretty(&predictor).expect("serialize"),
+    )
+    .expect("save predictor");
     println!("  saved trained predictor -> {}\n", model_path.display());
 
     // ---- Deployment phase ------------------------------------------
     let loaded: PartitionPredictor =
         serde_json::from_str(&fs::read_to_string(&model_path).expect("read model"))
             .expect("deserialize predictor");
-    let framework = Framework { executor: Executor::new(machine), predictor: loaded };
+    let framework = Framework {
+        executor: Executor::new(machine),
+        predictor: loaded,
+    };
 
     let bench = hetpart_suite::by_name(held_out).expect("exists");
     let kernel = bench.compile();

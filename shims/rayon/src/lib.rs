@@ -1,0 +1,196 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the subset the workspace uses — `par_iter()` /
+//! `into_par_iter()` followed by `map(...).collect()` — with real
+//! parallelism: an atomic work queue drained by `std::thread::scope`
+//! workers (dynamic scheduling, so uneven items load-balance), with
+//! results written back by index so collection order always equals input
+//! order regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// How many worker threads a parallel call uses.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+/// Order-preserving parallel map: apply `f` to every item, returning
+/// results in input order. Items are pulled from a shared atomic counter,
+/// so expensive items don't serialize behind a static chunking.
+pub fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let f = &f;
+        let work = &work;
+        let out = &out;
+        let next = &next;
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().unwrap().take().expect("item taken once");
+                let result = f(item);
+                *out[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+
+    out.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// A to-be-consumed parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map_vec(self.items, f);
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Execute the map in parallel and collect in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(par_map_vec(self.items, self.f))
+    }
+}
+
+/// `vec.into_par_iter()` / `range.into_par_iter()`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `slice.par_iter()` — borrowed items.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_owned() {
+        let v: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn uneven_work_is_load_balanced_correctly() {
+        // Heavier items at the front; results must still be in order.
+        let out: Vec<u64> = (0..64usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|i| {
+                let spins = if i < 4 { 200_000 } else { 10 };
+                let mut acc = i as u64;
+                for _ in 0..spins {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                std::hint::black_box(acc);
+                i as u64
+            })
+            .collect();
+        assert_eq!(out, (0..64).collect::<Vec<u64>>());
+    }
+}

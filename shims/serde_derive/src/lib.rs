@@ -1,0 +1,410 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote` — they cannot be fetched in
+//! this build environment) that generate impls of the shim `serde` traits:
+//! `Serialize::to_value` and `Deserialize::from_value` over the
+//! self-describing `serde::Value` tree.
+//!
+//! Supported shapes — the ones the workspace uses:
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently, like serde),
+//! * unit structs,
+//! * enums with unit / newtype / tuple / struct variants, in serde's
+//!   externally-tagged representation.
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and produce a
+//! compile error rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match Item::parse(input) {
+        Ok(item) => item
+            .serialize_impl()
+            .parse()
+            .expect("generated code must parse"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match Item::parse(input) {
+        Ok(item) => item
+            .deserialize_impl()
+            .parse()
+            .expect("generated code must parse"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// A minimal item model
+// ---------------------------------------------------------------------
+
+enum Shape {
+    Unit,
+    /// Tuple struct / variant with N unnamed fields.
+    Tuple(usize),
+    /// Struct / variant with named fields.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Body {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+impl Item {
+    fn parse(input: TokenStream) -> Result<Item, String> {
+        let tokens: Vec<TokenTree> = input.into_iter().collect();
+        let mut i = 0;
+
+        skip_attrs_and_vis(&tokens, &mut i)?;
+
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected struct/enum, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected item name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            return Err(format!(
+                "serde shim derive: generic type `{name}` is not supported"
+            ));
+        }
+
+        let body = match kind {
+            "struct" => match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Struct(Shape::Named(parse_named_fields(g.stream())?))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Shape::Unit),
+                other => return Err(format!("serde shim derive: bad struct body {other:?}")),
+            },
+            _ => match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Enum(parse_variants(g.stream())?)
+                }
+                other => return Err(format!("serde shim derive: bad enum body {other:?}")),
+            },
+        };
+
+        Ok(Item { name, body })
+    }
+}
+
+/// Skip `#[...]` attributes (incl. doc comments) and `pub` / `pub(...)`.
+///
+/// `#[serde(...)]` is rejected rather than skipped: silently ignoring it
+/// would change the serialized representation relative to real serde.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if matches!(g.stream().into_iter().next(),
+                        Some(TokenTree::Ident(id)) if id.to_string() == "serde")
+                    {
+                        return Err(
+                            "serde shim derive: #[serde(...)] attributes are not supported"
+                                .to_string(),
+                        );
+                    }
+                }
+                *i += 2; // `#` + the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => break,
+        }
+    }
+    Ok(())
+}
+
+/// Split a token stream at top-level commas, tracking `<...>` depth so
+/// commas inside generic argument lists don't split.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level_commas(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i)?;
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => {}
+            other => return Err(format!("serde shim derive: bad field {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level_commas(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i)?;
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => continue,
+            other => return Err(format!("serde shim derive: bad variant {other:?}")),
+        };
+        i += 1;
+        let shape = match chunk.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde shim derive: explicit discriminant on `{name}` is not supported"
+                ))
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed)
+// ---------------------------------------------------------------------
+
+impl Item {
+    fn serialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.body {
+            Body::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+            Body::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Body::Struct(Shape::Tuple(n)) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+            Body::Struct(Shape::Named(fields)) => named_fields_to_value(fields, "self."),
+            Body::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let vn = &v.name;
+                        match &v.shape {
+                            Shape::Unit => format!(
+                                "{name}::{vn} => ::serde::Value::Str(String::from({vn:?})),"
+                            ),
+                            Shape::Tuple(1) => format!(
+                                "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(String::from({vn:?}), ::serde::Serialize::to_value(__f0))]),"
+                            ),
+                            Shape::Tuple(n) => {
+                                let binds: Vec<String> =
+                                    (0..*n).map(|i| format!("__f{i}")).collect();
+                                let items: Vec<String> = (0..*n)
+                                    .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                    .collect();
+                                format!(
+                                    "{name}::{vn}({}) => ::serde::Value::Map(vec![(String::from({vn:?}), ::serde::Value::Seq(vec![{}]))]),",
+                                    binds.join(", "),
+                                    items.join(", ")
+                                )
+                            }
+                            Shape::Named(fields) => {
+                                let binds = fields.join(", ");
+                                let entries: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| format!(
+                                        "(String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                    ))
+                                    .collect();
+                                format!(
+                                    "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(String::from({vn:?}), ::serde::Value::Map(vec![{}]))]),",
+                                    entries.join(", ")
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!("match self {{ {} }}", arms.join(" "))
+            }
+        };
+        format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+             }}"
+        )
+    }
+
+    fn deserialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.body {
+            Body::Struct(Shape::Unit) => format!("Ok({name})"),
+            Body::Struct(Shape::Tuple(1)) => {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Body::Struct(Shape::Tuple(n)) => format!(
+                "{{ let __items = seq_of_len(__v, {n}, {name:?})?; Ok({name}({})) }}",
+                (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            Body::Struct(Shape::Named(fields)) => format!(
+                "Ok({name} {{ {} }})",
+                named_fields_from_value(fields, name, "__v")
+            ),
+            Body::Enum(variants) => {
+                let unit_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|v| matches!(v.shape, Shape::Unit))
+                    .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                    .collect();
+                let tagged_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|v| !matches!(v.shape, Shape::Unit))
+                    .map(|v| {
+                        let vn = &v.name;
+                        match &v.shape {
+                            Shape::Unit => unreachable!(),
+                            Shape::Tuple(1) => format!(
+                                "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                            ),
+                            Shape::Tuple(n) => format!(
+                                "{vn:?} => {{ let __items = seq_of_len(__inner, {n}, {name:?})?; Ok({name}::{vn}({})) }}",
+                                (0..*n)
+                                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            ),
+                            Shape::Named(fields) => format!(
+                                "{vn:?} => Ok({name}::{vn} {{ {} }}),",
+                                named_fields_from_value(fields, name, "__inner")
+                            ),
+                        }
+                    })
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                             {unit}\n\
+                             __other => Err(::serde::DeError::unknown_variant({name:?}, __other)),\n\
+                         }},\n\
+                         ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                             let (__tag, __inner) = &__entries[0];\n\
+                             match __tag.as_str() {{\n\
+                                 {tagged}\n\
+                                 __other => Err(::serde::DeError::unknown_variant({name:?}, __other)),\n\
+                             }}\n\
+                         }}\n\
+                         __other => Err(::serde::DeError::type_mismatch(\"externally tagged enum\", __other)),\n\
+                     }}",
+                    unit = unit_arms.join("\n"),
+                    tagged = tagged_arms.join("\n"),
+                )
+            }
+        };
+        format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     #[allow(dead_code)]\n\
+                     fn seq_of_len<'a>(v: &'a ::serde::Value, n: usize, ty: &str) -> ::std::result::Result<&'a [::serde::Value], ::serde::DeError> {{\n\
+                         let items = v.as_seq().ok_or_else(|| ::serde::DeError::type_mismatch(\"sequence\", v))?;\n\
+                         if items.len() != n {{\n\
+                             return Err(::serde::DeError::custom(format!(\"{{ty}}: expected {{n}} elements, got {{}}\", items.len())));\n\
+                         }}\n\
+                         Ok(items)\n\
+                     }}\n\
+                     {body}\n\
+                 }}\n\
+             }}"
+        )
+    }
+}
+
+fn named_fields_to_value(fields: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(String::from({f:?}), ::serde::Serialize::to_value(&{prefix}{f}))"))
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn named_fields_from_value(fields: &[String], ty: &str, src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({src}.get({f:?}).ok_or_else(|| ::serde::DeError::missing_field({ty:?}, {f:?}))?)?"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}

@@ -31,7 +31,10 @@ fn training_db_is_deterministic() {
 #[test]
 fn trained_predictors_agree_exactly() {
     let db = collect_training_db(&machines::mc2(), &benches(), &cfg());
-    let m = ModelConfig::Mlp(hetpart_ml::MlpConfig { epochs: 40, ..Default::default() });
+    let m = ModelConfig::Mlp(hetpart_ml::MlpConfig {
+        epochs: 40,
+        ..Default::default()
+    });
     let p1 = PartitionPredictor::train(&db, &m, FeatureSet::Both);
     let p2 = PartitionPredictor::train(&db, &m, FeatureSet::Both);
     for r in &db.records {

@@ -13,8 +13,15 @@ fn pipeline_benches() -> Vec<Benchmark> {
     hetpart_suite::all()
         .into_iter()
         .filter(|b| {
-            ["vec_add", "triad", "nbody", "blackscholes", "sgemm", "mandelbrot"]
-                .contains(&b.name)
+            [
+                "vec_add",
+                "triad",
+                "nbody",
+                "blackscholes",
+                "sgemm",
+                "mandelbrot",
+            ]
+            .contains(&b.name)
         })
         .collect()
 }
@@ -34,19 +41,25 @@ fn train_then_deploy_on_held_out_program() {
     let cfg = quick_cfg();
     let machine = machines::mc2();
     // Hold out triad entirely (the deployment scenario: a new program).
-    let train_set: Vec<Benchmark> =
-        pipeline_benches().into_iter().filter(|b| b.name != "triad").collect();
+    let train_set: Vec<Benchmark> = pipeline_benches()
+        .into_iter()
+        .filter(|b| b.name != "triad")
+        .collect();
     let db = collect_training_db(&machine, &train_set, &cfg);
     let predictor = PartitionPredictor::train(&db, &cfg.model, FeatureSet::Both);
-    let fw = Framework { executor: Executor::new(machine), predictor };
+    let fw = Framework {
+        executor: Executor::new(machine),
+        predictor,
+    };
 
     let bench = hetpart_suite::by_name("triad").unwrap();
     let kernel = bench.compile();
     for &n in &bench.sizes[..2] {
         let inst = bench.instance(n);
         let mut bufs = inst.bufs.clone();
-        let (partition, report) =
-            fw.run_auto(&kernel, &inst.nd, &inst.args, &mut bufs).unwrap();
+        let (partition, report) = fw
+            .run_auto(&kernel, &inst.nd, &inst.args, &mut bufs)
+            .unwrap();
         assert_eq!(partition.num_devices(), 3);
         assert!(report.time > 0.0);
         bench.check_outputs(&inst, &bufs).unwrap();
@@ -73,7 +86,12 @@ fn ml_guided_partitioning_beats_defaults_on_average() {
             m.machine,
             m.geomean_over_cpu
         );
-        assert!(m.oracle_fraction > 0.5, "{}: oracle fraction {:.3}", m.machine, m.oracle_fraction);
+        assert!(
+            m.oracle_fraction > 0.5,
+            "{}: oracle fraction {:.3}",
+            m.machine,
+            m.oracle_fraction
+        );
     }
 }
 

@@ -63,8 +63,15 @@ fn partition_report_times_are_positive_and_bounded() {
         let kernel = bench.compile();
         let inst = bench.instance(bench.smallest_size());
         let launch = Launch::new(&kernel, inst.nd.clone(), inst.args.clone());
-        let report = ex.simulate(&launch, &inst.bufs, &Partition::even(3)).unwrap();
-        assert!(report.time > 0.0 && report.time < 10.0, "{}: {}", bench.name, report.time);
+        let report = ex
+            .simulate(&launch, &inst.bufs, &Partition::even(3))
+            .unwrap();
+        assert!(
+            report.time > 0.0 && report.time < 10.0,
+            "{}: {}",
+            bench.name,
+            report.time
+        );
         let slowest = report
             .device_runs
             .iter()

@@ -2,7 +2,9 @@
 //! JSON round-trip (the deployment phase loads the offline-generated model
 //! from disk).
 
-use hetpart_core::{collect_training_db, FeatureSet, HarnessConfig, PartitionPredictor, TrainingDb};
+use hetpart_core::{
+    collect_training_db, FeatureSet, HarnessConfig, PartitionPredictor, TrainingDb,
+};
 use hetpart_ml::ModelConfig;
 use hetpart_oclsim::{machines, Machine};
 
@@ -41,7 +43,10 @@ fn predictor_roundtrips_and_predicts_identically() {
         ..HarnessConfig::quick()
     };
     let db = collect_training_db(&machines::mc2(), &benches, &cfg);
-    for model in [ModelConfig::Knn { k: 3 }, ModelConfig::Tree(Default::default())] {
+    for model in [
+        ModelConfig::Knn { k: 3 },
+        ModelConfig::Tree(Default::default()),
+    ] {
         let p = PartitionPredictor::train(&db, &model, FeatureSet::Both);
         let js = serde_json::to_string(&p).unwrap();
         let q: PartitionPredictor = serde_json::from_str(&js).unwrap();

@@ -198,7 +198,10 @@ fn every_suite_kernel_roundtrips_through_the_pretty_printer() {
         let k1 = bench.compile();
         let text = hetpart_inspire::pretty::pretty(&k1.ir);
         let k2 = compile(&text).unwrap_or_else(|e| {
-            panic!("{}: pretty output failed to recompile: {e}\n{text}", bench.name)
+            panic!(
+                "{}: pretty output failed to recompile: {e}\n{text}",
+                bench.name
+            )
         });
         assert_eq!(
             k1.static_features, k2.static_features,
