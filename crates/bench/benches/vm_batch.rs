@@ -1,0 +1,311 @@
+//! `vm_batch`: the lane-batched VM and pruned-sweep performance baseline.
+//!
+//! Times three layers against their scalar/exhaustive baselines and
+//! writes the results to `reports/BENCH_vm.json` so future PRs have a
+//! machine-readable perf trajectory:
+//!
+//! 1. **Kernel execution** — `run_range` scalar vs lane engine on
+//!    representative suite kernels (uniform, compute-bound, divergent).
+//! 2. **Training oracle** — one full oracle pass over a batch of
+//!    training launches: the PR-1 shape (scalar probe profiles + the
+//!    exhaustive partition space) vs today's lane-batched profiles, full
+//!    and pruned.
+//! 3. A sanity check that the pruned oracle's argmins match the full
+//!    sweep on the benchmarked batch (the regression suites prove this
+//!    exhaustively; the bench refuses to record numbers from a broken
+//!    comparison).
+
+use std::collections::HashMap;
+use std::fs;
+use std::time::Instant;
+
+use hetpart_bench::banner;
+use hetpart_inspire::vm::Vm;
+use hetpart_runtime::exec::{scalar_values, transfer_bytes};
+use hetpart_runtime::sweep::SWEEP_PROFILE_SAMPLES;
+use hetpart_runtime::{
+    sweep_many, sweep_many_mode, Executor, Launch, LaunchProfile, Partition, PartitionSweep,
+    SweepJob, SweepMode,
+};
+use hetpart_suite::Instance;
+use serde::Serialize;
+
+/// Minimum wall-clock of `reps` timed runs (one untimed warm-up).
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[derive(Serialize)]
+struct RunRangeRow {
+    kernel: String,
+    items: u64,
+    scalar_s: f64,
+    lanes_s: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct OracleRow {
+    jobs: usize,
+    partitions_per_job: usize,
+    scalar_engine_s: f64,
+    lanes_full_s: f64,
+    lanes_pruned_s: f64,
+    speedup_full: f64,
+    speedup_pruned: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    lane_width: usize,
+    run_range: Vec<RunRangeRow>,
+    oracle: OracleRow,
+    target_oracle_speedup: f64,
+    target_met: bool,
+}
+
+fn bench_instance(name: &str, n: usize) -> (hetpart_inspire::CompiledKernel, Instance) {
+    let bench = hetpart_suite::by_name(name).expect("suite kernel exists");
+    (bench.compile(), bench.instance(n))
+}
+
+fn run_range_rows() -> Vec<RunRangeRow> {
+    // Uniform streaming, compute-bound uniform, and a heavily divergent
+    // kernel (mandelbrot exercises the per-lane replay path).
+    let picks = [
+        ("vec_add", 1 << 18),
+        ("blackscholes", 1 << 14),
+        ("sgemm", 96),
+        ("mandelbrot", 96),
+    ];
+    let mut rows = Vec::new();
+    for (name, n) in picks {
+        let (kernel, inst) = bench_instance(name, n);
+        let extent = inst.nd.split_extent();
+        let mut vm = Vm::new();
+        let mut bufs = inst.bufs.clone();
+        let scalar_s = time_best(5, || {
+            vm.run_range_scalar(&kernel.bytecode, &inst.nd, 0..extent, &inst.args, &mut bufs)
+                .unwrap();
+        });
+        let lanes_s = time_best(5, || {
+            vm.run_range_lanes(&kernel.bytecode, &inst.nd, 0..extent, &inst.args, &mut bufs)
+                .unwrap();
+        });
+        rows.push(RunRangeRow {
+            kernel: name.to_string(),
+            items: inst.nd.total() as u64,
+            scalar_s,
+            lanes_s,
+            speedup: scalar_s / lanes_s,
+        });
+    }
+    rows
+}
+
+/// The PR-1 training oracle, reconstructed from public APIs with the
+/// scalar engine and the *same* two-phase rayon structure as
+/// [`sweep_many`]: parallel per-job contexts (scalar probe profile +
+/// transfer cache), then one flat parallel pass over (job × partition)
+/// pairs. Keeping the parallelism identical means the recorded speedups
+/// isolate the lane engine and the pruning, not core count.
+fn scalar_engine_oracle(ex: &Executor, jobs: &[SweepJob<'_>]) -> Vec<PartitionSweep> {
+    use rayon::prelude::*;
+    type Ctx = (
+        LaunchProfile,
+        HashMap<(usize, usize), (u64, u64)>,
+        Vec<Partition>,
+    );
+    let ctxs: Vec<Ctx> = jobs
+        .par_iter()
+        .map(|job| {
+            let launch = job.launch;
+            let profile = LaunchProfile::collect_scalar(
+                launch.kernel,
+                &launch.nd,
+                &launch.args,
+                job.bufs,
+                SWEEP_PROFILE_SAMPLES.max(ex.sample_items),
+            )
+            .unwrap();
+            let scalars = scalar_values(launch.kernel, &launch.args);
+            let space = Partition::enumerate(ex.machine.num_devices(), job.step_tenths);
+            let extent = launch.nd.split_extent();
+            let mut transfers: HashMap<(usize, usize), (u64, u64)> = HashMap::new();
+            for partition in &space {
+                for chunk in partition.chunks(extent) {
+                    if !chunk.is_empty() {
+                        transfers
+                            .entry((chunk.start, chunk.end))
+                            .or_insert_with(|| {
+                                transfer_bytes(
+                                    launch.kernel,
+                                    &launch.nd,
+                                    chunk.clone(),
+                                    &scalars,
+                                    &launch.args,
+                                    job.bufs,
+                                )
+                            });
+                    }
+                }
+            }
+            (profile, transfers, space)
+        })
+        .collect();
+
+    let mut pairs = Vec::new();
+    for (ji, (_, _, space)) in ctxs.iter().enumerate() {
+        for pi in 0..space.len() {
+            pairs.push((ji, pi));
+        }
+    }
+    let entries: Vec<hetpart_runtime::SweepEntry> = pairs
+        .into_par_iter()
+        .map(|(ji, pi)| {
+            let job = &jobs[ji];
+            let (profile, transfers, space) = &ctxs[ji];
+            let partition = &space[pi];
+            let report = ex.price_with_profile(job.launch, partition, profile, |chunk| {
+                transfers[&(chunk.start, chunk.end)]
+            });
+            hetpart_runtime::SweepEntry {
+                partition: partition.clone(),
+                time: report.time,
+            }
+        })
+        .collect();
+
+    let mut sweeps = Vec::with_capacity(jobs.len());
+    let mut offset = 0;
+    for (_, _, space) in &ctxs {
+        sweeps.push(PartitionSweep {
+            entries: entries[offset..offset + space.len()].to_vec(),
+        });
+        offset += space.len();
+    }
+    sweeps
+}
+
+fn oracle_row() -> OracleRow {
+    let ex = Executor::new(hetpart_oclsim::machines::mc2());
+    // A training-shaped batch: mixed arithmetic intensity, mixed sizes.
+    let picks = [
+        ("vec_add", 1 << 14),
+        ("vec_add", 1 << 16),
+        ("blackscholes", 1 << 12),
+        ("blackscholes", 1 << 14),
+        ("nbody", 1 << 10),
+        ("sgemm", 64),
+        ("mandelbrot", 64),
+        ("dot_product", 1 << 14),
+    ];
+    let compiled: Vec<(hetpart_inspire::CompiledKernel, Instance)> = picks
+        .iter()
+        .map(|&(name, n)| bench_instance(name, n))
+        .collect();
+    let launches: Vec<Launch> = compiled
+        .iter()
+        .map(|(k, inst)| Launch::new(k, inst.nd.clone(), inst.args.clone()))
+        .collect();
+    let jobs: Vec<SweepJob> = launches
+        .iter()
+        .zip(&compiled)
+        .map(|(launch, (_, inst))| SweepJob {
+            launch,
+            bufs: &inst.bufs,
+            step_tenths: 1,
+        })
+        .collect();
+
+    let scalar_engine_s = time_best(3, || {
+        let _ = scalar_engine_oracle(&ex, &jobs);
+    });
+    let lanes_full_s = time_best(3, || {
+        sweep_many(&ex, &jobs).unwrap();
+    });
+    let lanes_pruned_s = time_best(3, || {
+        sweep_many_mode(&ex, &jobs, SweepMode::Pruned).unwrap();
+    });
+
+    // Refuse to record numbers from a broken comparison: all three
+    // oracles must agree on every argmin.
+    let reference = scalar_engine_oracle(&ex, &jobs);
+    let full = sweep_many(&ex, &jobs).unwrap();
+    let pruned = sweep_many_mode(&ex, &jobs, SweepMode::Pruned).unwrap();
+    for ((r, f), p) in reference.iter().zip(&full).zip(&pruned) {
+        assert_eq!(r.best().partition, f.best().partition, "oracle drift");
+        assert_eq!(f.best().partition, p.best().partition, "pruning drift");
+        assert_eq!(f.best().time.to_bits(), p.best().time.to_bits());
+    }
+
+    OracleRow {
+        jobs: jobs.len(),
+        partitions_per_job: Partition::enumerate(ex.machine.num_devices(), 1).len(),
+        scalar_engine_s,
+        lanes_full_s,
+        lanes_pruned_s,
+        speedup_full: scalar_engine_s / lanes_full_s,
+        speedup_pruned: scalar_engine_s / lanes_pruned_s,
+    }
+}
+
+fn main() {
+    banner("vm_batch — lane-batched VM + pruned sweep vs scalar baselines");
+
+    let run_range = run_range_rows();
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>9}",
+        "kernel", "items", "scalar", "lanes", "speedup"
+    );
+    for r in &run_range {
+        println!(
+            "{:<14} {:>10} {:>10.3}ms {:>10.3}ms {:>8.2}x",
+            r.kernel,
+            r.items,
+            r.scalar_s * 1e3,
+            r.lanes_s * 1e3,
+            r.speedup
+        );
+    }
+
+    let oracle = oracle_row();
+    println!(
+        "\ntraining oracle ({} jobs x {} partitions):",
+        oracle.jobs, oracle.partitions_per_job
+    );
+    println!(
+        "  scalar engine  {:>10.3}ms\n  lanes, full    {:>10.3}ms  ({:.2}x)\n  lanes, pruned  {:>10.3}ms  ({:.2}x)",
+        oracle.scalar_engine_s * 1e3,
+        oracle.lanes_full_s * 1e3,
+        oracle.speedup_full,
+        oracle.lanes_pruned_s * 1e3,
+        oracle.speedup_pruned,
+    );
+
+    let target = 3.0;
+    let report = Report {
+        bench: "vm_batch".to_string(),
+        lane_width: hetpart_inspire::vm::LANES,
+        run_range,
+        target_met: oracle.speedup_pruned >= target,
+        oracle,
+        target_oracle_speedup: target,
+    };
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../reports");
+    fs::create_dir_all(dir).expect("create reports dir");
+    let path = format!("{dir}/BENCH_vm.json");
+    fs::write(&path, serde_json::to_string_pretty(&report).unwrap()).expect("write report");
+    println!(
+        "\nwrote {path} (oracle speedup target {target}x: {})",
+        if report.target_met { "met" } else { "MISSED" }
+    );
+}

@@ -2,6 +2,7 @@
 
 use hetpart_ml::{MlpConfig, ModelConfig};
 use hetpart_oclsim::{machines, Machine};
+use hetpart_runtime::SweepMode;
 use hetpart_suite::Benchmark;
 
 /// How much of each benchmark's size ladder and partition space to cover.
@@ -11,6 +12,12 @@ pub struct HarnessConfig {
     pub machines: Vec<Machine>,
     /// Partition-space granularity in tenths (1 = the paper's 10% steps).
     pub step_tenths: u8,
+    /// How the training oracle covers the partition space. `Full` prices
+    /// everything (required when the records must price arbitrary
+    /// partitions, e.g. for the evaluation harness); `Pruned` uses the
+    /// oracle-exact branch-and-bound sweep and stores only the priced
+    /// subset (argmin + baselines guaranteed).
+    pub sweep_mode: SweepMode,
     /// Work-items sampled per chunk when estimating dynamic behaviour.
     pub sample_items: usize,
     /// Problem sizes used per benchmark (evenly spaced picks from the
@@ -29,6 +36,7 @@ impl HarnessConfig {
         Self {
             machines: machines::paper_machines(),
             step_tenths: 1,
+            sweep_mode: SweepMode::Full,
             sample_items: 128,
             sizes_per_benchmark: usize::MAX,
             model: ModelConfig::Mlp(MlpConfig::default()),
@@ -42,6 +50,7 @@ impl HarnessConfig {
         Self {
             machines: machines::paper_machines(),
             step_tenths: 2,
+            sweep_mode: SweepMode::Full,
             sample_items: 48,
             sizes_per_benchmark: 3,
             model: ModelConfig::Mlp(MlpConfig {

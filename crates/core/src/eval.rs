@@ -74,10 +74,13 @@ pub fn lopo_outcomes(
         .zip(&cv.predictions)
         .map(|(r, &cls)| {
             let predicted = space[cls.min(space.len() - 1)].clone();
-            let predicted_time = r
-                .sweep
-                .time_of(&predicted)
-                .expect("label-space partitions are measured in every sweep");
+            let predicted_time = r.sweep.time_of(&predicted).unwrap_or_else(|| {
+                panic!(
+                    "partition {predicted} was not priced in the sweep for {} (n = {}) — \
+                     evaluation needs a database collected with SweepMode::Full, not Pruned",
+                    r.program, r.size
+                )
+            });
             PredictionOutcome {
                 program: r.program.clone(),
                 size: r.size,

@@ -4,7 +4,8 @@
 use hetpart_inspire::CompiledKernel;
 use hetpart_oclsim::Machine;
 use hetpart_runtime::{
-    runtime_features, sweep_many, sweep_partitions, Executor, Launch, RuntimeFeatures, SweepJob,
+    runtime_features, sweep_many_mode, sweep_partitions_mode, Executor, Launch, RuntimeFeatures,
+    SweepJob,
 };
 use hetpart_suite::{Benchmark, Instance};
 use rayon::prelude::*;
@@ -26,12 +27,19 @@ const SWEEP_BATCH_JOBS: usize = 32;
 ///
 /// The suite trains as **batched sweeps**: every benchmark is compiled
 /// exactly once (shared across all of its problem sizes), then
-/// (benchmark, size) pairs stream through [`sweep_many`] in groups of
-/// [`SWEEP_BATCH_JOBS`] — instances and runtime features prepared in
+/// (benchmark, size) pairs stream through [`sweep_many_mode`] in groups
+/// of [`SWEEP_BATCH_JOBS`] — instances and runtime features prepared in
 /// parallel, every (launch × partitioning) pair of the group priced in
 /// one flat rayon pass with per-launch access-analysis caches. No
 /// buffers are mutated, and batch boundaries cannot affect results
 /// (batched sweeps are bit-identical to sequential ones).
+///
+/// With `cfg.sweep_mode == SweepMode::Pruned` the oracle runs the
+/// branch-and-bound sweep instead: each record's `best()` (the training
+/// label) and the default-strategy baselines are bit-identical to the
+/// full sweep, but the stored sweeps contain only the priced subset of
+/// the partition space — use `Full` when downstream consumers (e.g. the
+/// evaluation harness) must price arbitrary partitions.
 ///
 /// # Panics
 /// Panics if a bundled benchmark fails to compile or execute — the suite's
@@ -93,19 +101,26 @@ pub fn collect_training_db(
                 step_tenths: cfg.step_tenths,
             })
             .collect();
-        let sweeps = sweep_many(&executor, &jobs).unwrap_or_else(|batch_err| {
-            // Localize which launch of the batch failed so the panic names
-            // the benchmark and size instead of a 32-job group.
-            for (job, &(program_idx, size)) in jobs.iter().zip(group) {
-                if let Err(e) = sweep_partitions(&executor, job.launch, job.bufs, job.step_tenths) {
-                    panic!(
-                        "{} (n = {size}): sweep failed: {e}",
-                        benchmarks[program_idx].name
-                    );
+        let sweeps =
+            sweep_many_mode(&executor, &jobs, cfg.sweep_mode).unwrap_or_else(|batch_err| {
+                // Localize which launch of the batch failed so the panic names
+                // the benchmark and size instead of a 32-job group.
+                for (job, &(program_idx, size)) in jobs.iter().zip(group) {
+                    if let Err(e) = sweep_partitions_mode(
+                        &executor,
+                        job.launch,
+                        job.bufs,
+                        job.step_tenths,
+                        cfg.sweep_mode,
+                    ) {
+                        panic!(
+                            "{} (n = {size}): sweep failed: {e}",
+                            benchmarks[program_idx].name
+                        );
+                    }
                 }
-            }
-            panic!("batched training sweep failed: {batch_err}");
-        });
+                panic!("batched training sweep failed: {batch_err}");
+            });
 
         records.extend(group.iter().zip(prepared).zip(sweeps).map(
             |((&(program_idx, size), (_, rt)), sweep)| TrainingRecord {
@@ -165,6 +180,49 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn pruned_training_oracle_is_label_exact() {
+        // The paper's labels are the oracle argmins; the branch-and-bound
+        // oracle must reproduce every one of them bit for bit, along with
+        // the default-strategy baselines.
+        let benches: Vec<_> = hetpart_suite::all().into_iter().take(4).collect();
+        let full_cfg = HarnessConfig {
+            step_tenths: 1,
+            ..tiny_cfg()
+        };
+        let pruned_cfg = HarnessConfig {
+            sweep_mode: hetpart_runtime::SweepMode::Pruned,
+            ..full_cfg.clone()
+        };
+        let machine = machines::mc2();
+        let full = collect_training_db(&machine, &benches, &full_cfg);
+        let pruned = collect_training_db(&machine, &benches, &pruned_cfg);
+        assert_eq!(full.records.len(), pruned.records.len());
+        for (f, p) in full.records.iter().zip(&pruned.records) {
+            assert_eq!((f.program_idx, f.size), (p.program_idx, p.size));
+            assert_eq!(
+                f.best().partition,
+                p.best().partition,
+                "{} n={}: label must survive pruning",
+                f.program,
+                f.size
+            );
+            assert_eq!(f.best().time.to_bits(), p.best().time.to_bits());
+            assert_eq!(
+                f.sweep.cpu_only_time().to_bits(),
+                p.sweep.cpu_only_time().to_bits()
+            );
+            assert_eq!(
+                f.sweep.gpu_only_time().to_bits(),
+                p.sweep.gpu_only_time().to_bits()
+            );
+            assert!(p.sweep.entries.len() <= f.sweep.entries.len());
+            // Features are oracle-independent.
+            assert_eq!(f.runtime_features, p.runtime_features);
+        }
+        assert_eq!(full.label_space(), pruned.label_space());
     }
 
     #[test]

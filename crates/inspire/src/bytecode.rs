@@ -312,6 +312,16 @@ pub struct Block {
     pub histo: OpHistogram,
 }
 
+impl Block {
+    /// Step-budget cost of one execution of this block: its instructions
+    /// plus the terminator. Both VM engines charge exactly this amount per
+    /// block execution, which is what makes their per-item instruction
+    /// statistics comparable bit for bit.
+    pub fn step_cost(&self) -> u64 {
+        self.instrs.len() as u64 + 1
+    }
+}
+
 /// Kernel parameter metadata the VM needs to validate and bind arguments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FnParam {

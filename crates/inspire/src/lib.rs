@@ -57,6 +57,7 @@ pub mod pretty;
 pub mod sema;
 pub mod token;
 pub mod vm;
+mod vm_batch;
 
 pub use access::{AccessSummary, BufferAccess};
 pub use bytecode::Function;

@@ -1,11 +1,23 @@
 //! The register-bytecode virtual machine.
 //!
-//! Functionally executes compiled kernels over host buffers, one work-item
-//! at a time, exactly as an OpenCL device would run the kernel body for
-//! each global id. While executing it counts basic-block executions; dot
-//! multiplying the block counters with the per-block static histograms
-//! yields exact dynamic operation counts at a cost of one increment per
-//! block.
+//! Functionally executes compiled kernels over host buffers, exactly as an
+//! OpenCL device would run the kernel body for each global id. While
+//! executing it counts basic-block executions; dot multiplying the block
+//! counters with the per-block static histograms yields exact dynamic
+//! operation counts at a cost of one increment per block.
+//!
+//! Two engines share the bytecode semantics:
+//! - the **scalar engine** ([`Vm::run_range_scalar`]) interprets one
+//!   work-item at a time — the reference implementation;
+//! - the **lane engine** ([`Vm::run_range_lanes`], [`crate::vm_batch`])
+//!   executes batches of up to [`LANES`] work-items in lockstep over
+//!   structure-of-arrays register files, falling back to per-lane scalar
+//!   replay on divergent branches.
+//!
+//! The public entry points ([`Vm::run_range`], [`Vm::run_sampled`],
+//! [`Vm::run_items`]) dispatch to the lane engine for anything beyond a
+//! handful of items; the differential test suite keeps the two engines
+//! bit-identical on buffers, counters, and sample statistics.
 
 use std::ops::Range;
 
@@ -14,6 +26,9 @@ use crate::bytecode::{
 };
 use crate::error::VmError;
 use crate::ir::{NdRange, ParamKind, ScalarType};
+use crate::vm_batch::{CountSink, LaneEngine};
+
+pub use crate::vm_batch::LANES;
 
 /// A typed host buffer, the VM's model of an OpenCL `cl_mem` object.
 #[derive(Debug, Clone, PartialEq)]
@@ -196,11 +211,68 @@ pub fn dynamic_counts(f: &Function, c: &Counters) -> DynamicCounts {
 /// Default per-work-item instruction budget.
 pub const DEFAULT_STEP_LIMIT: u64 = 200_000_000;
 
+/// Runs of at most this many work-items stay on the scalar engine: the
+/// lane engine's register-file broadcast costs more than interpreting a
+/// couple of items outright. Both engines produce identical results, so
+/// the cutoff is purely a performance choice.
+const SCALAR_CUTOFF_ITEMS: usize = 8;
+
+/// Numerically stable online mean/variance (Welford's algorithm).
+///
+/// The naive `sum_sq/n - mean²` form catastrophically cancels for large
+/// per-item op counts (both terms can exceed 1e18 while their difference
+/// is tiny); Welford keeps full precision at any magnitude.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (`/n`, matching the divergence convention).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).max(0.0)
+        }
+    }
+
+    /// Coefficient of variation: `stddev / mean`, 0 for a non-positive
+    /// mean.
+    pub fn cv(&self) -> f64 {
+        if self.mean > 0.0 {
+            self.population_variance().sqrt() / self.mean
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The virtual machine. Reusable across runs; holds only register state.
 #[derive(Debug, Clone)]
 pub struct Vm {
-    iregs: Vec<i64>,
-    fregs: Vec<f64>,
+    pub(crate) iregs: Vec<i64>,
+    pub(crate) fregs: Vec<f64>,
     /// Maximum instructions one work-item may execute (runaway-loop guard).
     pub step_limit: u64,
 }
@@ -295,7 +367,27 @@ impl Vm {
 
     /// Execute every work-item whose split-dimension coordinate lies in
     /// `split_range`, in row-major order. Returns the block counters.
+    ///
+    /// Dispatches to the lane-batched engine; tiny runs stay scalar. Both
+    /// engines are bit-identical for race-free kernels.
     pub fn run_range(
+        &mut self,
+        f: &Function,
+        nd: &NdRange,
+        split_range: Range<usize>,
+        args: &[ArgValue],
+        bufs: &mut [BufferData],
+    ) -> Result<Counters, VmError> {
+        if split_range.len() * nd.items_per_slice() <= SCALAR_CUTOFF_ITEMS {
+            self.run_range_scalar(f, nd, split_range, args, bufs)
+        } else {
+            self.run_range_lanes(f, nd, split_range, args, bufs)
+        }
+    }
+
+    /// [`Vm::run_range`] on the scalar reference engine: one work-item at
+    /// a time, in item order.
+    pub fn run_range_scalar(
         &mut self,
         f: &Function,
         nd: &NdRange,
@@ -315,18 +407,57 @@ impl Vm {
         let gsize = [nd.dim(0), nd.dim(1), nd.dim(2)];
         let inner: usize = nd.items_per_slice();
         let split_dim = nd.split_dim();
-        for s in split_range {
-            for li in 0..inner {
-                let mut gid = [0usize; 3];
-                gid[split_dim] = s;
-                // Decompose the inner linear index over the non-split dims.
-                let mut rem = li;
-                for d in 0..split_dim {
-                    gid[d] = rem % gsize[d];
-                    rem /= gsize[d];
-                }
-                self.exec_item(f, gid, gsize, &bmap, bufs, &mut counters)?;
+        let total = split_range.len() * inner;
+        for li in 0..total {
+            let gid = gid_at(li, split_range.start, inner, split_dim, gsize);
+            self.exec_item(f, gid, gsize, &bmap, bufs, &mut counters)?;
+        }
+        Ok(counters)
+    }
+
+    /// [`Vm::run_range`] on the lane-batched engine: batches of up to
+    /// [`LANES`] consecutive work-items execute each instruction in
+    /// lockstep (see [`crate::vm_batch`]).
+    pub fn run_range_lanes(
+        &mut self,
+        f: &Function,
+        nd: &NdRange,
+        split_range: Range<usize>,
+        args: &[ArgValue],
+        bufs: &mut [BufferData],
+    ) -> Result<Counters, VmError> {
+        Self::check_args(f, args, bufs)?;
+        assert!(
+            split_range.end <= nd.split_extent(),
+            "split range {split_range:?} exceeds NDRange extent {}",
+            nd.split_extent()
+        );
+        let mut counters = Counters::new(f);
+        let bmap = Self::buffer_map(f, args);
+        self.bind_scalars(f, args);
+        let gsize = [nd.dim(0), nd.dim(1), nd.dim(2)];
+        let inner: usize = nd.items_per_slice();
+        let split_dim = nd.split_dim();
+        let total = split_range.len() * inner;
+        let mut engine = LaneEngine::new(f, self);
+        let mut gids = [[0usize; 3]; LANES];
+        let mut done = 0usize;
+        while done < total {
+            let n = LANES.min(total - done);
+            for (k, gid) in gids[..n].iter_mut().enumerate() {
+                *gid = gid_at(done + k, split_range.start, inner, split_dim, gsize);
             }
+            counters.items += n as u64;
+            engine.exec_batch(
+                self,
+                f,
+                &gids[..n],
+                gsize,
+                &bmap,
+                bufs,
+                CountSink::Aggregate(&mut counters),
+            )?;
+            done += n;
         }
         Ok(counters)
     }
@@ -347,6 +478,24 @@ impl Vm {
         bufs: &mut [BufferData],
         max_items: usize,
     ) -> Result<SampleResult, VmError> {
+        let chunk_items = split_range.len() * nd.items_per_slice();
+        if chunk_items.min(max_items.max(1)) <= SCALAR_CUTOFF_ITEMS {
+            self.run_sampled_scalar(f, nd, split_range, args, bufs, max_items)
+        } else {
+            self.run_sampled_lanes(f, nd, split_range, args, bufs, max_items)
+        }
+    }
+
+    /// [`Vm::run_sampled`] on the scalar reference engine.
+    pub fn run_sampled_scalar(
+        &mut self,
+        f: &Function,
+        nd: &NdRange,
+        split_range: Range<usize>,
+        args: &[ArgValue],
+        bufs: &mut [BufferData],
+        max_items: usize,
+    ) -> Result<SampleResult, VmError> {
         Self::check_args(f, args, bufs)?;
         let mut counters = Counters::new(f);
         let bmap = Self::buffer_map(f, args);
@@ -356,42 +505,144 @@ impl Vm {
         let split_dim = nd.split_dim();
         let chunk_items = split_range.len() * inner;
         let n = chunk_items.min(max_items.max(1));
-        let mut sum = 0.0f64;
-        let mut sum_sq = 0.0f64;
+        let mut stats = OnlineStats::default();
         // Evenly spaced global linear indices over the chunk.
         for j in 0..n {
-            let li = if n == chunk_items {
-                j
-            } else {
-                (j as u128 * chunk_items as u128 / n as u128) as usize
-            };
-            let s = split_range.start + li / inner;
-            let mut rem = li % inner;
-            let mut gid = [0usize; 3];
-            gid[split_dim] = s;
-            for d in 0..split_dim {
-                gid[d] = rem % gsize[d];
-                rem /= gsize[d];
-            }
-            let before: u64 = weighted_ops(f, &counters);
-            self.exec_item(f, gid, gsize, &bmap, bufs, &mut counters)?;
-            let after: u64 = weighted_ops(f, &counters);
-            let item_ops = (after - before) as f64;
-            sum += item_ops;
-            sum_sq += item_ops * item_ops;
+            let li = sample_index(j, n, chunk_items);
+            let gid = gid_at(li, split_range.start, inner, split_dim, gsize);
+            let steps = self.exec_item(f, gid, gsize, &bmap, bufs, &mut counters)?;
+            stats.push(steps as f64);
         }
-        let mean = sum / n as f64;
-        let var = (sum_sq / n as f64 - mean * mean).max(0.0);
-        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
         Ok(SampleResult {
             counters,
             sampled_items: n as u64,
             total_items: chunk_items as u64,
-            mean_ops_per_item: mean,
-            ops_cv: cv,
+            mean_ops_per_item: stats.mean(),
+            ops_cv: stats.cv(),
         })
     }
 
+    /// [`Vm::run_sampled`] on the lane-batched engine.
+    pub fn run_sampled_lanes(
+        &mut self,
+        f: &Function,
+        nd: &NdRange,
+        split_range: Range<usize>,
+        args: &[ArgValue],
+        bufs: &mut [BufferData],
+        max_items: usize,
+    ) -> Result<SampleResult, VmError> {
+        Self::check_args(f, args, bufs)?;
+        let mut counters = Counters::new(f);
+        let bmap = Self::buffer_map(f, args);
+        self.bind_scalars(f, args);
+        let gsize = [nd.dim(0), nd.dim(1), nd.dim(2)];
+        let inner = nd.items_per_slice();
+        let split_dim = nd.split_dim();
+        let chunk_items = split_range.len() * inner;
+        let n = chunk_items.min(max_items.max(1));
+        let mut engine = LaneEngine::new(f, self);
+        let mut gids = [[0usize; 3]; LANES];
+        let mut stats = OnlineStats::default();
+        let mut done = 0usize;
+        while done < n {
+            let bn = LANES.min(n - done);
+            for (k, gid) in gids[..bn].iter_mut().enumerate() {
+                let li = sample_index(done + k, n, chunk_items);
+                *gid = gid_at(li, split_range.start, inner, split_dim, gsize);
+            }
+            counters.items += bn as u64;
+            engine.exec_batch(
+                self,
+                f,
+                &gids[..bn],
+                gsize,
+                &bmap,
+                bufs,
+                CountSink::Aggregate(&mut counters),
+            )?;
+            for &steps in &engine.lane_steps()[..bn] {
+                stats.push(steps as f64);
+            }
+            done += bn;
+        }
+        Ok(SampleResult {
+            counters,
+            sampled_items: n as u64,
+            total_items: chunk_items as u64,
+            mean_ops_per_item: stats.mean(),
+            ops_cv: stats.cv(),
+        })
+    }
+
+    /// Execute an explicit list of work-items (lane-batched), returning
+    /// one [`Counters`] per item. This is the launch-profiler's entry
+    /// point: it turns hundreds of single-item probe executions into a
+    /// handful of lockstep batches.
+    ///
+    /// Each returned counter set covers exactly one work-item
+    /// (`items == 1`), bit-identical to running that item alone on the
+    /// scalar engine.
+    pub fn run_items(
+        &mut self,
+        f: &Function,
+        nd: &NdRange,
+        gids: &[[usize; 3]],
+        args: &[ArgValue],
+        bufs: &mut [BufferData],
+    ) -> Result<Vec<Counters>, VmError> {
+        Self::check_args(f, args, bufs)?;
+        let gsize = [nd.dim(0), nd.dim(1), nd.dim(2)];
+        for g in gids {
+            assert!(
+                g.iter().zip(gsize).all(|(&c, s)| c < s),
+                "work-item {g:?} outside NDRange {gsize:?}"
+            );
+        }
+        let bmap = Self::buffer_map(f, args);
+        self.bind_scalars(f, args);
+        let mut engine = LaneEngine::new(f, self);
+        let mut per_item: Vec<Counters> = gids.iter().map(|_| Counters::new(f)).collect();
+        for (batch, counters) in gids.chunks(LANES).zip(per_item.chunks_mut(LANES)) {
+            for c in counters.iter_mut() {
+                c.items = 1;
+            }
+            engine.exec_batch(
+                self,
+                f,
+                batch,
+                gsize,
+                &bmap,
+                bufs,
+                CountSink::PerLane(counters),
+            )?;
+        }
+        Ok(per_item)
+    }
+
+    /// Scalar reference for [`Vm::run_items`].
+    pub fn run_items_scalar(
+        &mut self,
+        f: &Function,
+        nd: &NdRange,
+        gids: &[[usize; 3]],
+        args: &[ArgValue],
+        bufs: &mut [BufferData],
+    ) -> Result<Vec<Counters>, VmError> {
+        Self::check_args(f, args, bufs)?;
+        let gsize = [nd.dim(0), nd.dim(1), nd.dim(2)];
+        let bmap = Self::buffer_map(f, args);
+        self.bind_scalars(f, args);
+        gids.iter()
+            .map(|&gid| {
+                let mut c = Counters::new(f);
+                self.exec_item(f, gid, gsize, &bmap, bufs, &mut c)?;
+                Ok(c)
+            })
+            .collect()
+    }
+
+    /// Execute one work-item from block 0, returning its step count.
     fn exec_item(
         &mut self,
         f: &Function,
@@ -400,15 +651,33 @@ impl Vm {
         bmap: &[usize],
         bufs: &mut [BufferData],
         counters: &mut Counters,
-    ) -> Result<(), VmError> {
+    ) -> Result<u64, VmError> {
         counters.items += 1;
-        let mut block = 0usize;
         let mut steps: u64 = 0;
+        self.exec_from(f, 0, gid, gsize, bmap, bufs, counters, &mut steps)?;
+        Ok(steps)
+    }
+
+    /// Run the scalar engine from `block` until `Ret` with the current
+    /// register state, accumulating into `steps` against the step limit.
+    /// The lane engine's divergent-branch replay continues items here.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn exec_from(
+        &mut self,
+        f: &Function,
+        mut block: usize,
+        gid: [usize; 3],
+        gsize: [usize; 3],
+        bmap: &[usize],
+        bufs: &mut [BufferData],
+        counters: &mut Counters,
+        steps: &mut u64,
+    ) -> Result<(), VmError> {
         loop {
             counters.block_counts[block] += 1;
             let b = &f.blocks[block];
-            steps += b.instrs.len() as u64 + 1;
-            if steps > self.step_limit {
+            *steps += b.step_cost();
+            if *steps > self.step_limit {
                 return Err(VmError::StepLimitExceeded {
                     limit: self.step_limit,
                 });
@@ -634,14 +903,36 @@ impl Vm {
     }
 }
 
-/// Total dynamic ops implied by the counters (cheap proxy used for
-/// per-item divergence statistics).
-fn weighted_ops(f: &Function, c: &Counters) -> u64 {
-    f.blocks
-        .iter()
-        .zip(&c.block_counts)
-        .map(|(b, &n)| n * (b.instrs.len() as u64 + 1))
-        .sum()
+/// Global id of the `li`-th work-item (row-major) of a chunk starting at
+/// `split_start` in the split dimension.
+#[inline]
+fn gid_at(
+    li: usize,
+    split_start: usize,
+    inner: usize,
+    split_dim: usize,
+    gsize: [usize; 3],
+) -> [usize; 3] {
+    let mut gid = [0usize; 3];
+    gid[split_dim] = split_start + li / inner;
+    // Decompose the inner linear index over the non-split dims.
+    let mut rem = li % inner;
+    for d in 0..split_dim {
+        gid[d] = rem % gsize[d];
+        rem /= gsize[d];
+    }
+    gid
+}
+
+/// Chunk-linear index of the `j`-th of `n` evenly spaced samples over
+/// `chunk_items` work-items.
+#[inline]
+fn sample_index(j: usize, n: usize, chunk_items: usize) -> usize {
+    if n == chunk_items {
+        j
+    } else {
+        (j as u128 * chunk_items as u128 / n as u128) as usize
+    }
 }
 
 /// Result of a sampled execution.
@@ -684,7 +975,7 @@ fn cmp<T: PartialOrd>(op: CmpOp, x: &T, y: &T) -> bool {
 
 /// Canonicalize a 64-bit value to 32-bit semantics (sign- or zero-extend).
 #[inline]
-fn wrap32(v: i64, unsigned: bool) -> i64 {
+pub(crate) fn wrap32(v: i64, unsigned: bool) -> i64 {
     if unsigned {
         i64::from(v as u32)
     } else {
@@ -692,7 +983,7 @@ fn wrap32(v: i64, unsigned: bool) -> i64 {
     }
 }
 
-fn int_bin(op: IBinOp, x: i64, y: i64, unsigned: bool) -> Result<i64, VmError> {
+pub(crate) fn int_bin(op: IBinOp, x: i64, y: i64, unsigned: bool) -> Result<i64, VmError> {
     let r = match op {
         IBinOp::Add => x.wrapping_add(y),
         IBinOp::Sub => x.wrapping_sub(y),
@@ -1165,6 +1456,125 @@ mod tests {
         )
         .unwrap();
         assert_eq!(bufs[1].as_f32().unwrap(), &[7.0; 4]);
+    }
+
+    #[test]
+    fn lane_engine_matches_scalar_on_divergent_kernel() {
+        // Variable trip counts force divergent replay; an odd size forces
+        // a partial tail batch. Buffers and counters must agree exactly.
+        let src = "kernel void k(global const float* a, global float* o, int n) {
+            int i = get_global_id(0);
+            float s = a[i % n];
+            for (int j = 0; j < i % 13; j++) { s = s * 1.5 + (float)j; }
+            if (i % 3 == 0) { s = -s; }
+            o[i] = s;
+        }";
+        let k = compile(src).unwrap();
+        let n = 197usize; // not divisible by LANES
+        let args = vec![
+            ArgValue::Buffer(0),
+            ArgValue::Buffer(1),
+            ArgValue::Int(n as i32),
+        ];
+        let mk = || {
+            vec![
+                BufferData::F32((0..n).map(|i| i as f32 * 0.25).collect()),
+                BufferData::F32(vec![0.0; n]),
+            ]
+        };
+        let mut vm = Vm::new();
+        let mut b_scalar = mk();
+        let c_scalar = vm
+            .run_range_scalar(&k.bytecode, &NdRange::d1(n), 0..n, &args, &mut b_scalar)
+            .unwrap();
+        let mut b_lanes = mk();
+        let c_lanes = vm
+            .run_range_lanes(&k.bytecode, &NdRange::d1(n), 0..n, &args, &mut b_lanes)
+            .unwrap();
+        assert_eq!(b_scalar, b_lanes);
+        assert_eq!(c_scalar, c_lanes);
+    }
+
+    #[test]
+    fn lane_engine_sampled_statistics_match_scalar() {
+        let src = "kernel void k(global float* o, int n) {
+            int i = get_global_id(0);
+            float s = 0.0;
+            for (int j = 0; j < i % 64; j++) { s += (float)j; }
+            o[i] = s;
+        }";
+        let k = compile(src).unwrap();
+        let n = 500usize;
+        let args = vec![ArgValue::Buffer(0), ArgValue::Int(n as i32)];
+        let mut vm = Vm::new();
+        let mut b1 = vec![BufferData::F32(vec![0.0; n])];
+        let s_scalar = vm
+            .run_sampled_scalar(&k.bytecode, &NdRange::d1(n), 0..n, &args, &mut b1, 77)
+            .unwrap();
+        let mut b2 = vec![BufferData::F32(vec![0.0; n])];
+        let s_lanes = vm
+            .run_sampled_lanes(&k.bytecode, &NdRange::d1(n), 0..n, &args, &mut b2, 77)
+            .unwrap();
+        assert_eq!(b1, b2);
+        assert_eq!(s_scalar.counters, s_lanes.counters);
+        assert_eq!(
+            s_scalar.mean_ops_per_item.to_bits(),
+            s_lanes.mean_ops_per_item.to_bits()
+        );
+        assert_eq!(s_scalar.ops_cv.to_bits(), s_lanes.ops_cv.to_bits());
+    }
+
+    #[test]
+    fn run_items_per_item_counters_match_scalar() {
+        let src = "kernel void k(global const float* a, global float* o, int n) {
+            int i = get_global_id(0);
+            float s = 0.0;
+            for (int j = 0; j <= i % 7; j++) { s += a[(i + j) % n]; }
+            o[i] = s;
+        }";
+        let k = compile(src).unwrap();
+        let n = 300usize;
+        let args = vec![
+            ArgValue::Buffer(0),
+            ArgValue::Buffer(1),
+            ArgValue::Int(n as i32),
+        ];
+        let gids: Vec<[usize; 3]> = (0..n).step_by(3).map(|i| [i, 0, 0]).collect();
+        let mk = || vec![BufferData::F32(vec![1.0; n]), BufferData::F32(vec![0.0; n])];
+        let mut vm = Vm::new();
+        let mut b1 = mk();
+        let per_scalar = vm
+            .run_items_scalar(&k.bytecode, &NdRange::d1(n), &gids, &args, &mut b1)
+            .unwrap();
+        let mut b2 = mk();
+        let per_lanes = vm
+            .run_items(&k.bytecode, &NdRange::d1(n), &gids, &args, &mut b2)
+            .unwrap();
+        assert_eq!(b1, b2);
+        assert_eq!(per_scalar, per_lanes);
+        for c in &per_lanes {
+            assert_eq!(c.items, 1);
+        }
+    }
+
+    #[test]
+    fn online_stats_is_stable_for_huge_op_counts() {
+        // The naive sum_sq/n - mean² form loses all precision here: the
+        // values are ~1e9 with a spread of 1, so sum_sq ~ 1e18.
+        let mut s = OnlineStats::default();
+        for i in 0..1000u64 {
+            s.push(1.0e9 + (i % 2) as f64);
+        }
+        assert_eq!(s.count(), 1000);
+        assert!((s.mean() - 1.0e9 - 0.5).abs() < 1e-6);
+        assert!((s.population_variance() - 0.25).abs() < 1e-9);
+        assert!(s.cv() > 0.0);
+        let mut c = OnlineStats::default();
+        for _ in 0..10 {
+            c.push(42.0);
+        }
+        assert_eq!(c.population_variance(), 0.0);
+        assert_eq!(c.cv(), 0.0);
     }
 
     #[test]

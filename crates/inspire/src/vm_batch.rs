@@ -1,0 +1,634 @@
+//! The lane-batched SoA execution engine.
+//!
+//! The scalar engine in [`crate::vm`] interprets one work-item at a time:
+//! every bytecode instruction pays the full dispatch cost (decode match,
+//! register-file bounds checks) for a single item's worth of work. Since
+//! data-parallel kernels execute the exact same instruction sequence for
+//! long runs of adjacent work-items, this engine instead executes blocks
+//! of up to [`LANES`] consecutive work-items in lockstep: the register
+//! files are stored structure-of-arrays (`Vec<[i64; LANES]>` /
+//! `Vec<[f64; LANES]>`), so each instruction is decoded once and then
+//! applied across all active lanes in a tight, bounds-check-free loop.
+//!
+//! Control flow:
+//! - **Uniform branches** (every active lane takes the same side) keep
+//!   the whole batch in lockstep — the fast path, and the common case for
+//!   guard-style `if (i < n)` conditions and fixed-trip-count loops.
+//! - **Divergent branches** bail out to **per-lane replay**: each lane's
+//!   register state is copied into the scalar engine, which finishes that
+//!   work-item alone from its branch target. Divergence therefore costs
+//!   at most one scalar execution per item plus the already-executed
+//!   uniform prefix — it is paid once per item, not once per loop
+//!   iteration.
+//! - The **active-lane mask** is a prefix: the final batch of a range may
+//!   cover fewer than [`LANES`] items, and all lane loops iterate only
+//!   over the live prefix.
+//!
+//! Semantics match the scalar engine exactly for race-free kernels
+//! (every suite kernel; OpenCL gives racy kernels no ordering guarantees
+//! anyway): buffers, block counters, and per-item step counts are bit
+//! identical, which the workspace's differential test suite enforces.
+//! The one observable difference is *which* error surfaces when multiple
+//! work-items of a batch fault: items execute in instruction lockstep,
+//! so the earliest fault in lockstep order wins rather than the earliest
+//! item in item order, and buffers may hold partial writes from later
+//! items of the faulting batch.
+
+use crate::bytecode::{CmpOp, FBinOp, Function, IBinOp, Instr, MathFn1, MathFn2, Terminator};
+use crate::error::VmError;
+use crate::vm::{int_bin, wrap32, BufferData, Counters, Vm};
+
+/// Work-items executed in lockstep per batch.
+pub const LANES: usize = 64;
+
+/// Where block executions are counted.
+pub(crate) enum CountSink<'a> {
+    /// One shared counter set for the whole batch (a block execution by
+    /// `k` active lanes adds `k`).
+    Aggregate(&'a mut Counters),
+    /// One counter set per lane (index = lane), for per-item profiles.
+    PerLane(&'a mut [Counters]),
+}
+
+impl CountSink<'_> {
+    #[inline]
+    fn count_block(&mut self, block: usize, lanes: usize) {
+        match self {
+            CountSink::Aggregate(c) => c.block_counts[block] += lanes as u64,
+            CountSink::PerLane(per) => {
+                for c in per[..lanes].iter_mut() {
+                    c.block_counts[block] += 1;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn lane(&mut self, lane: usize) -> &mut Counters {
+        match self {
+            CountSink::Aggregate(c) => c,
+            CountSink::PerLane(per) => &mut per[lane],
+        }
+    }
+}
+
+/// The structure-of-arrays lane engine. One instance is reused across all
+/// batches of a run; lane register state persists between batches exactly
+/// like the scalar engine's register file persists between items.
+pub(crate) struct LaneEngine {
+    iregs: Vec<[i64; LANES]>,
+    fregs: Vec<[f64; LANES]>,
+    gid: [[i64; LANES]; 3],
+    /// Per-lane instruction-budget counters of the current batch.
+    steps: [u64; LANES],
+}
+
+/// Apply `f` lane-wise: `dst[l] = f(a[l], b[l])` for the first `n` lanes.
+///
+/// The common case (the compiler allocates a fresh temp for `dst`) borrows
+/// all three registers disjointly and runs a bounds-check-free loop the
+/// optimizer can vectorize; aliased operands fall back to copying, which
+/// is always correct because each lane only reads its own elements.
+#[inline]
+fn apply2<T: Copy, F: Fn(T, T) -> T>(
+    regs: &mut [[T; LANES]],
+    n: usize,
+    dst: u16,
+    a: u16,
+    b: u16,
+    f: F,
+) {
+    let (dst, a, b) = (dst as usize, a as usize, b as usize);
+    if dst != a && dst != b && a != b {
+        let [d, x, y] = regs
+            .get_disjoint_mut([dst, a, b])
+            .expect("disjoint registers");
+        for ((d, &x), &y) in d[..n].iter_mut().zip(&x[..n]).zip(&y[..n]) {
+            *d = f(x, y);
+        }
+    } else if a == b && dst != a {
+        let [d, x] = regs.get_disjoint_mut([dst, a]).expect("disjoint registers");
+        for (d, &x) in d[..n].iter_mut().zip(&x[..n]) {
+            *d = f(x, x);
+        }
+    } else if dst == a && dst == b {
+        for v in regs[dst][..n].iter_mut() {
+            *v = f(*v, *v);
+        }
+    } else if dst == a {
+        // In-place accumulator: each lane reads its own element before
+        // writing it, so a pairwise disjoint borrow of [dst, b] suffices.
+        let [d, y] = regs.get_disjoint_mut([dst, b]).expect("disjoint registers");
+        for (d, &y) in d[..n].iter_mut().zip(&y[..n]) {
+            *d = f(*d, y);
+        }
+    } else {
+        let [d, x] = regs.get_disjoint_mut([dst, a]).expect("disjoint registers");
+        for (d, &x) in d[..n].iter_mut().zip(&x[..n]) {
+            *d = f(x, *d);
+        }
+    }
+}
+
+/// Apply `f` lane-wise: `dst[l] = f(a[l])` for the first `n` lanes.
+#[inline]
+fn apply1<T: Copy, F: Fn(T) -> T>(regs: &mut [[T; LANES]], n: usize, dst: u16, a: u16, f: F) {
+    let (dst, a) = (dst as usize, a as usize);
+    if dst != a {
+        let [d, x] = regs.get_disjoint_mut([dst, a]).expect("disjoint registers");
+        for (d, &x) in d[..n].iter_mut().zip(&x[..n]) {
+            *d = f(x);
+        }
+    } else {
+        for v in regs[dst][..n].iter_mut() {
+            *v = f(*v);
+        }
+    }
+}
+
+/// Whether every lane index is a valid element index for a buffer of
+/// `len` elements — the gate for the bounds-check-free memory fast paths.
+#[inline]
+fn all_in_bounds(idx: &[i64; LANES], n: usize, len: usize) -> bool {
+    let mut lo = i64::MAX;
+    let mut hi = i64::MIN;
+    for &i in &idx[..n] {
+        lo = lo.min(i);
+        hi = hi.max(i);
+    }
+    lo >= 0 && (hi as u64) < len as u64
+}
+
+/// Lane-wise comparison producing an I-register boolean:
+/// `dst[l] = f(a[l], b[l]) as i64`.
+#[inline]
+fn apply_cmp<T: Copy, F: Fn(T, T) -> bool>(
+    out: &mut [i64; LANES],
+    a: &[T; LANES],
+    b: &[T; LANES],
+    n: usize,
+    f: F,
+) {
+    for ((d, &x), &y) in out[..n].iter_mut().zip(&a[..n]).zip(&b[..n]) {
+        *d = i64::from(f(x, y));
+    }
+}
+
+impl LaneEngine {
+    /// Allocate lane register files for `f` and broadcast the scalar
+    /// engine's bound registers (kernel arguments; everything else zero)
+    /// across all lanes.
+    pub(crate) fn new(f: &Function, vm: &Vm) -> Self {
+        let iregs = vm.iregs.iter().map(|&v| [v; LANES]).collect();
+        let fregs = vm.fregs.iter().map(|&v| [v; LANES]).collect();
+        debug_assert_eq!(vm.iregs.len(), f.n_iregs as usize);
+        debug_assert_eq!(vm.fregs.len(), f.n_fregs as usize);
+        Self {
+            iregs,
+            fregs,
+            gid: [[0; LANES]; 3],
+            steps: [0; LANES],
+        }
+    }
+
+    /// Per-lane step counts of the most recently executed batch (valid for
+    /// the first `n` lanes of that batch).
+    pub(crate) fn lane_steps(&self) -> &[u64; LANES] {
+        &self.steps
+    }
+
+    /// Execute one batch of `gids.len()` (≤ [`LANES`]) work-items from
+    /// block 0 to completion. `vm` provides the step limit and serves as
+    /// the scratch scalar engine for divergent replay.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn exec_batch(
+        &mut self,
+        vm: &mut Vm,
+        f: &Function,
+        gids: &[[usize; 3]],
+        gsize: [usize; 3],
+        bmap: &[usize],
+        bufs: &mut [BufferData],
+        mut sink: CountSink<'_>,
+    ) -> Result<(), VmError> {
+        let n = gids.len();
+        debug_assert!((1..=LANES).contains(&n));
+        for d in 0..3 {
+            for (l, g) in gids.iter().enumerate() {
+                self.gid[d][l] = g[d] as i64;
+            }
+        }
+        // Lanes run in lockstep until divergence, so one shared step
+        // counter suffices for the batched prefix.
+        let mut batch_steps: u64 = 0;
+        let mut block = 0usize;
+        loop {
+            sink.count_block(block, n);
+            let b = &f.blocks[block];
+            batch_steps += b.step_cost();
+            if batch_steps > vm.step_limit {
+                return Err(VmError::StepLimitExceeded {
+                    limit: vm.step_limit,
+                });
+            }
+            for ins in &b.instrs {
+                self.exec_instr(ins, n, gsize, bmap, bufs)?;
+            }
+            match b.term {
+                Terminator::Jump(t) => block = t as usize,
+                Terminator::Branch { cond, then, els } => {
+                    let c = &self.iregs[cond as usize];
+                    let first = c[0] != 0;
+                    if c[1..n].iter().all(|&v| (v != 0) == first) {
+                        // Uniform fast path: the batch stays in lockstep.
+                        block = if first { then as usize } else { els as usize };
+                    } else {
+                        return self.replay(
+                            vm,
+                            f,
+                            n,
+                            cond,
+                            [then, els],
+                            gids,
+                            gsize,
+                            bmap,
+                            bufs,
+                            &mut sink,
+                            batch_steps,
+                        );
+                    }
+                }
+                Terminator::Ret => {
+                    self.steps[..n].fill(batch_steps);
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Divergent-branch fallback: finish each lane's work-item on the
+    /// scalar engine, in ascending lane (= item) order, starting from its
+    /// branch target with its lane register state.
+    #[allow(clippy::too_many_arguments)]
+    fn replay(
+        &mut self,
+        vm: &mut Vm,
+        f: &Function,
+        n: usize,
+        cond: u16,
+        targets: [u32; 2],
+        gids: &[[usize; 3]],
+        gsize: [usize; 3],
+        bmap: &[usize],
+        bufs: &mut [BufferData],
+        sink: &mut CountSink<'_>,
+        batch_steps: u64,
+    ) -> Result<(), VmError> {
+        for l in 0..n {
+            let target = if self.iregs[cond as usize][l] != 0 {
+                targets[0]
+            } else {
+                targets[1]
+            };
+            for (scalar, lanes) in vm.iregs.iter_mut().zip(&self.iregs) {
+                *scalar = lanes[l];
+            }
+            for (scalar, lanes) in vm.fregs.iter_mut().zip(&self.fregs) {
+                *scalar = lanes[l];
+            }
+            let mut steps = batch_steps;
+            vm.exec_from(
+                f,
+                target as usize,
+                gids[l],
+                gsize,
+                bmap,
+                bufs,
+                sink.lane(l),
+                &mut steps,
+            )?;
+            self.steps[l] = steps;
+        }
+        Ok(())
+    }
+
+    /// Execute one instruction across the first `n` lanes.
+    #[inline]
+    fn exec_instr(
+        &mut self,
+        ins: &Instr,
+        n: usize,
+        gsize: [usize; 3],
+        bmap: &[usize],
+        bufs: &mut [BufferData],
+    ) -> Result<(), VmError> {
+        use Instr::*;
+        match *ins {
+            ConstI { dst, v } => self.iregs[dst as usize][..n].fill(v),
+            ConstF { dst, v } => self.fregs[dst as usize][..n].fill(v),
+            MovI { dst, src } => {
+                let s = self.iregs[src as usize];
+                self.iregs[dst as usize][..n].copy_from_slice(&s[..n]);
+            }
+            MovF { dst, src } => {
+                let s = self.fregs[src as usize];
+                self.fregs[dst as usize][..n].copy_from_slice(&s[..n]);
+            }
+            IBin {
+                op,
+                dst,
+                a,
+                b,
+                unsigned,
+            } => {
+                // Dispatch on the op *outside* the lane loop so each arm
+                // monomorphizes into a tight, vectorizable kernel.
+                let r = &mut self.iregs;
+                match op {
+                    IBinOp::Add => {
+                        apply2(r, n, dst, a, b, |x, y| wrap32(x.wrapping_add(y), unsigned))
+                    }
+                    IBinOp::Sub => {
+                        apply2(r, n, dst, a, b, |x, y| wrap32(x.wrapping_sub(y), unsigned))
+                    }
+                    IBinOp::Mul => {
+                        apply2(r, n, dst, a, b, |x, y| wrap32(x.wrapping_mul(y), unsigned))
+                    }
+                    IBinOp::And => apply2(r, n, dst, a, b, |x, y| wrap32(x & y, unsigned)),
+                    IBinOp::Or => apply2(r, n, dst, a, b, |x, y| wrap32(x | y, unsigned)),
+                    IBinOp::Xor => apply2(r, n, dst, a, b, |x, y| wrap32(x ^ y, unsigned)),
+                    IBinOp::Shl => apply2(r, n, dst, a, b, |x, y| {
+                        wrap32(x.wrapping_shl((y & 31) as u32), unsigned)
+                    }),
+                    IBinOp::Shr => apply2(r, n, dst, a, b, |x, y| {
+                        let s = (y & 31) as u32;
+                        let v = if unsigned {
+                            ((x as u64) >> s) as i64
+                        } else {
+                            (x as i32 >> s) as i64
+                        };
+                        wrap32(v, unsigned)
+                    }),
+                    IBinOp::Div | IBinOp::Rem => {
+                        let x = r[a as usize];
+                        let y = r[b as usize];
+                        let d = &mut r[dst as usize];
+                        for ((d, &x), &y) in d[..n].iter_mut().zip(&x[..n]).zip(&y[..n]) {
+                            *d = int_bin(op, x, y, unsigned)?;
+                        }
+                    }
+                }
+            }
+            FBin { op, dst, a, b } => {
+                let r = &mut self.fregs;
+                match op {
+                    FBinOp::Add => apply2(r, n, dst, a, b, |x, y| x + y),
+                    FBinOp::Sub => apply2(r, n, dst, a, b, |x, y| x - y),
+                    FBinOp::Mul => apply2(r, n, dst, a, b, |x, y| x * y),
+                    FBinOp::Div => apply2(r, n, dst, a, b, |x, y| x / y),
+                }
+            }
+            CmpI { op, dst, a, b } => {
+                let r = &mut self.iregs;
+                match op {
+                    CmpOp::Lt => apply2(r, n, dst, a, b, |x, y| i64::from(x < y)),
+                    CmpOp::Le => apply2(r, n, dst, a, b, |x, y| i64::from(x <= y)),
+                    CmpOp::Gt => apply2(r, n, dst, a, b, |x, y| i64::from(x > y)),
+                    CmpOp::Ge => apply2(r, n, dst, a, b, |x, y| i64::from(x >= y)),
+                    CmpOp::Eq => apply2(r, n, dst, a, b, |x, y| i64::from(x == y)),
+                    CmpOp::Ne => apply2(r, n, dst, a, b, |x, y| i64::from(x != y)),
+                }
+            }
+            CmpF { op, dst, a, b } => {
+                // Cross-file: operands in F registers, result in an I
+                // register — no aliasing possible.
+                let x = &self.fregs[a as usize];
+                let y = &self.fregs[b as usize];
+                let d = &mut self.iregs[dst as usize];
+                match op {
+                    CmpOp::Lt => apply_cmp(d, x, y, n, |x, y| x < y),
+                    CmpOp::Le => apply_cmp(d, x, y, n, |x, y| x <= y),
+                    CmpOp::Gt => apply_cmp(d, x, y, n, |x, y| x > y),
+                    CmpOp::Ge => apply_cmp(d, x, y, n, |x, y| x >= y),
+                    CmpOp::Eq => apply_cmp(d, x, y, n, |x, y| x == y),
+                    CmpOp::Ne => apply_cmp(d, x, y, n, |x, y| x != y),
+                }
+            }
+            NegI { dst, a, unsigned } => {
+                apply1(&mut self.iregs, n, dst, a, |x| {
+                    wrap32(0i64.wrapping_sub(x), unsigned)
+                });
+            }
+            NegF { dst, a } => apply1(&mut self.fregs, n, dst, a, |x| -x),
+            NotI { dst, a } => apply1(&mut self.iregs, n, dst, a, |x| i64::from(x == 0)),
+            BitNotI { dst, a, unsigned } => {
+                apply1(&mut self.iregs, n, dst, a, |x| wrap32(!x, unsigned));
+            }
+            CastIF { dst, a } => {
+                let x = &self.iregs[a as usize];
+                let d = &mut self.fregs[dst as usize];
+                for (d, &x) in d[..n].iter_mut().zip(&x[..n]) {
+                    *d = x as f64;
+                }
+            }
+            CastFI { dst, a, unsigned } => {
+                let x = &self.fregs[a as usize];
+                let d = &mut self.iregs[dst as usize];
+                if unsigned {
+                    for (d, &x) in d[..n].iter_mut().zip(&x[..n]) {
+                        *d = i64::from(x as u32);
+                    }
+                } else {
+                    for (d, &x) in d[..n].iter_mut().zip(&x[..n]) {
+                        *d = i64::from(x as i32);
+                    }
+                }
+            }
+            CastII {
+                dst,
+                a,
+                to_unsigned,
+            } => apply1(&mut self.iregs, n, dst, a, |x| wrap32(x, to_unsigned)),
+            Math1 { f, dst, a } => {
+                let r = &mut self.fregs;
+                match f {
+                    MathFn1::Sqrt => apply1(r, n, dst, a, f64::sqrt),
+                    MathFn1::Rsqrt => apply1(r, n, dst, a, |x| 1.0 / x.sqrt()),
+                    MathFn1::Exp => apply1(r, n, dst, a, f64::exp),
+                    MathFn1::Log => apply1(r, n, dst, a, f64::ln),
+                    MathFn1::Sin => apply1(r, n, dst, a, f64::sin),
+                    MathFn1::Cos => apply1(r, n, dst, a, f64::cos),
+                    MathFn1::Tan => apply1(r, n, dst, a, f64::tan),
+                    MathFn1::Fabs => apply1(r, n, dst, a, f64::abs),
+                    MathFn1::Floor => apply1(r, n, dst, a, f64::floor),
+                    MathFn1::Ceil => apply1(r, n, dst, a, f64::ceil),
+                }
+            }
+            Math2 { f, dst, a, b } => {
+                let r = &mut self.fregs;
+                match f {
+                    MathFn2::Pow => apply2(r, n, dst, a, b, f64::powf),
+                    MathFn2::Fmin => apply2(r, n, dst, a, b, f64::min),
+                    MathFn2::Fmax => apply2(r, n, dst, a, b, f64::max),
+                    MathFn2::Fmod => apply2(r, n, dst, a, b, |x, y| x % y),
+                }
+            }
+            IMin { dst, a, b } => apply2(&mut self.iregs, n, dst, a, b, i64::min),
+            IMax { dst, a, b } => apply2(&mut self.iregs, n, dst, a, b, i64::max),
+            IAbs { dst, a } => {
+                apply1(&mut self.iregs, n, dst, a, |x| {
+                    wrap32(x.wrapping_abs(), false)
+                });
+            }
+            LoadF { dst, buf, idx } => {
+                let idxv = &self.iregs[idx as usize];
+                let b = &bufs[bmap[buf as usize]];
+                let BufferData::F32(v) = b else {
+                    unreachable!("type-checked load");
+                };
+                let d = &mut self.fregs[dst as usize];
+                if all_in_bounds(idxv, n, v.len()) {
+                    for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
+                        *d = f64::from(v[i as usize]);
+                    }
+                } else {
+                    for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
+                        let Some(val) = usize::try_from(i).ok().and_then(|i| v.get(i)) else {
+                            return Err(VmError::OutOfBounds {
+                                buffer: buf as usize,
+                                index: i,
+                                len: v.len(),
+                            });
+                        };
+                        *d = f64::from(*val);
+                    }
+                }
+            }
+            LoadI { dst, buf, idx } => {
+                // Index and destination share the I register file; copy
+                // the index lanes so the destination can borrow mutably.
+                let idxv = self.iregs[idx as usize];
+                let idxv = &idxv;
+                let b = &bufs[bmap[buf as usize]];
+                let d = &mut self.iregs[dst as usize];
+                if all_in_bounds(idxv, n, b.len()) {
+                    match b {
+                        BufferData::I32(v) => {
+                            for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
+                                *d = i64::from(v[i as usize]);
+                            }
+                        }
+                        BufferData::U32(v) => {
+                            for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
+                                *d = i64::from(v[i as usize]);
+                            }
+                        }
+                        BufferData::F32(_) => unreachable!("type-checked load"),
+                    }
+                } else {
+                    for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
+                        let val = match b {
+                            BufferData::I32(v) => usize::try_from(i)
+                                .ok()
+                                .and_then(|i| v.get(i))
+                                .map(|&x| i64::from(x)),
+                            BufferData::U32(v) => usize::try_from(i)
+                                .ok()
+                                .and_then(|i| v.get(i))
+                                .map(|&x| i64::from(x)),
+                            BufferData::F32(_) => unreachable!("type-checked load"),
+                        };
+                        let Some(val) = val else {
+                            return Err(VmError::OutOfBounds {
+                                buffer: buf as usize,
+                                index: i,
+                                len: b.len(),
+                            });
+                        };
+                        *d = val;
+                    }
+                }
+            }
+            StoreF { buf, idx, src } => {
+                let idxv = &self.iregs[idx as usize];
+                let srcv = &self.fregs[src as usize];
+                let b = &mut bufs[bmap[buf as usize]];
+                let len = b.len();
+                let BufferData::F32(v) = b else {
+                    unreachable!("type-checked store");
+                };
+                // Ascending lane order = ascending item order, so
+                // same-instruction write collisions resolve exactly like
+                // the scalar engine's item order.
+                if all_in_bounds(idxv, n, len) {
+                    for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
+                        v[i as usize] = x as f32;
+                    }
+                } else {
+                    for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
+                        let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
+                            return Err(VmError::OutOfBounds {
+                                buffer: buf as usize,
+                                index: i,
+                                len,
+                            });
+                        };
+                        *slot = x as f32;
+                    }
+                }
+            }
+            StoreI { buf, idx, src } => {
+                let idxv = &self.iregs[idx as usize];
+                let srcv = &self.iregs[src as usize];
+                let b = &mut bufs[bmap[buf as usize]];
+                let len = b.len();
+                if all_in_bounds(idxv, n, len) {
+                    match b {
+                        BufferData::I32(v) => {
+                            for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
+                                v[i as usize] = x as i32;
+                            }
+                        }
+                        BufferData::U32(v) => {
+                            for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
+                                v[i as usize] = x as u32;
+                            }
+                        }
+                        BufferData::F32(_) => unreachable!("type-checked store"),
+                    }
+                } else {
+                    for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
+                        let slot = match b {
+                            BufferData::I32(v) => {
+                                usize::try_from(i).ok().and_then(|i| v.get_mut(i)).map(|s| {
+                                    *s = x as i32;
+                                })
+                            }
+                            BufferData::U32(v) => {
+                                usize::try_from(i).ok().and_then(|i| v.get_mut(i)).map(|s| {
+                                    *s = x as u32;
+                                })
+                            }
+                            BufferData::F32(_) => unreachable!("type-checked store"),
+                        };
+                        if slot.is_none() {
+                            return Err(VmError::OutOfBounds {
+                                buffer: buf as usize,
+                                index: i,
+                                len,
+                            });
+                        }
+                    }
+                }
+            }
+            GlobalId { dst, dim } => {
+                let g = self.gid[dim as usize];
+                self.iregs[dst as usize][..n].copy_from_slice(&g[..n]);
+            }
+            GlobalSize { dst, dim } => {
+                self.iregs[dst as usize][..n].fill(gsize[dim as usize] as i64);
+            }
+        }
+        Ok(())
+    }
+}

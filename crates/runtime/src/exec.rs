@@ -134,6 +134,42 @@ impl Executor {
         })
     }
 
+    /// Price one device's chunk of a launch from a pre-collected profile
+    /// and known transfer sizes. This is the atomic pricing unit that both
+    /// the full sweep ([`Executor::price_with_profile`]) and the pruned
+    /// branch-and-bound sweep ([`crate::sweep::sweep_many_mode`]) compose,
+    /// which is what keeps their per-device times bit-identical.
+    pub fn price_chunk(
+        &self,
+        launch: &Launch,
+        dev: DeviceId,
+        chunk: Range<usize>,
+        profile: &crate::profile::LaunchProfile,
+        transfer: (u64, u64),
+    ) -> DeviceRun {
+        let (bytes_in, bytes_out) = transfer;
+        let (counts, divergence) = profile.estimate(chunk.clone());
+        let coalesced = coalesced_fraction(launch.kernel);
+        let shape = workload_shape(&counts, bytes_in, bytes_out, divergence, coalesced);
+        let time = estimate_time(self.machine.device(dev), &shape);
+        DeviceRun {
+            device: dev,
+            chunk_start: chunk.start,
+            chunk_end: chunk.end,
+            shape,
+            time,
+        }
+    }
+
+    /// The coordination overhead a launch pays when `active_devices` > 1.
+    pub fn coordination_overhead(&self, active_devices: usize) -> f64 {
+        if active_devices > 1 {
+            self.machine.multi_device_overhead_us * 1e-6
+        } else {
+            0.0
+        }
+    }
+
     /// Price one partitioning of a launch from a pre-collected profile,
     /// with transfer sizes supplied by `transfer` — either a direct
     /// [`transfer_bytes`] call (see [`Executor::simulate_with_profile`])
@@ -158,34 +194,19 @@ impl Executor {
             self.machine.name,
             self.machine.num_devices()
         );
-        let kernel = launch.kernel;
         let nd = &launch.nd;
         let chunks = partition.chunks(nd.split_extent());
-        let coalesced = coalesced_fraction(kernel);
 
         let mut device_runs = Vec::new();
         for (dev, chunk) in self.machine.device_ids().zip(&chunks) {
             if chunk.is_empty() {
                 continue;
             }
-            let (bytes_in, bytes_out) = transfer(chunk.clone());
-            let (counts, divergence) = profile.estimate(chunk.clone());
-            let shape = workload_shape(&counts, bytes_in, bytes_out, divergence, coalesced);
-            let time = estimate_time(self.machine.device(dev), &shape);
-            device_runs.push(DeviceRun {
-                device: dev,
-                chunk_start: chunk.start,
-                chunk_end: chunk.end,
-                shape,
-                time,
-            });
+            let t = transfer(chunk.clone());
+            device_runs.push(self.price_chunk(launch, dev, chunk.clone(), profile, t));
         }
         let slowest = device_runs.iter().map(|r| r.time.total).fold(0.0, f64::max);
-        let coordination = if device_runs.len() > 1 {
-            self.machine.multi_device_overhead_us * 1e-6
-        } else {
-            0.0
-        };
+        let coordination = self.coordination_overhead(device_runs.len());
         ExecutionReport {
             partition: partition.clone(),
             device_runs,
@@ -260,11 +281,7 @@ impl Executor {
         }
 
         let slowest = device_runs.iter().map(|r| r.time.total).fold(0.0, f64::max);
-        let coordination = if device_runs.len() > 1 {
-            self.machine.multi_device_overhead_us * 1e-6
-        } else {
-            0.0
-        };
+        let coordination = self.coordination_overhead(device_runs.len());
         Ok(ExecutionReport {
             partition: partition.clone(),
             device_runs,

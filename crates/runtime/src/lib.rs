@@ -48,4 +48,7 @@ pub use exec::{DeviceRun, ExecutionReport, Executor, Launch, DEFAULT_SAMPLE_ITEM
 pub use features::{runtime_features, RuntimeFeatures, RUNTIME_FEATURE_DIM, RUNTIME_FEATURE_NAMES};
 pub use partition::{Partition, TENTHS};
 pub use profile::LaunchProfile;
-pub use sweep::{sweep_many, sweep_partitions, PartitionSweep, SweepEntry, SweepJob};
+pub use sweep::{
+    sweep_many, sweep_many_mode, sweep_partitions, sweep_partitions_mode, PartitionSweep,
+    SweepEntry, SweepJob, SweepMode,
+};

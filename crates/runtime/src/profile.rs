@@ -9,9 +9,11 @@
 //! spatially varying kernels (mandelbrot!) it captures the per-chunk
 //! differences the per-chunk sampler would see, at a fraction of the cost.
 
-use hetpart_inspire::bytecode::N_OP_CLASSES;
+use hetpart_inspire::bytecode::{Function, N_OP_CLASSES};
 use hetpart_inspire::ir::NdRange;
-use hetpart_inspire::vm::{dynamic_counts, ArgValue, BufferData, Counters, DynamicCounts, Vm};
+use hetpart_inspire::vm::{
+    dynamic_counts, ArgValue, BufferData, Counters, DynamicCounts, OnlineStats, Vm,
+};
 use hetpart_inspire::{CompiledKernel, VmError};
 use std::ops::Range;
 
@@ -26,6 +28,17 @@ struct SamplePoint {
     ops: f64,
 }
 
+/// A VM entry point executing an explicit work-item list — either
+/// [`Vm::run_items`] (lane engine) or [`Vm::run_items_scalar`].
+type RunItemsFn = fn(
+    &mut Vm,
+    &Function,
+    &NdRange,
+    &[[usize; 3]],
+    &[ArgValue],
+    &mut [BufferData],
+) -> Result<Vec<Counters>, VmError>;
+
 /// A sampled execution profile of one launch.
 #[derive(Debug, Clone)]
 pub struct LaunchProfile {
@@ -37,12 +50,44 @@ pub struct LaunchProfile {
 impl LaunchProfile {
     /// Execute a stratified sample of `max_samples` work-items across the
     /// whole NDRange (on scratch copies of `bufs`) and build the profile.
+    ///
+    /// All probe items run in one lane-batched [`Vm::run_items`] call —
+    /// hundreds of single-item kernel entries collapse into a handful of
+    /// lockstep batches, which is where the training oracle spends its
+    /// VM time.
     pub fn collect(
         kernel: &CompiledKernel,
         nd: &NdRange,
         args: &[ArgValue],
         bufs: &[BufferData],
         max_samples: usize,
+    ) -> Result<Self, VmError> {
+        Self::collect_with(kernel, nd, args, bufs, max_samples, Vm::run_items)
+    }
+
+    /// [`LaunchProfile::collect`] on the scalar engine — the reference
+    /// (and pre-lane-engine) probe path, kept for differential tests and
+    /// the `vm_batch` benchmark's baseline.
+    pub fn collect_scalar(
+        kernel: &CompiledKernel,
+        nd: &NdRange,
+        args: &[ArgValue],
+        bufs: &[BufferData],
+        max_samples: usize,
+    ) -> Result<Self, VmError> {
+        Self::collect_with(kernel, nd, args, bufs, max_samples, Vm::run_items_scalar)
+    }
+
+    /// The shared probe-sampling policy: one representative work-item per
+    /// stratified slice (the first item of the inner dimensions; see the
+    /// uniformity note above), executed by `run_items` — either VM engine.
+    fn collect_with(
+        kernel: &CompiledKernel,
+        nd: &NdRange,
+        args: &[ArgValue],
+        bufs: &[BufferData],
+        max_samples: usize,
+        run_items: RunItemsFn,
     ) -> Result<Self, VmError> {
         let mut scratch = bufs.to_vec();
         let mut vm = Vm::new();
@@ -51,7 +96,9 @@ impl LaunchProfile {
         let inner = nd.items_per_slice();
         let total = nd.total();
         let n = total.min(max_samples.max(1));
-        let mut samples = Vec::with_capacity(n);
+        let split_dim = nd.split_dim();
+        let mut slices = Vec::with_capacity(n);
+        let mut gids = Vec::with_capacity(n);
         for j in 0..n {
             let li = if n == total {
                 j
@@ -59,20 +106,38 @@ impl LaunchProfile {
                 (j as u128 * total as u128 / n as u128) as usize
             };
             let slice = li / inner;
-            // Execute exactly one work-item and take its counter delta.
-            let mut c = Counters::new(&kernel.bytecode);
-            run_one(&mut vm, kernel, nd, slice, args, &mut scratch, &mut c)?;
-            let d = dynamic_counts(&kernel.bytecode, &c);
-            let ops = d.total_ops() as f64;
-            samples.push(SamplePoint {
-                slice,
-                counts: d,
-                ops,
-            });
+            let mut gid = [0usize; 3];
+            gid[split_dim] = slice;
+            slices.push(slice);
+            gids.push(gid);
         }
+        let per_item = run_items(&mut vm, &kernel.bytecode, nd, &gids, args, &mut scratch)?;
+        Self::from_probes(kernel, extent, inner, slices, per_item)
+    }
+
+    fn from_probes(
+        kernel: &CompiledKernel,
+        extent: usize,
+        items_per_slice: usize,
+        slices: Vec<usize>,
+        per_item: Vec<Counters>,
+    ) -> Result<Self, VmError> {
+        let samples = slices
+            .into_iter()
+            .zip(per_item)
+            .map(|(slice, c)| {
+                let d = dynamic_counts(&kernel.bytecode, &c);
+                let ops = d.total_ops() as f64;
+                SamplePoint {
+                    slice,
+                    counts: d,
+                    ops,
+                }
+            })
+            .collect();
         Ok(Self {
             extent,
-            items_per_slice: inner,
+            items_per_slice,
             samples,
         })
     }
@@ -118,8 +183,7 @@ impl LaunchProfile {
             buf_writes: vec![0; points[0].counts.buf_writes.len()],
             items: 0,
         };
-        let mut sum = 0.0;
-        let mut sum_sq = 0.0;
+        let mut stats = OnlineStats::default();
         for p in &points {
             for (a, b) in acc.per_class.iter_mut().zip(&p.counts.per_class) {
                 *a += b;
@@ -131,34 +195,12 @@ impl LaunchProfile {
                 *a += b;
             }
             acc.items += p.counts.items;
-            sum += p.ops;
-            sum_sq += p.ops * p.ops;
+            stats.push(p.ops);
         }
         let scale = chunk_items / k;
         let counts = acc.scaled(scale);
-        let mean = sum / k;
-        let var = (sum_sq / k - mean * mean).max(0.0);
-        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
-        (counts, cv.clamp(0.0, 1.0))
+        (counts, stats.cv().clamp(0.0, 1.0))
     }
-}
-
-/// Execute one representative work-item of a slice (the first item of the
-/// inner dimensions; profiles assume the workload is uniform *within* a
-/// slice, which holds for row-major 2D kernels whose behaviour varies by
-/// row).
-fn run_one(
-    vm: &mut Vm,
-    kernel: &CompiledKernel,
-    nd: &NdRange,
-    slice: usize,
-    args: &[ArgValue],
-    bufs: &mut [BufferData],
-    counters: &mut Counters,
-) -> Result<(), VmError> {
-    let s = vm.run_sampled(&kernel.bytecode, nd, slice..slice + 1, args, bufs, 1)?;
-    counters.merge(&s.counters);
-    Ok(())
 }
 
 #[cfg(test)]
@@ -226,6 +268,24 @@ mod tests {
         assert!(cv_all > 0.3, "ramp kernel divergence: {cv_all}");
         let (_, cv_single) = p.estimate(0..1);
         assert_eq!(cv_single, 0.0);
+    }
+
+    #[test]
+    fn batched_and_scalar_profiles_are_identical() {
+        let k = compile(VARYING).unwrap();
+        let n = 2048;
+        let bufs = vec![BufferData::F32(vec![0.0; n])];
+        let args = vec![ArgValue::Buffer(0), ArgValue::Int(n as i32)];
+        let nd = NdRange::d1(n);
+        let lanes = LaunchProfile::collect(&k, &nd, &args, &bufs, 100).unwrap();
+        let scalar = LaunchProfile::collect_scalar(&k, &nd, &args, &bufs, 100).unwrap();
+        assert_eq!(lanes.num_samples(), scalar.num_samples());
+        for chunk in [0..n, 0..n / 2, n / 3..n / 2, n - 1..n] {
+            let (cl, dl) = lanes.estimate(chunk.clone());
+            let (cs, ds) = scalar.estimate(chunk);
+            assert_eq!(cl, cs);
+            assert_eq!(dl.to_bits(), ds.to_bits());
+        }
     }
 
     #[test]

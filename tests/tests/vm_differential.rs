@@ -1,0 +1,330 @@
+//! Differential tests: the lane-batched VM engine against the scalar
+//! reference engine.
+//!
+//! The lane engine must be a pure performance change: for every suite
+//! kernel and every NDRange shape, buffers, block counters, and sample
+//! statistics must be **bit-identical** to the scalar engine — including
+//! divergent kernels (which exercise per-lane replay) and sizes that are
+//! not multiples of the lane width (which exercise the partial tail
+//! batch).
+
+use hetpart_inspire::compile;
+use hetpart_inspire::vm::{ArgValue, BufferData, Counters, Vm, LANES};
+use hetpart_inspire::NdRange;
+use proptest::prelude::*;
+
+/// Run both engines over the same range and assert bitwise equality of
+/// buffers and counters. Returns the buffers for further checks.
+fn assert_range_parity(
+    src: &str,
+    nd: &NdRange,
+    range: std::ops::Range<usize>,
+    args: &[ArgValue],
+    bufs: &[BufferData],
+) -> (Vec<BufferData>, Counters) {
+    let k = compile(src).unwrap();
+    let mut vm = Vm::new();
+    let mut scalar_bufs = bufs.to_vec();
+    let scalar = vm
+        .run_range_scalar(&k.bytecode, nd, range.clone(), args, &mut scalar_bufs)
+        .unwrap();
+    let mut lane_bufs = bufs.to_vec();
+    let lanes = vm
+        .run_range_lanes(&k.bytecode, nd, range, args, &mut lane_bufs)
+        .unwrap();
+    assert_eq!(scalar_bufs, lane_bufs, "buffers must be bit-identical");
+    assert_eq!(scalar, lanes, "counters must be identical");
+    (lane_bufs, lanes)
+}
+
+// ---------------------------------------------------------------------
+// Every suite kernel
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_suite_kernel_is_bit_identical_across_engines() {
+    for bench in hetpart_suite::all() {
+        let kernel = bench.compile();
+        let inst = bench.instance(bench.smallest_size());
+        let extent = inst.nd.split_extent();
+
+        let mut vm = Vm::new();
+        let mut scalar_bufs = inst.bufs.clone();
+        let scalar = vm
+            .run_range_scalar(
+                &kernel.bytecode,
+                &inst.nd,
+                0..extent,
+                &inst.args,
+                &mut scalar_bufs,
+            )
+            .unwrap();
+        let mut lane_bufs = inst.bufs.clone();
+        let lanes = vm
+            .run_range_lanes(
+                &kernel.bytecode,
+                &inst.nd,
+                0..extent,
+                &inst.args,
+                &mut lane_bufs,
+            )
+            .unwrap();
+        assert_eq!(scalar_bufs, lane_bufs, "{}: buffers differ", bench.name);
+        assert_eq!(scalar, lanes, "{}: counters differ", bench.name);
+
+        // The lane engine's output must still satisfy the benchmark's own
+        // native reference.
+        bench
+            .check_outputs(&inst, &lane_bufs)
+            .unwrap_or_else(|e| panic!("lane engine fails verification: {e}"));
+
+        // An odd sub-range exercises chunked execution with a misaligned
+        // tail batch.
+        if extent >= 3 {
+            let sub = (extent / 3)..(extent - 1);
+            assert_range_parity(bench.source, &inst.nd, sub, &inst.args, &inst.bufs);
+        }
+    }
+}
+
+#[test]
+fn suite_kernel_sampling_is_bit_identical_across_engines() {
+    for bench in hetpart_suite::all() {
+        let kernel = bench.compile();
+        let inst = bench.instance(bench.smallest_size());
+        let extent = inst.nd.split_extent();
+        let mut vm = Vm::new();
+        for max_items in [16usize, 100, usize::MAX] {
+            let mut b1 = inst.bufs.clone();
+            let s = vm
+                .run_sampled_scalar(
+                    &kernel.bytecode,
+                    &inst.nd,
+                    0..extent,
+                    &inst.args,
+                    &mut b1,
+                    max_items,
+                )
+                .unwrap();
+            let mut b2 = inst.bufs.clone();
+            let l = vm
+                .run_sampled_lanes(
+                    &kernel.bytecode,
+                    &inst.nd,
+                    0..extent,
+                    &inst.args,
+                    &mut b2,
+                    max_items,
+                )
+                .unwrap();
+            assert_eq!(b1, b2, "{}: sampled buffers differ", bench.name);
+            assert_eq!(s.counters, l.counters, "{}: sampled counters", bench.name);
+            assert_eq!(s.sampled_items, l.sampled_items);
+            assert_eq!(
+                s.mean_ops_per_item.to_bits(),
+                l.mean_ops_per_item.to_bits(),
+                "{}: mean ops",
+                bench.name
+            );
+            assert_eq!(s.ops_cv.to_bits(), l.ops_cv.to_bits(), "{}: cv", bench.name);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Divergence and lane-width edges
+// ---------------------------------------------------------------------
+
+/// Per-item trip counts, nested branches, break/continue, and a
+/// short-circuit condition: maximal control-flow divergence.
+const DIVERGENT: &str = "kernel void d(global const float* a, global float* o, int n) {
+    int i = get_global_id(0);
+    float s = a[i % n];
+    for (int j = 0; j < i % 29; j++) {
+        if (j == i % 7) { continue; }
+        if (j > 20 && i % 2 == 0) { break; }
+        s = s * 1.0001 + (float)j;
+    }
+    if (i % 5 == 0 || s > 100.0) { s = s - floor(s); }
+    o[i] = s;
+}";
+
+#[test]
+fn divergent_kernel_parity_at_lane_width_edges() {
+    // Sizes straddling multiples of the lane width force every tail-batch
+    // shape, including the single-item batch.
+    for n in [1usize, 2, LANES - 1, LANES, LANES + 1, 2 * LANES, 193, 1000] {
+        let bufs = vec![
+            BufferData::F32((0..n).map(|i| (i as f32).sin()).collect()),
+            BufferData::F32(vec![0.0; n]),
+        ];
+        let args = vec![
+            ArgValue::Buffer(0),
+            ArgValue::Buffer(1),
+            ArgValue::Int(n as i32),
+        ];
+        assert_range_parity(DIVERGENT, &NdRange::d1(n), 0..n, &args, &bufs);
+    }
+}
+
+#[test]
+fn multidimensional_ranges_match() {
+    const K2D: &str = "kernel void k(global float* o, int w) {
+        int x = get_global_id(0);
+        int y = get_global_id(1);
+        float s = 0.0;
+        for (int j = 0; j < (x + y) % 11; j++) { s += sqrt((float)(j + 1)); }
+        o[y * w + x] = s;
+    }";
+    for (w, h) in [(7usize, 13usize), (64, 3), (65, 65), (1, 100)] {
+        let bufs = vec![BufferData::F32(vec![0.0; w * h])];
+        let args = vec![ArgValue::Buffer(0), ArgValue::Int(w as i32)];
+        let nd = NdRange::d2(w, h);
+        assert_range_parity(K2D, &nd, 0..h, &args, &bufs);
+        // Partial slice ranges (partitioned execution shape).
+        if h >= 2 {
+            assert_range_parity(K2D, &nd, 1..h - 1, &args, &bufs);
+        }
+    }
+
+    const K3D: &str = "kernel void k(global float* o, int w, int h) {
+        int x = get_global_id(0);
+        int y = get_global_id(1);
+        int z = get_global_id(2);
+        int idx = (z * h + y) * w + x;
+        o[idx] = (float)(idx % 17) * 0.5;
+    }";
+    let (w, h, d) = (5usize, 9usize, 11usize);
+    let bufs = vec![BufferData::F32(vec![0.0; w * h * d])];
+    let args = vec![
+        ArgValue::Buffer(0),
+        ArgValue::Int(w as i32),
+        ArgValue::Int(h as i32),
+    ];
+    let nd = NdRange::new(&[w, h, d]);
+    assert_range_parity(K3D, &nd, 0..d, &args, &bufs);
+    assert_range_parity(K3D, &nd, 3..8, &args, &bufs);
+}
+
+#[test]
+fn integer_and_uint_semantics_match() {
+    // Wrapping arithmetic, shifts, casts, and min/max/abs across lanes.
+    const INTS: &str = "kernel void k(global const int* a, global int* o, global uint* u, int n) {
+        int i = get_global_id(0);
+        int v = a[i];
+        uint x = (uint)(v * 2654435761);
+        x = x ^ (x >> 16);
+        int w = min(max(v * v, -1000), 1000);
+        if (i % 4 < 2) { w = abs(v - n); }
+        o[i] = w + (v >> 2) + (int)x;
+        u[i] = x / (uint)(i + 1) + x % (uint)(i + 1);
+    }";
+    let n = 301usize;
+    let bufs = vec![
+        BufferData::I32((0..n as i32).map(|i| i.wrapping_mul(92821) - 150).collect()),
+        BufferData::I32(vec![0; n]),
+        BufferData::U32(vec![0; n]),
+    ];
+    let args = vec![
+        ArgValue::Buffer(0),
+        ArgValue::Buffer(1),
+        ArgValue::Buffer(2),
+        ArgValue::Int(n as i32),
+    ];
+    assert_range_parity(INTS, &NdRange::d1(n), 0..n, &args, &bufs);
+}
+
+#[test]
+fn lane_engine_reports_errors_like_scalar_on_uniform_faults() {
+    // A fault every item hits at the same instruction must surface as the
+    // same error from both engines.
+    let src = "kernel void k(global float* o, int n) {
+        int i = get_global_id(0);
+        o[i + n] = 1.0;
+    }";
+    let k = compile(src).unwrap();
+    let n = 100usize;
+    let args = vec![ArgValue::Buffer(0), ArgValue::Int(n as i32)];
+    let mut vm = Vm::new();
+    let mut b1 = vec![BufferData::F32(vec![0.0; n])];
+    let e_scalar = vm
+        .run_range_scalar(&k.bytecode, &NdRange::d1(n), 0..n, &args, &mut b1)
+        .unwrap_err();
+    let mut b2 = vec![BufferData::F32(vec![0.0; n])];
+    let e_lanes = vm
+        .run_range_lanes(&k.bytecode, &NdRange::d1(n), 0..n, &args, &mut b2)
+        .unwrap_err();
+    assert_eq!(e_scalar, e_lanes);
+}
+
+// ---------------------------------------------------------------------
+// Property-based parity
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_shapes_and_ranges_are_bit_identical(
+        w in 1usize..40,
+        h in 1usize..40,
+        lo_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let nd = NdRange::d2(w, h);
+        let lo = ((h as f64 * lo_frac) as usize).min(h - 1);
+        let len = (((h - lo) as f64 * len_frac) as usize).max(1).min(h - lo);
+        let bufs = vec![BufferData::F32(vec![0.5; w * h])];
+        let args = vec![ArgValue::Buffer(0), ArgValue::Int(w as i32)];
+        let src = "kernel void k(global float* o, int w) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            float s = 1.0;
+            for (int j = 0; j < (x * 3 + y) % 19; j++) { s = s * 1.01 + 0.25; }
+            o[y * w + x] = s;
+        }";
+        let k = compile(src).unwrap();
+        let mut vm = Vm::new();
+        let mut b1 = bufs.clone();
+        let c1 = vm
+            .run_range_scalar(&k.bytecode, &nd, lo..lo + len, &args, &mut b1)
+            .unwrap();
+        let mut b2 = bufs.clone();
+        let c2 = vm
+            .run_range_lanes(&k.bytecode, &nd, lo..lo + len, &args, &mut b2)
+            .unwrap();
+        prop_assert_eq!(b1, b2);
+        prop_assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn random_sampling_budgets_are_bit_identical(
+        n in 9usize..3000,
+        max_items in 9usize..512,
+    ) {
+        let bufs = vec![
+            BufferData::F32((0..n).map(|i| i as f32 * 0.125).collect()),
+            BufferData::F32(vec![0.0; n]),
+        ];
+        let args = vec![
+            ArgValue::Buffer(0),
+            ArgValue::Buffer(1),
+            ArgValue::Int(n as i32),
+        ];
+        let k = compile(DIVERGENT).unwrap();
+        let nd = NdRange::d1(n);
+        let mut vm = Vm::new();
+        let mut b1 = bufs.clone();
+        let s = vm
+            .run_sampled_scalar(&k.bytecode, &nd, 0..n, &args, &mut b1, max_items)
+            .unwrap();
+        let mut b2 = bufs.clone();
+        let l = vm
+            .run_sampled_lanes(&k.bytecode, &nd, 0..n, &args, &mut b2, max_items)
+            .unwrap();
+        prop_assert_eq!(b1, b2);
+        prop_assert_eq!(s.counters, l.counters);
+        prop_assert_eq!(s.mean_ops_per_item.to_bits(), l.mean_ops_per_item.to_bits());
+        prop_assert_eq!(s.ops_cv.to_bits(), l.ops_cv.to_bits());
+    }
+}
