@@ -95,6 +95,43 @@ pub fn lopo_outcomes(
         .collect()
 }
 
+/// Price the StarPU-style dynamic chunked scheduler
+/// ([`hetpart_runtime::dynamic_schedule`], the paper's related-work
+/// baseline) on every record of one machine's database. Returns simulated
+/// times aligned with `db.records`.
+fn dynsched_record_times(
+    ctx: &EvalContext,
+    machine: &hetpart_oclsim::Machine,
+    db: &TrainingDb,
+) -> Vec<f64> {
+    use hetpart_runtime::{dynamic_schedule, DynSchedConfig, Executor, Launch};
+    use std::collections::HashMap;
+    let executor = Executor {
+        machine: machine.clone(),
+        sample_items: ctx.cfg.sample_items,
+    };
+    // Compile each program once; records share kernels across sizes.
+    let mut compiled: HashMap<&str, hetpart_inspire::CompiledKernel> = HashMap::new();
+    db.records
+        .iter()
+        .map(|r| {
+            let bench = ctx
+                .benchmarks
+                .iter()
+                .find(|b| b.name == r.program)
+                .expect("record program is in the suite");
+            let kernel = compiled
+                .entry(r.program.as_str())
+                .or_insert_with(|| bench.compile());
+            let inst = bench.instance(r.size);
+            let launch = Launch::new(kernel, inst.nd.clone(), inst.args.clone());
+            dynamic_schedule(&executor, &launch, &inst.bufs, DynSchedConfig::default())
+                .expect("dynamic schedule succeeds")
+                .time
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------------
 // Figure 1
 // ---------------------------------------------------------------------
@@ -123,6 +160,12 @@ pub struct Figure1Machine {
     pub accuracy: f64,
     /// Geomean fraction of oracle performance achieved.
     pub oracle_fraction: f64,
+    /// Related-work baseline row: geomean speedup of the dynamic chunked
+    /// scheduler (StarPU-style, see [`hetpart_runtime::dynamic_schedule`])
+    /// over CPU-only across all records of this machine.
+    pub dynsched_over_cpu: f64,
+    /// … and over GPU-only.
+    pub dynsched_over_gpu: f64,
 }
 
 /// The complete Figure 1: both machines.
@@ -135,17 +178,24 @@ pub struct Figure1 {
 /// over the CPU-only and GPU-only default strategies on each machine.
 pub fn figure1(ctx: &EvalContext) -> Figure1 {
     let machines = ctx
-        .dbs
+        .cfg
+        .machines
         .iter()
-        .map(|db| {
+        .zip(&ctx.dbs)
+        .map(|(machine, db)| {
             let outcomes = lopo_outcomes(db, &ctx.cfg.model, FeatureSet::Both);
-            figure1_for_machine(db, &outcomes)
+            let dyn_times = dynsched_record_times(ctx, machine, db);
+            figure1_for_machine(db, &outcomes, &dyn_times)
         })
         .collect();
     Figure1 { machines }
 }
 
-fn figure1_for_machine(db: &TrainingDb, outcomes: &[PredictionOutcome]) -> Figure1Machine {
+fn figure1_for_machine(
+    db: &TrainingDb,
+    outcomes: &[PredictionOutcome],
+    dyn_times: &[f64],
+) -> Figure1Machine {
     let mut rows: Vec<Figure1Row> = Vec::new();
     let mut programs: Vec<String> = Vec::new();
     for o in outcomes {
@@ -182,6 +232,16 @@ fn figure1_for_machine(db: &TrainingDb, outcomes: &[PredictionOutcome]) -> Figur
         .iter()
         .map(|o| o.oracle_time / o.predicted_time)
         .collect();
+    let dyn_cpu: Vec<f64> = outcomes
+        .iter()
+        .zip(dyn_times)
+        .map(|(o, &d)| o.cpu_only_time / d)
+        .collect();
+    let dyn_gpu: Vec<f64> = outcomes
+        .iter()
+        .zip(dyn_times)
+        .map(|(o, &d)| o.gpu_only_time / d)
+        .collect();
     Figure1Machine {
         machine: db.machine.clone(),
         rows,
@@ -191,6 +251,8 @@ fn figure1_for_machine(db: &TrainingDb, outcomes: &[PredictionOutcome]) -> Figur
         peak_over_gpu: peak_gpu,
         accuracy: hits as f64 / outcomes.len().max(1) as f64,
         oracle_fraction: geometric_mean(&fractions),
+        dynsched_over_cpu: geometric_mean(&dyn_cpu),
+        dynsched_over_gpu: geometric_mean(&dyn_gpu),
     }
 }
 
@@ -228,8 +290,25 @@ impl Figure1 {
             }
             out.push_str(&format!("{}\n", rule(76)));
             out.push_str(&format!(
+                "{} {} {} C|{}\n{} {} {} G|{}\n",
+                cell("dynsched (base)", 18),
+                num(m.dynsched_over_cpu, 8),
+                cell("", 8),
+                bar(m.dynsched_over_cpu, max, 38),
+                cell("", 18),
+                cell("", 8),
+                num(m.dynsched_over_gpu, 8),
+                bar(m.dynsched_over_gpu, max, 38),
+            ));
+            out.push_str(&format!("{}\n", rule(76)));
+            out.push_str(&format!(
                 "geomean over CPU-only: {:.2}x   over GPU-only: {:.2}x\n",
                 m.geomean_over_cpu, m.geomean_over_gpu
+            ));
+            out.push_str(&format!(
+                "dynamic-scheduler baseline (StarPU-style): {:.2}x over CPU-only, \
+                 {:.2}x over GPU-only\n",
+                m.dynsched_over_cpu, m.dynsched_over_gpu
             ));
             out.push_str(&format!(
                 "peak    over CPU-only: {:.1}x   over GPU-only: {:.1}x\n",
@@ -454,13 +533,41 @@ pub struct ModelComparison {
     pub rows: Vec<ModelRow>,
 }
 
-/// Compare all model families under LOPO-CV on every machine.
+/// Compare all model families under LOPO-CV on every machine, plus the
+/// model-free related-work baseline (the StarPU-style dynamic scheduler)
+/// as the final row.
 pub fn model_comparison(ctx: &EvalContext) -> ModelComparison {
-    let rows = ModelConfig::all_defaults()
+    let mut rows: Vec<ModelRow> = ModelConfig::all_defaults()
         .into_iter()
         .map(|model| summarize_model(ctx, &model, FeatureSet::Both, model.name().to_string()))
         .collect();
+    rows.push(dynsched_row(ctx));
     ModelComparison { rows }
+}
+
+/// The dynamic-scheduler baseline as a [`ModelRow`]: it predicts no
+/// partitioning (accuracy is reported as 0), but its simulated times slot
+/// into the same oracle-fraction and speedup columns, which is what the
+/// paper's related-work comparison needs.
+fn dynsched_row(ctx: &EvalContext) -> ModelRow {
+    let mut fractions = Vec::new();
+    let mut over_cpu = Vec::new();
+    let mut over_gpu = Vec::new();
+    for (machine, db) in ctx.cfg.machines.iter().zip(&ctx.dbs) {
+        let times = dynsched_record_times(ctx, machine, db);
+        for (r, &t) in db.records.iter().zip(&times) {
+            fractions.push(r.best().time / t);
+            over_cpu.push(r.sweep.cpu_only_time() / t);
+            over_gpu.push(r.sweep.gpu_only_time() / t);
+        }
+    }
+    ModelRow {
+        model: "dynsched (baseline)".to_string(),
+        accuracy: 0.0,
+        oracle_fraction: geometric_mean(&fractions),
+        speedup_over_cpu: geometric_mean(&over_cpu),
+        speedup_over_gpu: geometric_mean(&over_gpu),
+    }
 }
 
 fn summarize_model(
@@ -771,6 +878,37 @@ mod tests {
     }
 
     #[test]
+    fn figure1_includes_dynsched_baseline() {
+        let ctx = tiny_ctx();
+        let fig = figure1(&ctx);
+        for m in &fig.machines {
+            assert!(
+                m.dynsched_over_cpu.is_finite() && m.dynsched_over_cpu > 0.0,
+                "dynsched baseline must be priced: {m:?}"
+            );
+            assert!(m.dynsched_over_gpu.is_finite() && m.dynsched_over_gpu > 0.0);
+        }
+        let txt = fig.render();
+        assert!(txt.contains("dynsched"), "baseline row must render");
+    }
+
+    #[test]
+    fn model_comparison_ends_with_dynsched_baseline_row() {
+        let ctx = tiny_ctx();
+        let mc = model_comparison(&ctx);
+        assert_eq!(
+            mc.rows.len(),
+            hetpart_ml::ModelConfig::all_defaults().len() + 1
+        );
+        let base = mc.rows.last().unwrap();
+        assert_eq!(base.model, "dynsched (baseline)");
+        // The model-free baseline cannot beat the oracle.
+        assert!(base.oracle_fraction > 0.0 && base.oracle_fraction <= 1.0 + 1e-9);
+        assert!(base.speedup_over_cpu.is_finite());
+        assert!(mc.render().contains("dynsched (baseline)"));
+    }
+
+    #[test]
     fn feature_ablation_produces_three_rows() {
         let ctx = tiny_ctx();
         let a = feature_ablation(&ctx);
@@ -811,36 +949,22 @@ pub struct SchedulerRow {
 /// Compare the LOPO-predicted static partitioning against the dynamic
 /// chunked scheduler on every (program, size) record.
 pub fn scheduler_comparison(ctx: &EvalContext) -> SchedulerComparison {
-    use hetpart_runtime::{dynamic_schedule, DynSchedConfig, Executor, Launch};
     let rows = ctx
         .cfg
         .machines
         .iter()
         .zip(&ctx.dbs)
         .map(|(machine, db)| {
-            let executor = Executor {
-                machine: machine.clone(),
-                sample_items: ctx.cfg.sample_items,
-            };
             let outcomes = lopo_outcomes(db, &ctx.cfg.model, FeatureSet::Both);
+            // Outcomes align with db.records, and so do the baseline times.
+            let dyn_times = dynsched_record_times(ctx, machine, db);
             let mut ratios_pred = Vec::new();
             let mut ratios_oracle = Vec::new();
             let mut wins = 0usize;
-            for o in &outcomes {
-                let bench = ctx
-                    .benchmarks
-                    .iter()
-                    .find(|b| b.name == o.program)
-                    .expect("outcome program is in the suite");
-                let kernel = bench.compile();
-                let inst = bench.instance(o.size);
-                let launch = Launch::new(&kernel, inst.nd.clone(), inst.args.clone());
-                let dynamic =
-                    dynamic_schedule(&executor, &launch, &inst.bufs, DynSchedConfig::default())
-                        .expect("dynamic schedule succeeds");
-                ratios_pred.push(dynamic.time / o.predicted_time);
-                ratios_oracle.push(dynamic.time / o.oracle_time);
-                if o.predicted_time < dynamic.time {
+            for (o, &dynamic) in outcomes.iter().zip(&dyn_times) {
+                ratios_pred.push(dynamic / o.predicted_time);
+                ratios_oracle.push(dynamic / o.oracle_time);
+                if o.predicted_time < dynamic {
                     wins += 1;
                 }
             }

@@ -338,6 +338,12 @@ pub struct Function {
     pub blocks: Vec<Block>,
     pub n_iregs: u16,
     pub n_fregs: u16,
+    /// CFG analyses computed once at compile time. The lane engine's SIMT
+    /// reconvergence consumes the immediate post-dominators and its scalar
+    /// replay fallback the per-block live-in registers; the
+    /// successor/predecessor graphs and reverse post-order are exposed for
+    /// further analyses.
+    pub cfg: crate::cfg::CfgInfo,
 }
 
 impl Function {
@@ -1115,13 +1121,17 @@ impl<'a> Compiler<'a> {
                     },
                 }
             })
-            .collect();
+            .collect::<Vec<Block>>();
+        let n_iregs = self.max_i.min(MAX_REGS) as u16;
+        let n_fregs = self.max_f.min(MAX_REGS) as u16;
+        let cfg = crate::cfg::CfgInfo::build(&blocks, n_iregs, n_fregs);
         Ok(Function {
             name: k.name.clone(),
             params: self.params,
             blocks,
-            n_iregs: self.max_i.min(MAX_REGS) as u16,
-            n_fregs: self.max_f.min(MAX_REGS) as u16,
+            n_iregs,
+            n_fregs,
+            cfg,
         })
     }
 }

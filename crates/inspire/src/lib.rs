@@ -48,6 +48,7 @@ pub mod access;
 pub mod ast;
 pub mod builtins;
 pub mod bytecode;
+pub mod cfg;
 pub mod error;
 pub mod features;
 pub mod ir;

@@ -11,8 +11,10 @@
 //!   work-item at a time — the reference implementation;
 //! - the **lane engine** ([`Vm::run_range_lanes`], [`crate::vm_batch`])
 //!   executes batches of up to [`LANES`] work-items in lockstep over
-//!   structure-of-arrays register files, falling back to per-lane scalar
-//!   replay on divergent branches.
+//!   structure-of-arrays register files, handling divergent branches with
+//!   masked SIMT execution and a post-dominator reconvergence stack (or,
+//!   with [`DivergenceMode::Replay`], by finishing each diverged lane on
+//!   the scalar engine).
 //!
 //! The public entry points ([`Vm::run_range`], [`Vm::run_sampled`],
 //! [`Vm::run_items`]) dispatch to the lane engine for anything beyond a
@@ -28,7 +30,7 @@ use crate::error::VmError;
 use crate::ir::{NdRange, ParamKind, ScalarType};
 use crate::vm_batch::{CountSink, LaneEngine};
 
-pub use crate::vm_batch::LANES;
+pub use crate::vm_batch::{DivergenceMode, LANES};
 
 /// A typed host buffer, the VM's model of an OpenCL `cl_mem` object.
 #[derive(Debug, Clone, PartialEq)]
@@ -275,6 +277,10 @@ pub struct Vm {
     pub(crate) fregs: Vec<f64>,
     /// Maximum instructions one work-item may execute (runaway-loop guard).
     pub step_limit: u64,
+    /// How the lane engine handles divergent branches. Defaults from the
+    /// environment (`INSPIRE_NO_RECONVERGE=1` selects the scalar-replay
+    /// fallback); both modes are bit-identical to the scalar engine.
+    pub divergence_mode: DivergenceMode,
 }
 
 impl Default for Vm {
@@ -284,12 +290,14 @@ impl Default for Vm {
 }
 
 impl Vm {
-    /// Create a VM with the default step limit.
+    /// Create a VM with the default step limit and the divergence mode
+    /// selected by the environment.
     pub fn new() -> Self {
         Self {
             iregs: Vec::new(),
             fregs: Vec::new(),
             step_limit: DEFAULT_STEP_LIMIT,
+            divergence_mode: DivergenceMode::from_env(),
         }
     }
 

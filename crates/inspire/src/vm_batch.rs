@@ -1,4 +1,4 @@
-//! The lane-batched SoA execution engine.
+//! The lane-batched SoA execution engine with SIMT reconvergence.
 //!
 //! The scalar engine in [`crate::vm`] interprets one work-item at a time:
 //! every bytecode instruction pays the full dispatch cost (decode match,
@@ -8,38 +8,135 @@
 //! of up to [`LANES`] consecutive work-items in lockstep: the register
 //! files are stored structure-of-arrays (`Vec<[i64; LANES]>` /
 //! `Vec<[f64; LANES]>`), so each instruction is decoded once and then
-//! applied across all active lanes in a tight, bounds-check-free loop.
+//! applied across all active lanes in a tight loop.
 //!
-//! Control flow:
+//! Control flow follows the SIMT execution model of real GPU hardware
+//! (which is also the model the paper's cost features assume):
+//!
 //! - **Uniform branches** (every active lane takes the same side) keep
 //!   the whole batch in lockstep — the fast path, and the common case for
 //!   guard-style `if (i < n)` conditions and fixed-trip-count loops.
-//! - **Divergent branches** bail out to **per-lane replay**: each lane's
-//!   register state is copied into the scalar engine, which finishes that
-//!   work-item alone from its branch target. Divergence therefore costs
-//!   at most one scalar execution per item plus the already-executed
-//!   uniform prefix — it is paid once per item, not once per loop
-//!   iteration.
-//! - The **active-lane mask** is a prefix: the final batch of a range may
-//!   cover fewer than [`LANES`] items, and all lane loops iterate only
-//!   over the live prefix.
+//! - **Divergent branches** split the active mask. The engine pushes the
+//!   not-taken subset onto a **reconvergence stack** together with the
+//!   branch's **immediate post-dominator** (the first block every path
+//!   from the branch must reach again, precomputed in [`crate::cfg`] and
+//!   cached on the [`Function`]), then executes the taken side under its
+//!   sub-mask. When a lane subset reaches its frame's rejoin block it is
+//!   parked, and once all subsets arrive the parent frame resumes there
+//!   with the re-merged mask — lanes re-join at the post-dominator
+//!   exactly like a hardware SIMT stack. Instructions executed under a
+//!   partial mask use masked variants that only read, write, and fault on
+//!   active lanes.
+//! - The pre-reconvergence behaviour — finish each lane's work-item on
+//!   the scalar engine from its branch target — is kept as
+//!   [`DivergenceMode::Replay`] (enable with `INSPIRE_NO_RECONVERGE=1`)
+//!   for A/B comparison and bug isolation. Replay copies only the
+//!   registers that are **live-in** at the branch target (also cached on
+//!   the function) instead of the whole register file.
+//! - The **active-lane mask** of a full batch is a prefix: the final
+//!   batch of a range may cover fewer than [`LANES`] items, and all lane
+//!   loops iterate only over the live prefix.
 //!
 //! Semantics match the scalar engine exactly for race-free kernels
 //! (every suite kernel; OpenCL gives racy kernels no ordering guarantees
 //! anyway): buffers, block counters, and per-item step counts are bit
 //! identical, which the workspace's differential test suite enforces.
-//! The one observable difference is *which* error surfaces when multiple
-//! work-items of a batch fault: items execute in instruction lockstep,
-//! so the earliest fault in lockstep order wins rather than the earliest
-//! item in item order, and buffers may hold partial writes from later
-//! items of the faulting batch.
+//! Per-lane parity holds because reconvergence never changes *which*
+//! blocks a lane executes — only when they run relative to other lanes —
+//! so each lane's block-visit sequence, and therefore its block counts
+//! and step count, is exactly the scalar engine's. The one observable
+//! difference is *which* error surfaces when multiple work-items of a
+//! batch fault: items execute in instruction lockstep, so the earliest
+//! fault in lockstep order wins rather than the earliest item in item
+//! order, and buffers may hold partial writes from other items of the
+//! faulting batch.
 
 use crate::bytecode::{CmpOp, FBinOp, Function, IBinOp, Instr, MathFn1, MathFn2, Terminator};
+use crate::cfg::NO_POST_DOM;
 use crate::error::VmError;
 use crate::vm::{int_bin, wrap32, BufferData, Counters, Vm};
 
 /// Work-items executed in lockstep per batch.
 pub const LANES: usize = 64;
+
+/// How the lane engine handles divergent branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceMode {
+    /// Masked SIMT execution: split the active mask, run both sides under
+    /// sub-masks, re-join at the branch's immediate post-dominator. The
+    /// default.
+    Reconverge,
+    /// Bail out to per-lane scalar replay on the first divergent branch —
+    /// the pre-reconvergence engine, kept for A/B timing and for
+    /// isolating suspected reconvergence bugs.
+    Replay,
+}
+
+impl DivergenceMode {
+    /// Mode selected by the environment: `INSPIRE_NO_RECONVERGE=1` (any
+    /// value but `0`) forces [`DivergenceMode::Replay`].
+    pub fn from_env() -> Self {
+        match std::env::var_os("INSPIRE_NO_RECONVERGE") {
+            Some(v) if v != "0" && !v.is_empty() => DivergenceMode::Replay,
+            _ => DivergenceMode::Reconverge,
+        }
+    }
+}
+
+/// Active-lane bitmask: bit `l` set means lane `l` executes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct ExecMask(u64);
+
+impl ExecMask {
+    /// The full prefix mask for a batch of `n` lanes.
+    #[inline]
+    fn full(n: usize) -> Self {
+        debug_assert!((1..=LANES).contains(&n));
+        Self(if n == LANES { !0 } else { (1u64 << n) - 1 })
+    }
+
+    #[inline]
+    fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterate the set lanes in ascending (= item) order.
+    #[inline]
+    fn lanes(self) -> Lanes {
+        Lanes(self.0)
+    }
+}
+
+/// Ascending iterator over the set bits of an [`ExecMask`].
+struct Lanes(u64);
+
+impl Iterator for Lanes {
+    type Item = usize;
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let l = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(l)
+        }
+    }
+}
+
+/// One reconvergence-stack entry: a lane subset executing at `pc` that
+/// must be re-merged into its parent when it reaches `rpc` (the pushing
+/// branch's immediate post-dominator, or the virtual exit).
+struct Frame {
+    pc: u32,
+    rpc: u32,
+    mask: ExecMask,
+}
 
 /// Where block executions are counted.
 pub(crate) enum CountSink<'a> {
@@ -51,6 +148,8 @@ pub(crate) enum CountSink<'a> {
 }
 
 impl CountSink<'_> {
+    /// Count one block execution by the first `lanes` lanes (a full
+    /// prefix mask).
     #[inline]
     fn count_block(&mut self, block: usize, lanes: usize) {
         match self {
@@ -58,6 +157,19 @@ impl CountSink<'_> {
             CountSink::PerLane(per) => {
                 for c in per[..lanes].iter_mut() {
                     c.block_counts[block] += 1;
+                }
+            }
+        }
+    }
+
+    /// Count one block execution by every active lane of `m`.
+    #[inline]
+    fn count_block_masked(&mut self, block: usize, m: ExecMask) {
+        match self {
+            CountSink::Aggregate(c) => c.block_counts[block] += u64::from(m.count()),
+            CountSink::PerLane(per) => {
+                for l in m.lanes() {
+                    per[l].block_counts[block] += 1;
                 }
             }
         }
@@ -146,6 +258,35 @@ fn apply1<T: Copy, F: Fn(T) -> T>(regs: &mut [[T; LANES]], n: usize, dst: u16, a
     }
 }
 
+/// Masked [`apply2`]: `dst[l] = f(a[l], b[l])` for each active lane.
+/// Per-lane read-then-write makes any operand aliasing trivially correct.
+#[inline]
+fn masked2<T: Copy, F: Fn(T, T) -> T>(
+    regs: &mut [[T; LANES]],
+    m: ExecMask,
+    dst: u16,
+    a: u16,
+    b: u16,
+    f: F,
+) {
+    let (dst, a, b) = (dst as usize, a as usize, b as usize);
+    for l in m.lanes() {
+        let x = regs[a][l];
+        let y = regs[b][l];
+        regs[dst][l] = f(x, y);
+    }
+}
+
+/// Masked [`apply1`]: `dst[l] = f(a[l])` for each active lane.
+#[inline]
+fn masked1<T: Copy, F: Fn(T) -> T>(regs: &mut [[T; LANES]], m: ExecMask, dst: u16, a: u16, f: F) {
+    let (dst, a) = (dst as usize, a as usize);
+    for l in m.lanes() {
+        let x = regs[a][l];
+        regs[dst][l] = f(x);
+    }
+}
+
 /// Whether every lane index is a valid element index for a buffer of
 /// `len` elements — the gate for the bounds-check-free memory fast paths.
 #[inline]
@@ -198,8 +339,9 @@ impl LaneEngine {
     }
 
     /// Execute one batch of `gids.len()` (≤ [`LANES`]) work-items from
-    /// block 0 to completion. `vm` provides the step limit and serves as
-    /// the scratch scalar engine for divergent replay.
+    /// block 0 to completion. `vm` provides the step limit and the
+    /// divergence mode, and serves as the scratch scalar engine for
+    /// replay-mode divergence.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn exec_batch(
         &mut self,
@@ -218,57 +360,186 @@ impl LaneEngine {
                 self.gid[d][l] = g[d] as i64;
             }
         }
-        // Lanes run in lockstep until divergence, so one shared step
-        // counter suffices for the batched prefix.
+        let full = ExecMask::full(n);
+        let exit = f.cfg.exit();
+        // The current reconvergence frame lives in locals so the uniform
+        // fast path never touches the stack; `stack` holds only suspended
+        // frames (the other branch sides and the parked parents).
+        let mut pc: u32 = 0;
+        let mut rpc: u32 = exit;
+        let mut mask = full;
+        let mut stack: Vec<Frame> = Vec::new();
+        // Lanes run in lockstep until the first divergence, so one shared
+        // step counter suffices for the batched prefix; it is flushed to
+        // the per-lane counters the moment the batch diverges.
         let mut batch_steps: u64 = 0;
-        let mut block = 0usize;
+        let mut diverged = false;
         loop {
-            sink.count_block(block, n);
-            let b = &f.blocks[block];
-            batch_steps += b.step_cost();
-            if batch_steps > vm.step_limit {
-                return Err(VmError::StepLimitExceeded {
-                    limit: vm.step_limit,
-                });
+            if pc == rpc {
+                // The current lane subset reached its reconvergence point;
+                // resume the most recently suspended frame. (Its lanes are
+                // re-merged implicitly: the parked parent's mask already
+                // contains them.) An empty stack means every lane returned.
+                match stack.pop() {
+                    Some(fr) => {
+                        pc = fr.pc;
+                        rpc = fr.rpc;
+                        mask = fr.mask;
+                        continue;
+                    }
+                    None => break,
+                }
             }
-            for ins in &b.instrs {
-                self.exec_instr(ins, n, gsize, bmap, bufs)?;
+            let block = pc as usize;
+            let b = &f.blocks[block];
+            if !diverged {
+                sink.count_block(block, n);
+                batch_steps += b.step_cost();
+                if batch_steps > vm.step_limit {
+                    return Err(VmError::StepLimitExceeded {
+                        limit: vm.step_limit,
+                    });
+                }
+                for ins in &b.instrs {
+                    self.exec_instr(ins, n, gsize, bmap, bufs)?;
+                }
+            } else if mask == full {
+                // Fully reconverged: full-width execution, per-lane steps.
+                sink.count_block(block, n);
+                let cost = b.step_cost();
+                let mut over = false;
+                for s in self.steps[..n].iter_mut() {
+                    *s += cost;
+                    over |= *s > vm.step_limit;
+                }
+                if over {
+                    return Err(VmError::StepLimitExceeded {
+                        limit: vm.step_limit,
+                    });
+                }
+                for ins in &b.instrs {
+                    self.exec_instr(ins, n, gsize, bmap, bufs)?;
+                }
+            } else {
+                sink.count_block_masked(block, mask);
+                let cost = b.step_cost();
+                let mut over = false;
+                for l in mask.lanes() {
+                    self.steps[l] += cost;
+                    over |= self.steps[l] > vm.step_limit;
+                }
+                if over {
+                    return Err(VmError::StepLimitExceeded {
+                        limit: vm.step_limit,
+                    });
+                }
+                for ins in &b.instrs {
+                    self.exec_instr_masked(ins, mask, gsize, bmap, bufs)?;
+                }
             }
             match b.term {
-                Terminator::Jump(t) => block = t as usize,
+                Terminator::Jump(t) => pc = t,
+                Terminator::Ret => {
+                    // A `Ret` can only execute in a frame whose rejoin is
+                    // the virtual exit: a reconvergence region rejoining
+                    // at a real block r has every path pass through r
+                    // before returning (r post-dominates the region).
+                    debug_assert_eq!(rpc, exit);
+                    pc = rpc;
+                }
                 Terminator::Branch { cond, then, els } => {
                     let c = &self.iregs[cond as usize];
-                    let first = c[0] != 0;
-                    if c[1..n].iter().all(|&v| (v != 0) == first) {
-                        // Uniform fast path: the batch stays in lockstep.
-                        block = if first { then as usize } else { els as usize };
-                    } else {
-                        return self.replay(
-                            vm,
-                            f,
-                            n,
-                            cond,
-                            [then, els],
-                            gids,
-                            gsize,
-                            bmap,
-                            bufs,
-                            &mut sink,
-                            batch_steps,
-                        );
+                    if mask == full {
+                        // Quick uniform check without building masks — the
+                        // hot case for guard conditions and uniform loops.
+                        let first = c[0] != 0;
+                        if c[1..n].iter().all(|&v| (v != 0) == first) {
+                            pc = if first { then } else { els };
+                            continue;
+                        }
                     }
-                }
-                Terminator::Ret => {
-                    self.steps[..n].fill(batch_steps);
-                    return Ok(());
+                    let mut taken = 0u64;
+                    for l in mask.lanes() {
+                        taken |= u64::from(c[l] != 0) << l;
+                    }
+                    let t = ExecMask(taken);
+                    let e = ExecMask(mask.0 & !taken);
+                    if e.is_empty() {
+                        pc = then;
+                        continue;
+                    }
+                    if t.is_empty() {
+                        pc = els;
+                        continue;
+                    }
+                    if !diverged {
+                        if vm.divergence_mode == DivergenceMode::Replay {
+                            return self.replay(
+                                vm,
+                                f,
+                                n,
+                                cond,
+                                [then, els],
+                                gids,
+                                gsize,
+                                bmap,
+                                bufs,
+                                &mut sink,
+                                batch_steps,
+                            );
+                        }
+                        self.steps[..n].fill(batch_steps);
+                        diverged = true;
+                    }
+                    // A branch with no post-dominator (an infinite loop)
+                    // rejoins "at the exit": such lanes can only stop via
+                    // the step limit, exactly as on the scalar engine.
+                    let r = match f.cfg.ipdom[block] {
+                        NO_POST_DOM => exit,
+                        r => r,
+                    };
+                    // Suspend the current frame parked at the rejoin with
+                    // the merged mask, then the not-taken side; the taken
+                    // side becomes current. A side that jumps straight to
+                    // the rejoin needs no frame — its lanes simply wait in
+                    // the parked parent.
+                    stack.push(Frame { pc: r, rpc, mask });
+                    if els != r {
+                        stack.push(Frame {
+                            pc: els,
+                            rpc: r,
+                            mask: e,
+                        });
+                    }
+                    if then != r {
+                        pc = then;
+                        rpc = r;
+                        mask = t;
+                    } else {
+                        // The taken side *is* the rejoin: resume the most
+                        // recently pushed frame instead (the not-taken
+                        // side, or the parked parent if that side also
+                        // jumps straight to the rejoin).
+                        let fr = stack.pop().expect("parent frame just pushed");
+                        pc = fr.pc;
+                        rpc = fr.rpc;
+                        mask = fr.mask;
+                    }
                 }
             }
         }
+        if !diverged {
+            self.steps[..n].fill(batch_steps);
+        }
+        Ok(())
     }
 
-    /// Divergent-branch fallback: finish each lane's work-item on the
-    /// scalar engine, in ascending lane (= item) order, starting from its
-    /// branch target with its lane register state.
+    /// Replay-mode divergence fallback: finish each lane's work-item on
+    /// the scalar engine, in ascending lane (= item) order, starting from
+    /// its branch target with its lane register state. Only the registers
+    /// **live-in at the target** are copied — dead registers cannot be
+    /// read by the continuation, so their stale scalar values are never
+    /// observed.
     #[allow(clippy::too_many_arguments)]
     fn replay(
         &mut self,
@@ -284,23 +555,23 @@ impl LaneEngine {
         sink: &mut CountSink<'_>,
         batch_steps: u64,
     ) -> Result<(), VmError> {
-        for l in 0..n {
+        for (l, &gid) in gids.iter().enumerate().take(n) {
             let target = if self.iregs[cond as usize][l] != 0 {
                 targets[0]
             } else {
                 targets[1]
             };
-            for (scalar, lanes) in vm.iregs.iter_mut().zip(&self.iregs) {
-                *scalar = lanes[l];
+            for &r in &f.cfg.live_in_i[target as usize] {
+                vm.iregs[r as usize] = self.iregs[r as usize][l];
             }
-            for (scalar, lanes) in vm.fregs.iter_mut().zip(&self.fregs) {
-                *scalar = lanes[l];
+            for &r in &f.cfg.live_in_f[target as usize] {
+                vm.fregs[r as usize] = self.fregs[r as usize][l];
             }
             let mut steps = batch_steps;
             vm.exec_from(
                 f,
                 target as usize,
-                gids[l],
+                gid,
                 gsize,
                 bmap,
                 bufs,
@@ -627,6 +898,274 @@ impl LaneEngine {
             }
             GlobalSize { dst, dim } => {
                 self.iregs[dst as usize][..n].fill(gsize[dim as usize] as i64);
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute one instruction on the active lanes of `m` only: inactive
+    /// lanes hold live register state of diverged lane subsets (parked at
+    /// a rejoin point or scheduled on the other branch side), so their
+    /// registers must not be written, their buffer accesses must not
+    /// happen, and only active lanes may fault.
+    fn exec_instr_masked(
+        &mut self,
+        ins: &Instr,
+        m: ExecMask,
+        gsize: [usize; 3],
+        bmap: &[usize],
+        bufs: &mut [BufferData],
+    ) -> Result<(), VmError> {
+        use Instr::*;
+        match *ins {
+            ConstI { dst, v } => {
+                for l in m.lanes() {
+                    self.iregs[dst as usize][l] = v;
+                }
+            }
+            ConstF { dst, v } => {
+                for l in m.lanes() {
+                    self.fregs[dst as usize][l] = v;
+                }
+            }
+            MovI { dst, src } => masked1(&mut self.iregs, m, dst, src, |x| x),
+            MovF { dst, src } => masked1(&mut self.fregs, m, dst, src, |x| x),
+            IBin {
+                op,
+                dst,
+                a,
+                b,
+                unsigned,
+            } => {
+                let r = &mut self.iregs;
+                match op {
+                    IBinOp::Add => {
+                        masked2(r, m, dst, a, b, |x, y| wrap32(x.wrapping_add(y), unsigned))
+                    }
+                    IBinOp::Sub => {
+                        masked2(r, m, dst, a, b, |x, y| wrap32(x.wrapping_sub(y), unsigned))
+                    }
+                    IBinOp::Mul => {
+                        masked2(r, m, dst, a, b, |x, y| wrap32(x.wrapping_mul(y), unsigned))
+                    }
+                    IBinOp::And => masked2(r, m, dst, a, b, |x, y| wrap32(x & y, unsigned)),
+                    IBinOp::Or => masked2(r, m, dst, a, b, |x, y| wrap32(x | y, unsigned)),
+                    IBinOp::Xor => masked2(r, m, dst, a, b, |x, y| wrap32(x ^ y, unsigned)),
+                    IBinOp::Shl => masked2(r, m, dst, a, b, |x, y| {
+                        wrap32(x.wrapping_shl((y & 31) as u32), unsigned)
+                    }),
+                    IBinOp::Shr => masked2(r, m, dst, a, b, |x, y| {
+                        let s = (y & 31) as u32;
+                        let v = if unsigned {
+                            ((x as u64) >> s) as i64
+                        } else {
+                            (x as i32 >> s) as i64
+                        };
+                        wrap32(v, unsigned)
+                    }),
+                    IBinOp::Div | IBinOp::Rem => {
+                        for l in m.lanes() {
+                            let x = r[a as usize][l];
+                            let y = r[b as usize][l];
+                            r[dst as usize][l] = int_bin(op, x, y, unsigned)?;
+                        }
+                    }
+                }
+            }
+            FBin { op, dst, a, b } => {
+                let r = &mut self.fregs;
+                match op {
+                    FBinOp::Add => masked2(r, m, dst, a, b, |x, y| x + y),
+                    FBinOp::Sub => masked2(r, m, dst, a, b, |x, y| x - y),
+                    FBinOp::Mul => masked2(r, m, dst, a, b, |x, y| x * y),
+                    FBinOp::Div => masked2(r, m, dst, a, b, |x, y| x / y),
+                }
+            }
+            CmpI { op, dst, a, b } => {
+                let r = &mut self.iregs;
+                match op {
+                    CmpOp::Lt => masked2(r, m, dst, a, b, |x, y| i64::from(x < y)),
+                    CmpOp::Le => masked2(r, m, dst, a, b, |x, y| i64::from(x <= y)),
+                    CmpOp::Gt => masked2(r, m, dst, a, b, |x, y| i64::from(x > y)),
+                    CmpOp::Ge => masked2(r, m, dst, a, b, |x, y| i64::from(x >= y)),
+                    CmpOp::Eq => masked2(r, m, dst, a, b, |x, y| i64::from(x == y)),
+                    CmpOp::Ne => masked2(r, m, dst, a, b, |x, y| i64::from(x != y)),
+                }
+            }
+            CmpF { op, dst, a, b } => {
+                for l in m.lanes() {
+                    let x = self.fregs[a as usize][l];
+                    let y = self.fregs[b as usize][l];
+                    let r = match op {
+                        CmpOp::Lt => x < y,
+                        CmpOp::Le => x <= y,
+                        CmpOp::Gt => x > y,
+                        CmpOp::Ge => x >= y,
+                        CmpOp::Eq => x == y,
+                        CmpOp::Ne => x != y,
+                    };
+                    self.iregs[dst as usize][l] = i64::from(r);
+                }
+            }
+            NegI { dst, a, unsigned } => {
+                masked1(&mut self.iregs, m, dst, a, |x| {
+                    wrap32(0i64.wrapping_sub(x), unsigned)
+                });
+            }
+            NegF { dst, a } => masked1(&mut self.fregs, m, dst, a, |x| -x),
+            NotI { dst, a } => masked1(&mut self.iregs, m, dst, a, |x| i64::from(x == 0)),
+            BitNotI { dst, a, unsigned } => {
+                masked1(&mut self.iregs, m, dst, a, |x| wrap32(!x, unsigned));
+            }
+            CastIF { dst, a } => {
+                for l in m.lanes() {
+                    self.fregs[dst as usize][l] = self.iregs[a as usize][l] as f64;
+                }
+            }
+            CastFI { dst, a, unsigned } => {
+                for l in m.lanes() {
+                    let x = self.fregs[a as usize][l];
+                    self.iregs[dst as usize][l] = if unsigned {
+                        i64::from(x as u32)
+                    } else {
+                        i64::from(x as i32)
+                    };
+                }
+            }
+            CastII {
+                dst,
+                a,
+                to_unsigned,
+            } => masked1(&mut self.iregs, m, dst, a, |x| wrap32(x, to_unsigned)),
+            Math1 { f, dst, a } => {
+                let r = &mut self.fregs;
+                match f {
+                    MathFn1::Sqrt => masked1(r, m, dst, a, f64::sqrt),
+                    MathFn1::Rsqrt => masked1(r, m, dst, a, |x| 1.0 / x.sqrt()),
+                    MathFn1::Exp => masked1(r, m, dst, a, f64::exp),
+                    MathFn1::Log => masked1(r, m, dst, a, f64::ln),
+                    MathFn1::Sin => masked1(r, m, dst, a, f64::sin),
+                    MathFn1::Cos => masked1(r, m, dst, a, f64::cos),
+                    MathFn1::Tan => masked1(r, m, dst, a, f64::tan),
+                    MathFn1::Fabs => masked1(r, m, dst, a, f64::abs),
+                    MathFn1::Floor => masked1(r, m, dst, a, f64::floor),
+                    MathFn1::Ceil => masked1(r, m, dst, a, f64::ceil),
+                }
+            }
+            Math2 { f, dst, a, b } => {
+                let r = &mut self.fregs;
+                match f {
+                    MathFn2::Pow => masked2(r, m, dst, a, b, f64::powf),
+                    MathFn2::Fmin => masked2(r, m, dst, a, b, f64::min),
+                    MathFn2::Fmax => masked2(r, m, dst, a, b, f64::max),
+                    MathFn2::Fmod => masked2(r, m, dst, a, b, |x, y| x % y),
+                }
+            }
+            IMin { dst, a, b } => masked2(&mut self.iregs, m, dst, a, b, i64::min),
+            IMax { dst, a, b } => masked2(&mut self.iregs, m, dst, a, b, i64::max),
+            IAbs { dst, a } => {
+                masked1(&mut self.iregs, m, dst, a, |x| {
+                    wrap32(x.wrapping_abs(), false)
+                });
+            }
+            LoadF { dst, buf, idx } => {
+                let b = &bufs[bmap[buf as usize]];
+                let BufferData::F32(v) = b else {
+                    unreachable!("type-checked load");
+                };
+                for l in m.lanes() {
+                    let i = self.iregs[idx as usize][l];
+                    let Some(val) = usize::try_from(i).ok().and_then(|i| v.get(i)) else {
+                        return Err(VmError::OutOfBounds {
+                            buffer: buf as usize,
+                            index: i,
+                            len: v.len(),
+                        });
+                    };
+                    self.fregs[dst as usize][l] = f64::from(*val);
+                }
+            }
+            LoadI { dst, buf, idx } => {
+                let b = &bufs[bmap[buf as usize]];
+                for l in m.lanes() {
+                    let i = self.iregs[idx as usize][l];
+                    let val = match b {
+                        BufferData::I32(v) => usize::try_from(i)
+                            .ok()
+                            .and_then(|i| v.get(i))
+                            .map(|&x| i64::from(x)),
+                        BufferData::U32(v) => usize::try_from(i)
+                            .ok()
+                            .and_then(|i| v.get(i))
+                            .map(|&x| i64::from(x)),
+                        BufferData::F32(_) => unreachable!("type-checked load"),
+                    };
+                    let Some(val) = val else {
+                        return Err(VmError::OutOfBounds {
+                            buffer: buf as usize,
+                            index: i,
+                            len: b.len(),
+                        });
+                    };
+                    self.iregs[dst as usize][l] = val;
+                }
+            }
+            StoreF { buf, idx, src } => {
+                let b = &mut bufs[bmap[buf as usize]];
+                let len = b.len();
+                let BufferData::F32(v) = b else {
+                    unreachable!("type-checked store");
+                };
+                for l in m.lanes() {
+                    let i = self.iregs[idx as usize][l];
+                    let x = self.fregs[src as usize][l];
+                    let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
+                        return Err(VmError::OutOfBounds {
+                            buffer: buf as usize,
+                            index: i,
+                            len,
+                        });
+                    };
+                    *slot = x as f32;
+                }
+            }
+            StoreI { buf, idx, src } => {
+                let b = &mut bufs[bmap[buf as usize]];
+                let len = b.len();
+                for l in m.lanes() {
+                    let i = self.iregs[idx as usize][l];
+                    let x = self.iregs[src as usize][l];
+                    let stored = match b {
+                        BufferData::I32(v) => {
+                            usize::try_from(i).ok().and_then(|i| v.get_mut(i)).map(|s| {
+                                *s = x as i32;
+                            })
+                        }
+                        BufferData::U32(v) => {
+                            usize::try_from(i).ok().and_then(|i| v.get_mut(i)).map(|s| {
+                                *s = x as u32;
+                            })
+                        }
+                        BufferData::F32(_) => unreachable!("type-checked store"),
+                    };
+                    if stored.is_none() {
+                        return Err(VmError::OutOfBounds {
+                            buffer: buf as usize,
+                            index: i,
+                            len,
+                        });
+                    }
+                }
+            }
+            GlobalId { dst, dim } => {
+                for l in m.lanes() {
+                    self.iregs[dst as usize][l] = self.gid[dim as usize][l];
+                }
+            }
+            GlobalSize { dst, dim } => {
+                for l in m.lanes() {
+                    self.iregs[dst as usize][l] = gsize[dim as usize] as i64;
+                }
             }
         }
         Ok(())

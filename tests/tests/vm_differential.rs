@@ -3,18 +3,22 @@
 //!
 //! The lane engine must be a pure performance change: for every suite
 //! kernel and every NDRange shape, buffers, block counters, and sample
-//! statistics must be **bit-identical** to the scalar engine — including
-//! divergent kernels (which exercise per-lane replay) and sizes that are
-//! not multiples of the lane width (which exercise the partial tail
-//! batch).
+//! statistics must be **bit-identical** to the scalar engine — in both
+//! divergence modes (masked SIMT reconvergence and the per-lane
+//! scalar-replay fallback), including divergent kernels with nested and
+//! looping branches, randomly generated control-flow graphs, and sizes
+//! that are not multiples of the lane width (which exercise the partial
+//! tail batch).
 
 use hetpart_inspire::compile;
-use hetpart_inspire::vm::{ArgValue, BufferData, Counters, Vm, LANES};
+use hetpart_inspire::vm::{ArgValue, BufferData, Counters, DivergenceMode, Vm, LANES};
 use hetpart_inspire::NdRange;
 use proptest::prelude::*;
 
-/// Run both engines over the same range and assert bitwise equality of
-/// buffers and counters. Returns the buffers for further checks.
+/// Run the scalar engine and the lane engine — in **both** divergence
+/// modes (SIMT reconvergence and per-lane scalar replay) — over the same
+/// range and assert bitwise equality of buffers and counters. Returns the
+/// buffers for further checks.
 fn assert_range_parity(
     src: &str,
     nd: &NdRange,
@@ -28,13 +32,70 @@ fn assert_range_parity(
     let scalar = vm
         .run_range_scalar(&k.bytecode, nd, range.clone(), args, &mut scalar_bufs)
         .unwrap();
-    let mut lane_bufs = bufs.to_vec();
-    let lanes = vm
-        .run_range_lanes(&k.bytecode, nd, range, args, &mut lane_bufs)
+    let mut out = None;
+    for mode in [DivergenceMode::Reconverge, DivergenceMode::Replay] {
+        vm.divergence_mode = mode;
+        let mut lane_bufs = bufs.to_vec();
+        let lanes = vm
+            .run_range_lanes(&k.bytecode, nd, range.clone(), args, &mut lane_bufs)
+            .unwrap();
+        assert_eq!(
+            scalar_bufs, lane_bufs,
+            "{mode:?}: buffers must be bit-identical"
+        );
+        assert_eq!(scalar, lanes, "{mode:?}: counters must be identical");
+        out = Some((lane_bufs, lanes));
+    }
+    vm.divergence_mode = DivergenceMode::Reconverge;
+    out.expect("both modes ran")
+}
+
+/// Assert that sampled execution — which additionally exposes per-lane
+/// step counts through the mean/CV statistics — is bit-identical across
+/// the scalar engine and both lane-engine divergence modes.
+fn assert_sampled_parity(
+    src: &str,
+    nd: &NdRange,
+    range: std::ops::Range<usize>,
+    args: &[ArgValue],
+    bufs: &[BufferData],
+    max_items: usize,
+) {
+    let k = compile(src).unwrap();
+    let mut vm = Vm::new();
+    let mut b_scalar = bufs.to_vec();
+    let s = vm
+        .run_sampled_scalar(
+            &k.bytecode,
+            nd,
+            range.clone(),
+            args,
+            &mut b_scalar,
+            max_items,
+        )
         .unwrap();
-    assert_eq!(scalar_bufs, lane_bufs, "buffers must be bit-identical");
-    assert_eq!(scalar, lanes, "counters must be identical");
-    (lane_bufs, lanes)
+    for mode in [DivergenceMode::Reconverge, DivergenceMode::Replay] {
+        vm.divergence_mode = mode;
+        let mut b_lanes = bufs.to_vec();
+        let l = vm
+            .run_sampled_lanes(
+                &k.bytecode,
+                nd,
+                range.clone(),
+                args,
+                &mut b_lanes,
+                max_items,
+            )
+            .unwrap();
+        assert_eq!(b_scalar, b_lanes, "{mode:?}: sampled buffers");
+        assert_eq!(s.counters, l.counters, "{mode:?}: sampled counters");
+        assert_eq!(
+            s.mean_ops_per_item.to_bits(),
+            l.mean_ops_per_item.to_bits(),
+            "{mode:?}: per-lane step counts feed the mean"
+        );
+        assert_eq!(s.ops_cv.to_bits(), l.ops_cv.to_bits(), "{mode:?}: cv");
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -255,6 +316,273 @@ fn lane_engine_reports_errors_like_scalar_on_uniform_faults() {
         .run_range_lanes(&k.bytecode, &NdRange::d1(n), 0..n, &args, &mut b2)
         .unwrap_err();
     assert_eq!(e_scalar, e_lanes);
+}
+
+#[test]
+fn nested_divergence_with_early_return_rejoins_correctly() {
+    // Divergent early return (rejoin = virtual exit), a divergent loop
+    // whose body contains another divergent branch (nested reconvergence
+    // frames), and a loop-carried accumulator that must survive masked
+    // execution of the other side.
+    let src = "kernel void k(global const float* a, global float* o, int n) {
+        int i = get_global_id(0);
+        if (i % 11 == 3) { return; }
+        float s = a[i % n];
+        for (int j = 0; j < i % 9; j++) {
+            if ((i + j) % 2 == 0) { s = s + 1.0; } else { s = s * 1.5; }
+            if (j == i % 4) { continue; }
+            s = s - 0.25;
+        }
+        if (i % 6 < 2) { o[i] = s; } else { o[i] = -s; }
+    }";
+    for n in [5usize, LANES, LANES + 7, 311] {
+        let bufs = vec![
+            BufferData::F32((0..n).map(|i| (i as f32 * 0.37).cos()).collect()),
+            BufferData::F32(vec![0.0; n]),
+        ];
+        let args = vec![
+            ArgValue::Buffer(0),
+            ArgValue::Buffer(1),
+            ArgValue::Int(n as i32),
+        ];
+        assert_range_parity(src, &NdRange::d1(n), 0..n, &args, &bufs);
+        assert_sampled_parity(src, &NdRange::d1(n), 0..n, &args, &bufs, 97);
+    }
+}
+
+#[test]
+fn divergent_loop_trip_counts_keep_per_lane_steps_exact() {
+    // A mandelbrot-shaped kernel: per-lane loop exit via a data-dependent
+    // condition. Per-lane step counts (observable through the sampled
+    // mean/CV) must match the scalar engine bit for bit.
+    let src = "kernel void k(global float* o, int n) {
+        int i = get_global_id(0);
+        float zx = 0.0;
+        float zy = (float)i * 0.01;
+        int it = 0;
+        while (zx * zx + zy * zy <= 4.0 && it < 64) {
+            float t = zx * zx - zy * zy + 0.3;
+            zy = 2.0 * zx * zy + (float)(i % 7) * 0.1;
+            zx = t;
+            it = it + 1;
+        }
+        o[i] = (float)it;
+    }";
+    let n = 421usize;
+    let bufs = vec![BufferData::F32(vec![0.0; n])];
+    let args = vec![ArgValue::Buffer(0), ArgValue::Int(n as i32)];
+    assert_range_parity(src, &NdRange::d1(n), 0..n, &args, &bufs);
+    assert_sampled_parity(src, &NdRange::d1(n), 0..n, &args, &bufs, 203);
+}
+
+#[test]
+fn run_items_per_item_counters_match_in_both_divergence_modes() {
+    let src = "kernel void k(global const float* a, global float* o, int n) {
+        int i = get_global_id(0);
+        float s = 0.0;
+        for (int j = 0; j <= i % 13; j++) {
+            if (j % 3 == 1) { s += a[(i + j) % n]; } else { s -= 0.5; }
+        }
+        o[i] = s;
+    }";
+    let k = compile(src).unwrap();
+    let n = 260usize;
+    let args = vec![
+        ArgValue::Buffer(0),
+        ArgValue::Buffer(1),
+        ArgValue::Int(n as i32),
+    ];
+    let gids: Vec<[usize; 3]> = (0..n).step_by(2).map(|i| [i, 0, 0]).collect();
+    let mk = || vec![BufferData::F32(vec![1.0; n]), BufferData::F32(vec![0.0; n])];
+    let mut vm = Vm::new();
+    let mut b_ref = mk();
+    let per_scalar = vm
+        .run_items_scalar(&k.bytecode, &NdRange::d1(n), &gids, &args, &mut b_ref)
+        .unwrap();
+    for mode in [DivergenceMode::Reconverge, DivergenceMode::Replay] {
+        vm.divergence_mode = mode;
+        let mut b = mk();
+        let per_lanes = vm
+            .run_items(&k.bytecode, &NdRange::d1(n), &gids, &args, &mut b)
+            .unwrap();
+        assert_eq!(b_ref, b, "{mode:?}: buffers");
+        assert_eq!(per_scalar, per_lanes, "{mode:?}: per-item counters");
+    }
+}
+
+#[test]
+fn divergent_step_limit_errors_match_scalar() {
+    // Half the lanes enter an unbounded loop; the step limit must fire
+    // with the same error as the scalar engine in both divergence modes.
+    let src = "kernel void k(global int* o, int n) {
+        int i = get_global_id(0);
+        int v = 0;
+        while (i % 2 == 0) { v = v + 1; }
+        o[i] = v;
+    }";
+    let k = compile(src).unwrap();
+    let n = 96usize;
+    let args = vec![ArgValue::Buffer(0), ArgValue::Int(n as i32)];
+    let mut vm = Vm::new();
+    vm.step_limit = 10_000;
+    let mut b = vec![BufferData::I32(vec![0; n])];
+    let e_scalar = vm
+        .run_range_scalar(&k.bytecode, &NdRange::d1(n), 0..n, &args, &mut b)
+        .unwrap_err();
+    for mode in [DivergenceMode::Reconverge, DivergenceMode::Replay] {
+        vm.divergence_mode = mode;
+        let mut b = vec![BufferData::I32(vec![0; n])];
+        let e_lanes = vm
+            .run_range_lanes(&k.bytecode, &NdRange::d1(n), 0..n, &args, &mut b)
+            .unwrap_err();
+        assert_eq!(e_scalar, e_lanes, "{mode:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random structured CFGs
+// ---------------------------------------------------------------------
+
+/// Tiny deterministic PRNG for the kernel generator (xorshift64*).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        self.0 = x;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^ (x >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Emit a random block of statements over `i` (the global id), the float
+/// accumulator `s`, the int accumulator `t`, and any enclosing loop
+/// variables — nested/looping divergent branches, break/continue, and
+/// early returns included.
+fn gen_block(rng: &mut Rng, depth: u32, loop_vars: &mut Vec<String>, out: &mut String, pad: usize) {
+    let n_stmts = 1 + rng.below(3);
+    for _ in 0..n_stmts {
+        let indent = "    ".repeat(pad);
+        // Leaves only at max depth; otherwise mix in ifs and loops.
+        let kind = if depth == 0 {
+            rng.below(2)
+        } else {
+            rng.below(6)
+        };
+        match kind {
+            0 => {
+                let c = rng.below(11);
+                out.push_str(&format!(
+                    "{indent}s = s * 1.0001 + (float)((i + {c}) % 7);\n"
+                ));
+            }
+            1 => {
+                let c = 1 + rng.below(5);
+                out.push_str(&format!("{indent}t = t * 3 + {c};\n"));
+            }
+            2 | 3 => {
+                // Divergent if, data-dependent on the global id (and on
+                // the innermost loop variable, when there is one).
+                let m = 2 + rng.below(6);
+                let t = rng.below(m);
+                let var = loop_vars
+                    .last()
+                    .map(|v| format!("(i + {v})"))
+                    .unwrap_or_else(|| "i".to_string());
+                out.push_str(&format!("{indent}if ({var} % {m} < {t}) {{\n"));
+                gen_block(rng, depth - 1, loop_vars, out, pad + 1);
+                if rng.below(2) == 0 {
+                    out.push_str(&format!("{indent}}} else {{\n"));
+                    gen_block(rng, depth - 1, loop_vars, out, pad + 1);
+                }
+                out.push_str(&format!("{indent}}}\n"));
+            }
+            4 => {
+                // Divergent loop with a per-lane trip count; occasionally
+                // guarded break/continue inside.
+                let v = format!("j{}", loop_vars.len());
+                let c = rng.below(7);
+                let m = 2 + rng.below(7);
+                out.push_str(&format!(
+                    "{indent}for (int {v} = 0; {v} < (i + {c}) % {m}; {v}++) {{\n"
+                ));
+                loop_vars.push(v.clone());
+                if rng.below(3) == 0 {
+                    let b = rng.below(m);
+                    let kw = if rng.below(2) == 0 {
+                        "break"
+                    } else {
+                        "continue"
+                    };
+                    out.push_str(&format!(
+                        "{}if ({v} == {b}) {{ {kw}; }}\n",
+                        "    ".repeat(pad + 1)
+                    ));
+                }
+                gen_block(rng, depth - 1, loop_vars, out, pad + 1);
+                loop_vars.pop();
+                out.push_str(&format!("{indent}}}\n"));
+            }
+            _ => {
+                // Divergent early return: lanes leave at different points.
+                let m = 5 + rng.below(13);
+                out.push_str(&format!(
+                    "{indent}if ((i + t) % {m} == 1) {{ o[i] = s; return; }}\n"
+                ));
+            }
+        }
+    }
+}
+
+/// Build a complete random kernel from a seed.
+fn gen_kernel(seed: u64) -> String {
+    let mut rng = Rng(seed);
+    let mut body = String::new();
+    let mut loop_vars = Vec::new();
+    gen_block(&mut rng, 2, &mut loop_vars, &mut body, 1);
+    format!(
+        "kernel void r(global const float* a, global float* o, int n) {{\n    \
+         int i = get_global_id(0);\n    \
+         float s = a[i % n];\n    \
+         int t = i % 17;\n{body}    \
+         o[i] = s + (float)(t % 1024);\n}}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random small CFGs with nested and looping divergent branches:
+    /// buffers, block counters, and per-lane step statistics must be
+    /// bit-identical across the scalar engine, the reconvergence engine,
+    /// and the replay engine.
+    #[test]
+    fn random_divergent_cfgs_are_bit_identical(
+        seed in 0u64..(1u64 << 48),
+        n in 65usize..320,
+    ) {
+        let src = gen_kernel(seed);
+        let bufs = vec![
+            BufferData::F32((0..n).map(|i| (i as f32 * 0.11).sin() + 1.5).collect()),
+            BufferData::F32(vec![0.0; n]),
+        ];
+        let args = vec![
+            ArgValue::Buffer(0),
+            ArgValue::Buffer(1),
+            ArgValue::Int(n as i32),
+        ];
+        let nd = NdRange::d1(n);
+        assert_range_parity(&src, &nd, 0..n, &args, &bufs);
+        // A misaligned sub-range exercises partial tail batches.
+        assert_range_parity(&src, &nd, (n / 7)..(n - 3), &args, &bufs);
+        // Sampled execution checks per-lane step counts bit for bit.
+        assert_sampled_parity(&src, &nd, 0..n, &args, &bufs, 83);
+    }
 }
 
 // ---------------------------------------------------------------------
