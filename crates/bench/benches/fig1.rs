@@ -27,7 +27,11 @@ fn fig1(c: &mut Criterion) {
     });
     let rt = runtime_features(&kernel, &inst.nd, &inst.args, &inst.bufs, 128).unwrap();
     g.bench_function("predict_partitioning", |b| {
-        b.iter(|| predictor.predict(black_box(&kernel), black_box(&rt)))
+        b.iter(|| {
+            predictor
+                .predict(black_box(&kernel), black_box(&rt))
+                .unwrap()
+        })
     });
     g.finish();
 }

@@ -1,0 +1,452 @@
+//! `serve`: throughput of the concurrent deployment service on repeat
+//! (kernel, size) traffic, versus the synchronous `run_auto` path.
+//!
+//! The deployment phase's per-launch overhead is the probe (runtime
+//! feature collection: a scratch buffer clone plus sampled execution),
+//! model inference, and one access-analysis pass per device chunk —
+//! `Framework::run_auto` pays all of it on *every* launch. The service's
+//! prediction cache pays it once per (kernel fingerprint, launch shape)
+//! and replays the plan, so a warm launch runs only the kernel work.
+//!
+//! Four columns per traffic class, and totals:
+//!
+//! * **cold run_auto** — the PR-0..3 deployment path, re-planning every
+//!   launch (the baseline the acceptance target is measured against);
+//! * **serve cold** — first pass through the service: every launch a
+//!   cache miss (plan once + planned execution);
+//! * **warm plan** — repeat passes against the plan cache only: the
+//!   launch still executes, but skips probe, inference and access
+//!   analysis (bounded ≈ 3x by construction: cold sampling can never
+//!   exceed the extent the warm launch must still execute);
+//! * **warm result** — repeat passes with the content-keyed result memo
+//!   on: a bit-identical launch replays its memoized outputs.
+//!
+//! The bench refuses to record numbers from a broken comparison: served
+//! outputs and partitions must be bit-identical to the serial loop, and
+//! the hit/miss counters must add up. `target_met` gates CI (set
+//! `SERVE_BENCH_QUICK=1` for the reduced CI sizes): warm served launches
+//! (result tier) must be ≥ 5x faster than cold `run_auto` on this
+//! repeat traffic, and the plan tier alone must hold ≥ 1.5x.
+
+use std::fs;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hetpart_bench::banner;
+use hetpart_core::{
+    collect_training_db, FeatureSet, Framework, HarnessConfig, PartitionPredictor, Service,
+    ServiceConfig,
+};
+use hetpart_inspire::CompiledKernel;
+use hetpart_ml::{ModelConfig, TreeConfig};
+use hetpart_oclsim::machines;
+use hetpart_runtime::Executor;
+use hetpart_suite::Instance;
+use serde::Serialize;
+
+/// One worker, always: this bench compares *per-launch* cold and warm
+/// latency, and a single worker keeps the cache accounting deterministic
+/// (with N workers, N concurrent cold submissions of the same key can
+/// each legitimately count a miss before the first plan lands in the
+/// cache — fine for serving, fatal for exact assert_eq gates on a
+/// multi-core CI runner).
+fn bench_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Minimum wall-clock of `reps` timed runs (one untimed warm-up).
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[derive(Serialize)]
+struct TrafficRow {
+    kernel: String,
+    size: usize,
+    launches: usize,
+    /// Serial `run_auto` per launch (re-planned every time).
+    cold_run_auto_ms: f64,
+    /// Served, cache cold (plan once + planned execution).
+    serve_cold_ms: f64,
+    /// Served, plan-cache hit (planned execution only).
+    warm_plan_ms: f64,
+    /// Served, result-memo hit (no execution).
+    warm_result_ms: f64,
+    /// cold_run_auto_ms / warm_plan_ms.
+    plan_speedup: f64,
+    /// cold_run_auto_ms / warm_result_ms.
+    warm_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Totals {
+    launches: usize,
+    cold_run_auto_s: f64,
+    warm_plan_s: f64,
+    warm_result_s: f64,
+    plan_speedup: f64,
+    warm_speedup: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    result_hits: u64,
+}
+
+#[derive(Serialize)]
+struct Targets {
+    warm_speedup: f64,
+    plan_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    quick: bool,
+    workers: usize,
+    traffic: Vec<TrafficRow>,
+    totals: Totals,
+    targets: Targets,
+    target_met: bool,
+}
+
+fn trained_framework() -> Framework {
+    let benches: Vec<_> = hetpart_suite::all()
+        .into_iter()
+        .filter(|b| ["vec_add", "blackscholes", "sgemm", "nbody"].contains(&b.name))
+        .collect();
+    let cfg = HarnessConfig {
+        sizes_per_benchmark: 2,
+        sample_items: 32,
+        step_tenths: 5,
+        ..HarnessConfig::quick()
+    };
+    let db = collect_training_db(&machines::mc2(), &benches, &cfg);
+    let predictor = PartitionPredictor::train(
+        &db,
+        &ModelConfig::Tree(TreeConfig::default()),
+        FeatureSet::Both,
+    );
+    Framework {
+        executor: Executor::new(machines::mc2()),
+        predictor,
+    }
+}
+
+fn traffic_picks(quick: bool) -> Vec<(&'static str, usize)> {
+    // Repeat-traffic shapes: small and mid-size launches where the
+    // deployment overhead (probe + inference + access analysis) is a
+    // visible share of the launch. Larger launches amortize planning
+    // anyway — the cache is for the painful, chatty traffic.
+    if quick {
+        vec![
+            ("blackscholes", 1 << 8),
+            ("dot_product", 1 << 9),
+            ("nbody", 1 << 7),
+            ("triad", 1 << 9),
+        ]
+    } else {
+        vec![
+            ("blackscholes", 1 << 8),
+            ("dot_product", 1 << 9),
+            ("reduction_sum", 1 << 9),
+            ("spmv_csr", 1 << 8),
+            ("bicg", 64),
+            ("mvt", 64),
+            ("nbody", 1 << 7),
+            ("md_lj", 1 << 7),
+            ("triad", 1 << 9),
+        ]
+    }
+}
+
+fn main() {
+    let quick = std::env::var_os("SERVE_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty());
+    banner("serve — concurrent deployment service vs synchronous run_auto");
+    if quick {
+        println!("(SERVE_BENCH_QUICK=1: reduced sizes for the CI gate)\n");
+    }
+
+    let fw = trained_framework();
+    let picks = traffic_picks(quick);
+    let launches_per_pick = if quick { 8 } else { 16 };
+    let reps = if quick { 3 } else { 5 };
+
+    let compiled: Vec<(Arc<CompiledKernel>, Instance, &str, usize)> = picks
+        .iter()
+        .map(|&(name, n)| {
+            let bench = hetpart_suite::by_name(name).expect("suite kernel exists");
+            (Arc::new(bench.compile()), bench.instance(n), name, n)
+        })
+        .collect();
+
+    // --- Correctness gate: served results must match the serial loop. ---
+    {
+        let service = Service::new(fw.clone(), bench_config()).expect("valid framework");
+        for (kernel, inst, name, _) in &compiled {
+            let mut serial_bufs = inst.bufs.clone();
+            let (serial_partition, _) = fw
+                .run_auto(kernel, &inst.nd, &inst.args, &mut serial_bufs)
+                .expect("serial launch");
+            for pass in 0..2 {
+                let served = service
+                    .submit(
+                        Arc::clone(kernel),
+                        inst.nd.clone(),
+                        inst.args.clone(),
+                        inst.bufs.clone(),
+                    )
+                    .wait()
+                    .expect("served launch");
+                assert_eq!(
+                    served.partition, serial_partition,
+                    "{name}: served partition drifted from run_auto"
+                );
+                assert_eq!(
+                    served.bufs, serial_bufs,
+                    "{name}: served outputs drifted from run_auto"
+                );
+                assert_eq!(served.cache_hit, pass > 0, "{name}: cache state");
+            }
+        }
+        service.shutdown();
+    }
+
+    // The result memo must also replay bit-identically.
+    {
+        let memo_cfg = ServiceConfig {
+            result_cache_capacity: 256,
+            ..bench_config()
+        };
+        let service = Service::new(fw.clone(), memo_cfg).expect("valid framework");
+        for (kernel, inst, name, _) in &compiled {
+            let mut serial_bufs = inst.bufs.clone();
+            let (serial_partition, _) = fw
+                .run_auto(kernel, &inst.nd, &inst.args, &mut serial_bufs)
+                .expect("serial launch");
+            for pass in 0..2 {
+                let served = service
+                    .submit(
+                        Arc::clone(kernel),
+                        inst.nd.clone(),
+                        inst.args.clone(),
+                        inst.bufs.clone(),
+                    )
+                    .wait()
+                    .expect("served launch");
+                assert_eq!(served.result_hit, pass > 0, "{name}: memo state");
+                assert_eq!(
+                    served.partition, serial_partition,
+                    "{name}: memoized partition drifted from run_auto"
+                );
+                assert_eq!(
+                    served.bufs, serial_bufs,
+                    "{name}: memoized outputs drifted from run_auto"
+                );
+            }
+        }
+        service.shutdown();
+    }
+
+    // --- Timed passes. ---
+    let mut rows = Vec::new();
+    let mut total_cold = 0.0;
+    let mut total_plan = 0.0;
+    let mut total_result = 0.0;
+    let mut total_launches = 0usize;
+
+    // Cold service: caching disabled, so every submission re-plans.
+    let cold_service = Service::new(
+        fw.clone(),
+        ServiceConfig {
+            cache_capacity: 0,
+            ..bench_config()
+        },
+    )
+    .expect("valid framework");
+    // Plan-tier service: prediction cache only.
+    let plan_service = Service::new(fw.clone(), bench_config()).expect("valid framework");
+    // Full service: prediction cache + content-keyed result memo.
+    let memo_service = Service::new(
+        fw.clone(),
+        ServiceConfig {
+            result_cache_capacity: 256,
+            ..bench_config()
+        },
+    )
+    .expect("valid framework");
+    let workers = bench_config().workers;
+
+    for (kernel, inst, name, n) in &compiled {
+        // Cold run_auto: every launch re-planned, the synchronous path.
+        let cold_s = time_best(reps, || {
+            for _ in 0..launches_per_pick {
+                let mut bufs = inst.bufs.clone();
+                fw.run_auto(kernel, &inst.nd, &inst.args, &mut bufs)
+                    .expect("cold launch");
+            }
+        });
+
+        // Serve cold: the shared no-cache service — every launch a
+        // genuine miss, with thread spawn/join outside the timed region.
+        let serve_cold_s = time_best(reps, || {
+            let tickets: Vec<_> = (0..launches_per_pick)
+                .map(|_| {
+                    cold_service.submit(
+                        Arc::clone(kernel),
+                        inst.nd.clone(),
+                        inst.args.clone(),
+                        inst.bufs.clone(),
+                    )
+                })
+                .collect();
+            for t in tickets {
+                t.wait().expect("served launch");
+            }
+        });
+
+        // Warm passes: caches primed by the untimed warm-up rep.
+        let warm_pass = |service: &Service| {
+            time_best(reps, || {
+                let tickets: Vec<_> = (0..launches_per_pick)
+                    .map(|_| {
+                        service.submit(
+                            Arc::clone(kernel),
+                            inst.nd.clone(),
+                            inst.args.clone(),
+                            inst.bufs.clone(),
+                        )
+                    })
+                    .collect();
+                for t in tickets {
+                    t.wait().expect("served launch");
+                }
+            })
+        };
+        let warm_plan_s = warm_pass(&plan_service);
+        let warm_result_s = warm_pass(&memo_service);
+
+        let per = launches_per_pick as f64;
+        rows.push(TrafficRow {
+            kernel: name.to_string(),
+            size: *n,
+            launches: launches_per_pick,
+            cold_run_auto_ms: cold_s / per * 1e3,
+            serve_cold_ms: serve_cold_s / per * 1e3,
+            warm_plan_ms: warm_plan_s / per * 1e3,
+            warm_result_ms: warm_result_s / per * 1e3,
+            plan_speedup: cold_s / warm_plan_s,
+            warm_speedup: cold_s / warm_result_s,
+        });
+        total_cold += cold_s;
+        total_plan += warm_plan_s;
+        total_result += warm_result_s;
+        total_launches += launches_per_pick;
+    }
+
+    let plan_stats = plan_service.stats();
+    let memo_stats = memo_service.stats();
+    // Every pick was planned exactly once per service (the warm-up rep's
+    // first launch); everything else must have hit.
+    assert_eq!(
+        plan_stats.cache_misses,
+        compiled.len() as u64,
+        "warm service must plan each traffic class exactly once"
+    );
+    assert_eq!(
+        memo_stats.cache_misses,
+        compiled.len() as u64,
+        "memo service must execute each traffic class exactly once"
+    );
+    assert_eq!(
+        memo_stats.result_hits, memo_stats.cache_hits,
+        "every memo-service hit must come from the result tier"
+    );
+    assert_eq!(plan_stats.errors + memo_stats.errors, 0);
+    cold_service.shutdown();
+    plan_service.shutdown();
+    memo_service.shutdown();
+
+    println!(
+        "{:<14} {:>8} {:>9} {:>13} {:>11} {:>11} {:>12} {:>8} {:>8}",
+        "kernel",
+        "size",
+        "launches",
+        "cold run_auto",
+        "serve cold",
+        "warm plan",
+        "warm result",
+        "plan x",
+        "result x"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>8} {:>9} {:>11.3}ms {:>9.3}ms {:>9.3}ms {:>10.4}ms {:>7.2}x {:>7.2}x",
+            r.kernel,
+            r.size,
+            r.launches,
+            r.cold_run_auto_ms,
+            r.serve_cold_ms,
+            r.warm_plan_ms,
+            r.warm_result_ms,
+            r.plan_speedup,
+            r.warm_speedup,
+        );
+    }
+
+    let totals = Totals {
+        launches: total_launches,
+        cold_run_auto_s: total_cold,
+        warm_plan_s: total_plan,
+        warm_result_s: total_result,
+        plan_speedup: total_cold / total_plan,
+        warm_speedup: total_cold / total_result,
+        cache_hits: plan_stats.cache_hits + memo_stats.cache_hits,
+        cache_misses: plan_stats.cache_misses + memo_stats.cache_misses,
+        result_hits: memo_stats.result_hits,
+    };
+    println!(
+        "\ntotal over {} launches: cold run_auto {:.3}ms, warm plan {:.3}ms ({:.2}x), \
+         warm result {:.3}ms ({:.2}x)",
+        totals.launches,
+        totals.cold_run_auto_s * 1e3,
+        totals.warm_plan_s * 1e3,
+        totals.plan_speedup,
+        totals.warm_result_s * 1e3,
+        totals.warm_speedup,
+    );
+
+    let targets = Targets {
+        warm_speedup: 5.0,
+        plan_speedup: 1.5,
+    };
+    let target_met =
+        totals.warm_speedup >= targets.warm_speedup && totals.plan_speedup >= targets.plan_speedup;
+    let report = Report {
+        bench: "serve".to_string(),
+        quick,
+        workers,
+        traffic: rows,
+        totals,
+        targets,
+        target_met,
+    };
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../reports");
+    fs::create_dir_all(dir).expect("create reports dir");
+    let path = format!("{dir}/BENCH_serve.json");
+    fs::write(&path, serde_json::to_string_pretty(&report).unwrap()).expect("write report");
+    println!(
+        "\nwrote {path} (targets warm {:.1}x, plan {:.1}x: {})",
+        report.targets.warm_speedup,
+        report.targets.plan_speedup,
+        if report.target_met { "met" } else { "MISSED" }
+    );
+}

@@ -73,7 +73,18 @@ pub fn lopo_outcomes(
         .iter()
         .zip(&cv.predictions)
         .map(|(r, &cls)| {
-            let predicted = space[cls.min(space.len() - 1)].clone();
+            // Same policy as `PartitionPredictor::predict_vec`: a class
+            // outside the label space is a loud error, never a silent
+            // substitution that would skew the evaluation numbers.
+            let predicted = space.get(cls).cloned().unwrap_or_else(|| {
+                panic!(
+                    "CV predicted class {cls} outside the label space of {} partitions \
+                     for {} (n = {})",
+                    space.len(),
+                    r.program,
+                    r.size
+                )
+            });
             let predicted_time = r.sweep.time_of(&predicted).unwrap_or_else(|| {
                 panic!(
                     "partition {predicted} was not priced in the sweep for {} (n = {}) — \
@@ -107,8 +118,8 @@ fn dynsched_record_times(
     use hetpart_runtime::{dynamic_schedule, DynSchedConfig, Executor, Launch};
     use std::collections::HashMap;
     let executor = Executor {
-        machine: machine.clone(),
         sample_items: ctx.cfg.sample_items,
+        ..Executor::new(machine.clone())
     };
     // Compile each program once; records share kernels across sizes.
     let mut compiled: HashMap<&str, hetpart_inspire::CompiledKernel> = HashMap::new();

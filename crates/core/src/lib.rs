@@ -11,6 +11,10 @@
 //! * **Deployment phase** ([`predictor::Framework`]): a (new) kernel is
 //!   compiled, its features collected, a partitioning predicted, and the
 //!   launch executed across the machine's devices.
+//! * **Deployment service** ([`serve`]): the concurrent serving layer —
+//!   launches are enqueued and executed by a worker pool, with plans
+//!   memoized per (kernel fingerprint, launch shape) so repeat traffic
+//!   skips probe sampling and model inference entirely.
 //! * **Evaluation** ([`eval`]): reproduces Figure 1 and the paper's prose
 //!   claims, plus model-comparison / feature-ablation / step-sensitivity
 //!   extension experiments, all under leave-one-program-out
@@ -29,10 +33,12 @@ pub mod db;
 pub mod eval;
 pub mod predictor;
 pub mod report;
+pub mod serve;
 pub mod train;
 
 pub use config::HarnessConfig;
 pub use db::{FeatureSet, TrainingDb, TrainingRecord};
 pub use eval::EvalContext;
-pub use predictor::{Framework, PartitionPredictor};
+pub use predictor::{DeployError, Framework, LaunchPlan, PartitionPredictor, PredictError};
+pub use serve::{PlanKey, ServedLaunch, Service, ServiceConfig, ServiceStats, Ticket};
 pub use train::collect_training_db;

@@ -1,15 +1,111 @@
 //! The trained partition predictor and the deployment-phase framework.
 
+use std::fmt;
+
 use hetpart_inspire::ir::NdRange;
 use hetpart_inspire::vm::{ArgValue, BufferData};
 use hetpart_inspire::{CompiledKernel, VmError};
 use hetpart_ml::{ModelConfig, Pipeline};
 use hetpart_runtime::{
-    runtime_features, ExecutionReport, Executor, Launch, Partition, RuntimeFeatures,
+    runtime_features, ExecPlan, ExecutionReport, Executor, Launch, Partition, RuntimeFeatures,
 };
 use serde::{Deserialize, Serialize};
 
 use crate::db::{FeatureSet, TrainingDb};
+
+/// Why a prediction could not be made. Every variant used to be a silent
+/// wrong answer: an out-of-range class was clamped to the last label, an
+/// empty label space underflow-panicked, and a feature vector of the wrong
+/// dimension was fed straight into the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictError {
+    /// The predictor has no labels to map classes onto.
+    EmptyLabelSpace,
+    /// The pipeline was fitted for a different number of classes than the
+    /// label space holds — a prediction could index past the labels or
+    /// never reach some of them.
+    ClassCountMismatch { model_classes: usize, labels: usize },
+    /// The input feature vector does not match the dimension the pipeline
+    /// was fitted on (wrong feature set, foreign database, …).
+    FeatureDimMismatch { expected: usize, got: usize },
+    /// The model produced a class index outside the label space.
+    ClassOutOfRange { class: usize, labels: usize },
+    /// The label space predicts partitions for a different device count
+    /// than the machine the framework deploys on.
+    ArityMismatch {
+        partition_devices: usize,
+        machine_devices: usize,
+    },
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::EmptyLabelSpace => write!(f, "predictor has an empty label space"),
+            PredictError::ClassCountMismatch {
+                model_classes,
+                labels,
+            } => write!(
+                f,
+                "pipeline was fitted for {model_classes} classes but the label space has {labels}"
+            ),
+            PredictError::FeatureDimMismatch { expected, got } => write!(
+                f,
+                "feature vector has {got} entries but the predictor was trained on {expected}"
+            ),
+            PredictError::ClassOutOfRange { class, labels } => write!(
+                f,
+                "model predicted class {class} outside the label space of {labels} partitions"
+            ),
+            PredictError::ArityMismatch {
+                partition_devices,
+                machine_devices,
+            } => write!(
+                f,
+                "label space predicts partitions for {partition_devices} devices but the machine \
+                 has {machine_devices}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+/// A deployment-phase failure: either the launch itself failed in the VM
+/// or the predictor refused the inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeployError {
+    Vm(VmError),
+    Predict(PredictError),
+    /// A service worker panicked while handling the launch; the payload
+    /// message is preserved so the client sees the cause instead of a
+    /// hung ticket.
+    Worker(String),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Vm(e) => write!(f, "launch failed: {e}"),
+            DeployError::Predict(e) => write!(f, "prediction failed: {e}"),
+            DeployError::Worker(msg) => write!(f, "service worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<VmError> for DeployError {
+    fn from(e: VmError) -> Self {
+        DeployError::Vm(e)
+    }
+}
+
+impl From<PredictError> for DeployError {
+    fn from(e: PredictError) -> Self {
+        DeployError::Predict(e)
+    }
+}
 
 /// Compress heavy-tailed count features (`items`, bytes, op counts span
 /// six orders of magnitude) before scaling: `x -> ln(1 + x)`. Applied
@@ -26,9 +122,40 @@ pub struct PartitionPredictor {
     pub label_space: Vec<Partition>,
     pub pipeline: Pipeline,
     pub feature_set: FeatureSet,
+    /// Input dimension the pipeline was fitted on; every prediction input
+    /// is validated against it.
+    pub feature_dim: usize,
 }
 
 impl PartitionPredictor {
+    /// Assemble a predictor, validating that the pieces agree: the label
+    /// space must be non-empty and exactly as large as the class count the
+    /// pipeline was fitted for. A mismatch used to surface only as a
+    /// silently clamped (wrong) partition at predict time.
+    pub fn new(
+        label_space: Vec<Partition>,
+        pipeline: Pipeline,
+        feature_set: FeatureSet,
+        feature_dim: usize,
+    ) -> Result<Self, PredictError> {
+        if label_space.is_empty() {
+            return Err(PredictError::EmptyLabelSpace);
+        }
+        let model_classes = pipeline.n_classes();
+        if model_classes != label_space.len() {
+            return Err(PredictError::ClassCountMismatch {
+                model_classes,
+                labels: label_space.len(),
+            });
+        }
+        Ok(Self {
+            label_space,
+            pipeline,
+            feature_set,
+            feature_dim,
+        })
+    }
+
     /// Train on a database with the given model family and feature set.
     ///
     /// # Panics
@@ -39,25 +166,47 @@ impl PartitionPredictor {
             !data.is_empty(),
             "cannot train a predictor on an empty database"
         );
+        let feature_dim = data.dim();
         let x: Vec<Vec<f64>> = data.x.iter().map(|r| log_compress(r)).collect();
         let pipeline = Pipeline::fit(model, &x, &data.y, label_space.len());
-        Self {
-            label_space,
-            pipeline,
-            feature_set,
-        }
+        Self::new(label_space, pipeline, feature_set, feature_dim)
+            .expect("a pipeline fitted on its own dataset is consistent")
     }
 
     /// Predict a partitioning from a raw feature vector (already matching
     /// this predictor's feature set).
-    pub fn predict_vec(&self, features: &[f64]) -> Partition {
+    ///
+    /// Fails with a named [`PredictError`] instead of returning a
+    /// plausible-but-wrong partition: the input dimension is checked
+    /// against the fitted dimension, and a class index outside the label
+    /// space is an error, not a clamp.
+    pub fn predict_vec(&self, features: &[f64]) -> Result<Partition, PredictError> {
+        if self.label_space.is_empty() {
+            return Err(PredictError::EmptyLabelSpace);
+        }
+        if features.len() != self.feature_dim {
+            return Err(PredictError::FeatureDimMismatch {
+                expected: self.feature_dim,
+                got: features.len(),
+            });
+        }
         let class = self.pipeline.predict(&log_compress(features));
-        self.label_space[class.min(self.label_space.len() - 1)].clone()
+        self.label_space
+            .get(class)
+            .cloned()
+            .ok_or(PredictError::ClassOutOfRange {
+                class,
+                labels: self.label_space.len(),
+            })
     }
 
     /// Predict from a compiled kernel's static features plus collected
     /// runtime features.
-    pub fn predict(&self, kernel: &CompiledKernel, rt: &RuntimeFeatures) -> Partition {
+    pub fn predict(
+        &self,
+        kernel: &CompiledKernel,
+        rt: &RuntimeFeatures,
+    ) -> Result<Partition, PredictError> {
         let features = match self.feature_set {
             FeatureSet::StaticOnly => kernel.static_features.to_vec(),
             FeatureSet::RuntimeOnly => rt.to_vec(),
@@ -81,7 +230,38 @@ pub struct Framework {
     pub predictor: PartitionPredictor,
 }
 
+/// Everything the deployment phase derives from one probe of a launch:
+/// the predicted partitioning plus the pre-computed execution plan
+/// (per-chunk transfer sizes, divergence estimate). The serve layer's
+/// prediction cache stores these so repeat launches skip probe sampling,
+/// model inference and access analysis entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchPlan {
+    pub partition: Partition,
+    pub exec: ExecPlan,
+}
+
 impl Framework {
+    /// Check that this predictor can deploy on this executor's machine:
+    /// every label-space partition must address exactly the machine's
+    /// device count. Run it once at service start-up — a mismatch would
+    /// otherwise panic deep inside the executor on the first launch.
+    pub fn validate(&self) -> Result<(), PredictError> {
+        let machine_devices = self.executor.machine.num_devices();
+        for p in &self.predictor.label_space {
+            if p.num_devices() != machine_devices {
+                return Err(PredictError::ArityMismatch {
+                    partition_devices: p.num_devices(),
+                    machine_devices,
+                });
+            }
+        }
+        if self.predictor.label_space.is_empty() {
+            return Err(PredictError::EmptyLabelSpace);
+        }
+        Ok(())
+    }
+
     /// Predict the partitioning for a launch without executing it.
     pub fn plan(
         &self,
@@ -89,9 +269,45 @@ impl Framework {
         nd: &NdRange,
         args: &[ArgValue],
         bufs: &[BufferData],
-    ) -> Result<Partition, VmError> {
+    ) -> Result<Partition, DeployError> {
         let rt = runtime_features(kernel, nd, args, bufs, self.executor.sample_items)?;
-        Ok(self.predictor.predict(kernel, &rt))
+        Ok(self.predictor.predict(kernel, &rt)?)
+    }
+
+    /// The full planning phase of one launch: probe runtime features,
+    /// predict the partitioning, and pre-compute the execution plan.
+    /// This is the expensive, cacheable half of [`Framework::run_auto`];
+    /// [`Framework::execute_planned`] is the cheap, repeatable half.
+    pub fn prepare(
+        &self,
+        kernel: &CompiledKernel,
+        nd: &NdRange,
+        args: &[ArgValue],
+        bufs: &[BufferData],
+    ) -> Result<LaunchPlan, DeployError> {
+        let rt = runtime_features(kernel, nd, args, bufs, self.executor.sample_items)?;
+        let partition = self.predictor.predict(kernel, &rt)?;
+        let launch = Launch::new(kernel, nd.clone(), args.to_vec());
+        let exec = self
+            .executor
+            .plan_execution(&launch, bufs, &partition, rt.divergence);
+        Ok(LaunchPlan { partition, exec })
+    }
+
+    /// Execute a launch under a pre-computed [`LaunchPlan`]: only the
+    /// kernel work runs — no probe, no inference, no access analysis.
+    /// Outputs are bit-identical to [`Framework::run_auto`] with the same
+    /// predicted partition.
+    pub fn execute_planned(
+        &self,
+        kernel: &CompiledKernel,
+        nd: &NdRange,
+        args: &[ArgValue],
+        bufs: &mut [BufferData],
+        plan: &LaunchPlan,
+    ) -> Result<ExecutionReport, VmError> {
+        let launch = Launch::new(kernel, nd.clone(), args.to_vec());
+        self.executor.run_planned(&launch, bufs, &plan.exec)
     }
 
     /// Plan and execute: returns the chosen partitioning and the full
@@ -102,7 +318,7 @@ impl Framework {
         nd: &NdRange,
         args: &[ArgValue],
         bufs: &mut [BufferData],
-    ) -> Result<(Partition, ExecutionReport), VmError> {
+    ) -> Result<(Partition, ExecutionReport), DeployError> {
         let partition = self.plan(kernel, nd, args, bufs)?;
         let launch = Launch::new(kernel, nd.clone(), args.to_vec());
         let report = self.executor.run(&launch, bufs, &partition)?;
@@ -141,7 +357,7 @@ mod tests {
             FeatureSet::Both,
         );
         for r in &db.records {
-            let pred = p.predict_vec(&r.features(FeatureSet::Both));
+            let pred = p.predict_vec(&r.features(FeatureSet::Both)).unwrap();
             assert_eq!(pred.num_devices(), 3);
             assert!(p.label_space.contains(&pred));
         }
@@ -161,7 +377,7 @@ mod tests {
         let hits = db
             .records
             .iter()
-            .filter(|r| p.predict_vec(&r.features(FeatureSet::Both)) == r.best().partition)
+            .filter(|r| p.predict_vec(&r.features(FeatureSet::Both)).unwrap() == r.best().partition)
             .count();
         assert!(
             hits * 10 >= db.records.len() * 8,
@@ -206,6 +422,86 @@ mod tests {
         let js = serde_json::to_string(&p).unwrap();
         let back: PartitionPredictor = serde_json::from_str(&js).unwrap();
         let f = db.records[0].features(FeatureSet::RuntimeOnly);
-        assert_eq!(p.predict_vec(&f), back.predict_vec(&f));
+        assert_eq!(p.predict_vec(&f).unwrap(), back.predict_vec(&f).unwrap());
+    }
+
+    #[test]
+    fn mismatched_feature_set_is_a_named_error_not_a_wrong_partition() {
+        // Regression: a predictor trained on runtime features used to
+        // accept a static+runtime vector and silently return whatever the
+        // model made of the misaligned columns.
+        let db = small_db();
+        let p = PartitionPredictor::train(
+            &db,
+            &ModelConfig::Tree(TreeConfig::default()),
+            FeatureSet::RuntimeOnly,
+        );
+        let wrong = db.records[0].features(FeatureSet::Both);
+        let got = wrong.len();
+        assert_eq!(
+            p.predict_vec(&wrong),
+            Err(PredictError::FeatureDimMismatch {
+                expected: p.feature_dim,
+                got,
+            })
+        );
+        // The matching set still predicts.
+        let right = db.records[0].features(FeatureSet::RuntimeOnly);
+        assert!(p.predict_vec(&right).is_ok());
+    }
+
+    #[test]
+    fn construction_rejects_class_count_mismatch_and_empty_labels() {
+        let db = small_db();
+        let p = PartitionPredictor::train(
+            &db,
+            &ModelConfig::Tree(TreeConfig::default()),
+            FeatureSet::Both,
+        );
+        // The pipeline was fitted for the full label space; a truncated
+        // label space must be rejected, not clamped into at predict time.
+        let truncated: Vec<Partition> = p.label_space[..1].to_vec();
+        let err = PartitionPredictor::new(
+            truncated,
+            p.pipeline.clone(),
+            FeatureSet::Both,
+            p.feature_dim,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, PredictError::ClassCountMismatch { .. }),
+            "{err}"
+        );
+        assert_eq!(
+            PartitionPredictor::new(vec![], p.pipeline.clone(), FeatureSet::Both, p.feature_dim)
+                .unwrap_err(),
+            PredictError::EmptyLabelSpace
+        );
+    }
+
+    #[test]
+    fn framework_validate_catches_machine_arity_mismatch() {
+        let db = small_db();
+        let predictor = PartitionPredictor::train(
+            &db,
+            &ModelConfig::Tree(TreeConfig::default()),
+            FeatureSet::Both,
+        );
+        // mc2 has 3 devices, matching the training machine.
+        let ok = Framework {
+            executor: Executor::new(machines::mc2()),
+            predictor: predictor.clone(),
+        };
+        assert!(ok.validate().is_ok());
+        // A 2-device machine cannot deploy a 3-device label space.
+        let two = hetpart_oclsim::Machine::new("two", machines::mc2().devices[..2].to_vec(), 5.0);
+        let bad = Framework {
+            executor: Executor::new(two),
+            predictor,
+        };
+        assert!(matches!(
+            bad.validate().unwrap_err(),
+            PredictError::ArityMismatch { .. }
+        ));
     }
 }

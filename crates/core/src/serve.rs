@@ -1,0 +1,786 @@
+//! The concurrent deployment service: enqueue launches, plan them once,
+//! execute them with cached plans.
+//!
+//! The paper's deployment phase collects a launched program's runtime
+//! features, feeds them to the trained model and runs the launch with the
+//! predicted partitioning. [`Framework::run_auto`] does exactly that —
+//! synchronously, re-probing the kernel on *every* launch. For serving
+//! repeat traffic that is wasted work: the same (kernel, launch shape)
+//! pair produces the same features, the same prediction and the same
+//! transfer plan every time.
+//!
+//! [`Service`] wraps a [`Framework`] behind a submission API:
+//!
+//! * **Queue + worker pool** — [`Service::submit`] enqueues a launch and
+//!   returns a [`Ticket`]; a pool of worker threads drains the queue.
+//!   With more than one worker, feature collection for queued launches
+//!   overlaps with execution of running ones.
+//! * **Prediction cache** — plans are memoized under a [`PlanKey`]
+//!   (kernel fingerprint + launch shape). A cache hit skips probe
+//!   sampling, model inference *and* access analysis: the launch goes
+//!   straight to [`Framework::execute_planned`], which runs only the
+//!   kernel work itself.
+//! * **Stats** — hits, misses, completions, errors and cumulative
+//!   plan/execute latency, via [`Service::stats`].
+//!
+//! Cache-key semantics: the key captures the kernel identity
+//! ([`CompiledKernel::fingerprint`]), the NDRange, and every argument's
+//! shape (scalar *values*, buffer *lengths and element types* — not
+//! buffer contents). Two launches with the same key reuse one plan; for
+//! kernels whose control flow depends on buffer contents the cached
+//! partition is the one planned for the first-seen contents, which is the
+//! deliberate trade of plan caching (set `cache_capacity: 0` to disable).
+//! Execution itself always runs on the submitted buffers, so outputs are
+//! exact either way. Workers racing on the *same cold key* may each plan
+//! it once (the cache is populated after planning, not reserved before);
+//! plans are deterministic, so the duplicates cost wasted probe work,
+//! never wrong answers — single-flight dedup is future work.
+//!
+//! A second, opt-in tier memoizes whole results: with
+//! `result_cache_capacity > 0`, a launch whose plan key *and* buffer
+//! contents (64-bit content hash) match a previous launch returns that
+//! launch's outputs without executing at all. The VM is deterministic, so
+//! the memoized outputs are bit-identical to re-execution; the trade is
+//! memory (cached output buffers) and the vanishing probability of a
+//! 64-bit hash collision, which is why the tier is off by default.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use hetpart_inspire::ir::NdRange;
+use hetpart_inspire::vm::{ArgValue, BufferData};
+use hetpart_inspire::{CompiledKernel, ScalarType};
+use hetpart_runtime::{ExecutionReport, Partition};
+
+use crate::predictor::{DeployError, Framework, LaunchPlan, PredictError};
+
+/// The shape-identity of one kernel argument inside a [`PlanKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ArgKey {
+    Int(i32),
+    UInt(u32),
+    /// Bit pattern — floats hash by representation.
+    Float(u32),
+    /// Binding index plus element type and length of the bound buffer.
+    /// The index matters: `[Buffer(0), Buffer(1)]` and
+    /// `[Buffer(1), Buffer(0)]` bind the same buffers to different
+    /// parameters and must not share a plan (or a memoized result).
+    Buffer {
+        index: usize,
+        elem: ScalarType,
+        len: usize,
+    },
+    /// A buffer argument whose index has no backing buffer (the launch
+    /// will be rejected by `Vm::check_args`, but the key must still be
+    /// well-defined and distinct).
+    DanglingBuffer {
+        index: usize,
+    },
+}
+
+/// What makes two launches "the same" to the prediction cache: the kernel
+/// fingerprint plus the launch shape (NDRange dimensions, scalar argument
+/// values, buffer lengths and element types). Buffer *contents* are
+/// deliberately excluded — see the module docs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    fingerprint: u64,
+    dims: Vec<usize>,
+    args: Vec<ArgKey>,
+}
+
+impl PlanKey {
+    /// Build the cache key of a launch.
+    pub fn of(
+        kernel: &CompiledKernel,
+        nd: &NdRange,
+        args: &[ArgValue],
+        bufs: &[BufferData],
+    ) -> Self {
+        let dims = (0..3).map(|d| nd.dim(d)).collect();
+        let args = args
+            .iter()
+            .map(|a| match a {
+                ArgValue::Int(v) => ArgKey::Int(*v),
+                ArgValue::UInt(v) => ArgKey::UInt(*v),
+                ArgValue::Float(v) => ArgKey::Float(v.to_bits()),
+                ArgValue::Buffer(b) => match bufs.get(*b) {
+                    Some(bd) => ArgKey::Buffer {
+                        index: *b,
+                        elem: bd.elem_type(),
+                        len: bd.len(),
+                    },
+                    None => ArgKey::DanglingBuffer { index: *b },
+                },
+            })
+            .collect();
+        Self {
+            fingerprint: kernel.fingerprint,
+            dims,
+            args,
+        }
+    }
+}
+
+/// 64-bit content hash of a launch's buffers (FxHash-style word folding —
+/// fast enough that hashing is orders of magnitude cheaper than kernel
+/// execution).
+fn content_hash(bufs: &[BufferData]) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |w: u64| h = (h.rotate_left(5) ^ w).wrapping_mul(K);
+    for bd in bufs {
+        // Type tag then length: two same-bits buffers of different
+        // scalar types must not collide.
+        fold(match bd {
+            BufferData::F32(_) => 1,
+            BufferData::I32(_) => 2,
+            BufferData::U32(_) => 3,
+        });
+        fold(bd.len() as u64);
+        match bd {
+            BufferData::F32(v) => v.iter().for_each(|x| fold(u64::from(x.to_bits()))),
+            BufferData::I32(v) => v.iter().for_each(|x| fold(*x as u32 as u64)),
+            BufferData::U32(v) => v.iter().for_each(|x| fold(u64::from(*x))),
+        }
+    }
+    h
+}
+
+/// Bounded FIFO memo, generic over the cached value (plans and results).
+struct FifoCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> FifoCache<K, V> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key.clone(), value).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > self.capacity {
+                if let Some(evict) = self.order.pop_front() {
+                    self.map.remove(&evict);
+                }
+            }
+        }
+    }
+}
+
+/// A memoized launch outcome: everything a repeat of a bit-identical
+/// launch needs to answer without executing. Shared via `Arc` so a cache
+/// hit clones two words plus the output buffers it hands out.
+struct CachedResult {
+    partition: Partition,
+    report: ExecutionReport,
+    bufs: Vec<BufferData>,
+}
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue. Defaults to the machine's
+    /// available parallelism (at least 1).
+    pub workers: usize,
+    /// Maximum cached plans; `0` disables the prediction cache.
+    pub cache_capacity: usize,
+    /// Maximum memoized whole results (content-keyed tier); `0` — the
+    /// default — disables result memoization. See the module docs.
+    pub result_cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            cache_capacity: 1024,
+            result_cache_capacity: 0,
+        }
+    }
+}
+
+/// The completed result of one served launch.
+#[derive(Debug, Clone)]
+pub struct ServedLaunch {
+    /// The partitioning the launch ran with.
+    pub partition: Partition,
+    pub report: ExecutionReport,
+    /// The submission's buffers, outputs filled in.
+    pub bufs: Vec<BufferData>,
+    /// Whether the plan came from the prediction cache.
+    pub cache_hit: bool,
+    /// Whether the whole result came from the content-keyed result memo
+    /// (implies `cache_hit`; the launch did not execute).
+    pub result_hit: bool,
+    /// Seconds spent planning (probe + inference + access analysis);
+    /// `0.0` on a cache hit.
+    pub plan_seconds: f64,
+    /// Seconds from dequeue to completion.
+    pub service_seconds: f64,
+}
+
+struct TicketState {
+    slot: Mutex<Option<Result<ServedLaunch, DeployError>>>,
+    done: Condvar,
+}
+
+/// A handle to a submitted launch; [`Ticket::wait`] blocks until the
+/// worker pool has executed it.
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Block until the launch completes and take its result.
+    pub fn wait(self) -> Result<ServedLaunch, DeployError> {
+        let mut slot = self.state.slot.lock().expect("ticket lock");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.state.done.wait(slot).expect("ticket wait");
+        }
+    }
+}
+
+struct Job {
+    kernel: Arc<CompiledKernel>,
+    nd: NdRange,
+    args: Vec<ArgValue>,
+    bufs: Vec<BufferData>,
+    ticket: Arc<TicketState>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct Stats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    result_hits: AtomicU64,
+    plan_ns: AtomicU64,
+    exec_ns: AtomicU64,
+}
+
+/// A point-in-time snapshot of the service counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceStats {
+    pub submitted: u64,
+    pub completed: u64,
+    pub errors: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Launches answered entirely from the result memo (subset of
+    /// `cache_hits`).
+    pub result_hits: u64,
+    /// Cumulative seconds spent in the planning phase (cold launches).
+    pub plan_seconds: f64,
+    /// Cumulative seconds spent executing kernels.
+    pub exec_seconds: f64,
+}
+
+impl ServiceStats {
+    /// Fraction of planned launches answered from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+struct Shared {
+    framework: Framework,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    plans: Mutex<FifoCache<PlanKey, LaunchPlan>>,
+    /// Whether the result memo is enabled (fixed at construction; read
+    /// without taking the `results` lock).
+    memoize_results: bool,
+    results: Mutex<FifoCache<(PlanKey, u64), Arc<CachedResult>>>,
+    stats: Stats,
+}
+
+/// The concurrent deployment service. See the module docs.
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Start a service over a framework, validating up front that the
+    /// predictor's label space fits the executor's machine.
+    pub fn new(framework: Framework, config: ServiceConfig) -> Result<Self, PredictError> {
+        framework.validate()?;
+        let shared = Arc::new(Shared {
+            framework,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            plans: Mutex::new(FifoCache::new(config.cache_capacity)),
+            memoize_results: config.result_cache_capacity > 0,
+            results: Mutex::new(FifoCache::new(config.result_cache_capacity)),
+            stats: Stats::default(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hetpart-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Ok(Self { shared, workers })
+    }
+
+    /// Enqueue a launch. The returned [`Ticket`] resolves once a worker
+    /// has planned (or cache-hit) and executed it; `bufs` travel with the
+    /// job and come back in the [`ServedLaunch`] with outputs filled in.
+    pub fn submit(
+        &self,
+        kernel: Arc<CompiledKernel>,
+        nd: NdRange,
+        args: Vec<ArgValue>,
+        bufs: Vec<BufferData>,
+    ) -> Ticket {
+        let state = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let job = Job {
+            kernel,
+            nd,
+            args,
+            bufs,
+            ticket: Arc::clone(&state),
+        };
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.jobs.push_back(job);
+        }
+        self.shared.available.notify_one();
+        Ticket { state }
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let s = &self.shared.stats;
+        ServiceStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            errors: s.errors.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            cache_misses: s.cache_misses.load(Ordering::Relaxed),
+            result_hits: s.result_hits.load(Ordering::Relaxed),
+            plan_seconds: s.plan_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            exec_seconds: s.exec_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+        }
+    }
+
+    /// The framework this service deploys.
+    pub fn framework(&self) -> &Framework {
+        &self.shared.framework
+    }
+
+    /// Stop accepting work, drain the queue, and join the workers.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.available.wait(q).expect("queue wait");
+            }
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process(shared, job.kernel, job.nd, job.args, job.bufs)
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_string());
+            Err(DeployError::Worker(msg))
+        });
+        if result.is_err() {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut slot = job.ticket.slot.lock().expect("ticket lock");
+        *slot = Some(result);
+        job.ticket.done.notify_all();
+    }
+}
+
+fn process(
+    shared: &Shared,
+    kernel: Arc<CompiledKernel>,
+    nd: NdRange,
+    args: Vec<ArgValue>,
+    mut bufs: Vec<BufferData>,
+) -> Result<ServedLaunch, DeployError> {
+    let started = Instant::now();
+    let fw = &shared.framework;
+    let key = PlanKey::of(&kernel, &nd, &args, &bufs);
+
+    // Tier 2 (opt-in): a bit-identical launch replays its memoized result
+    // without executing.
+    let result_key = shared
+        .memoize_results
+        .then(|| (key.clone(), content_hash(&bufs)));
+    if let Some(rk) = &result_key {
+        let hit = shared.results.lock().expect("results lock").get(rk);
+        if let Some(cached) = hit {
+            shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            shared.stats.result_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(ServedLaunch {
+                partition: cached.partition.clone(),
+                report: cached.report.clone(),
+                bufs: cached.bufs.clone(),
+                cache_hit: true,
+                result_hit: true,
+                plan_seconds: 0.0,
+                service_seconds: started.elapsed().as_secs_f64(),
+            });
+        }
+    }
+
+    // Tier 1: reuse the plan for this launch shape, or build and memoize
+    // one.
+    let cached = shared.plans.lock().expect("plans lock").get(&key);
+    let (plan, cache_hit, plan_seconds) = match cached {
+        Some(plan) => {
+            shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            (plan, true, 0.0)
+        }
+        None => {
+            let t = Instant::now();
+            let plan = fw.prepare(&kernel, &nd, &args, &bufs)?;
+            let plan_seconds = t.elapsed().as_secs_f64();
+            shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .plan_ns
+                .fetch_add((plan_seconds * 1e9) as u64, Ordering::Relaxed);
+            shared
+                .plans
+                .lock()
+                .expect("plans lock")
+                .insert(key.clone(), plan.clone());
+            (plan, false, plan_seconds)
+        }
+    };
+
+    let t = Instant::now();
+    let report = fw.execute_planned(&kernel, &nd, &args, &mut bufs, &plan)?;
+    shared
+        .stats
+        .exec_ns
+        .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+    if let Some(rk) = result_key {
+        let cached = Arc::new(CachedResult {
+            partition: plan.partition.clone(),
+            report: report.clone(),
+            bufs: bufs.clone(),
+        });
+        shared
+            .results
+            .lock()
+            .expect("results lock")
+            .insert(rk, cached);
+    }
+
+    Ok(ServedLaunch {
+        partition: plan.partition,
+        report,
+        bufs,
+        cache_hit,
+        result_hit: false,
+        plan_seconds,
+        service_seconds: started.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HarnessConfig;
+    use crate::db::FeatureSet;
+    use crate::predictor::PartitionPredictor;
+    use crate::train::collect_training_db;
+    use hetpart_ml::{ModelConfig, TreeConfig};
+    use hetpart_oclsim::machines;
+    use hetpart_runtime::Executor;
+
+    fn small_framework() -> Framework {
+        let benches: Vec<_> = hetpart_suite::all()
+            .into_iter()
+            .filter(|b| ["vec_add", "blackscholes", "sgemm"].contains(&b.name))
+            .collect();
+        let cfg = HarnessConfig {
+            sizes_per_benchmark: 2,
+            sample_items: 32,
+            step_tenths: 5,
+            ..HarnessConfig::quick()
+        };
+        let db = collect_training_db(&machines::mc2(), &benches, &cfg);
+        let predictor = PartitionPredictor::train(
+            &db,
+            &ModelConfig::Tree(TreeConfig::default()),
+            FeatureSet::Both,
+        );
+        Framework {
+            executor: Executor::new(machines::mc2()),
+            predictor,
+        }
+    }
+
+    #[test]
+    fn served_launch_matches_run_auto_and_caches() {
+        let fw = small_framework();
+        let bench = hetpart_suite::by_name("vec_add").unwrap();
+        let kernel = Arc::new(bench.compile());
+        let inst = bench.instance(bench.smallest_size());
+
+        let mut serial_bufs = inst.bufs.clone();
+        let (serial_partition, _) = fw
+            .run_auto(&kernel, &inst.nd, &inst.args, &mut serial_bufs)
+            .unwrap();
+
+        let service = Service::new(fw, ServiceConfig::default()).unwrap();
+        let cold = service
+            .submit(
+                Arc::clone(&kernel),
+                inst.nd.clone(),
+                inst.args.clone(),
+                inst.bufs.clone(),
+            )
+            .wait()
+            .unwrap();
+        assert!(!cold.cache_hit);
+        assert_eq!(cold.partition, serial_partition);
+        assert_eq!(cold.bufs, serial_bufs);
+
+        let warm = service
+            .submit(
+                kernel,
+                inst.nd.clone(),
+                inst.args.clone(),
+                inst.bufs.clone(),
+            )
+            .wait()
+            .unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(warm.partition, serial_partition);
+        assert_eq!(warm.bufs, serial_bufs);
+
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.errors, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn result_memo_replays_identical_launches_exactly() {
+        let fw = small_framework();
+        let bench = hetpart_suite::by_name("vec_add").unwrap();
+        let kernel = Arc::new(bench.compile());
+        let inst = bench.instance(bench.smallest_size());
+        let service = Service::new(
+            fw,
+            ServiceConfig {
+                result_cache_capacity: 64,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let submit = |bufs: Vec<hetpart_inspire::vm::BufferData>| {
+            service
+                .submit(
+                    Arc::clone(&kernel),
+                    inst.nd.clone(),
+                    inst.args.clone(),
+                    bufs,
+                )
+                .wait()
+                .unwrap()
+        };
+        let cold = submit(inst.bufs.clone());
+        assert!(!cold.result_hit);
+        let warm = submit(inst.bufs.clone());
+        assert!(warm.result_hit && warm.cache_hit);
+        assert_eq!(warm.bufs, cold.bufs);
+        assert_eq!(warm.partition, cold.partition);
+        assert_eq!(warm.report, cold.report);
+
+        // Different contents (same shape) must execute, not replay.
+        let mut other = inst.bufs.clone();
+        match &mut other[0] {
+            hetpart_inspire::vm::BufferData::F32(v) => v[0] += 1.0,
+            _ => panic!("vec_add input 0 is f32"),
+        }
+        let different = submit(other);
+        assert!(!different.result_hit, "contents changed: memo must miss");
+        assert!(different.cache_hit, "plan tier still hits on same shape");
+        assert_ne!(different.bufs, cold.bufs);
+        assert_eq!(service.stats().result_hits, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn plan_key_separates_kernels_sizes_and_scalars() {
+        let bench = hetpart_suite::by_name("vec_add").unwrap();
+        let kernel = bench.compile();
+        let a = bench.instance(bench.smallest_size());
+        let key_a = PlanKey::of(&kernel, &a.nd, &a.args, &a.bufs);
+        assert_eq!(key_a, PlanKey::of(&kernel, &a.nd, &a.args, &a.bufs));
+
+        let b = bench.instance(bench.sizes[1]);
+        assert_ne!(key_a, PlanKey::of(&kernel, &b.nd, &b.args, &b.bufs));
+
+        let other = hetpart_suite::by_name("triad").unwrap().compile();
+        assert_ne!(key_a, PlanKey::of(&other, &a.nd, &a.args, &a.bufs));
+    }
+
+    #[test]
+    fn plan_key_distinguishes_buffer_bindings() {
+        // [Buffer(0), Buffer(1)] vs [Buffer(1), Buffer(0)]: same shapes,
+        // opposite data flow — must not share a plan or memoized result.
+        use hetpart_inspire::vm::{ArgValue, BufferData};
+        let kernel = hetpart_inspire::compile(
+            "kernel void copy(global const float* src, global float* dst) {
+                int i = get_global_id(0);
+                dst[i] = src[i];
+            }",
+        )
+        .unwrap();
+        let nd = hetpart_inspire::NdRange::d1(16);
+        let bufs = vec![
+            BufferData::F32(vec![1.0; 16]),
+            BufferData::F32(vec![2.0; 16]),
+        ];
+        let fwd = [ArgValue::Buffer(0), ArgValue::Buffer(1)];
+        let rev = [ArgValue::Buffer(1), ArgValue::Buffer(0)];
+        assert_ne!(
+            PlanKey::of(&kernel, &nd, &fwd, &bufs),
+            PlanKey::of(&kernel, &nd, &rev, &bufs)
+        );
+        let aliased = [ArgValue::Buffer(0), ArgValue::Buffer(0)];
+        assert_ne!(
+            PlanKey::of(&kernel, &nd, &fwd, &bufs),
+            PlanKey::of(&kernel, &nd, &aliased, &bufs)
+        );
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let fw = small_framework();
+        let bench = hetpart_suite::by_name("vec_add").unwrap();
+        let kernel = Arc::new(bench.compile());
+        let inst = bench.instance(bench.smallest_size());
+        let service = Service::new(
+            fw,
+            ServiceConfig {
+                cache_capacity: 0,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        for _ in 0..3 {
+            let r = service
+                .submit(
+                    Arc::clone(&kernel),
+                    inst.nd.clone(),
+                    inst.args.clone(),
+                    inst.bufs.clone(),
+                )
+                .wait()
+                .unwrap();
+            assert!(!r.cache_hit);
+        }
+        assert_eq!(service.stats().cache_misses, 3);
+        service.shutdown();
+    }
+
+    #[test]
+    fn bad_submission_resolves_with_an_error_not_a_hang() {
+        let fw = small_framework();
+        let bench = hetpart_suite::by_name("vec_add").unwrap();
+        let kernel = Arc::new(bench.compile());
+        let inst = bench.instance(bench.smallest_size());
+        let service = Service::new(fw, ServiceConfig::default()).unwrap();
+        // Drop the trailing scalar argument: the VM rejects the launch.
+        let short_args = inst.args[..inst.args.len() - 1].to_vec();
+        let err = service
+            .submit(kernel, inst.nd.clone(), short_args, inst.bufs.clone())
+            .wait()
+            .unwrap_err();
+        assert!(matches!(err, DeployError::Vm(_)), "{err}");
+        assert_eq!(service.stats().errors, 1);
+        service.shutdown();
+    }
+}

@@ -50,8 +50,8 @@ pub fn collect_training_db(
     cfg: &HarnessConfig,
 ) -> TrainingDb {
     let executor = Executor {
-        machine: machine.clone(),
         sample_items: cfg.sample_items,
+        ..Executor::new(machine.clone())
     };
 
     // Compiled-kernel cache: one compile per benchmark, shared by every

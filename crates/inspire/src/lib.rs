@@ -80,6 +80,21 @@ pub struct CompiledKernel {
     pub access: AccessSummary,
     /// Executable register bytecode.
     pub bytecode: Function,
+    /// Cheap stable identity: FNV-1a over the kernel name and a canonical
+    /// rendering of the typed IR. Two kernels compiled from identical
+    /// source share a fingerprint; the deployment service keys its
+    /// prediction cache on it.
+    pub fingerprint: u64,
+}
+
+/// FNV-1a over a byte string (the fingerprint hash).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Compile kernel source text containing exactly one `kernel` function.
@@ -108,12 +123,14 @@ pub fn compile_all(src: &str) -> Result<Vec<CompiledKernel>, CompileError> {
             let static_features = features::extract(&ir);
             let access = access::analyze(&ir);
             let bytecode = bytecode::compile(&ir)?;
+            let fingerprint = fnv1a(format!("{}\u{0}{:?}", ir.name, ir).as_bytes());
             Ok(CompiledKernel {
                 name: ir.name.clone(),
                 ir,
                 static_features,
                 access,
                 bytecode,
+                fingerprint,
             })
         })
         .collect()
@@ -133,5 +150,19 @@ mod tests {
         let src = "kernel void a(int n) { } kernel void b(int n) { }";
         assert!(compile(src).is_err());
         assert_eq!(compile_all(src).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_distinguishes_kernels() {
+        let a = "kernel void k(global float* o) { o[get_global_id(0)] = 1.0; }";
+        let b = "kernel void k(global float* o) { o[get_global_id(0)] = 2.0; }";
+        assert_eq!(
+            compile(a).unwrap().fingerprint,
+            compile(a).unwrap().fingerprint
+        );
+        assert_ne!(
+            compile(a).unwrap().fingerprint,
+            compile(b).unwrap().fingerprint
+        );
     }
 }

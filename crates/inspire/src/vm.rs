@@ -57,7 +57,18 @@ impl BufferData {
 
     /// Size in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.len() * 4
+        self.len() * self.elem_bytes()
+    }
+
+    /// Bytes per element of this buffer's scalar type. Every current
+    /// variant is 4 bytes wide, but transfer planning must ask the buffer
+    /// rather than hardcode the width (see `runtime`'s `transfer_bytes`).
+    pub fn elem_bytes(&self) -> usize {
+        match self {
+            BufferData::F32(_) => std::mem::size_of::<f32>(),
+            BufferData::I32(_) => std::mem::size_of::<i32>(),
+            BufferData::U32(_) => std::mem::size_of::<u32>(),
+        }
     }
 
     /// Element scalar type.

@@ -77,6 +77,11 @@ impl RandomForest {
         }
     }
 
+    /// Number of classes this forest was fitted for.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
     /// Soft vote: summed leaf distributions, normalized.
     pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
         let mut acc = vec![0.0f64; self.n_classes];

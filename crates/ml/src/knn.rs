@@ -32,6 +32,11 @@ impl Knn {
         a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
     }
 
+    /// Number of classes this classifier was fitted for.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
     /// Vote distribution over classes among the k nearest neighbours.
     pub fn predict_proba(&self, q: &[f64]) -> Vec<f64> {
         let mut d: Vec<(f64, usize)> = self

@@ -74,6 +74,18 @@ impl Model {
             Model::Svm(m) => m.predict(x),
         }
     }
+
+    /// Number of classes this model was fitted for. Every prediction is a
+    /// dense label in `0..n_classes()`.
+    pub fn n_classes(&self) -> usize {
+        match self {
+            Model::Mlp(m) => m.n_classes(),
+            Model::Tree(m) => m.n_classes(),
+            Model::Forest(m) => m.n_classes(),
+            Model::Knn(m) => m.n_classes(),
+            Model::Svm(m) => m.n_classes(),
+        }
+    }
 }
 
 /// Scaler + model: the deployable predictor.
@@ -107,6 +119,11 @@ impl Pipeline {
             ModelConfig::Svm(c) => Model::Svm(LinearSvm::fit(c.clone(), &xs, y, n_classes)),
         };
         Self { scaler, model }
+    }
+
+    /// Number of classes the underlying model was fitted for.
+    pub fn n_classes(&self) -> usize {
+        self.model.n_classes()
     }
 
     /// Predict the class of one raw feature row.

@@ -123,6 +123,11 @@ impl LinearSvm {
             .collect()
     }
 
+    /// Number of classes this classifier was fitted for.
+    pub fn n_classes(&self) -> usize {
+        self.weights.len()
+    }
+
     /// Class with the largest decision value.
     pub fn predict(&self, x: &[f64]) -> usize {
         self.decision(x)

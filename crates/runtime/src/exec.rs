@@ -11,6 +11,7 @@
 //! measurement convention.
 
 use std::ops::Range;
+use std::sync::Arc;
 
 use hetpart_inspire::access::{access_ranges, BufferRange, LaunchBounds};
 use hetpart_inspire::ir::{NdRange, ParamKind, ScalarType};
@@ -69,13 +70,38 @@ impl ExecutionReport {
     }
 }
 
+/// A pre-planned execution: the chosen partition plus the per-chunk data
+/// that [`Executor::run`] would otherwise recompute on every launch
+/// (transfer sizes from the access analysis, a divergence estimate from
+/// probe sampling). Built once by [`Executor::plan_execution`]; repeat
+/// launches of the same (kernel, launch shape) replay it through
+/// [`Executor::run_planned`] and pay only for the kernel work itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecPlan {
+    pub partition: Partition,
+    /// The NDRange the plan was built for: transfer sizes depend on the
+    /// chunk boundaries *and* the non-split dimensions, so replaying the
+    /// plan against any other range would silently misprice the launch.
+    /// [`Executor::run_planned`] validates it.
+    pub nd: NdRange,
+    /// `(bytes_in, bytes_out)` per device, aligned with
+    /// `partition.chunks(extent)` (empty chunks hold `(0, 0)`).
+    pub transfers: Vec<(u64, u64)>,
+    /// Launch-level control-flow divergence estimate in `[0, 1]`.
+    pub divergence: f64,
+}
+
 /// Work-items to sample per chunk when estimating dynamic behaviour.
 pub const DEFAULT_SAMPLE_ITEMS: usize = 128;
 
 /// The multi-device executor.
+///
+/// The machine description is behind an [`Arc`] so executors are cheap to
+/// clone and share across deployment-service workers: a clone copies two
+/// words, not the device profile table.
 #[derive(Debug, Clone)]
 pub struct Executor {
-    pub machine: Machine,
+    pub machine: Arc<Machine>,
     /// Per-chunk sample budget for `simulate` and divergence estimation.
     pub sample_items: usize,
 }
@@ -83,6 +109,12 @@ pub struct Executor {
 impl Executor {
     /// Create an executor for a machine.
     pub fn new(machine: Machine) -> Self {
+        Self::with_shared(Arc::new(machine))
+    }
+
+    /// Create an executor sharing an already-wrapped machine (the
+    /// deployment service hands the same `Arc` to every worker).
+    pub fn with_shared(machine: Arc<Machine>) -> Self {
         Self {
             machine,
             sample_items: DEFAULT_SAMPLE_ITEMS,
@@ -161,6 +193,32 @@ impl Executor {
         }
     }
 
+    /// Assert that a partition addresses exactly this machine's devices.
+    fn check_arity(&self, partition: &Partition) {
+        assert_eq!(
+            partition.num_devices(),
+            self.machine.num_devices(),
+            "partition is for {} devices but machine `{}` has {}",
+            partition.num_devices(),
+            self.machine.name,
+            self.machine.num_devices()
+        );
+    }
+
+    /// Assemble the launch report from per-device runs: the slowest
+    /// device is the critical path, plus the multi-device coordination
+    /// overhead. Every execution/pricing path ends here, so planned,
+    /// unplanned and profiled reports can never diverge in shape.
+    fn finish_report(&self, partition: &Partition, device_runs: Vec<DeviceRun>) -> ExecutionReport {
+        let slowest = device_runs.iter().map(|r| r.time.total).fold(0.0, f64::max);
+        let coordination = self.coordination_overhead(device_runs.len());
+        ExecutionReport {
+            partition: partition.clone(),
+            device_runs,
+            time: slowest + coordination,
+        }
+    }
+
     /// The coordination overhead a launch pays when `active_devices` > 1.
     pub fn coordination_overhead(&self, active_devices: usize) -> f64 {
         if active_devices > 1 {
@@ -186,14 +244,7 @@ impl Executor {
     where
         F: FnMut(Range<usize>) -> (u64, u64),
     {
-        assert_eq!(
-            partition.num_devices(),
-            self.machine.num_devices(),
-            "partition is for {} devices but machine `{}` has {}",
-            partition.num_devices(),
-            self.machine.name,
-            self.machine.num_devices()
-        );
+        self.check_arity(partition);
         let nd = &launch.nd;
         let chunks = partition.chunks(nd.split_extent());
 
@@ -205,13 +256,90 @@ impl Executor {
             let t = transfer(chunk.clone());
             device_runs.push(self.price_chunk(launch, dev, chunk.clone(), profile, t));
         }
-        let slowest = device_runs.iter().map(|r| r.time.total).fold(0.0, f64::max);
-        let coordination = self.coordination_overhead(device_runs.len());
-        ExecutionReport {
+        self.finish_report(partition, device_runs)
+    }
+
+    /// Build an [`ExecPlan`] for one partitioning of a launch: the access
+    /// analysis runs once per chunk *now* so that [`Executor::run_planned`]
+    /// never has to. `divergence` is the launch-level control-flow
+    /// divergence estimate (typically from the runtime-feature probe).
+    pub fn plan_execution(
+        &self,
+        launch: &Launch,
+        bufs: &[BufferData],
+        partition: &Partition,
+        divergence: f64,
+    ) -> ExecPlan {
+        let kernel = launch.kernel;
+        let nd = &launch.nd;
+        let scalars = scalar_values(kernel, &launch.args);
+        let transfers = partition
+            .chunks(nd.split_extent())
+            .into_iter()
+            .map(|chunk| transfer_bytes(kernel, nd, chunk, &scalars, &launch.args, bufs))
+            .collect();
+        ExecPlan {
             partition: partition.clone(),
-            device_runs,
-            time: slowest + coordination,
+            nd: nd.clone(),
+            transfers,
+            divergence: divergence.clamp(0.0, 1.0),
         }
+    }
+
+    /// Execute a pre-planned launch: only the kernel work itself runs.
+    ///
+    /// Compared to [`Executor::run`], this skips the scratch buffer clone,
+    /// the per-chunk divergence probe, and the per-chunk access analysis —
+    /// transfer sizes and the divergence estimate come from the plan, and
+    /// exact dynamic counts fall out of the functional execution for free.
+    /// Output buffers receive results bit-identical to [`Executor::run`]
+    /// with the same partition (both paths run `run_range` on the same
+    /// chunks); only the simulated-time breakdown may differ, because the
+    /// plan carries one launch-level divergence estimate instead of a
+    /// fresh per-chunk sample.
+    pub fn run_planned(
+        &self,
+        launch: &Launch,
+        bufs: &mut [BufferData],
+        plan: &ExecPlan,
+    ) -> Result<ExecutionReport, VmError> {
+        let partition = &plan.partition;
+        self.check_arity(partition);
+        let kernel = launch.kernel;
+        let nd = &launch.nd;
+        Vm::check_args(&kernel.bytecode, &launch.args, bufs)?;
+
+        assert_eq!(
+            *nd, plan.nd,
+            "plan was built for NDRange {:?} but the launch uses {:?} — \
+             re-plan instead of replaying stale transfer sizes",
+            plan.nd, nd
+        );
+        let chunks = partition.chunks(nd.split_extent());
+        let coalesced = coalesced_fraction(kernel);
+
+        let mut device_runs = Vec::new();
+        let mut vm = Vm::new();
+        for ((dev, chunk), &(bytes_in, bytes_out)) in
+            self.machine.device_ids().zip(&chunks).zip(&plan.transfers)
+        {
+            if chunk.is_empty() {
+                continue;
+            }
+            let c = vm.run_range(&kernel.bytecode, nd, chunk.clone(), &launch.args, bufs)?;
+            let counts = dynamic_counts(&kernel.bytecode, &c);
+            let shape = workload_shape(&counts, bytes_in, bytes_out, plan.divergence, coalesced);
+            let time = estimate_time(self.machine.device(dev), &shape);
+            device_runs.push(DeviceRun {
+                device: dev,
+                chunk_start: chunk.start,
+                chunk_end: chunk.end,
+                shape,
+                time,
+            });
+        }
+
+        Ok(self.finish_report(partition, device_runs))
     }
 
     fn execute(
@@ -221,14 +349,7 @@ impl Executor {
         partition: &Partition,
         full: bool,
     ) -> Result<ExecutionReport, VmError> {
-        assert_eq!(
-            partition.num_devices(),
-            self.machine.num_devices(),
-            "partition is for {} devices but machine `{}` has {}",
-            partition.num_devices(),
-            self.machine.name,
-            self.machine.num_devices()
-        );
+        self.check_arity(partition);
         let kernel = launch.kernel;
         let nd = &launch.nd;
         Vm::check_args(&kernel.bytecode, &launch.args, bufs)?;
@@ -280,13 +401,7 @@ impl Executor {
             });
         }
 
-        let slowest = device_runs.iter().map(|r| r.time.total).fold(0.0, f64::max);
-        let coordination = self.coordination_overhead(device_runs.len());
-        Ok(ExecutionReport {
-            partition: partition.clone(),
-            device_runs,
-            time: slowest + coordination,
-        })
+        Ok(self.finish_report(partition, device_runs))
     }
 }
 
@@ -319,6 +434,11 @@ pub fn scalar_values(kernel: &CompiledKernel, args: &[ArgValue]) -> Vec<Option<i
 /// Compute the bytes a device must receive before and send back after
 /// executing `chunk`, using the interval access analysis. The union is
 /// over read buffers (host→device) and written buffers (device→host).
+///
+/// An empty chunk transfers nothing: without the guard the split-dim
+/// bound `chunk.end - 1` would sit *below* `chunk.start`, handing the
+/// access analysis an inverted gid interval (internal callers skip empty
+/// chunks, but this is a `pub` API).
 pub fn transfer_bytes(
     kernel: &CompiledKernel,
     nd: &NdRange,
@@ -327,6 +447,9 @@ pub fn transfer_bytes(
     args: &[ArgValue],
     bufs: &[BufferData],
 ) -> (u64, u64) {
+    if chunk.is_empty() {
+        return (0, 0);
+    }
     let mut gid = [(0i64, 0i64); 3];
     for (d, g) in gid.iter_mut().enumerate() {
         *g = (0, nd.dim(d) as i64 - 1);
@@ -339,23 +462,23 @@ pub fn transfer_bytes(
     };
     let ranges = access_ranges(&kernel.ir, &bounds);
 
-    let buf_len = |param_idx: usize| -> Option<usize> {
+    let buffer = |param_idx: usize| -> Option<&BufferData> {
         match args.get(param_idx) {
-            Some(ArgValue::Buffer(b)) => bufs.get(*b).map(|bd| bd.len()),
+            Some(ArgValue::Buffer(b)) => bufs.get(*b),
             _ => None,
         }
     };
-    let range_bytes = |r: &BufferRange, len: usize| -> u64 {
+    let range_bytes = |r: &BufferRange, len: usize, elem_bytes: u64| -> u64 {
         match *r {
             BufferRange::Untouched => 0,
-            BufferRange::Whole => len as u64 * 4,
+            BufferRange::Whole => len as u64 * elem_bytes,
             BufferRange::Exact { lo, hi } => {
                 let lo = lo.max(0);
                 let hi = hi.min(len as i64 - 1);
                 if hi < lo {
                     0
                 } else {
-                    (hi - lo + 1) as u64 * 4
+                    (hi - lo + 1) as u64 * elem_bytes
                 }
             }
         }
@@ -364,9 +487,10 @@ pub fn transfer_bytes(
     let mut bytes_in = 0u64;
     let mut bytes_out = 0u64;
     for (i, _) in kernel.ir.params.iter().enumerate() {
-        let Some(len) = buf_len(i) else { continue };
-        bytes_in += range_bytes(&ranges.read[i], len);
-        bytes_out += range_bytes(&ranges.write[i], len);
+        let Some(bd) = buffer(i) else { continue };
+        let (len, eb) = (bd.len(), bd.elem_bytes() as u64);
+        bytes_in += range_bytes(&ranges.read[i], len, eb);
+        bytes_out += range_bytes(&ranges.write[i], len, eb);
     }
     (bytes_in, bytes_out)
 }
@@ -580,6 +704,85 @@ mod tests {
         assert_eq!(sf.loads, ss.loads);
         assert_eq!(sf.float_ops, ss.float_ops);
         assert_eq!(sf.bytes_in, ss.bytes_in);
+    }
+
+    #[test]
+    fn empty_chunk_transfers_nothing() {
+        // `transfer_bytes` is a pub API: an empty chunk used to produce an
+        // inverted split-dim bound (`end - 1 < start`) and garbage sizes.
+        let k = compile(VEC_ADD).unwrap();
+        let n = 100usize;
+        let (bufs, args) = vec_add_setup(n);
+        let scalars = scalar_values(&k, &args);
+        let nd = NdRange::d1(n);
+        assert_eq!(
+            transfer_bytes(&k, &nd, 50..50, &scalars, &args, &bufs),
+            (0, 0)
+        );
+        assert_eq!(
+            transfer_bytes(&k, &nd, 0..0, &scalars, &args, &bufs),
+            (0, 0)
+        );
+    }
+
+    #[test]
+    fn transfer_bytes_use_buffer_element_width() {
+        // Sizes must come from `BufferData::elem_bytes`, not a hardcoded 4.
+        for bd in [
+            BufferData::F32(vec![0.0; 8]),
+            BufferData::I32(vec![0; 8]),
+            BufferData::U32(vec![0; 8]),
+        ] {
+            assert_eq!(bd.elem_bytes(), 4);
+            assert_eq!(bd.size_bytes(), 8 * bd.elem_bytes());
+        }
+        let k = compile(
+            "kernel void copy_i(global const int* a, global int* o) {
+                int i = get_global_id(0);
+                o[i] = a[i];
+            }",
+        )
+        .unwrap();
+        let n = 64usize;
+        let bufs = vec![BufferData::I32(vec![1; n]), BufferData::I32(vec![0; n])];
+        let args = vec![ArgValue::Buffer(0), ArgValue::Buffer(1)];
+        let scalars = scalar_values(&k, &args);
+        let (bytes_in, bytes_out) =
+            transfer_bytes(&k, &NdRange::d1(n), 0..16, &scalars, &args, &bufs);
+        let eb = bufs[0].elem_bytes() as u64;
+        assert_eq!(bytes_in, 16 * eb);
+        assert_eq!(bytes_out, 16 * eb);
+    }
+
+    #[test]
+    fn run_planned_matches_run_outputs_and_partition() {
+        let k = compile(VEC_ADD).unwrap();
+        let n = 1000;
+        let ex = Executor::new(machines::mc2());
+        let launch = Launch::new(&k, NdRange::d1(n), vec_add_setup(n).1);
+        for p in [
+            Partition::even(3),
+            Partition::gpu_only(3),
+            Partition::from_tenths(vec![2, 0, 8]),
+        ] {
+            let (mut ref_bufs, _) = vec_add_setup(n);
+            let ref_report = ex.run(&launch, &mut ref_bufs, &p).unwrap();
+
+            let (bufs, _) = vec_add_setup(n);
+            let plan = ex.plan_execution(&launch, &bufs, &p, 0.0);
+            let mut planned_bufs = bufs;
+            let planned = ex.run_planned(&launch, &mut planned_bufs, &plan).unwrap();
+
+            assert_eq!(planned_bufs[2], ref_bufs[2], "{p}: outputs must match");
+            assert_eq!(planned.partition, ref_report.partition);
+            assert_eq!(planned.device_runs.len(), ref_report.device_runs.len());
+            // Transfer sizes and exact counts agree with the unplanned path.
+            for (a, b) in planned.device_runs.iter().zip(&ref_report.device_runs) {
+                assert_eq!(a.shape.bytes_in, b.shape.bytes_in);
+                assert_eq!(a.shape.bytes_out, b.shape.bytes_out);
+                assert_eq!(a.shape.items, b.shape.items);
+            }
+        }
     }
 
     #[test]

@@ -59,15 +59,23 @@ impl Partition {
     }
 
     /// An even split across all devices (remainder to the first devices).
+    ///
+    /// With more than [`TENTHS`] devices the 10% granularity cannot give
+    /// every device work: the first ten devices get one tenth each and the
+    /// rest get zero. The share arithmetic is done in `usize` — a truncating
+    /// cast of `num_devices` to `u8` would divide by zero for 256 devices.
     pub fn even(num_devices: usize) -> Self {
-        assert!(num_devices > 0);
-        let base = TENTHS / num_devices as u8;
-        let mut rem = TENTHS % num_devices as u8;
+        assert!(
+            num_devices > 0,
+            "even() needs at least one device, got {num_devices}"
+        );
+        let base = usize::from(TENTHS) / num_devices;
+        let mut rem = usize::from(TENTHS) % num_devices;
         let shares = (0..num_devices)
             .map(|_| {
-                let extra = u8::from(rem > 0);
+                let extra = usize::from(rem > 0);
                 rem = rem.saturating_sub(1);
-                base + extra
+                (base + extra) as u8
             })
             .collect();
         Self { shares }
@@ -218,6 +226,31 @@ mod tests {
         assert_eq!(Partition::even(3).shares(), &[4, 3, 3]);
         assert_eq!(Partition::even(2).shares(), &[5, 5]);
         assert_eq!(Partition::even(4).shares(), &[3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn even_split_handles_more_devices_than_tenths() {
+        // 11 devices: ten get one tenth, the eleventh gets zero.
+        let p = Partition::even(11);
+        assert_eq!(p.shares().iter().map(|&s| u32::from(s)).sum::<u32>(), 10);
+        assert_eq!(p.num_active(), 10);
+        // 256 devices used to divide by `256 as u8 == 0` and panic.
+        let p = Partition::even(256);
+        assert_eq!(p.num_devices(), 256);
+        assert_eq!(p.shares().iter().map(|&s| u32::from(s)).sum::<u32>(), 10);
+        assert!(p.shares()[10..].iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn even_split_boundary_cases() {
+        assert_eq!(Partition::even(1).shares(), &[10]);
+        assert_eq!(Partition::even(10).shares(), &[1; 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn even_split_rejects_zero_devices() {
+        Partition::even(0);
     }
 
     #[test]

@@ -102,7 +102,11 @@ fn main() {
         .expect("feature collection succeeds");
         let row: Vec<String> = predictors
             .iter()
-            .map(|p| p.predict(&kernel, &rt).to_string())
+            .map(|p| {
+                p.predict(&kernel, &rt)
+                    .expect("prediction succeeds")
+                    .to_string()
+            })
             .collect();
         println!("{n:>10}  {:>14}  {:>14}  {:>14}", row[0], row[1], row[2]);
     }

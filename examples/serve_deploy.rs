@@ -1,0 +1,114 @@
+//! The deployment phase as a *service*: train once, then serve a stream
+//! of repeat launches through the concurrent deployment service — cold
+//! launches are planned (feature probe + model inference) and the plan is
+//! cached, so warm launches skip straight to execution.
+//!
+//! Run with: `cargo run --release --example serve_deploy`
+
+use std::sync::Arc;
+
+use hetpart_core::{
+    collect_training_db, FeatureSet, Framework, HarnessConfig, PartitionPredictor, Service,
+    ServiceConfig,
+};
+use hetpart_oclsim::machines;
+use hetpart_runtime::Executor;
+
+fn main() {
+    // ---- Training phase (condensed; see train_and_deploy) -----------
+    let machine = machines::mc2();
+    let cfg = HarnessConfig {
+        sizes_per_benchmark: 2,
+        ..HarnessConfig::quick()
+    };
+    let held_out = "blackscholes";
+    let training_set: Vec<_> = hetpart_suite::all()
+        .into_iter()
+        .filter(|b| ["vec_add", "nbody", "sgemm", "dot_product"].contains(&b.name))
+        .collect();
+    println!(
+        "training phase: {} programs on {} (holding out `{held_out}`) ...",
+        training_set.len(),
+        machine.name
+    );
+    let db = collect_training_db(&machine, &training_set, &cfg);
+    let predictor = PartitionPredictor::train(&db, &cfg.model, FeatureSet::Both);
+
+    // ---- Serving phase ---------------------------------------------
+    let framework = Framework {
+        executor: Executor::new(machine),
+        predictor,
+    };
+    let service = Service::new(
+        framework,
+        ServiceConfig {
+            // Memoize whole results for bit-identical repeats, too.
+            result_cache_capacity: 256,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("predictor fits the deployment machine");
+
+    let bench = hetpart_suite::by_name(held_out).expect("exists");
+    let kernel = Arc::new(bench.compile());
+
+    // Repeat traffic: two problem sizes, several launches each — the
+    // shape of a deployed program being called in a loop.
+    let sizes = [bench.sizes[0], bench.sizes[2]];
+    println!(
+        "serving `{held_out}` traffic: 2 sizes x 6 launches on {} worker(s)\n",
+        ServiceConfig::default().workers
+    );
+    println!(
+        "{:>10} {:>7} {:>12} {:>7} {:>12} {:>12}",
+        "size", "launch", "partition", "hit", "plan ms", "service ms"
+    );
+    for &n in &sizes {
+        let inst = bench.instance(n);
+        for launch in 0..6 {
+            let served = service
+                .submit(
+                    Arc::clone(&kernel),
+                    inst.nd.clone(),
+                    inst.args.clone(),
+                    inst.bufs.clone(),
+                )
+                .wait()
+                .expect("launch succeeds");
+            bench
+                .check_outputs(&inst, &served.bufs)
+                .expect("outputs verify");
+            let hit = if served.result_hit {
+                "memo"
+            } else if served.cache_hit {
+                "plan"
+            } else {
+                "miss"
+            };
+            println!(
+                "{n:>10} {launch:>7} {:>12} {hit:>7} {:>12.4} {:>12.4}",
+                served.partition.to_string(),
+                served.plan_seconds * 1e3,
+                served.service_seconds * 1e3,
+            );
+        }
+    }
+
+    let stats = service.stats();
+    println!(
+        "\nservice stats: {} completed, {} plan misses, {} cache hits \
+         ({} from the result memo), hit rate {:.0}%",
+        stats.completed,
+        stats.cache_misses,
+        stats.cache_hits,
+        stats.result_hits,
+        stats.hit_rate() * 100.0
+    );
+    println!(
+        "cumulative planning {:.3} ms vs execution {:.3} ms — repeat launches paid \
+         the planning cost once per (kernel, size)",
+        stats.plan_seconds * 1e3,
+        stats.exec_seconds * 1e3
+    );
+    service.shutdown();
+}
