@@ -34,8 +34,8 @@ use std::time::Instant;
 
 use hetpart_bench::banner;
 use hetpart_core::{
-    collect_training_db, FeatureSet, Framework, HarnessConfig, PartitionPredictor, Service,
-    ServiceConfig,
+    collect_training_db, FeatureSet, Framework, HarnessConfig, LaunchPlan, PartitionPredictor,
+    PlanKey, Service, ServiceConfig, StripedCache,
 };
 use hetpart_inspire::CompiledKernel;
 use hetpart_ml::{ModelConfig, TreeConfig};
@@ -101,10 +101,40 @@ struct Totals {
     result_hits: u64,
 }
 
+/// The lock-striping column: the prediction cache hammered from a worker
+/// pool's worth of threads, single mutex (`stripes = 1`, the PR-4 layout)
+/// versus the striped default, plus the end-to-end served comparison.
+#[derive(Serialize)]
+struct StripedRow {
+    threads: usize,
+    stripes: usize,
+    keys: usize,
+    ops_per_thread: usize,
+    /// Million cache ops/sec, one mutex.
+    single_mutex_mops: f64,
+    /// Million cache ops/sec, striped.
+    striped_mops: f64,
+    /// striped_mops / single_mutex_mops.
+    cache_speedup: f64,
+    /// Warm result-tier traffic through a multi-worker service, one
+    /// cache mutex.
+    serve_single_ms: f64,
+    /// … and with the striped cache.
+    serve_striped_ms: f64,
+    /// serve_single_ms / serve_striped_ms.
+    serve_speedup: f64,
+}
+
 #[derive(Serialize)]
 struct Targets {
     warm_speedup: f64,
     plan_speedup: f64,
+    /// The striped cache must beat one mutex under contention …
+    cache_speedup: f64,
+    /// … and must not slow the served path down (parity modulo noise:
+    /// every other serialization point — queue mutex, condvars — is
+    /// shared between the two layouts).
+    serve_striped_speedup: f64,
 }
 
 #[derive(Serialize)]
@@ -114,6 +144,7 @@ struct Report {
     workers: usize,
     traffic: Vec<TrafficRow>,
     totals: Totals,
+    striped: StripedRow,
     targets: Targets,
     target_met: bool,
 }
@@ -129,7 +160,7 @@ fn trained_framework() -> Framework {
         step_tenths: 5,
         ..HarnessConfig::quick()
     };
-    let db = collect_training_db(&machines::mc2(), &benches, &cfg);
+    let db = collect_training_db(&machines::mc2(), &benches, &cfg).expect("training succeeds");
     let predictor = PartitionPredictor::train(
         &db,
         &ModelConfig::Tree(TreeConfig::default()),
@@ -165,6 +196,141 @@ fn traffic_picks(quick: bool) -> Vec<(&'static str, usize)> {
             ("md_lj", 1 << 7),
             ("triad", 1 << 9),
         ]
+    }
+}
+
+/// Measure the lock-striping win two ways:
+///
+/// * **Cache level** — the real `StripedCache<PlanKey, LaunchPlan>` under
+///   a worker pool's worth of threads doing get-heavy mixed traffic on
+///   real plan keys, one stripe (the PR-4 single-mutex layout) vs the
+///   service default. This isolates the serialization the striping
+///   removes.
+/// * **Service level** — warm result-tier traffic through a multi-worker
+///   [`Service`], `cache_stripes: 1` vs the default. The queue mutex and
+///   ticket condvars are shared by both layouts, so the expectation here
+///   is "striping never loses", not a large win.
+fn striped_comparison(
+    fw: &Framework,
+    compiled: &[(Arc<CompiledKernel>, Instance, &str, usize)],
+    quick: bool,
+    reps: usize,
+) -> StripedRow {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+    let default_stripes = ServiceConfig::default().cache_stripes;
+    // The A/B passes here compare sub-millisecond totals, so the min-of-N
+    // needs more reps than the throughput rows to shake scheduler noise —
+    // especially on time-sliced single-core runners.
+    let reps = reps.max(6);
+
+    // Real keys and plans: every traffic class at several problem sizes.
+    let sizes_per = if quick { 2 } else { 4 };
+    let mut entries: Vec<(PlanKey, LaunchPlan)> = Vec::new();
+    for (kernel, _, name, _) in compiled {
+        let bench = hetpart_suite::by_name(name).expect("suite kernel exists");
+        for &n in bench.sizes.iter().take(sizes_per) {
+            let inst = bench.instance(n);
+            let plan = fw
+                .prepare(kernel, &inst.nd, &inst.args, &inst.bufs)
+                .expect("plan succeeds");
+            entries.push((PlanKey::of(kernel, &inst.nd, &inst.args, &inst.bufs), plan));
+        }
+    }
+    let entries = Arc::new(entries);
+    let ops_per_thread = if quick { 100_000 } else { 400_000 };
+
+    let cache_pass = |stripes: usize| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..=reps {
+            let cache: Arc<StripedCache<PlanKey, LaunchPlan>> =
+                Arc::new(StripedCache::new(1024, stripes));
+            for (k, v) in entries.iter() {
+                cache.insert(k.clone(), v.clone());
+            }
+            let t = Instant::now();
+            let handles: Vec<_> = (0..threads)
+                .map(|tid| {
+                    let cache = Arc::clone(&cache);
+                    let entries = Arc::clone(&entries);
+                    std::thread::spawn(move || {
+                        let mut live = 0usize;
+                        for i in 0..ops_per_thread {
+                            // Weyl-sequence key pick, decorrelated across
+                            // threads; ~10% of ops refresh the entry.
+                            let j = (i * 2654435761 + tid * 40503) % entries.len();
+                            let (k, v) = &entries[j];
+                            if i % 10 == 0 {
+                                cache.insert(k.clone(), v.clone());
+                            } else if cache.get(k).is_some() {
+                                live += 1;
+                            }
+                        }
+                        live
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert!(h.join().expect("cache thread") > 0, "gets must hit");
+            }
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        (threads * ops_per_thread) as f64 / best / 1e6
+    };
+    let single_mutex_mops = cache_pass(1);
+    let striped_mops = cache_pass(default_stripes);
+
+    // Service level: warm result-memo traffic, all classes interleaved.
+    let serve_pass = |stripes: usize| -> f64 {
+        let service = Service::new(
+            fw.clone(),
+            ServiceConfig {
+                workers: threads,
+                result_cache_capacity: 256,
+                cache_stripes: stripes,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("valid framework");
+        let service_ref = &service;
+        let submit_all = || {
+            let tickets: Vec<_> = compiled
+                .iter()
+                .flat_map(|(kernel, inst, _, _)| {
+                    (0..4).map(move |_| {
+                        service_ref.submit(
+                            Arc::clone(kernel),
+                            inst.nd.clone(),
+                            inst.args.clone(),
+                            inst.bufs.clone(),
+                        )
+                    })
+                })
+                .collect();
+            for t in tickets {
+                t.wait().expect("served launch");
+            }
+        };
+        let best = time_best(reps, submit_all);
+        service.shutdown();
+        best
+    };
+    let serve_single_s = serve_pass(1);
+    let serve_striped_s = serve_pass(default_stripes);
+
+    StripedRow {
+        threads,
+        stripes: default_stripes,
+        keys: entries.len(),
+        ops_per_thread,
+        single_mutex_mops,
+        striped_mops,
+        cache_speedup: striped_mops / single_mutex_mops,
+        serve_single_ms: serve_single_s * 1e3,
+        serve_striped_ms: serve_striped_s * 1e3,
+        serve_speedup: serve_single_s / serve_striped_s,
     }
 }
 
@@ -424,18 +590,48 @@ fn main() {
         totals.warm_speedup,
     );
 
+    let striped = striped_comparison(&fw, &compiled, quick, reps);
+    println!(
+        "\nstriped cache ({} threads, {} keys): single mutex {:.1} Mops/s, \
+         {} stripes {:.1} Mops/s ({:.2}x); served warm traffic {:.3}ms -> {:.3}ms ({:.2}x)",
+        striped.threads,
+        striped.keys,
+        striped.single_mutex_mops,
+        striped.stripes,
+        striped.striped_mops,
+        striped.cache_speedup,
+        striped.serve_single_ms,
+        striped.serve_striped_ms,
+        striped.serve_speedup,
+    );
+
     let targets = Targets {
         warm_speedup: 5.0,
         plan_speedup: 1.5,
+        // Lock contention needs real cores to exist: on a machine with 8+
+        // logical CPUs (>= 4 physical cores even under 2-way SMT — std
+        // only exposes the logical count) the striped cache must hold at
+        // least parity with one mutex under contention. Below that —
+        // single/dual-core or SMT-inflated CI runners — threads
+        // time-slice, there is little to de-serialize, and the recorded
+        // parity (~0.97x at 2 threads) shows hashing overhead plus
+        // scheduler noise can nose ahead either way; the gate there is
+        // "striping must not regress" with a noise allowance matched to
+        // the sub-millisecond totals being compared.
+        cache_speedup: if striped.threads >= 8 { 1.0 } else { 0.85 },
+        serve_striped_speedup: if striped.threads >= 8 { 0.9 } else { 0.85 },
     };
-    let target_met =
-        totals.warm_speedup >= targets.warm_speedup && totals.plan_speedup >= targets.plan_speedup;
+    let target_met = totals.warm_speedup >= targets.warm_speedup
+        && totals.plan_speedup >= targets.plan_speedup
+        && striped.cache_speedup >= targets.cache_speedup
+        && striped.serve_speedup >= targets.serve_striped_speedup;
     let report = Report {
         bench: "serve".to_string(),
         quick,
         workers,
         traffic: rows,
         totals,
+        striped,
         targets,
         target_met,
     };

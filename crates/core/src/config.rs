@@ -66,6 +66,18 @@ impl HarnessConfig {
     pub fn select_sizes(&self, bench: &Benchmark) -> Vec<usize> {
         select_evenly(bench.sizes, self.sizes_per_benchmark)
     }
+
+    /// The measurement-affecting subset of the config as a stable string:
+    /// two (program, size) records are only comparable when these agree,
+    /// so shard stores refuse to resume or merge across different
+    /// fingerprints. The model, seed, machine list and size selection
+    /// don't change what a given record *contains* and are excluded.
+    pub fn oracle_fingerprint(&self) -> String {
+        format!(
+            "step_tenths={};sample_items={};sweep_mode={:?}",
+            self.step_tenths, self.sample_items, self.sweep_mode
+        )
+    }
 }
 
 /// Pick `k` evenly spaced elements from `ladder` (all of them if `k >=

@@ -25,17 +25,50 @@ pub struct EvalContext {
 
 impl EvalContext {
     /// Run the training-phase measurements for every configured machine.
+    ///
+    /// # Panics
+    /// Panics if a bundled benchmark fails to measure — the suite's own
+    /// tests guarantee it cannot; the panic message names the launch.
     pub fn build(cfg: HarnessConfig, benchmarks: Vec<Benchmark>) -> Self {
         let dbs = cfg
             .machines
             .iter()
-            .map(|m| collect_training_db(m, &benchmarks, &cfg))
+            .map(|m| {
+                collect_training_db(m, &benchmarks, &cfg)
+                    .unwrap_or_else(|e| panic!("training on {}: {e}", m.name))
+            })
             .collect();
         Self {
             cfg,
             benchmarks,
             dbs,
         }
+    }
+
+    /// Like [`EvalContext::build`], but with **per-machine sharded
+    /// collection**: each machine's measurements stream into JSONL shards
+    /// under `<root>/<machine>/` as they complete, and each database is
+    /// the merge of that machine's shards. Re-running over the same root
+    /// resumes (already-measured records are loaded, not re-measured), and
+    /// the merged databases are bit-identical to [`EvalContext::build`]'s.
+    pub fn build_sharded(
+        cfg: HarnessConfig,
+        benchmarks: Vec<Benchmark>,
+        root: &std::path::Path,
+    ) -> Result<Self, crate::train::TrainError> {
+        let dbs = cfg
+            .machines
+            .iter()
+            .map(|m| {
+                let shards = crate::db::ShardedDb::open(root, &m.name)?;
+                crate::train::collect_training_db_sharded(m, &benchmarks, &cfg, &shards)
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(Self {
+            cfg,
+            benchmarks,
+            dbs,
+        })
     }
 
     /// Build with the full 23-program suite.
@@ -59,6 +92,10 @@ pub struct PredictionOutcome {
 }
 
 /// Run LOPO-CV on one machine's database and price every prediction.
+///
+/// Outcomes follow [`TrainingDb::canonical_order`] — the row order of
+/// [`TrainingDb::to_dataset`] — which is the identity for the canonical
+/// databases an [`EvalContext`] holds.
 pub fn lopo_outcomes(
     db: &TrainingDb,
     model: &ModelConfig,
@@ -69,8 +106,9 @@ pub fn lopo_outcomes(
         *row = crate::predictor::log_compress(row);
     }
     let cv = leave_one_group_out(model, &data);
-    db.records
-        .iter()
+    db.canonical_order()
+        .into_iter()
+        .map(|i| &db.records[i])
         .zip(&cv.predictions)
         .map(|(r, &cls)| {
             // Same policy as `PartitionPredictor::predict_vec`: a class
@@ -109,7 +147,7 @@ pub fn lopo_outcomes(
 /// Price the StarPU-style dynamic chunked scheduler
 /// ([`hetpart_runtime::dynamic_schedule`], the paper's related-work
 /// baseline) on every record of one machine's database. Returns simulated
-/// times aligned with `db.records`.
+/// times aligned with [`lopo_outcomes`] (canonical record order).
 fn dynsched_record_times(
     ctx: &EvalContext,
     machine: &hetpart_oclsim::Machine,
@@ -123,8 +161,9 @@ fn dynsched_record_times(
     };
     // Compile each program once; records share kernels across sizes.
     let mut compiled: HashMap<&str, hetpart_inspire::CompiledKernel> = HashMap::new();
-    db.records
-        .iter()
+    db.canonical_order()
+        .into_iter()
+        .map(|i| &db.records[i])
         .map(|r| {
             let bench = ctx
                 .benchmarks
@@ -566,7 +605,8 @@ fn dynsched_row(ctx: &EvalContext) -> ModelRow {
     let mut over_gpu = Vec::new();
     for (machine, db) in ctx.cfg.machines.iter().zip(&ctx.dbs) {
         let times = dynsched_record_times(ctx, machine, db);
-        for (r, &t) in db.records.iter().zip(&times) {
+        let ordered = db.canonical_order().into_iter().map(|i| &db.records[i]);
+        for (r, &t) in ordered.zip(&times) {
             fractions.push(r.best().time / t);
             over_cpu.push(r.sweep.cpu_only_time() / t);
             over_gpu.push(r.sweep.gpu_only_time() / t);

@@ -5,7 +5,9 @@
 //! * **Training phase** ([`train`]): every benchmark runs at every problem
 //!   size under every partitioning of the 10%-step space on a simulated
 //!   machine; static features, runtime features and measurements land in a
-//!   [`db::TrainingDb`].
+//!   [`db::TrainingDb`] — or stream into per-(machine, program) JSONL
+//!   shards ([`db::ShardedDb`]) that resume after a crash and merge
+//!   across processes with stable labels.
 //! * **Model** ([`predictor`]): an offline-trained classifier maps
 //!   (static + runtime) features to the best partitioning.
 //! * **Deployment phase** ([`predictor::Framework`]): a (new) kernel is
@@ -37,8 +39,10 @@ pub mod serve;
 pub mod train;
 
 pub use config::HarnessConfig;
-pub use db::{FeatureSet, TrainingDb, TrainingRecord};
+pub use db::{DbError, FeatureSet, ShardedDb, TrainingDb, TrainingRecord, DB_SCHEMA_VERSION};
 pub use eval::EvalContext;
 pub use predictor::{DeployError, Framework, LaunchPlan, PartitionPredictor, PredictError};
-pub use serve::{PlanKey, ServedLaunch, Service, ServiceConfig, ServiceStats, Ticket};
-pub use train::collect_training_db;
+pub use serve::{
+    PlanKey, ServedLaunch, Service, ServiceConfig, ServiceStats, StripedCache, Ticket,
+};
+pub use train::{collect_training_db, collect_training_db_sharded, TrainError};

@@ -11,7 +11,7 @@ use hetpart_runtime::{
 };
 use serde::{Deserialize, Serialize};
 
-use crate::db::{FeatureSet, TrainingDb};
+use crate::db::{DbError, FeatureSet, ShardedDb, TrainingDb};
 
 /// Why a prediction could not be made. Every variant used to be a silent
 /// wrong answer: an out-of-range class was clamped to the last label, an
@@ -171,6 +171,20 @@ impl PartitionPredictor {
         let pipeline = Pipeline::fit(model, &x, &data.y, label_space.len());
         Self::new(label_space, pipeline, feature_set, feature_dim)
             .expect("a pipeline fitted on its own dataset is consistent")
+    }
+
+    /// Train on the merged view of one or more shard stores (collected by
+    /// different processes, or a single resumable run). The merged
+    /// database is canonical, so the resulting predictor is bit-identical
+    /// to [`PartitionPredictor::train`] on a monolithic collection of the
+    /// same measurements, regardless of shard order.
+    pub fn train_from_shards(
+        shards: &[&ShardedDb],
+        model: &ModelConfig,
+        feature_set: FeatureSet,
+    ) -> Result<Self, DbError> {
+        let db = ShardedDb::merge(shards)?;
+        Ok(Self::train(&db, model, feature_set))
     }
 
     /// Predict a partitioning from a raw feature vector (already matching
@@ -345,7 +359,7 @@ mod tests {
             step_tenths: 5,
             ..HarnessConfig::quick()
         };
-        collect_training_db(&machines::mc2(), &benches, &cfg)
+        collect_training_db(&machines::mc2(), &benches, &cfg).expect("training succeeds")
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //!   (kernel fingerprint + launch shape). A cache hit skips probe
 //!   sampling, model inference *and* access analysis: the launch goes
 //!   straight to [`Framework::execute_planned`], which runs only the
-//!   kernel work itself.
+//!   kernel work itself. The cache is **lock-striped**
+//!   ([`StripedCache`]): entries shard across
+//!   [`ServiceConfig::cache_stripes`] independent mutexes by key hash,
+//!   so a worker pool serving mixed traffic stops serializing on one
+//!   cache mutex (`cache_stripes: 1` restores the single-mutex layout).
 //! * **Stats** — hits, misses, completions, errors and cumulative
 //!   plan/execute latency, via [`Service::stats`].
 //!
@@ -45,6 +49,7 @@
 //! 64-bit hash collision, which is why the tier is off by default.
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -151,6 +156,7 @@ fn content_hash(bufs: &[BufferData]) -> u64 {
 }
 
 /// Bounded FIFO memo, generic over the cached value (plans and results).
+/// One stripe of a [`StripedCache`].
 struct FifoCache<K, V> {
     capacity: usize,
     map: HashMap<K, V>,
@@ -185,6 +191,60 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> FifoCache<K, V> {
     }
 }
 
+/// A bounded FIFO memo sharded across `N` independently locked stripes
+/// by key hash — the serving-scale successor to one `Mutex<FifoCache>`.
+///
+/// With a single mutex every worker of the pool serializes on the cache
+/// for each lookup and fill, even when they touch unrelated keys. Keys
+/// hash to a fixed stripe, so concurrent operations on different stripes
+/// never contend, and operations on the same key keep the same
+/// consistency they had under one lock (a stripe *is* one lock).
+///
+/// The capacity splits evenly across stripes (rounded up), so eviction is
+/// per-stripe FIFO: total occupancy never exceeds `capacity + stripes`.
+/// `stripes == 1` is exactly the old single-mutex cache.
+pub struct StripedCache<K, V> {
+    stripes: Vec<Mutex<FifoCache<K, V>>>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> StripedCache<K, V> {
+    /// A cache holding ~`capacity` entries across `stripes` locks
+    /// (`stripes` is clamped to at least 1; `capacity == 0` disables
+    /// caching entirely).
+    pub fn new(capacity: usize, stripes: usize) -> Self {
+        let stripes = stripes.max(1);
+        let per_stripe = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(stripes)
+        };
+        Self {
+            stripes: (0..stripes)
+                .map(|_| Mutex::new(FifoCache::new(per_stripe)))
+                .collect(),
+        }
+    }
+
+    fn stripe(&self, key: &K) -> &Mutex<FifoCache<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.stripes[(h.finish() as usize) % self.stripes.len()]
+    }
+
+    /// Clone out the cached value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.stripe(key).lock().expect("cache stripe").get(key)
+    }
+
+    /// Memoize `value` under `key` (no-op when the capacity is 0).
+    pub fn insert(&self, key: K, value: V) {
+        self.stripe(&key)
+            .lock()
+            .expect("cache stripe")
+            .insert(key, value);
+    }
+}
+
 /// A memoized launch outcome: everything a repeat of a bit-identical
 /// launch needs to answer without executing. Shared via `Arc` so a cache
 /// hit clones two words plus the output buffers it hands out.
@@ -205,6 +265,10 @@ pub struct ServiceConfig {
     /// Maximum memoized whole results (content-keyed tier); `0` — the
     /// default — disables result memoization. See the module docs.
     pub result_cache_capacity: usize,
+    /// Lock stripes of the plan and result caches (clamped to at least
+    /// 1). `1` restores the single-mutex cache; the default keeps a
+    /// worker pool from serializing on one cache lock.
+    pub cache_stripes: usize,
 }
 
 impl Default for ServiceConfig {
@@ -215,6 +279,7 @@ impl Default for ServiceConfig {
                 .unwrap_or(1),
             cache_capacity: 1024,
             result_cache_capacity: 0,
+            cache_stripes: 16,
         }
     }
 }
@@ -321,11 +386,11 @@ struct Shared {
     framework: Framework,
     queue: Mutex<QueueState>,
     available: Condvar,
-    plans: Mutex<FifoCache<PlanKey, LaunchPlan>>,
+    plans: StripedCache<PlanKey, LaunchPlan>,
     /// Whether the result memo is enabled (fixed at construction; read
-    /// without taking the `results` lock).
+    /// without touching the `results` stripes).
     memoize_results: bool,
-    results: Mutex<FifoCache<(PlanKey, u64), Arc<CachedResult>>>,
+    results: StripedCache<(PlanKey, u64), Arc<CachedResult>>,
     stats: Stats,
 }
 
@@ -347,9 +412,9 @@ impl Service {
                 shutdown: false,
             }),
             available: Condvar::new(),
-            plans: Mutex::new(FifoCache::new(config.cache_capacity)),
+            plans: StripedCache::new(config.cache_capacity, config.cache_stripes),
             memoize_results: config.result_cache_capacity > 0,
-            results: Mutex::new(FifoCache::new(config.result_cache_capacity)),
+            results: StripedCache::new(config.result_cache_capacity, config.cache_stripes),
             stats: Stats::default(),
         });
         let workers = (0..config.workers.max(1))
@@ -490,8 +555,7 @@ fn process(
         .memoize_results
         .then(|| (key.clone(), content_hash(&bufs)));
     if let Some(rk) = &result_key {
-        let hit = shared.results.lock().expect("results lock").get(rk);
-        if let Some(cached) = hit {
+        if let Some(cached) = shared.results.get(rk) {
             shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             shared.stats.result_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(ServedLaunch {
@@ -508,7 +572,7 @@ fn process(
 
     // Tier 1: reuse the plan for this launch shape, or build and memoize
     // one.
-    let cached = shared.plans.lock().expect("plans lock").get(&key);
+    let cached = shared.plans.get(&key);
     let (plan, cache_hit, plan_seconds) = match cached {
         Some(plan) => {
             shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -523,11 +587,7 @@ fn process(
                 .stats
                 .plan_ns
                 .fetch_add((plan_seconds * 1e9) as u64, Ordering::Relaxed);
-            shared
-                .plans
-                .lock()
-                .expect("plans lock")
-                .insert(key.clone(), plan.clone());
+            shared.plans.insert(key.clone(), plan.clone());
             (plan, false, plan_seconds)
         }
     };
@@ -545,11 +605,7 @@ fn process(
             report: report.clone(),
             bufs: bufs.clone(),
         });
-        shared
-            .results
-            .lock()
-            .expect("results lock")
-            .insert(rk, cached);
+        shared.results.insert(rk, cached);
     }
 
     Ok(ServedLaunch {
@@ -585,7 +641,7 @@ mod tests {
             step_tenths: 5,
             ..HarnessConfig::quick()
         };
-        let db = collect_training_db(&machines::mc2(), &benches, &cfg);
+        let db = collect_training_db(&machines::mc2(), &benches, &cfg).expect("training succeeds");
         let predictor = PartitionPredictor::train(
             &db,
             &ModelConfig::Tree(TreeConfig::default()),
@@ -763,6 +819,96 @@ mod tests {
             assert!(!r.cache_hit);
         }
         assert_eq!(service.stats().cache_misses, 3);
+        service.shutdown();
+    }
+
+    #[test]
+    fn striped_cache_agrees_with_single_stripe_and_bounds_occupancy() {
+        // Same key set, any stripe count: identical visible contents.
+        let single: StripedCache<u64, u64> = StripedCache::new(1024, 1);
+        let striped: StripedCache<u64, u64> = StripedCache::new(1024, 16);
+        for k in 0..512u64 {
+            single.insert(k, k * 3);
+            striped.insert(k, k * 3);
+        }
+        for k in 0..512u64 {
+            assert_eq!(single.get(&k), Some(k * 3));
+            assert_eq!(striped.get(&k), single.get(&k));
+        }
+        assert_eq!(striped.get(&9999), None);
+
+        // Per-stripe FIFO keeps total occupancy near the capacity even
+        // under heavy churn.
+        let tiny: StripedCache<u64, u64> = StripedCache::new(32, 8);
+        for k in 0..10_000u64 {
+            tiny.insert(k, k);
+        }
+        let live = (0..10_000u64).filter(|k| tiny.get(k).is_some()).count();
+        assert!(
+            live <= 32 + 8,
+            "occupancy {live} exceeds capacity + stripes"
+        );
+
+        // Capacity 0 disables caching regardless of stripe count.
+        let off: StripedCache<u64, u64> = StripedCache::new(0, 16);
+        off.insert(1, 1);
+        assert_eq!(off.get(&1), None);
+    }
+
+    #[test]
+    fn striped_cache_is_safe_under_concurrent_mixed_traffic() {
+        let cache: Arc<StripedCache<u64, u64>> = Arc::new(StripedCache::new(256, 16));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let k = (t * 37 + i) % 64;
+                        cache.insert(k, k + 1);
+                        if let Some(v) = cache.get(&k) {
+                            assert_eq!(v, k + 1, "a striped read must never tear");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn single_stripe_service_still_serves_and_caches() {
+        // cache_stripes: 1 is the exact pre-striping layout; the service
+        // must behave identically (the bench compares the two for perf).
+        let fw = small_framework();
+        let bench = hetpart_suite::by_name("vec_add").unwrap();
+        let kernel = Arc::new(bench.compile());
+        let inst = bench.instance(bench.smallest_size());
+        let service = Service::new(
+            fw,
+            ServiceConfig {
+                cache_stripes: 1,
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let mut partitions = Vec::new();
+        for _ in 0..3 {
+            let served = service
+                .submit(
+                    Arc::clone(&kernel),
+                    inst.nd.clone(),
+                    inst.args.clone(),
+                    inst.bufs.clone(),
+                )
+                .wait()
+                .unwrap();
+            partitions.push(served.partition);
+        }
+        assert!(partitions.windows(2).all(|w| w[0] == w[1]));
+        assert!(service.stats().cache_hits >= 1);
         service.shutdown();
     }
 

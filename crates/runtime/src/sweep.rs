@@ -72,12 +72,23 @@ pub struct PartitionSweep {
 impl PartitionSweep {
     /// The oracle-best entry (minimum time).
     ///
+    /// Time ties are broken on the partition itself (lexicographically
+    /// smallest shares win), **not** on entry order: the oracle label of a
+    /// sweep must not change when entries are reordered, merged from
+    /// shards, or thinned by pruning. Entry-order tie-breaking silently
+    /// flipped training labels whenever two partitions priced identically
+    /// and a merge or prune changed which came first.
+    ///
     /// # Panics
     /// Panics if the sweep is empty.
     pub fn best(&self) -> &SweepEntry {
         self.entries
             .iter()
-            .min_by(|a, b| a.time.total_cmp(&b.time))
+            .min_by(|a, b| {
+                a.time
+                    .total_cmp(&b.time)
+                    .then_with(|| a.partition.cmp(&b.partition))
+            })
             .expect("sweep must not be empty")
     }
 
@@ -210,12 +221,11 @@ pub fn sweep_many_mode(
 /// priced entries come out in enumeration (lexicographic-by-shares)
 /// order, and subtrees are pruned only on a *strictly* greater lower
 /// bound, so every partition tied with the optimum is fully priced.
-/// [`PartitionSweep::best`] resolves ties to the **first** minimal entry
-/// in iteration order (`Iterator::min_by` keeps the first of equal
-/// minima); since the pruned entries preserve enumeration order and
-/// contain every minimal-time partition, that first minimum is the same
-/// partition the full sweep selects, bit for bit. Do not weaken either
-/// property (order preservation, never-prune-ties) independently.
+/// [`PartitionSweep::best`] resolves time ties to the lexicographically
+/// smallest partition; since the pruned entries contain every
+/// minimal-time partition, that tie winner is the same partition the
+/// full sweep selects, bit for bit. Do not weaken the never-prune-ties
+/// property: dropping a tied minimum could remove the tie winner.
 struct BranchAndBound<'a> {
     executor: &'a Executor,
     launch: &'a Launch<'a>,
@@ -554,6 +564,38 @@ mod tests {
             .entries
             .iter()
             .all(|e| e.time.is_finite() && e.time > 0.0));
+    }
+
+    #[test]
+    fn best_breaks_time_ties_on_the_partition_not_entry_order() {
+        // Regression: `best()` used to keep the first of equal minima in
+        // entry order, so merging or pruning a sweep (both reorder or thin
+        // the entries) could flip the oracle label between tied partitions.
+        let tied = |shares: Vec<u8>| SweepEntry {
+            partition: Partition::from_tenths(shares),
+            time: 1.0,
+        };
+        let slow = SweepEntry {
+            partition: Partition::from_tenths(vec![5, 5, 0]),
+            time: 2.0,
+        };
+        let forward = PartitionSweep {
+            entries: vec![tied(vec![10, 0, 0]), slow.clone(), tied(vec![0, 0, 10])],
+        };
+        let reversed = PartitionSweep {
+            entries: vec![tied(vec![0, 0, 10]), slow, tied(vec![10, 0, 0])],
+        };
+        // Both orders pick the lexicographically smallest tied partition.
+        assert_eq!(forward.best().partition, reversed.best().partition);
+        assert_eq!(
+            forward.best().partition,
+            Partition::from_tenths(vec![0, 0, 10])
+        );
+        // A thinned sweep that still contains the winner agrees too.
+        let thinned = PartitionSweep {
+            entries: vec![tied(vec![0, 0, 10])],
+        };
+        assert_eq!(thinned.best().partition, forward.best().partition);
     }
 
     #[test]

@@ -78,7 +78,7 @@ fn main() {
     );
     let mut predictors = Vec::new();
     for m in &targets {
-        let db = collect_training_db(m, &benches, &cfg);
+        let db = collect_training_db(m, &benches, &cfg).expect("training succeeds");
         predictors.push(PartitionPredictor::train(&db, &cfg.model, FeatureSet::Both));
     }
 

@@ -57,7 +57,7 @@ fn main() {
         benches.len(),
         machine.name
     );
-    let db = collect_training_db(&machine, &benches, &cfg);
+    let db = collect_training_db(&machine, &benches, &cfg).expect("training succeeds");
     let predictor = PartitionPredictor::train(&db, &cfg.model, FeatureSet::Both);
     println!(
         "label space: {} distinct optimal partitionings\n",

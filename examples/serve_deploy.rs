@@ -31,7 +31,7 @@ fn main() {
         training_set.len(),
         machine.name
     );
-    let db = collect_training_db(&machine, &training_set, &cfg);
+    let db = collect_training_db(&machine, &training_set, &cfg).expect("training succeeds");
     let predictor = PartitionPredictor::train(&db, &cfg.model, FeatureSet::Both);
 
     // ---- Serving phase ---------------------------------------------

@@ -1,0 +1,121 @@
+//! Sharded, resumable, multi-process training.
+//!
+//! Simulates the serving-fleet training story end to end:
+//!
+//! 1. Two "collector processes" each measure a disjoint half of the suite
+//!    into JSONL shards (one file per (machine, program)).
+//! 2. One collector crashes mid-append; re-running it resumes from the
+//!    shards instead of restarting (the torn record is re-measured, the
+//!    complete ones are loaded).
+//! 3. The shards merge into one canonical training database and train a
+//!    predictor **bit-identical** to a monolithic single-process run —
+//!    regardless of shard order.
+//!
+//! Run with: `cargo run --release --example shard_train`
+
+use hetpart_core::{
+    collect_training_db, collect_training_db_sharded, FeatureSet, HarnessConfig,
+    PartitionPredictor, ShardedDb,
+};
+use hetpart_oclsim::machines;
+
+fn main() {
+    let machine = machines::mc2();
+    let cfg = HarnessConfig {
+        sizes_per_benchmark: 2,
+        sample_items: 32,
+        step_tenths: 5,
+        ..HarnessConfig::quick()
+    };
+    let suite: Vec<_> = hetpart_suite::all()
+        .into_iter()
+        .filter(|b| {
+            [
+                "vec_add",
+                "nbody",
+                "blackscholes",
+                "sgemm",
+                "mandelbrot",
+                "spmv_csr",
+            ]
+            .contains(&b.name)
+        })
+        .collect();
+
+    let root = std::env::temp_dir().join("hetpart_shard_train");
+    std::fs::remove_dir_all(&root).ok();
+
+    // ---- Two collector processes, disjoint suite halves -------------
+    let half = suite.len() / 2;
+    let proc_a = ShardedDb::open(root.join("proc_a"), &machine.name).expect("open shards");
+    let proc_b = ShardedDb::open(root.join("proc_b"), &machine.name).expect("open shards");
+    println!(
+        "collector A: {} programs x 2 sizes on {} ...",
+        half, machine.name
+    );
+    collect_training_db_sharded(&machine, &suite[..half], &cfg, &proc_a)
+        .expect("collector A succeeds");
+
+    println!("collector B: {} programs x 2 sizes ...", suite.len() - half);
+    collect_training_db_sharded(&machine, &suite[half..], &cfg, &proc_b)
+        .expect("collector B succeeds");
+
+    // ---- Crash + resume ---------------------------------------------
+    // Tear the tail of one of B's shards, as if the process died inside
+    // an append, then re-run collector B.
+    let victim = proc_b.programs().expect("list shards")[0].clone();
+    let path = proc_b.shard_path(&victim);
+    let text = std::fs::read_to_string(&path).expect("read shard");
+    std::fs::write(&path, &text[..text.len() - 30]).expect("tear shard");
+    let before = proc_b.existing_keys().expect("scan shards").len();
+    println!(
+        "simulated crash: tore the tail of `{victim}` ({} records survive)",
+        before
+    );
+    collect_training_db_sharded(&machine, &suite[half..], &cfg, &proc_b).expect("resume succeeds");
+    let after = proc_b.existing_keys().expect("scan shards").len();
+    println!(
+        "resumed collector B: re-measured {} record(s)\n",
+        after - before
+    );
+
+    // ---- Merge + train, against the monolithic reference ------------
+    let merged = ShardedDb::merge(&[&proc_a, &proc_b]).expect("merge shards");
+    let monolithic = collect_training_db(&machine, &suite, &cfg).expect("monolithic training");
+    assert_eq!(
+        merged, monolithic,
+        "merged shard view must equal monolithic collection bit for bit"
+    );
+
+    let model = &cfg.model;
+    let mono_pred = PartitionPredictor::train(&monolithic, model, FeatureSet::Both);
+    let shard_pred =
+        PartitionPredictor::train_from_shards(&[&proc_b, &proc_a], model, FeatureSet::Both)
+            .expect("train from shards");
+    assert_eq!(
+        mono_pred, shard_pred,
+        "shard-trained predictor must be bit-identical, regardless of shard order"
+    );
+
+    println!("shard layout under {}:", root.display());
+    for (name, store) in [("proc_a", &proc_a), ("proc_b", &proc_b)] {
+        for program in store.programs().expect("list shards") {
+            let lines = std::fs::read_to_string(store.shard_path(&program))
+                .map(|t| t.lines().count())
+                .unwrap_or(0);
+            println!(
+                "  {name}/{}/{program}.jsonl  (header + {} records)",
+                store.machine(),
+                lines - 1
+            );
+        }
+    }
+    println!(
+        "\nmerged {} records over {} programs; label space {} partitions",
+        merged.records.len(),
+        suite.len(),
+        merged.label_space().len()
+    );
+    println!("shard-trained predictor == monolithic predictor: OK");
+    std::fs::remove_dir_all(&root).ok();
+}

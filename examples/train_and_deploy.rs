@@ -35,7 +35,7 @@ fn main() {
         training_set.len(),
         machine.name
     );
-    let db = collect_training_db(&machine, &training_set, &cfg);
+    let db = collect_training_db(&machine, &training_set, &cfg).expect("training succeeds");
     let db_path = out_dir.join("training_db_mc2.json");
     db.save(&db_path).expect("save db");
     println!(

@@ -144,6 +144,21 @@ macro_rules! impl_unsigned {
 impl_signed!(i8, i16, i32, i64, isize);
 impl_unsigned!(u8, u16, u32, u64, usize);
 
+// `Value` round-trips through itself, like `serde_json::Value` in the
+// real crates — callers can parse to a tree first (e.g. to inspect a
+// schema-version field) and rebuild typed data from it afterwards.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::F64(*self)

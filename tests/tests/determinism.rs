@@ -23,14 +23,14 @@ fn cfg() -> HarnessConfig {
 
 #[test]
 fn training_db_is_deterministic() {
-    let a = collect_training_db(&machines::mc1(), &benches(), &cfg());
-    let b = collect_training_db(&machines::mc1(), &benches(), &cfg());
+    let a = collect_training_db(&machines::mc1(), &benches(), &cfg()).unwrap();
+    let b = collect_training_db(&machines::mc1(), &benches(), &cfg()).unwrap();
     assert_eq!(a, b);
 }
 
 #[test]
 fn trained_predictors_agree_exactly() {
-    let db = collect_training_db(&machines::mc2(), &benches(), &cfg());
+    let db = collect_training_db(&machines::mc2(), &benches(), &cfg()).unwrap();
     let m = ModelConfig::Mlp(hetpart_ml::MlpConfig {
         epochs: 40,
         ..Default::default()

@@ -45,7 +45,7 @@ fn train_then_deploy_on_held_out_program() {
         .into_iter()
         .filter(|b| b.name != "triad")
         .collect();
-    let db = collect_training_db(&machine, &train_set, &cfg);
+    let db = collect_training_db(&machine, &train_set, &cfg).unwrap();
     let predictor = PartitionPredictor::train(&db, &cfg.model, FeatureSet::Both);
     let fw = Framework {
         executor: Executor::new(machine),

@@ -20,7 +20,7 @@ fn training_db_roundtrips_through_disk() {
         step_tenths: 5,
         ..HarnessConfig::quick()
     };
-    let db = collect_training_db(&machines::mc1(), &benches, &cfg);
+    let db = collect_training_db(&machines::mc1(), &benches, &cfg).unwrap();
     let dir = std::env::temp_dir().join("hetpart_persistence_test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("db.json");
@@ -42,7 +42,7 @@ fn predictor_roundtrips_and_predicts_identically() {
         step_tenths: 5,
         ..HarnessConfig::quick()
     };
-    let db = collect_training_db(&machines::mc2(), &benches, &cfg);
+    let db = collect_training_db(&machines::mc2(), &benches, &cfg).unwrap();
     for model in [
         ModelConfig::Knn { k: 3 },
         ModelConfig::Tree(Default::default()),
@@ -55,6 +55,60 @@ fn predictor_roundtrips_and_predicts_identically() {
             assert_eq!(p.predict_vec(&f), q.predict_vec(&f));
         }
     }
+}
+
+#[test]
+fn mc2_database_persists_under_schema_v2_and_indexes_fast() {
+    // A freshly measured mc2 database must round-trip under the current
+    // schema version (a drifted file fails loudly instead of training
+    // silently wrong), and building its dataset must stay cheap — the
+    // map-indexed label lookup replaced O(records x classes) linear
+    // scans.
+    let benches: Vec<_> = hetpart_suite::all()
+        .into_iter()
+        .filter(|b| ["vec_add", "nbody", "sgemm"].contains(&b.name))
+        .collect();
+    let cfg = HarnessConfig {
+        sizes_per_benchmark: 2,
+        sample_items: 16,
+        step_tenths: 5,
+        ..HarnessConfig::quick()
+    };
+    let fresh = collect_training_db(&machines::mc2(), &benches, &cfg).unwrap();
+    let dir = std::env::temp_dir().join("hetpart_persistence_v2_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("training_db_mc2.json");
+    fresh.save(&path).unwrap();
+    let db = TrainingDb::load(&path).expect("v2 database loads under the current schema");
+    assert_eq!(db, fresh);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The locally regenerated artifact (written by the train_and_deploy
+    // example; gitignored, so it only exists after a local run) must
+    // carry the current schema too.
+    let artifact = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../reports/training_db_mc2.json"
+    ));
+    if artifact.exists() {
+        let shipped = TrainingDb::load(artifact)
+            .expect("reports/training_db_mc2.json is drifted — rerun train_and_deploy");
+        assert_eq!(shipped.machine, "mc2");
+    }
+
+    let t = std::time::Instant::now();
+    let mut rows = 0usize;
+    for _ in 0..50 {
+        let (data, space) = db.to_dataset(FeatureSet::Both);
+        assert!(!space.is_empty());
+        rows += data.len();
+    }
+    assert_eq!(rows, 50 * db.records.len());
+    assert!(
+        t.elapsed().as_secs_f64() < 5.0,
+        "50 dataset builds took {:?} — indexing regression?",
+        t.elapsed()
+    );
 }
 
 #[test]

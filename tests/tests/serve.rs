@@ -27,7 +27,7 @@ fn deployed_framework() -> Framework {
         step_tenths: 5,
         ..HarnessConfig::quick()
     };
-    let db = collect_training_db(&machines::mc2(), &benches, &cfg);
+    let db = collect_training_db(&machines::mc2(), &benches, &cfg).unwrap();
     let predictor = PartitionPredictor::train(
         &db,
         &ModelConfig::Tree(TreeConfig::default()),
