@@ -4,23 +4,26 @@
 //! writes the results to `reports/BENCH_vm.json` so future PRs have a
 //! machine-readable perf trajectory:
 //!
-//! 1. **Kernel execution** — `run_range` scalar vs lane engine on
-//!    representative suite kernels (uniform, compute-bound, divergent),
-//!    in both divergence modes: SIMT reconvergence (the default) and the
-//!    per-lane scalar-replay fallback, so the reconvergence win on
-//!    divergent kernels stays visible.
+//! 1. **Kernel execution** — `run_range` on representative suite kernels
+//!    (uniform, compute-bound, divergent): the original scalar engine on
+//!    unoptimized bytecode vs today's lane engine on optimized bytecode,
+//!    plus A/B columns isolating each layer — divergence replay vs SIMT
+//!    reconvergence, and optimized vs `INSPIRE_OPT=0` bytecode.
 //! 2. **Training oracle** — one full oracle pass over a batch of
-//!    training launches: the PR-1 shape (scalar probe profiles + the
-//!    exhaustive partition space) vs today's lane-batched profiles, full
-//!    and pruned.
+//!    training launches: the PR-1 shape (scalar probe profiles over
+//!    unoptimized bytecode + the exhaustive partition space) vs today's
+//!    lane-batched profiles over optimized bytecode, full and pruned.
 //! 3. A sanity check that the pruned oracle's argmins match the full
 //!    sweep on the benchmarked batch (the regression suites prove this
 //!    exhaustively; the bench refuses to record numbers from a broken
 //!    comparison).
 //!
 //! `target_met` in the JSON gates CI: the pruned oracle must hold its
-//! ≥ 3x speedup, and the divergent kernels must stay batched end-to-end
-//! (mandelbrot ≥ 3x, blackscholes ≥ 2.5x over the scalar engine). Set
+//! ≥ 3x speedup, the divergent kernels must stay batched end-to-end
+//! (mandelbrot ≥ 3x, blackscholes ≥ 2.5x over the scalar engine), and
+//! the bytecode optimizer must pay for itself — lane execution on
+//! optimized code at least as fast as on `INSPIRE_OPT=0` code (geomean
+//! over the picks) with a ≥ 15% suite-wide static shrink. Set
 //! `VM_BENCH_QUICK=1` for the reduced sizes CI uses.
 
 use std::collections::HashMap;
@@ -54,22 +57,36 @@ fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 struct RunRangeRow {
     kernel: String,
     items: u64,
+    /// Scalar engine on **unoptimized** bytecode: the full original
+    /// baseline (PR 1 had neither the lane engine nor the optimizer),
+    /// so `speedup` records the cumulative system win.
     scalar_s: f64,
     /// Lane engine, SIMT reconvergence (the default mode).
     lanes_s: f64,
     /// Lane engine, per-lane scalar-replay divergence fallback
     /// (`INSPIRE_NO_RECONVERGE=1`) — the PR-2 engine, timed for A/B.
     replay_s: f64,
+    /// Lane engine on the **unoptimized** bytecode (`INSPIRE_OPT=0`) —
+    /// the same engine minus the optimizer pipeline, timed for A/B.
+    unopt_lanes_s: f64,
     /// scalar_s / lanes_s.
     speedup: f64,
     /// replay_s / lanes_s: what reconvergence buys over replay.
     speedup_vs_replay: f64,
+    /// unopt_lanes_s / lanes_s: what the optimizer buys end-to-end.
+    speedup_vs_unopt: f64,
+    /// Static instruction count, unoptimized vs optimized.
+    static_instrs_unopt: usize,
+    static_instrs_opt: usize,
 }
 
 #[derive(Serialize)]
 struct OracleRow {
     jobs: usize,
     partitions_per_job: usize,
+    /// The PR-1 oracle: scalar probe profiles over **unoptimized**
+    /// bytecode and the exhaustive partition space — the system as it
+    /// stood before the lane engine, the pruned sweep and the optimizer.
     scalar_engine_s: f64,
     lanes_full_s: f64,
     lanes_pruned_s: f64,
@@ -83,6 +100,10 @@ struct Targets {
     oracle_speedup: f64,
     mandelbrot_speedup: f64,
     blackscholes_speedup: f64,
+    /// The optimizer must not make lane execution slower on geomean.
+    opt_geomean_speedup: f64,
+    /// … and must shrink the suite's static code size by this fraction.
+    opt_static_reduction: f64,
 }
 
 #[derive(Serialize)]
@@ -92,13 +113,40 @@ struct Report {
     quick: bool,
     run_range: Vec<RunRangeRow>,
     oracle: OracleRow,
+    /// Geomean of `speedup_vs_unopt` over the benchmarked kernels.
+    opt_geomean_speedup: f64,
+    /// Suite-wide geomean static shrink: 1 - geomean(opt/unopt instrs)
+    /// over all suite kernels, not just the benchmarked picks.
+    opt_static_reduction: f64,
     targets: Targets,
     target_met: bool,
 }
 
 fn bench_instance(name: &str, n: usize) -> (hetpart_inspire::CompiledKernel, Instance) {
     let bench = hetpart_suite::by_name(name).expect("suite kernel exists");
-    (bench.compile(), bench.instance(n))
+    // Compile at an explicit level so a stray `INSPIRE_OPT=0` in the
+    // environment can't silently turn the A/B comparison into opt-off
+    // vs opt-off.
+    (
+        bench.compile_with_opt(hetpart_inspire::OptLevel::Full),
+        bench.instance(n),
+    )
+}
+
+/// Suite-wide static shrink: `1 - geomean(optimized/unoptimized)` over
+/// every kernel's static instruction count.
+fn static_reduction() -> f64 {
+    use hetpart_inspire::{compile_with_opt, OptLevel};
+    let benches = hetpart_suite::all();
+    let log_sum: f64 = benches
+        .iter()
+        .map(|b| {
+            let unopt = compile_with_opt(b.source, OptLevel::None).unwrap();
+            let opt = compile_with_opt(b.source, OptLevel::Full).unwrap();
+            (opt.bytecode.num_instrs() as f64 / unopt.bytecode.num_instrs() as f64).ln()
+        })
+        .sum();
+    1.0 - (log_sum / benches.len() as f64).exp()
 }
 
 fn run_range_rows(quick: bool) -> Vec<RunRangeRow> {
@@ -125,16 +173,22 @@ fn run_range_rows(quick: bool) -> Vec<RunRangeRow> {
     let mut rows = Vec::new();
     for &(name, n) in picks {
         let (kernel, inst) = bench_instance(name, n);
+        let bench = hetpart_suite::by_name(name).expect("suite kernel exists");
+        let unopt = bench.compile_with_opt(hetpart_inspire::OptLevel::None);
         let extent = inst.nd.split_extent();
         let mut vm = Vm::new();
         let mut bufs = inst.bufs.clone();
         let scalar_s = time_best(reps, || {
-            vm.run_range_scalar(&kernel.bytecode, &inst.nd, 0..extent, &inst.args, &mut bufs)
+            vm.run_range_scalar(&unopt.bytecode, &inst.nd, 0..extent, &inst.args, &mut bufs)
                 .unwrap();
         });
         vm.divergence_mode = DivergenceMode::Reconverge;
         let lanes_s = time_best(reps, || {
             vm.run_range_lanes(&kernel.bytecode, &inst.nd, 0..extent, &inst.args, &mut bufs)
+                .unwrap();
+        });
+        let unopt_lanes_s = time_best(reps, || {
+            vm.run_range_lanes(&unopt.bytecode, &inst.nd, 0..extent, &inst.args, &mut bufs)
                 .unwrap();
         });
         vm.divergence_mode = DivergenceMode::Replay;
@@ -148,8 +202,12 @@ fn run_range_rows(quick: bool) -> Vec<RunRangeRow> {
             scalar_s,
             lanes_s,
             replay_s,
+            unopt_lanes_s,
             speedup: scalar_s / lanes_s,
             speedup_vs_replay: replay_s / lanes_s,
+            speedup_vs_unopt: unopt_lanes_s / lanes_s,
+            static_instrs_unopt: unopt.bytecode.num_instrs(),
+            static_instrs_opt: kernel.bytecode.num_instrs(),
         });
     }
     rows
@@ -280,10 +338,35 @@ fn oracle_row(quick: bool) -> OracleRow {
             step_tenths: 1,
         })
         .collect();
+    // The PR-1 baseline ran on unoptimized bytecode — compile a second
+    // set of kernels at `OptLevel::None` for its timing.
+    let compiled_unopt: Vec<(hetpart_inspire::CompiledKernel, Instance)> = picks
+        .iter()
+        .map(|&(name, n)| {
+            let bench = hetpart_suite::by_name(name).expect("suite kernel exists");
+            (
+                bench.compile_with_opt(hetpart_inspire::OptLevel::None),
+                bench.instance(n),
+            )
+        })
+        .collect();
+    let launches_unopt: Vec<Launch> = compiled_unopt
+        .iter()
+        .map(|(k, inst)| Launch::new(k, inst.nd.clone(), inst.args.clone()))
+        .collect();
+    let jobs_unopt: Vec<SweepJob> = launches_unopt
+        .iter()
+        .zip(&compiled_unopt)
+        .map(|(launch, (_, inst))| SweepJob {
+            launch,
+            bufs: &inst.bufs,
+            step_tenths: 1,
+        })
+        .collect();
 
     let reps = if quick { 2 } else { 3 };
     let scalar_engine_s = time_best(reps, || {
-        let _ = scalar_engine_oracle(&ex, &jobs);
+        let _ = scalar_engine_oracle(&ex, &jobs_unopt);
     });
     let lanes_full_s = time_best(reps, || {
         sweep_many(&ex, &jobs).unwrap();
@@ -293,7 +376,10 @@ fn oracle_row(quick: bool) -> OracleRow {
     });
 
     // Refuse to record numbers from a broken comparison: all three
-    // oracles must agree on every argmin.
+    // oracles must agree on every argmin. The parity check runs the
+    // scalar-engine oracle on the *same* (optimized) bytecode as the
+    // lane oracles so it isolates engine/pruning drift — the unoptimized
+    // set above is only the timing baseline.
     let reference = scalar_engine_oracle(&ex, &jobs);
     let full = sweep_many(&ex, &jobs).unwrap();
     let pruned = sweep_many_mode(&ex, &jobs, SweepMode::Pruned).unwrap();
@@ -323,19 +409,32 @@ fn main() {
 
     let run_range = run_range_rows(quick);
     println!(
-        "{:<14} {:>10} {:>12} {:>12} {:>12} {:>9} {:>9}",
-        "kernel", "items", "scalar", "replay", "reconverge", "speedup", "vs replay"
+        "{:<14} {:>10} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9} {:>11}",
+        "kernel",
+        "items",
+        "scalar",
+        "replay",
+        "opt-off",
+        "reconverge",
+        "speedup",
+        "vs replay",
+        "vs opt-off",
+        "instrs"
     );
     for r in &run_range {
         println!(
-            "{:<14} {:>10} {:>10.3}ms {:>10.3}ms {:>10.3}ms {:>8.2}x {:>8.2}x",
+            "{:<14} {:>10} {:>10.3}ms {:>10.3}ms {:>10.3}ms {:>10.3}ms {:>8.2}x {:>8.2}x {:>8.2}x {:>5} -> {:>3}",
             r.kernel,
             r.items,
             r.scalar_s * 1e3,
             r.replay_s * 1e3,
+            r.unopt_lanes_s * 1e3,
             r.lanes_s * 1e3,
             r.speedup,
             r.speedup_vs_replay,
+            r.speedup_vs_unopt,
+            r.static_instrs_unopt,
+            r.static_instrs_opt,
         );
     }
 
@@ -353,10 +452,25 @@ fn main() {
         oracle.speedup_pruned,
     );
 
+    let opt_geomean_speedup = (run_range
+        .iter()
+        .map(|r| r.speedup_vs_unopt.ln())
+        .sum::<f64>()
+        / run_range.len() as f64)
+        .exp();
+    let opt_static_reduction = static_reduction();
+    println!(
+        "\noptimizer A/B: geomean lane speedup {opt_geomean_speedup:.2}x, \
+         suite static shrink {:.1}%",
+        opt_static_reduction * 100.0
+    );
+
     let targets = Targets {
         oracle_speedup: 3.0,
         mandelbrot_speedup: 3.0,
         blackscholes_speedup: 2.5,
+        opt_geomean_speedup: 1.0,
+        opt_static_reduction: 0.15,
     };
     let kernel_speedup = |name: &str| {
         run_range
@@ -366,13 +480,17 @@ fn main() {
     };
     let target_met = oracle.speedup_pruned >= targets.oracle_speedup
         && kernel_speedup("mandelbrot") >= targets.mandelbrot_speedup
-        && kernel_speedup("blackscholes") >= targets.blackscholes_speedup;
+        && kernel_speedup("blackscholes") >= targets.blackscholes_speedup
+        && opt_geomean_speedup >= targets.opt_geomean_speedup
+        && opt_static_reduction >= targets.opt_static_reduction;
     let report = Report {
         bench: "vm_batch".to_string(),
         lane_width: hetpart_inspire::vm::LANES,
         quick,
         run_range,
         oracle,
+        opt_geomean_speedup,
+        opt_static_reduction,
         targets,
         target_met,
     };

@@ -1,5 +1,6 @@
 //! Harness configuration shared by training and evaluation.
 
+use hetpart_inspire::OptLevel;
 use hetpart_ml::{MlpConfig, ModelConfig};
 use hetpart_oclsim::{machines, Machine};
 use hetpart_runtime::SweepMode;
@@ -23,6 +24,10 @@ pub struct HarnessConfig {
     /// Problem sizes used per benchmark (evenly spaced picks from the
     /// ladder; `usize::MAX` = the full ladder).
     pub sizes_per_benchmark: usize,
+    /// Bytecode optimization level used when compiling kernels. Shapes
+    /// the bytecode (and therefore simulated times and oracle labels), so
+    /// it participates in [`HarnessConfig::oracle_fingerprint`].
+    pub opt_level: OptLevel,
     /// The prediction model.
     pub model: ModelConfig,
     /// Global seed.
@@ -39,6 +44,7 @@ impl HarnessConfig {
             sweep_mode: SweepMode::Full,
             sample_items: 128,
             sizes_per_benchmark: usize::MAX,
+            opt_level: OptLevel::from_env(),
             model: ModelConfig::Mlp(MlpConfig::default()),
             seed: 0xC0FFEE,
         }
@@ -53,6 +59,7 @@ impl HarnessConfig {
             sweep_mode: SweepMode::Full,
             sample_items: 48,
             sizes_per_benchmark: 3,
+            opt_level: OptLevel::from_env(),
             model: ModelConfig::Mlp(MlpConfig {
                 hidden: vec![16],
                 epochs: 120,
@@ -71,11 +78,16 @@ impl HarnessConfig {
     /// two (program, size) records are only comparable when these agree,
     /// so shard stores refuse to resume or merge across different
     /// fingerprints. The model, seed, machine list and size selection
-    /// don't change what a given record *contains* and are excluded.
+    /// don't change what a given record *contains* and are excluded; the
+    /// opt level is included because it shapes the compiled bytecode and
+    /// through it every simulated time and oracle label.
     pub fn oracle_fingerprint(&self) -> String {
         format!(
-            "step_tenths={};sample_items={};sweep_mode={:?}",
-            self.step_tenths, self.sample_items, self.sweep_mode
+            "step_tenths={};sample_items={};sweep_mode={:?};opt={}",
+            self.step_tenths,
+            self.sample_items,
+            self.sweep_mode,
+            self.opt_level.tag()
         )
     }
 }

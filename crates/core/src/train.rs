@@ -226,7 +226,10 @@ fn collect_into(
 
     // Compiled-kernel cache: one compile per benchmark, shared by every
     // problem size's launch below.
-    let kernels: Vec<CompiledKernel> = benchmarks.par_iter().map(|bench| bench.compile()).collect();
+    let kernels: Vec<CompiledKernel> = benchmarks
+        .par_iter()
+        .map(|bench| bench.compile_with_opt(cfg.opt_level))
+        .collect();
 
     let work: Vec<(usize, usize)> = benchmarks
         .iter()

@@ -137,6 +137,16 @@ pub enum Instr {
         b: u16,
         unsigned: bool,
     },
+    /// Fused `const + op` immediate form: `dst = a <op> imm`. Produced by
+    /// the optimizer's superinstruction fusion; codegen never emits it.
+    /// `imm` is already canonical 32-bit.
+    IBinImm {
+        op: IBinOp,
+        dst: u16,
+        a: u16,
+        imm: i64,
+        unsigned: bool,
+    },
     FBin {
         op: FBinOp,
         dst: u16,
@@ -262,6 +272,7 @@ impl Instr {
             | GlobalId { .. }
             | GlobalSize { .. } => OpClass::Other,
             IBin { .. }
+            | IBinImm { .. }
             | NegI { .. }
             | NotI { .. }
             | BitNotI { .. }
@@ -289,7 +300,24 @@ impl Instr {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Terminator {
     Jump(u32),
-    Branch { cond: u16, then: u32, els: u32 },
+    Branch {
+        cond: u16,
+        then: u32,
+        els: u32,
+    },
+    /// Fused `cmp + branch`: branch on `a <op> b` without materializing
+    /// the boolean in a register. Produced by the optimizer when the
+    /// compare feeding a branch is otherwise dead; codegen never emits it.
+    BranchCmp {
+        op: CmpOp,
+        /// Operands live in the F register file (a [`Instr::CmpF`] was
+        /// fused) rather than the I file.
+        float: bool,
+        a: u16,
+        b: u16,
+        then: u32,
+        els: u32,
+    },
     Ret,
 }
 
@@ -319,6 +347,44 @@ impl Block {
     /// statistics comparable bit for bit.
     pub fn step_cost(&self) -> u64 {
         self.instrs.len() as u64 + 1
+    }
+
+    /// Rebuild [`Block::histo`] from the current instruction list and
+    /// terminator. Codegen and every optimizer pass go through this one
+    /// function, so the per-block counts that the VM's dynamic statistics
+    /// rely on can never drift from the instructions actually executed.
+    pub fn recompute_histo(&mut self, n_params: usize) {
+        let mut classes = [0u32; N_OP_CLASSES];
+        let mut buf_reads = vec![0u32; n_params];
+        let mut buf_writes = vec![0u32; n_params];
+        for i in &self.instrs {
+            classes[i.class() as usize] += 1;
+            match i {
+                Instr::LoadF { buf, .. } | Instr::LoadI { buf, .. } => {
+                    buf_reads[*buf as usize] += 1
+                }
+                Instr::StoreF { buf, .. } | Instr::StoreI { buf, .. } => {
+                    buf_writes[*buf as usize] += 1
+                }
+                _ => {}
+            }
+        }
+        match self.term {
+            Terminator::Branch { .. } => classes[OpClass::Branch as usize] += 1,
+            // The fused form still performs both the comparison and the
+            // branch, so dynamic operation counts are invariant under
+            // cmp+branch fusion.
+            Terminator::BranchCmp { .. } => {
+                classes[OpClass::Branch as usize] += 1;
+                classes[OpClass::Cmp as usize] += 1;
+            }
+            Terminator::Jump(_) | Terminator::Ret => {}
+        }
+        self.histo = OpHistogram {
+            classes,
+            buf_reads,
+            buf_writes,
+        };
     }
 }
 
@@ -353,14 +419,23 @@ impl Function {
     }
 }
 
-/// Compile a type-checked kernel to bytecode.
+/// Compile a type-checked kernel to bytecode at the optimization level
+/// selected by the environment (`INSPIRE_OPT=0` disables the optimizer).
 pub fn compile(k: &Kernel) -> Result<Function, CompileError> {
+    compile_with_opt(k, crate::opt::OptLevel::from_env())
+}
+
+/// Compile a type-checked kernel to bytecode at an explicit optimization
+/// level. [`OptLevel::None`](crate::opt::OptLevel::None) yields the naive
+/// per-statement codegen output untouched — the reference the differential
+/// suite compares optimized execution against.
+pub fn compile_with_opt(k: &Kernel, level: crate::opt::OptLevel) -> Result<Function, CompileError> {
     let mut c = Compiler::new(k)?;
     for s in &k.body {
         c.stmt(s)?;
     }
     c.terminate(Terminator::Ret);
-    c.finish(k)
+    c.finish(k, level)
 }
 
 const MAX_REGS: u32 = u16::MAX as u32;
@@ -1086,44 +1161,40 @@ impl<'a> Compiler<'a> {
         }
     }
 
-    fn finish(self, k: &Kernel) -> Result<Function, CompileError> {
+    fn finish(self, k: &Kernel, level: crate::opt::OptLevel) -> Result<Function, CompileError> {
         let n_params = k.params.len();
-        let blocks = self
+        let mut blocks = self
             .blocks
             .into_iter()
             .map(|b| {
-                let mut classes = [0u32; N_OP_CLASSES];
-                let mut buf_reads = vec![0u32; n_params];
-                let mut buf_writes = vec![0u32; n_params];
-                for i in &b.instrs {
-                    classes[i.class() as usize] += 1;
-                    match i {
-                        Instr::LoadF { buf, .. } | Instr::LoadI { buf, .. } => {
-                            buf_reads[*buf as usize] += 1
-                        }
-                        Instr::StoreF { buf, .. } | Instr::StoreI { buf, .. } => {
-                            buf_writes[*buf as usize] += 1
-                        }
-                        _ => {}
-                    }
-                }
-                let term = b.term.unwrap_or(Terminator::Ret);
-                if matches!(term, Terminator::Branch { .. }) {
-                    classes[OpClass::Branch as usize] += 1;
-                }
-                Block {
+                let mut block = Block {
                     instrs: b.instrs,
-                    term,
+                    term: b.term.unwrap_or(Terminator::Ret),
                     histo: OpHistogram {
-                        classes,
-                        buf_reads,
-                        buf_writes,
+                        classes: [0; N_OP_CLASSES],
+                        buf_reads: Vec::new(),
+                        buf_writes: Vec::new(),
                     },
-                }
+                };
+                block.recompute_histo(n_params);
+                block
             })
             .collect::<Vec<Block>>();
-        let n_iregs = self.max_i.min(MAX_REGS) as u16;
-        let n_fregs = self.max_f.min(MAX_REGS) as u16;
+        let mut n_iregs = self.max_i.min(MAX_REGS) as u16;
+        let mut n_fregs = self.max_f.min(MAX_REGS) as u16;
+        if level.enabled() {
+            blocks = crate::opt::optimize(&k.name, blocks, &self.params, n_params, level);
+            // Trailing registers the optimized code no longer touches need
+            // no register-file slots — but parameter registers must stay
+            // allocated even when unused: argument binding writes them
+            // unconditionally.
+            let (ni, nf) = crate::opt::reg_span(&blocks, &self.params);
+            n_iregs = ni.min(n_iregs);
+            n_fregs = nf.min(n_fregs);
+        }
+        // Re-run the CFG analyses on the final block list so SIMT
+        // reconvergence (post-dominators) and replay (live-ins) see the
+        // optimized CFG.
         let cfg = crate::cfg::CfgInfo::build(&blocks, n_iregs, n_fregs);
         Ok(Function {
             name: k.name.clone(),
@@ -1143,9 +1214,16 @@ mod tests {
     use crate::parser::parse;
     use crate::sema::analyze;
 
+    /// These tests assert the shape of the naive codegen output, so they
+    /// compile with the optimizer off (the opt pipeline has its own
+    /// tests in [`crate::opt`]).
     fn compile_src(src: &str) -> Function {
         let prog = parse(&lex(src).unwrap()).unwrap();
-        compile(&analyze(&prog.kernels[0]).unwrap()).unwrap()
+        compile_with_opt(
+            &analyze(&prog.kernels[0]).unwrap(),
+            crate::opt::OptLevel::None,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -1192,7 +1270,7 @@ mod tests {
         for b in &f.blocks {
             match b.term {
                 Terminator::Jump(t) => assert!((t as usize) < f.blocks.len()),
-                Terminator::Branch { then, els, .. } => {
+                Terminator::Branch { then, els, .. } | Terminator::BranchCmp { then, els, .. } => {
                     assert!((then as usize) < f.blocks.len());
                     assert!((els as usize) < f.blocks.len());
                 }
@@ -1263,7 +1341,7 @@ mod tests {
             }
             match f.blocks[b as usize].term {
                 Terminator::Jump(t) => stack.push(t),
-                Terminator::Branch { then, els, .. } => {
+                Terminator::Branch { then, els, .. } | Terminator::BranchCmp { then, els, .. } => {
                     stack.push(then);
                     stack.push(els);
                 }

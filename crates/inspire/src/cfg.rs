@@ -70,7 +70,7 @@ impl CfgInfo {
         for (b, block) in blocks.iter().enumerate() {
             match block.term {
                 Terminator::Jump(t) => succs[b].push(t),
-                Terminator::Branch { then, els, .. } => {
+                Terminator::Branch { then, els, .. } | Terminator::BranchCmp { then, els, .. } => {
                     succs[b].push(then);
                     if els != then {
                         succs[b].push(els);
@@ -219,16 +219,19 @@ fn intersect(idom: &[u32], rpo_num: &[usize], mut a: u32, mut b: u32) -> u32 {
 
 /// Dense bitset over register indices.
 #[derive(Clone, PartialEq)]
-struct RegSet(Vec<u64>);
+pub(crate) struct RegSet(Vec<u64>);
 
 impl RegSet {
-    fn new(n_regs: u16) -> Self {
-        Self(vec![0; (n_regs as usize).div_ceil(64)])
+    pub(crate) fn new(n_regs: u16) -> Self {
+        Self(vec![0; (n_regs as usize).div_ceil(64).max(1)])
     }
-    fn set(&mut self, r: u16) {
+    pub(crate) fn set(&mut self, r: u16) {
         self.0[r as usize / 64] |= 1 << (r % 64);
     }
-    fn contains(&self, r: u16) -> bool {
+    pub(crate) fn clear(&mut self, r: u16) {
+        self.0[r as usize / 64] &= !(1 << (r % 64));
+    }
+    pub(crate) fn contains(&self, r: u16) -> bool {
         self.0[r as usize / 64] & (1 << (r % 64)) != 0
     }
     /// `self |= other & !mask`; returns whether `self` changed.
@@ -256,7 +259,7 @@ impl RegSet {
 }
 
 /// Invoke `read_i` / `read_f` for every register one instruction reads.
-fn reg_uses(ins: &Instr, mut read_i: impl FnMut(u16), mut read_f: impl FnMut(u16)) {
+pub(crate) fn reg_uses(ins: &Instr, mut read_i: impl FnMut(u16), mut read_f: impl FnMut(u16)) {
     use Instr::*;
     match *ins {
         ConstI { .. } | ConstF { .. } | GlobalId { .. } | GlobalSize { .. } => {}
@@ -266,6 +269,7 @@ fn reg_uses(ins: &Instr, mut read_i: impl FnMut(u16), mut read_f: impl FnMut(u16
             read_i(a);
             read_i(b);
         }
+        IBinImm { a, .. } => read_i(a),
         FBin { a, b, .. } | CmpF { a, b, .. } | Math2 { a, b, .. } => {
             read_f(a);
             read_f(b);
@@ -288,12 +292,13 @@ fn reg_uses(ins: &Instr, mut read_i: impl FnMut(u16), mut read_f: impl FnMut(u16
 }
 
 /// The register one instruction writes, if any: `(is_float, reg)`.
-fn reg_def(ins: &Instr) -> Option<(bool, u16)> {
+pub(crate) fn reg_def(ins: &Instr) -> Option<(bool, u16)> {
     use Instr::*;
     match *ins {
         ConstI { dst, .. }
         | MovI { dst, .. }
         | IBin { dst, .. }
+        | IBinImm { dst, .. }
         | CmpI { dst, .. }
         | CmpF { dst, .. }
         | NegI { dst, .. }
@@ -316,6 +321,27 @@ fn reg_def(ins: &Instr) -> Option<(bool, u16)> {
         | Math2 { dst, .. }
         | LoadF { dst, .. } => Some((true, dst)),
         StoreF { .. } | StoreI { .. } => None,
+    }
+}
+
+/// Invoke `read_i` / `read_f` for every register a terminator reads.
+pub(crate) fn term_uses(
+    term: &Terminator,
+    mut read_i: impl FnMut(u16),
+    mut read_f: impl FnMut(u16),
+) {
+    match *term {
+        Terminator::Jump(_) | Terminator::Ret => {}
+        Terminator::Branch { cond, .. } => read_i(cond),
+        Terminator::BranchCmp { float, a, b, .. } => {
+            if float {
+                read_f(a);
+                read_f(b);
+            } else {
+                read_i(a);
+                read_i(b);
+            }
+        }
     }
 }
 
@@ -359,11 +385,19 @@ fn liveness(
                 None => {}
             }
         }
-        if let Terminator::Branch { cond, .. } = block.term {
-            if !ki.contains(cond) {
-                gi.set(cond);
-            }
-        }
+        term_uses(
+            &block.term,
+            |r| {
+                if !ki.contains(r) {
+                    gi.set(r)
+                }
+            },
+            |r| {
+                if !kf.contains(r) {
+                    gf.set(r)
+                }
+            },
+        );
         gen_i.push(gi);
         gen_f.push(gf);
         kill_i.push(ki);
@@ -394,10 +428,15 @@ fn liveness(
 mod tests {
     use super::*;
     use crate::bytecode::Function;
-    use crate::compile;
+    use crate::opt::OptLevel;
 
+    /// These tests assert analyses over the naive codegen CFG shapes
+    /// (diamond arms, join blocks), which the optimizer collapses — so
+    /// compile with the pipeline off.
     fn compile_fn(src: &str) -> Function {
-        compile(src).unwrap().bytecode
+        crate::compile_with_opt(src, OptLevel::None)
+            .unwrap()
+            .bytecode
     }
 
     /// Walk the scalar semantics: every branch block's ipdom must be a

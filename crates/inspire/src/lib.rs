@@ -53,6 +53,7 @@ pub mod error;
 pub mod features;
 pub mod ir;
 pub mod lexer;
+pub mod opt;
 pub mod parser;
 pub mod pretty;
 pub mod sema;
@@ -65,6 +66,7 @@ pub use bytecode::Function;
 pub use error::{CompileError, VmError};
 pub use features::StaticFeatures;
 pub use ir::{Kernel, NdRange, ScalarType};
+pub use opt::OptLevel;
 
 /// A fully compiled kernel: typed IR plus every analysis product the
 /// runtime and the machine-learning pipeline consume.
@@ -81,9 +83,13 @@ pub struct CompiledKernel {
     /// Executable register bytecode.
     pub bytecode: Function,
     /// Cheap stable identity: FNV-1a over the kernel name and a canonical
-    /// rendering of the typed IR. Two kernels compiled from identical
-    /// source share a fingerprint; the deployment service keys its
-    /// prediction cache on it.
+    /// rendering of the **optimized bytecode** (params + blocks). Two
+    /// kernels that compile to identical code share a fingerprint — in
+    /// particular, source-level differences the optimizer erases (dead
+    /// statements after an early `return`, constant spelling) collapse to
+    /// one fingerprint, so the deployment service's prediction cache sees
+    /// one `PlanKey` for them. Compiling at a different [`OptLevel`]
+    /// changes the bytecode and therefore the fingerprint.
     pub fingerprint: u64,
 }
 
@@ -102,7 +108,12 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// Returns a [`CompileError`] describing the first problem found, with a
 /// byte offset into `src`.
 pub fn compile(src: &str) -> Result<CompiledKernel, CompileError> {
-    let kernels = compile_all(src)?;
+    compile_with_opt(src, OptLevel::from_env())
+}
+
+/// [`compile`] at an explicit optimization level.
+pub fn compile_with_opt(src: &str, level: OptLevel) -> Result<CompiledKernel, CompileError> {
+    let kernels = compile_all_with_opt(src, level)?;
     match kernels.len() {
         1 => Ok(kernels.into_iter().next().expect("len checked")),
         n => Err(CompileError::other(format!(
@@ -113,6 +124,14 @@ pub fn compile(src: &str) -> Result<CompiledKernel, CompileError> {
 
 /// Compile kernel source text containing one or more `kernel` functions.
 pub fn compile_all(src: &str) -> Result<Vec<CompiledKernel>, CompileError> {
+    compile_all_with_opt(src, OptLevel::from_env())
+}
+
+/// [`compile_all`] at an explicit optimization level.
+pub fn compile_all_with_opt(
+    src: &str,
+    level: OptLevel,
+) -> Result<Vec<CompiledKernel>, CompileError> {
     let tokens = lexer::lex(src)?;
     let program = parser::parse(&tokens)?;
     program
@@ -122,8 +141,14 @@ pub fn compile_all(src: &str) -> Result<Vec<CompiledKernel>, CompileError> {
             let ir = sema::analyze(&k)?;
             let static_features = features::extract(&ir);
             let access = access::analyze(&ir);
-            let bytecode = bytecode::compile(&ir)?;
-            let fingerprint = fnv1a(format!("{}\u{0}{:?}", ir.name, ir).as_bytes());
+            let bytecode = bytecode::compile_with_opt(&ir, level)?;
+            let fingerprint = fnv1a(
+                format!(
+                    "{}\u{0}{:?}\u{0}{:?}",
+                    bytecode.name, bytecode.params, bytecode.blocks
+                )
+                .as_bytes(),
+            );
             Ok(CompiledKernel {
                 name: ir.name.clone(),
                 ir,
@@ -164,5 +189,43 @@ mod tests {
             compile(a).unwrap().fingerprint,
             compile(b).unwrap().fingerprint
         );
+    }
+
+    #[test]
+    fn dead_code_after_return_does_not_change_the_fingerprint() {
+        // Statements after `return` compile into orphan blocks that the
+        // optimizer eliminates, so these two semantically identical
+        // kernels must share a fingerprint (and therefore a `PlanKey`).
+        let clean = "kernel void k(global float* o, int n) {
+            int i = get_global_id(0);
+            if (i >= n) { return; }
+            o[i] = 1.0;
+        }";
+        let with_dead = "kernel void k(global float* o, int n) {
+            int i = get_global_id(0);
+            if (i >= n) { return; o[i] = 3.0; o[i] = 4.0; }
+            o[i] = 1.0;
+        }";
+        let a = compile_with_opt(clean, OptLevel::Full).unwrap();
+        let b = compile_with_opt(with_dead, OptLevel::Full).unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.bytecode.blocks, b.bytecode.blocks);
+        // Unoptimized, the dead statements inflate the code and split the
+        // fingerprints — the regression this guards against.
+        let an = compile_with_opt(clean, OptLevel::None).unwrap();
+        let bn = compile_with_opt(with_dead, OptLevel::None).unwrap();
+        assert_ne!(an.fingerprint, bn.fingerprint);
+    }
+
+    #[test]
+    fn opt_level_changes_the_fingerprint() {
+        let src = "kernel void k(global float* o, int n) {
+            int i = get_global_id(0);
+            if (i < n) { o[i] = 2.0 * 3.0; }
+        }";
+        let full = compile_with_opt(src, OptLevel::Full).unwrap();
+        let none = compile_with_opt(src, OptLevel::None).unwrap();
+        assert_ne!(full.fingerprint, none.fingerprint);
+        assert!(full.bytecode.num_instrs() < none.bytecode.num_instrs());
     }
 }

@@ -1,0 +1,190 @@
+//! Constant folding: evaluate instructions whose operands are known
+//! constants within a block, and fold branches on constant conditions.
+//!
+//! Folding reuses the VM's own arithmetic helpers ([`int_bin`], [`cmp`],
+//! the same `f64` operators), so a folded result is bit-identical to what
+//! the instruction would have produced at run time. Two classes are never
+//! folded:
+//!
+//! - `Div`/`Rem` whose divisor is the constant zero — they fault at run
+//!   time, and the fault must survive ([`int_bin`] returning `Err` makes
+//!   this automatic).
+//! - Transcendental intrinsics (`Math1`/`Math2`) — they are rare on
+//!   constants and keeping them preserves the transcendental histogram
+//!   class for the cost features.
+
+use super::Ctx;
+use crate::bytecode::{Block, FBinOp, Instr, Terminator};
+use crate::cfg::reg_def;
+use crate::vm::{cmp, int_bin, wrap32};
+use std::collections::HashMap;
+
+pub(super) fn run(mut blocks: Vec<Block>, _ctx: &Ctx) -> Vec<Block> {
+    for b in &mut blocks {
+        let mut ci: HashMap<u16, i64> = HashMap::new();
+        let mut cf: HashMap<u16, f64> = HashMap::new();
+        for ins in &mut b.instrs {
+            if let Some(folded) = fold(ins, &ci, &cf) {
+                *ins = folded;
+            }
+            match *ins {
+                Instr::ConstI { dst, v } => {
+                    ci.insert(dst, v);
+                }
+                Instr::ConstF { dst, v } => {
+                    cf.insert(dst, v);
+                }
+                _ => match reg_def(ins) {
+                    Some((true, d)) => {
+                        cf.remove(&d);
+                    }
+                    Some((false, d)) => {
+                        ci.remove(&d);
+                    }
+                    None => {}
+                },
+            }
+        }
+        // Branches on constants become jumps; simplify-cfg then drops the
+        // untaken side if it became unreachable.
+        match b.term {
+            Terminator::Branch { cond, then, els } => {
+                if let Some(&v) = ci.get(&cond) {
+                    b.term = Terminator::Jump(if v != 0 { then } else { els });
+                }
+            }
+            Terminator::BranchCmp {
+                op,
+                float,
+                a,
+                b: rb,
+                then,
+                els,
+            } => {
+                let taken = if float {
+                    match (cf.get(&a), cf.get(&rb)) {
+                        (Some(x), Some(y)) => Some(cmp(op, x, y)),
+                        _ => None,
+                    }
+                } else {
+                    match (ci.get(&a), ci.get(&rb)) {
+                        (Some(x), Some(y)) => Some(cmp(op, x, y)),
+                        _ => None,
+                    }
+                };
+                if let Some(t) = taken {
+                    b.term = Terminator::Jump(if t { then } else { els });
+                }
+            }
+            Terminator::Jump(_) | Terminator::Ret => {}
+        }
+    }
+    blocks
+}
+
+/// The constant an instruction evaluates to, if all operands are known.
+fn fold(ins: &Instr, ci: &HashMap<u16, i64>, cf: &HashMap<u16, f64>) -> Option<Instr> {
+    use Instr::*;
+    Some(match *ins {
+        MovI { dst, src } => ConstI {
+            dst,
+            v: *ci.get(&src)?,
+        },
+        MovF { dst, src } => ConstF {
+            dst,
+            v: *cf.get(&src)?,
+        },
+        IBin {
+            op,
+            dst,
+            a,
+            b,
+            unsigned,
+        } => ConstI {
+            dst,
+            v: int_bin(op, *ci.get(&a)?, *ci.get(&b)?, unsigned).ok()?,
+        },
+        IBinImm {
+            op,
+            dst,
+            a,
+            imm,
+            unsigned,
+        } => ConstI {
+            dst,
+            v: int_bin(op, *ci.get(&a)?, imm, unsigned).ok()?,
+        },
+        FBin { op, dst, a, b } => {
+            let (x, y) = (*cf.get(&a)?, *cf.get(&b)?);
+            ConstF {
+                dst,
+                v: match op {
+                    FBinOp::Add => x + y,
+                    FBinOp::Sub => x - y,
+                    FBinOp::Mul => x * y,
+                    FBinOp::Div => x / y,
+                },
+            }
+        }
+        CmpI { op, dst, a, b } => ConstI {
+            dst,
+            v: i64::from(cmp(op, ci.get(&a)?, ci.get(&b)?)),
+        },
+        CmpF { op, dst, a, b } => ConstI {
+            dst,
+            v: i64::from(cmp(op, cf.get(&a)?, cf.get(&b)?)),
+        },
+        NegI { dst, a, unsigned } => ConstI {
+            dst,
+            v: wrap32(0i64.wrapping_sub(*ci.get(&a)?), unsigned),
+        },
+        NegF { dst, a } => ConstF {
+            dst,
+            v: -*cf.get(&a)?,
+        },
+        NotI { dst, a } => ConstI {
+            dst,
+            v: i64::from(*ci.get(&a)? == 0),
+        },
+        BitNotI { dst, a, unsigned } => ConstI {
+            dst,
+            v: wrap32(!*ci.get(&a)?, unsigned),
+        },
+        CastIF { dst, a } => ConstF {
+            dst,
+            v: *ci.get(&a)? as f64,
+        },
+        CastFI { dst, a, unsigned } => {
+            let x = *cf.get(&a)?;
+            ConstI {
+                dst,
+                v: if unsigned {
+                    i64::from(x as u32)
+                } else {
+                    i64::from(x as i32)
+                },
+            }
+        }
+        CastII {
+            dst,
+            a,
+            to_unsigned,
+        } => ConstI {
+            dst,
+            v: wrap32(*ci.get(&a)?, to_unsigned),
+        },
+        IMin { dst, a, b } => ConstI {
+            dst,
+            v: (*ci.get(&a)?).min(*ci.get(&b)?),
+        },
+        IMax { dst, a, b } => ConstI {
+            dst,
+            v: (*ci.get(&a)?).max(*ci.get(&b)?),
+        },
+        IAbs { dst, a } => ConstI {
+            dst,
+            v: wrap32(ci.get(&a)?.wrapping_abs(), false),
+        },
+        _ => return None,
+    })
+}

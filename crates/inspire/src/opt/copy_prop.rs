@@ -1,0 +1,126 @@
+//! Copy propagation over `MovI`/`MovF`, plus move coalescing.
+//!
+//! The forward pass rewrites uses of a copied register to the copy source
+//! within each block (codegen's variable reads all go through moves into
+//! temporaries, so this kills most of them — DCE then removes the
+//! now-dead moves). Self-moves are dropped outright.
+//!
+//! The coalescing pass catches the opposite idiom codegen produces for
+//! assignments: `t = op …; v = mov t` where the temporary `t` dies at the
+//! move. The def is redirected to write `v` directly and the move is
+//! deleted.
+
+use super::{map_term_uses, map_uses, reg_span, set_def, Ctx};
+use crate::bytecode::{Block, Instr};
+use crate::cfg::{reg_def, reg_uses, term_uses, CfgInfo};
+use std::cell::Cell;
+use std::collections::HashMap;
+
+pub(super) fn run(mut blocks: Vec<Block>, ctx: &Ctx) -> Vec<Block> {
+    for b in &mut blocks {
+        let mut mi: HashMap<u16, u16> = HashMap::new();
+        let mut mf: HashMap<u16, u16> = HashMap::new();
+        let mut out = Vec::with_capacity(b.instrs.len());
+        for mut ins in std::mem::take(&mut b.instrs) {
+            map_uses(
+                &mut ins,
+                |r| *mi.get(&r).unwrap_or(&r),
+                |r| *mf.get(&r).unwrap_or(&r),
+            );
+            // A def invalidates every copy relation involving the
+            // register, in both directions.
+            if let Some((is_f, d)) = reg_def(&ins) {
+                let m = if is_f { &mut mf } else { &mut mi };
+                m.remove(&d);
+                m.retain(|_, &mut src| src != d);
+            }
+            match ins {
+                Instr::MovI { dst, src } | Instr::MovF { dst, src } if dst == src => continue,
+                Instr::MovI { dst, src } => {
+                    mi.insert(dst, src);
+                }
+                Instr::MovF { dst, src } => {
+                    mf.insert(dst, src);
+                }
+                _ => {}
+            }
+            out.push(ins);
+        }
+        b.instrs = out;
+        map_term_uses(
+            &mut b.term,
+            |r| *mi.get(&r).unwrap_or(&r),
+            |r| *mf.get(&r).unwrap_or(&r),
+        );
+    }
+    coalesce(blocks, ctx)
+}
+
+/// Rewrite `t = op …; v = mov t` into `v = op …` when `t` dies at the
+/// move: not read later in the block, not read by the terminator, and not
+/// live into any successor.
+fn coalesce(mut blocks: Vec<Block>, ctx: &Ctx) -> Vec<Block> {
+    let (ni, nf) = reg_span(&blocks, ctx.params);
+    let cfg = CfgInfo::build(&blocks, ni, nf);
+    for (bi, b) in blocks.iter_mut().enumerate() {
+        // Live-out of the block = union of successor live-ins.
+        let mut live_i = vec![false; ni as usize];
+        let mut live_f = vec![false; nf as usize];
+        for &s in &cfg.succs[bi] {
+            for &r in &cfg.live_in_i[s as usize] {
+                live_i[r as usize] = true;
+            }
+            for &r in &cfg.live_in_f[s as usize] {
+                live_f[r as usize] = true;
+            }
+        }
+        let mut k = 0;
+        while k + 1 < b.instrs.len() {
+            let pair = match (&b.instrs[k], &b.instrs[k + 1]) {
+                (def, &Instr::MovI { dst, src })
+                    if dst != src && reg_def(def) == Some((false, src)) =>
+                {
+                    Some((false, src, dst))
+                }
+                (def, &Instr::MovF { dst, src })
+                    if dst != src && reg_def(def) == Some((true, src)) =>
+                {
+                    Some((true, src, dst))
+                }
+                _ => None,
+            };
+            let Some((is_f, t, v)) = pair else {
+                k += 1;
+                continue;
+            };
+            let live_out = if is_f {
+                live_f[t as usize]
+            } else {
+                live_i[t as usize]
+            };
+            let used_later = Cell::new(live_out);
+            let check_i = |r: u16| {
+                if !is_f && r == t {
+                    used_later.set(true);
+                }
+            };
+            let check_f = |r: u16| {
+                if is_f && r == t {
+                    used_later.set(true);
+                }
+            };
+            for later in &b.instrs[k + 2..] {
+                reg_uses(later, check_i, check_f);
+            }
+            term_uses(&b.term, check_i, check_f);
+            if used_later.get() {
+                k += 1;
+                continue;
+            }
+            set_def(&mut b.instrs[k], v);
+            b.instrs.remove(k + 1);
+            // Don't advance: the rewritten def may feed another move.
+        }
+    }
+    blocks
+}

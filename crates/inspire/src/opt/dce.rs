@@ -1,0 +1,73 @@
+//! Liveness-based dead-code elimination.
+//!
+//! A backward sweep per block, seeded with the union of the successors'
+//! live-in sets plus the terminator's reads: an instruction whose
+//! destination is dead at its own position is deleted if removal cannot
+//! change observable behaviour.
+//!
+//! What counts as removable:
+//!
+//! - Every pure register-producing instruction, including dead **loads**:
+//!   OpenCL leaves out-of-bounds accesses undefined, so eliminating a dead
+//!   load can only remove a fault the program had no right to rely on.
+//! - `Div`/`Rem` stay (their divisor could be zero at run time); the
+//!   immediate form is removable exactly when its divisor is a non-zero
+//!   constant.
+//! - Stores define no register and are never candidates.
+
+use super::{reg_span, Ctx};
+use crate::bytecode::{Block, IBinOp, Instr};
+use crate::cfg::{reg_def, reg_uses, term_uses, CfgInfo, RegSet};
+
+pub(super) fn run(mut blocks: Vec<Block>, ctx: &Ctx) -> Vec<Block> {
+    let (ni, nf) = reg_span(&blocks, ctx.params);
+    let cfg = CfgInfo::build(&blocks, ni, nf);
+    for (bi, b) in blocks.iter_mut().enumerate() {
+        let mut live_i = RegSet::new(ni);
+        let mut live_f = RegSet::new(nf);
+        for &s in &cfg.succs[bi] {
+            for &r in &cfg.live_in_i[s as usize] {
+                live_i.set(r);
+            }
+            for &r in &cfg.live_in_f[s as usize] {
+                live_f.set(r);
+            }
+        }
+        term_uses(&b.term, |r| live_i.set(r), |r| live_f.set(r));
+        for k in (0..b.instrs.len()).rev() {
+            if let Some((is_f, d)) = reg_def(&b.instrs[k]) {
+                let dead = if is_f {
+                    !live_f.contains(d)
+                } else {
+                    !live_i.contains(d)
+                };
+                if dead && removable(&b.instrs[k]) {
+                    b.instrs.remove(k);
+                    continue;
+                }
+                if is_f {
+                    live_f.clear(d);
+                } else {
+                    live_i.clear(d);
+                }
+            }
+            reg_uses(&b.instrs[k], |r| live_i.set(r), |r| live_f.set(r));
+        }
+    }
+    blocks
+}
+
+fn removable(ins: &Instr) -> bool {
+    match *ins {
+        Instr::IBin {
+            op: IBinOp::Div | IBinOp::Rem,
+            ..
+        } => false,
+        Instr::IBinImm {
+            op: IBinOp::Div | IBinOp::Rem,
+            imm,
+            ..
+        } => imm != 0,
+        _ => reg_def(ins).is_some(),
+    }
+}

@@ -1,0 +1,116 @@
+//! Superinstruction fusion for hot pairs.
+//!
+//! Two rewrites, both targeting dispatch overhead in the interpreters:
+//!
+//! - **const + op → immediate form**: an [`Instr::IBin`] whose second
+//!   operand (or first, for commutative ops) is a known constant becomes
+//!   [`Instr::IBinImm`], killing the register read per lane per
+//!   execution; the producing `ConstI` usually dies and is swept by the
+//!   DCE pass that follows.
+//! - **cmp + branch → fused conditional branch**: a compare whose result
+//!   feeds the block's own branch and is dead beyond it becomes
+//!   [`Terminator::BranchCmp`], dropping the boolean materialization.
+//!   Histogram accounting still counts the fused terminator as one
+//!   compare plus one branch, so dynamic operation counts are invariant.
+
+use super::{reg_span, Ctx};
+use crate::bytecode::{Block, IBinOp, Instr, Terminator};
+use crate::cfg::CfgInfo;
+use std::collections::HashMap;
+
+pub(super) fn run(mut blocks: Vec<Block>, ctx: &Ctx) -> Vec<Block> {
+    fuse_const_operands(&mut blocks);
+    fuse_cmp_branches(&mut blocks, ctx);
+    blocks
+}
+
+fn fuse_const_operands(blocks: &mut [Block]) {
+    for b in blocks.iter_mut() {
+        let mut ci: HashMap<u16, i64> = HashMap::new();
+        for ins in &mut b.instrs {
+            if let Instr::IBin {
+                op,
+                dst,
+                a,
+                b: rb,
+                unsigned,
+            } = *ins
+            {
+                if let Some(&imm) = ci.get(&rb) {
+                    // Keep a by-zero division in register form: the fused
+                    // form is equivalent (it faults identically), but the
+                    // register form reads as clearly not-a-constant-fold.
+                    if !(matches!(op, IBinOp::Div | IBinOp::Rem) && imm == 0) {
+                        *ins = Instr::IBinImm {
+                            op,
+                            dst,
+                            a,
+                            imm,
+                            unsigned,
+                        };
+                    }
+                } else if let Some(&imm) = ci.get(&a) {
+                    if matches!(
+                        op,
+                        IBinOp::Add | IBinOp::Mul | IBinOp::And | IBinOp::Or | IBinOp::Xor
+                    ) {
+                        *ins = Instr::IBinImm {
+                            op,
+                            dst,
+                            a: rb,
+                            imm,
+                            unsigned,
+                        };
+                    }
+                }
+            }
+            match *ins {
+                Instr::ConstI { dst, v } => {
+                    ci.insert(dst, v);
+                }
+                _ => {
+                    if let Some((false, d)) = crate::cfg::reg_def(ins) {
+                        ci.remove(&d);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn fuse_cmp_branches(blocks: &mut [Block], ctx: &Ctx) {
+    let (ni, nf) = reg_span(blocks, ctx.params);
+    let cfg = CfgInfo::build(blocks, ni, nf);
+    for b in blocks.iter_mut() {
+        let Terminator::Branch { cond, then, els } = b.term else {
+            continue;
+        };
+        let Some(last) = b.instrs.last() else {
+            continue;
+        };
+        let (op, float, a, rb, dst) = match *last {
+            Instr::CmpI { op, dst, a, b } => (op, false, a, b, dst),
+            Instr::CmpF { op, dst, a, b } => (op, true, a, b, dst),
+            _ => continue,
+        };
+        if dst != cond {
+            continue;
+        }
+        // The boolean must be dead past the branch — it lives in the I
+        // file, so check the I live-ins of both targets.
+        if cfg.live_in_i[then as usize].contains(&cond)
+            || cfg.live_in_i[els as usize].contains(&cond)
+        {
+            continue;
+        }
+        b.instrs.pop();
+        b.term = Terminator::BranchCmp {
+            op,
+            float,
+            a,
+            b: rb,
+            then,
+            els,
+        };
+    }
+}

@@ -1,0 +1,196 @@
+//! CFG cleanup: jump threading, degenerate-branch folding,
+//! unreachable-block elimination, and straight-line block merging.
+//!
+//! Runs its three rewrites to a fixpoint. Unreachable-block elimination is
+//! what canonicalizes the orphan blocks codegen leaves behind statements
+//! after `break`/`continue`/`return` — semantically identical kernels end
+//! up with identical block lists (and therefore identical fingerprints).
+
+use super::Ctx;
+use crate::bytecode::{Block, Terminator};
+
+pub(super) fn run(mut blocks: Vec<Block>, _ctx: &Ctx) -> Vec<Block> {
+    loop {
+        let mut changed = thread_jumps(&mut blocks);
+        changed |= merge_straight_lines(&mut blocks);
+        let (next, dropped) = drop_unreachable(blocks);
+        blocks = next;
+        if !(changed || dropped) {
+            return blocks;
+        }
+    }
+}
+
+/// Redirect every branch target that points at an empty `Jump` block to
+/// that block's (transitive) destination, and fold branches whose two
+/// sides agree into plain jumps.
+fn thread_jumps(blocks: &mut [Block]) -> bool {
+    let n = blocks.len();
+    // fwd[i] = where references to block i should really point.
+    let mut fwd: Vec<u32> = (0..n as u32).collect();
+    for (i, b) in blocks.iter().enumerate() {
+        if b.instrs.is_empty() {
+            if let Terminator::Jump(t) = b.term {
+                fwd[i] = t;
+            }
+        }
+    }
+    // Chain resolution with a hop budget: a cycle of empty jump blocks is
+    // an infinite loop — leave its targets untouched so rewriting reaches
+    // a fixpoint.
+    let resolve = |v0: u32| -> u32 {
+        let mut v = v0;
+        let mut hops = 0;
+        while fwd[v as usize] != v {
+            if hops >= n {
+                return v0;
+            }
+            v = fwd[v as usize];
+            hops += 1;
+        }
+        v
+    };
+    let mut changed = false;
+    for b in blocks.iter_mut() {
+        let new_term = match b.term {
+            Terminator::Ret => None,
+            Terminator::Jump(t) => {
+                let nt = resolve(t);
+                (nt != t).then_some(Terminator::Jump(nt))
+            }
+            Terminator::Branch { cond, then, els } => {
+                let (nt, ne) = (resolve(then), resolve(els));
+                if nt == ne {
+                    // Both sides agree: the condition no longer matters.
+                    Some(Terminator::Jump(nt))
+                } else if nt != then || ne != els {
+                    Some(Terminator::Branch {
+                        cond,
+                        then: nt,
+                        els: ne,
+                    })
+                } else {
+                    None
+                }
+            }
+            Terminator::BranchCmp {
+                op,
+                float,
+                a,
+                b: rb,
+                then,
+                els,
+            } => {
+                let (nt, ne) = (resolve(then), resolve(els));
+                if nt == ne {
+                    Some(Terminator::Jump(nt))
+                } else if nt != then || ne != els {
+                    Some(Terminator::BranchCmp {
+                        op,
+                        float,
+                        a,
+                        b: rb,
+                        then: nt,
+                        els: ne,
+                    })
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(t) = new_term {
+            b.term = t;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Merge a block into its unique `Jump` predecessor: `i: …; jump t` where
+/// `t` has no other reference becomes one straight-line block. The merged
+/// block is left as an empty `Ret` husk for unreachable-elimination.
+fn merge_straight_lines(blocks: &mut [Block]) -> bool {
+    let mut changed = false;
+    loop {
+        let n = blocks.len();
+        let mut nrefs = vec![0usize; n];
+        for b in blocks.iter() {
+            match b.term {
+                Terminator::Jump(t) => nrefs[t as usize] += 1,
+                Terminator::Branch { then, els, .. } | Terminator::BranchCmp { then, els, .. } => {
+                    nrefs[then as usize] += 1;
+                    nrefs[els as usize] += 1;
+                }
+                Terminator::Ret => {}
+            }
+        }
+        let mut merged = false;
+        for i in 0..n {
+            let t = match blocks[i].term {
+                Terminator::Jump(t) => t as usize,
+                _ => continue,
+            };
+            // The entry block can never be merged away, and nrefs == 1
+            // rules out self-loops (a self-jump refs itself).
+            if t == i || t == 0 || nrefs[t] != 1 {
+                continue;
+            }
+            let mut tail = std::mem::take(&mut blocks[t].instrs);
+            let term = std::mem::replace(&mut blocks[t].term, Terminator::Ret);
+            blocks[i].instrs.append(&mut tail);
+            blocks[i].term = term;
+            merged = true;
+            changed = true;
+            break; // nrefs is stale now; recount.
+        }
+        if !merged {
+            return changed;
+        }
+    }
+}
+
+/// Drop blocks unreachable from the entry and renumber branch targets.
+fn drop_unreachable(blocks: Vec<Block>) -> (Vec<Block>, bool) {
+    let n = blocks.len();
+    let mut reach = vec![false; n];
+    let mut stack = vec![0u32];
+    reach[0] = true;
+    while let Some(v) = stack.pop() {
+        let mut visit = |t: u32| {
+            if !reach[t as usize] {
+                reach[t as usize] = true;
+                stack.push(t);
+            }
+        };
+        match blocks[v as usize].term {
+            Terminator::Jump(t) => visit(t),
+            Terminator::Branch { then, els, .. } | Terminator::BranchCmp { then, els, .. } => {
+                visit(then);
+                visit(els);
+            }
+            Terminator::Ret => {}
+        }
+    }
+    if reach.iter().all(|&r| r) {
+        return (blocks, false);
+    }
+    let mut remap = vec![u32::MAX; n];
+    let mut out: Vec<Block> = Vec::with_capacity(n);
+    for (i, b) in blocks.into_iter().enumerate() {
+        if reach[i] {
+            remap[i] = out.len() as u32;
+            out.push(b);
+        }
+    }
+    for b in &mut out {
+        match &mut b.term {
+            Terminator::Ret => {}
+            Terminator::Jump(t) => *t = remap[*t as usize],
+            Terminator::Branch { then, els, .. } | Terminator::BranchCmp { then, els, .. } => {
+                *then = remap[*then as usize];
+                *els = remap[*els as usize];
+            }
+        }
+    }
+    (out, true)
+}

@@ -1,4 +1,4 @@
-//! Pretty-printer for the typed IR.
+//! Pretty-printer for the typed IR, and a bytecode disassembler.
 //!
 //! Renders a [`Kernel`] back to kernel-language-like text with resolved
 //! names and explicit casts — the INSPIRE-style "dump" used for debugging
@@ -6,10 +6,14 @@
 //! compiler for every kernel of the benchmark suite (verified by tests):
 //! pretty-printing then re-compiling yields a semantically identical
 //! program.
+//!
+//! [`disasm`] renders compiled bytecode as one instruction per line. The
+//! optimizer's `INSPIRE_DUMP_IR=1` per-pass dump uses the same renderer.
 
 use std::fmt::Write;
 
 use crate::ast::{BinOp, UnOp};
+use crate::bytecode::{Block, CmpOp, FBinOp, Function, IBinOp, Instr, Terminator};
 use crate::ir::{Expr, ExprKind, Kernel, ParamKind, Stmt};
 
 /// Render a kernel to text.
@@ -233,6 +237,161 @@ impl<'a> Printer<'a> {
     }
 }
 
+/// Disassemble compiled bytecode: a header line with the register-file
+/// sizes, then every block with one instruction per line.
+pub fn disasm(f: &Function) -> String {
+    format!(
+        "fn {}(params={}, iregs={}, fregs={})\n{}",
+        f.name,
+        f.params.len(),
+        f.n_iregs,
+        f.n_fregs,
+        disasm_blocks(&f.blocks)
+    )
+}
+
+/// Disassemble a bare block list (used by the optimizer's per-pass dump,
+/// where no [`Function`] exists yet).
+pub(crate) fn disasm_blocks(blocks: &[Block]) -> String {
+    let mut out = String::new();
+    for (i, b) in blocks.iter().enumerate() {
+        let _ = writeln!(out, "bb{i}:");
+        for ins in &b.instrs {
+            let _ = writeln!(out, "    {}", fmt_instr(ins));
+        }
+        let _ = writeln!(out, "    {}", fmt_term(&b.term));
+    }
+    out
+}
+
+fn ibinop_str(op: IBinOp) -> &'static str {
+    match op {
+        IBinOp::Add => "add",
+        IBinOp::Sub => "sub",
+        IBinOp::Mul => "mul",
+        IBinOp::Div => "div",
+        IBinOp::Rem => "rem",
+        IBinOp::And => "and",
+        IBinOp::Or => "or",
+        IBinOp::Xor => "xor",
+        IBinOp::Shl => "shl",
+        IBinOp::Shr => "shr",
+    }
+}
+
+fn fbinop_str(op: FBinOp) -> &'static str {
+    match op {
+        FBinOp::Add => "fadd",
+        FBinOp::Sub => "fsub",
+        FBinOp::Mul => "fmul",
+        FBinOp::Div => "fdiv",
+    }
+}
+
+fn cmpop_str(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+    }
+}
+
+fn u_suffix(unsigned: bool) -> &'static str {
+    if unsigned {
+        ".u"
+    } else {
+        ""
+    }
+}
+
+fn fmt_instr(ins: &Instr) -> String {
+    use Instr::*;
+    match *ins {
+        ConstI { dst, v } => format!("i{dst} = const {v}"),
+        ConstF { dst, v } => format!("f{dst} = const {v:?}"),
+        MovI { dst, src } => format!("i{dst} = mov i{src}"),
+        MovF { dst, src } => format!("f{dst} = mov f{src}"),
+        IBin {
+            op,
+            dst,
+            a,
+            b,
+            unsigned,
+        } => format!(
+            "i{dst} = {}{} i{a}, i{b}",
+            ibinop_str(op),
+            u_suffix(unsigned)
+        ),
+        IBinImm {
+            op,
+            dst,
+            a,
+            imm,
+            unsigned,
+        } => format!(
+            "i{dst} = {}{} i{a}, #{imm}",
+            ibinop_str(op),
+            u_suffix(unsigned)
+        ),
+        FBin { op, dst, a, b } => format!("f{dst} = {} f{a}, f{b}", fbinop_str(op)),
+        CmpI { op, dst, a, b } => format!("i{dst} = cmp.{} i{a}, i{b}", cmpop_str(op)),
+        CmpF { op, dst, a, b } => format!("i{dst} = fcmp.{} f{a}, f{b}", cmpop_str(op)),
+        NegI { dst, a, unsigned } => format!("i{dst} = neg{} i{a}", u_suffix(unsigned)),
+        NegF { dst, a } => format!("f{dst} = fneg f{a}"),
+        NotI { dst, a } => format!("i{dst} = not i{a}"),
+        BitNotI { dst, a, unsigned } => format!("i{dst} = bitnot{} i{a}", u_suffix(unsigned)),
+        CastIF { dst, a } => format!("f{dst} = i2f i{a}"),
+        CastFI { dst, a, unsigned } => format!("i{dst} = f2i{} f{a}", u_suffix(unsigned)),
+        CastII {
+            dst,
+            a,
+            to_unsigned,
+        } => format!("i{dst} = i2i{} i{a}", u_suffix(to_unsigned)),
+        Math1 { f, dst, a } => format!("f{dst} = {:?} f{a}", f).to_lowercase(),
+        Math2 { f, dst, a, b } => format!("f{dst} = {:?} f{a}, f{b}", f).to_lowercase(),
+        IMin { dst, a, b } => format!("i{dst} = min i{a}, i{b}"),
+        IMax { dst, a, b } => format!("i{dst} = max i{a}, i{b}"),
+        IAbs { dst, a } => format!("i{dst} = abs i{a}"),
+        LoadF { dst, buf, idx } => format!("f{dst} = load buf{buf}[i{idx}]"),
+        LoadI { dst, buf, idx } => format!("i{dst} = load buf{buf}[i{idx}]"),
+        StoreF { buf, idx, src } => format!("store buf{buf}[i{idx}] = f{src}"),
+        StoreI { buf, idx, src } => format!("store buf{buf}[i{idx}] = i{src}"),
+        GlobalId { dst, dim } => format!("i{dst} = global_id {dim}"),
+        GlobalSize { dst, dim } => format!("i{dst} = global_size {dim}"),
+    }
+}
+
+fn fmt_term(term: &Terminator) -> String {
+    match *term {
+        Terminator::Jump(t) => format!("jump bb{t}"),
+        Terminator::Branch { cond, then, els } => {
+            format!("branch i{cond} ? bb{then} : bb{els}")
+        }
+        Terminator::BranchCmp {
+            op,
+            float,
+            a,
+            b,
+            then,
+            els,
+        } => {
+            let (p, file) = if float {
+                ("fbranch", 'f')
+            } else {
+                ("branch", 'i')
+            };
+            format!(
+                "{p}.{} {file}{a}, {file}{b} ? bb{then} : bb{els}",
+                cmpop_str(op)
+            )
+        }
+        Terminator::Ret => "ret".to_string(),
+    }
+}
+
 fn binop_str(op: BinOp) -> &'static str {
     match op {
         BinOp::Add => "+",
@@ -294,5 +453,23 @@ mod tests {
         let k2 = compile(&text).unwrap_or_else(|e| panic!("pretty output:\n{text}\nerror: {e}"));
         assert_eq!(k1.static_features, k2.static_features, "output:\n{text}");
         assert_eq!(k1.bytecode.blocks.len(), k2.bytecode.blocks.len());
+    }
+
+    #[test]
+    fn disasm_covers_every_block_and_names_the_function() {
+        let k = compile(
+            "kernel void dd(global const float* a, global float* o, int n) {
+                int i = get_global_id(0);
+                if (i < n) { o[i] = a[i] + 1.0; }
+            }",
+        )
+        .unwrap();
+        let text = disasm(&k.bytecode);
+        assert!(text.starts_with("fn dd("), "{text}");
+        for b in 0..k.bytecode.blocks.len() {
+            assert!(text.contains(&format!("bb{b}:")), "missing bb{b}:\n{text}");
+        }
+        assert!(text.contains("load"), "{text}");
+        assert!(text.contains("store"), "{text}");
     }
 }

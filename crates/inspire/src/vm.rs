@@ -713,6 +713,21 @@ impl Vm {
                         els as usize
                     };
                 }
+                Terminator::BranchCmp {
+                    op,
+                    float,
+                    a,
+                    b,
+                    then,
+                    els,
+                } => {
+                    let taken = if float {
+                        cmp(op, &self.fregs[a as usize], &self.fregs[b as usize])
+                    } else {
+                        cmp(op, &self.iregs[a as usize], &self.iregs[b as usize])
+                    };
+                    block = if taken { then as usize } else { els as usize };
+                }
                 Terminator::Ret => return Ok(()),
             }
         }
@@ -743,6 +758,16 @@ impl Vm {
                 let x = self.iregs[a as usize];
                 let y = self.iregs[b as usize];
                 self.iregs[dst as usize] = int_bin(op, x, y, unsigned)?;
+            }
+            IBinImm {
+                op,
+                dst,
+                a,
+                imm,
+                unsigned,
+            } => {
+                let x = self.iregs[a as usize];
+                self.iregs[dst as usize] = int_bin(op, x, imm, unsigned)?;
             }
             FBin { op, dst, a, b } => {
                 let x = self.fregs[a as usize];
@@ -981,7 +1006,7 @@ impl SampleResult {
     }
 }
 
-fn cmp<T: PartialOrd>(op: CmpOp, x: &T, y: &T) -> bool {
+pub(crate) fn cmp<T: PartialOrd>(op: CmpOp, x: &T, y: &T) -> bool {
     match op {
         CmpOp::Lt => x < y,
         CmpOp::Le => x <= y,

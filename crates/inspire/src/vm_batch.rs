@@ -54,7 +54,7 @@
 use crate::bytecode::{CmpOp, FBinOp, Function, IBinOp, Instr, MathFn1, MathFn2, Terminator};
 use crate::cfg::NO_POST_DOM;
 use crate::error::VmError;
-use crate::vm::{int_bin, wrap32, BufferData, Counters, Vm};
+use crate::vm::{cmp, int_bin, wrap32, BufferData, Counters, Vm};
 
 /// Work-items executed in lockstep per batch.
 pub const LANES: usize = 64;
@@ -437,8 +437,13 @@ impl LaneEngine {
                     self.exec_instr_masked(ins, mask, gsize, bmap, bufs)?;
                 }
             }
-            match b.term {
-                Terminator::Jump(t) => pc = t,
+            // Compute the per-lane taken bits for branch-like terminators;
+            // direct jumps and returns short-circuit the loop.
+            let (then, els, taken) = match b.term {
+                Terminator::Jump(t) => {
+                    pc = t;
+                    continue;
+                }
                 Terminator::Ret => {
                     // A `Ret` can only execute in a frame whose rejoin is
                     // the virtual exit: a reconvergence region rejoining
@@ -446,6 +451,7 @@ impl LaneEngine {
                     // before returning (r post-dominates the region).
                     debug_assert_eq!(rpc, exit);
                     pc = rpc;
+                    continue;
                 }
                 Terminator::Branch { cond, then, els } => {
                     let c = &self.iregs[cond as usize];
@@ -462,70 +468,109 @@ impl LaneEngine {
                     for l in mask.lanes() {
                         taken |= u64::from(c[l] != 0) << l;
                     }
-                    let t = ExecMask(taken);
-                    let e = ExecMask(mask.0 & !taken);
-                    if e.is_empty() {
-                        pc = then;
-                        continue;
-                    }
-                    if t.is_empty() {
-                        pc = els;
-                        continue;
-                    }
-                    if !diverged {
-                        if vm.divergence_mode == DivergenceMode::Replay {
-                            return self.replay(
-                                vm,
-                                f,
-                                n,
-                                cond,
-                                [then, els],
-                                gids,
-                                gsize,
-                                bmap,
-                                bufs,
-                                &mut sink,
-                                batch_steps,
-                            );
-                        }
-                        self.steps[..n].fill(batch_steps);
-                        diverged = true;
-                    }
-                    // A branch with no post-dominator (an infinite loop)
-                    // rejoins "at the exit": such lanes can only stop via
-                    // the step limit, exactly as on the scalar engine.
-                    let r = match f.cfg.ipdom[block] {
-                        NO_POST_DOM => exit,
-                        r => r,
-                    };
-                    // Suspend the current frame parked at the rejoin with
-                    // the merged mask, then the not-taken side; the taken
-                    // side becomes current. A side that jumps straight to
-                    // the rejoin needs no frame — its lanes simply wait in
-                    // the parked parent.
-                    stack.push(Frame { pc: r, rpc, mask });
-                    if els != r {
-                        stack.push(Frame {
-                            pc: els,
-                            rpc: r,
-                            mask: e,
-                        });
-                    }
-                    if then != r {
-                        pc = then;
-                        rpc = r;
-                        mask = t;
-                    } else {
-                        // The taken side *is* the rejoin: resume the most
-                        // recently pushed frame instead (the not-taken
-                        // side, or the parked parent if that side also
-                        // jumps straight to the rejoin).
-                        let fr = stack.pop().expect("parent frame just pushed");
-                        pc = fr.pc;
-                        rpc = fr.rpc;
-                        mask = fr.mask;
-                    }
+                    (then, els, taken)
                 }
+                Terminator::BranchCmp {
+                    op,
+                    float,
+                    a,
+                    b: rb,
+                    then,
+                    els,
+                } => {
+                    // Fused cmp+branch: evaluate the comparison per lane
+                    // without materializing the boolean register.
+                    let mut taken = 0u64;
+                    if float {
+                        let x = &self.fregs[a as usize];
+                        let y = &self.fregs[rb as usize];
+                        if mask == full {
+                            for (l, (xv, yv)) in x[..n].iter().zip(&y[..n]).enumerate() {
+                                taken |= u64::from(cmp(op, xv, yv)) << l;
+                            }
+                        } else {
+                            for l in mask.lanes() {
+                                taken |= u64::from(cmp(op, &x[l], &y[l])) << l;
+                            }
+                        }
+                    } else {
+                        let x = &self.iregs[a as usize];
+                        let y = &self.iregs[rb as usize];
+                        if mask == full {
+                            for (l, (xv, yv)) in x[..n].iter().zip(&y[..n]).enumerate() {
+                                taken |= u64::from(cmp(op, xv, yv)) << l;
+                            }
+                        } else {
+                            for l in mask.lanes() {
+                                taken |= u64::from(cmp(op, &x[l], &y[l])) << l;
+                            }
+                        }
+                    }
+                    (then, els, taken)
+                }
+            };
+            let t = ExecMask(taken);
+            let e = ExecMask(mask.0 & !taken);
+            if e.is_empty() {
+                pc = then;
+                continue;
+            }
+            if t.is_empty() {
+                pc = els;
+                continue;
+            }
+            if !diverged {
+                if vm.divergence_mode == DivergenceMode::Replay {
+                    return self.replay(
+                        vm,
+                        f,
+                        n,
+                        taken,
+                        [then, els],
+                        gids,
+                        gsize,
+                        bmap,
+                        bufs,
+                        &mut sink,
+                        batch_steps,
+                    );
+                }
+                self.steps[..n].fill(batch_steps);
+                diverged = true;
+            }
+            // A branch with no post-dominator (an infinite loop)
+            // rejoins "at the exit": such lanes can only stop via
+            // the step limit, exactly as on the scalar engine.
+            let r = match f.cfg.ipdom[block] {
+                NO_POST_DOM => exit,
+                r => r,
+            };
+            // Suspend the current frame parked at the rejoin with
+            // the merged mask, then the not-taken side; the taken
+            // side becomes current. A side that jumps straight to
+            // the rejoin needs no frame — its lanes simply wait in
+            // the parked parent.
+            stack.push(Frame { pc: r, rpc, mask });
+            if els != r {
+                stack.push(Frame {
+                    pc: els,
+                    rpc: r,
+                    mask: e,
+                });
+            }
+            if then != r {
+                pc = then;
+                rpc = r;
+                mask = t;
+            } else {
+                // The taken side *is* the rejoin: resume the most
+                // recently pushed frame instead (the not-taken
+                // side, or the parked parent if that side also
+                // jumps straight to the rejoin).
+                let fr = stack.pop().expect("parent frame just pushed");
+                pc = fr.pc;
+                rpc = fr.rpc;
+                mask = fr.mask;
             }
         }
         if !diverged {
@@ -546,7 +591,7 @@ impl LaneEngine {
         vm: &mut Vm,
         f: &Function,
         n: usize,
-        cond: u16,
+        taken: u64,
         targets: [u32; 2],
         gids: &[[usize; 3]],
         gsize: [usize; 3],
@@ -556,7 +601,7 @@ impl LaneEngine {
         batch_steps: u64,
     ) -> Result<(), VmError> {
         for (l, &gid) in gids.iter().enumerate().take(n) {
-            let target = if self.iregs[cond as usize][l] != 0 {
+            let target = if (taken >> l) & 1 != 0 {
                 targets[0]
             } else {
                 targets[1]
@@ -646,6 +691,45 @@ impl LaneEngine {
                         let d = &mut r[dst as usize];
                         for ((d, &x), &y) in d[..n].iter_mut().zip(&x[..n]).zip(&y[..n]) {
                             *d = int_bin(op, x, y, unsigned)?;
+                        }
+                    }
+                }
+            }
+            IBinImm {
+                op,
+                dst,
+                a,
+                imm,
+                unsigned,
+            } => {
+                let r = &mut self.iregs;
+                match op {
+                    IBinOp::Add => apply1(r, n, dst, a, |x| wrap32(x.wrapping_add(imm), unsigned)),
+                    IBinOp::Sub => apply1(r, n, dst, a, |x| wrap32(x.wrapping_sub(imm), unsigned)),
+                    IBinOp::Mul => apply1(r, n, dst, a, |x| wrap32(x.wrapping_mul(imm), unsigned)),
+                    IBinOp::And => apply1(r, n, dst, a, |x| wrap32(x & imm, unsigned)),
+                    IBinOp::Or => apply1(r, n, dst, a, |x| wrap32(x | imm, unsigned)),
+                    IBinOp::Xor => apply1(r, n, dst, a, |x| wrap32(x ^ imm, unsigned)),
+                    IBinOp::Shl => {
+                        let s = (imm & 31) as u32;
+                        apply1(r, n, dst, a, |x| wrap32(x.wrapping_shl(s), unsigned));
+                    }
+                    IBinOp::Shr => {
+                        let s = (imm & 31) as u32;
+                        apply1(r, n, dst, a, |x| {
+                            let v = if unsigned {
+                                ((x as u64) >> s) as i64
+                            } else {
+                                (x as i32 >> s) as i64
+                            };
+                            wrap32(v, unsigned)
+                        });
+                    }
+                    IBinOp::Div | IBinOp::Rem => {
+                        let x = r[a as usize];
+                        let d = &mut r[dst as usize];
+                        for (d, &x) in d[..n].iter_mut().zip(&x[..n]) {
+                            *d = int_bin(op, x, imm, unsigned)?;
                         }
                     }
                 }
@@ -968,6 +1052,44 @@ impl LaneEngine {
                             let x = r[a as usize][l];
                             let y = r[b as usize][l];
                             r[dst as usize][l] = int_bin(op, x, y, unsigned)?;
+                        }
+                    }
+                }
+            }
+            IBinImm {
+                op,
+                dst,
+                a,
+                imm,
+                unsigned,
+            } => {
+                let r = &mut self.iregs;
+                match op {
+                    IBinOp::Add => masked1(r, m, dst, a, |x| wrap32(x.wrapping_add(imm), unsigned)),
+                    IBinOp::Sub => masked1(r, m, dst, a, |x| wrap32(x.wrapping_sub(imm), unsigned)),
+                    IBinOp::Mul => masked1(r, m, dst, a, |x| wrap32(x.wrapping_mul(imm), unsigned)),
+                    IBinOp::And => masked1(r, m, dst, a, |x| wrap32(x & imm, unsigned)),
+                    IBinOp::Or => masked1(r, m, dst, a, |x| wrap32(x | imm, unsigned)),
+                    IBinOp::Xor => masked1(r, m, dst, a, |x| wrap32(x ^ imm, unsigned)),
+                    IBinOp::Shl => {
+                        let s = (imm & 31) as u32;
+                        masked1(r, m, dst, a, |x| wrap32(x.wrapping_shl(s), unsigned));
+                    }
+                    IBinOp::Shr => {
+                        let s = (imm & 31) as u32;
+                        masked1(r, m, dst, a, |x| {
+                            let v = if unsigned {
+                                ((x as u64) >> s) as i64
+                            } else {
+                                (x as i32 >> s) as i64
+                            };
+                            wrap32(v, unsigned)
+                        });
+                    }
+                    IBinOp::Div | IBinOp::Rem => {
+                        for l in m.lanes() {
+                            let x = r[a as usize][l];
+                            r[dst as usize][l] = int_bin(op, x, imm, unsigned)?;
                         }
                     }
                 }

@@ -221,6 +221,40 @@ fn resuming_with_a_different_oracle_config_is_refused() {
 }
 
 #[test]
+fn resuming_with_a_drifted_opt_level_is_refused() {
+    // The bytecode optimization level shapes the compiled code and with it
+    // every simulated time and oracle label, so it is part of the oracle
+    // fingerprint: a store recorded with optimized kernels must refuse to
+    // resume under `INSPIRE_OPT=0` semantics (and vice versa) instead of
+    // silently mixing records priced from different bytecode.
+    let machine = machines::mc1();
+    let all = benches();
+    let root = tmp_root("hetpart_it_shard_opt_level");
+    let shards = ShardedDb::open(&root, &machine.name).unwrap();
+    let optimized = HarnessConfig {
+        opt_level: hetpart_inspire::OptLevel::Full,
+        ..cfg()
+    };
+    collect_training_db_sharded(&machine, &all[..1], &optimized, &shards).unwrap();
+    let drifted = HarnessConfig {
+        opt_level: hetpart_inspire::OptLevel::None,
+        ..optimized.clone()
+    };
+    assert_ne!(optimized.oracle_fingerprint(), drifted.oracle_fingerprint());
+    let err = collect_training_db_sharded(&machine, &all, &drifted, &shards).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            hetpart_core::TrainError::Shard(hetpart_core::DbError::ConfigMismatch { .. })
+        ),
+        "{err:?}"
+    );
+    // Resuming with the original level still works.
+    collect_training_db_sharded(&machine, &all[..1], &optimized, &shards).unwrap();
+    std::fs::remove_dir_all(root).ok();
+}
+
+#[test]
 fn eval_context_from_shards_matches_direct_build() {
     // The evaluation harness' per-machine merge: building from shard
     // stores must produce the same databases as direct collection, and a

@@ -10,9 +10,8 @@
 //! that are not multiples of the lane width (which exercise the partial
 //! tail batch).
 
-use hetpart_inspire::compile;
 use hetpart_inspire::vm::{ArgValue, BufferData, Counters, DivergenceMode, Vm, LANES};
-use hetpart_inspire::NdRange;
+use hetpart_inspire::{compile, compile_with_opt, NdRange, OptLevel};
 use proptest::prelude::*;
 
 /// Run the scalar engine and the lane engine — in **both** divergence
@@ -98,6 +97,65 @@ fn assert_sampled_parity(
     }
 }
 
+/// Three-way differential: the **unoptimized** scalar execution is the
+/// semantic reference; the optimized bytecode — on the scalar engine and
+/// on the lane engine in both divergence modes — must produce identical
+/// buffers and identical fault behavior. Step counts are allowed (and
+/// expected) to shrink, so counters are deliberately *not* compared.
+fn assert_opt_parity(
+    src: &str,
+    nd: &NdRange,
+    range: std::ops::Range<usize>,
+    args: &[ArgValue],
+    bufs: &[BufferData],
+) {
+    let reference = compile_with_opt(src, OptLevel::None).unwrap();
+    let optimized = compile_with_opt(src, OptLevel::Full).unwrap();
+    assert!(
+        optimized.bytecode.num_instrs() <= reference.bytecode.num_instrs(),
+        "the optimizer must never grow the code"
+    );
+    let mut vm = Vm::new();
+    let mut ref_bufs = bufs.to_vec();
+    let ref_out = vm.run_range_scalar(&reference.bytecode, nd, range.clone(), args, &mut ref_bufs);
+
+    let mut opt_bufs = bufs.to_vec();
+    let opt_out = vm.run_range_scalar(&optimized.bytecode, nd, range.clone(), args, &mut opt_bufs);
+    assert_eq!(
+        ref_out.is_ok(),
+        opt_out.is_ok(),
+        "optimized scalar fault behavior drifted: {ref_out:?} vs {opt_out:?}"
+    );
+    if let (Err(a), Err(b)) = (&ref_out, &opt_out) {
+        assert_eq!(a, b, "optimized scalar fault kind drifted");
+    }
+    if ref_out.is_ok() {
+        assert_eq!(ref_bufs, opt_bufs, "optimized scalar buffers drifted");
+    }
+
+    for mode in [DivergenceMode::Reconverge, DivergenceMode::Replay] {
+        vm.divergence_mode = mode;
+        let mut lane_bufs = bufs.to_vec();
+        let lane_out =
+            vm.run_range_lanes(&optimized.bytecode, nd, range.clone(), args, &mut lane_bufs);
+        assert_eq!(
+            ref_out.is_ok(),
+            lane_out.is_ok(),
+            "{mode:?}: optimized lane fault behavior drifted"
+        );
+        if let (Err(a), Err(b)) = (&ref_out, &lane_out) {
+            assert_eq!(a, b, "{mode:?}: optimized lane fault kind drifted");
+        }
+        if ref_out.is_ok() {
+            assert_eq!(
+                ref_bufs, lane_bufs,
+                "{mode:?}: optimized lane buffers drifted"
+            );
+        }
+    }
+    vm.divergence_mode = DivergenceMode::Reconverge;
+}
+
 // ---------------------------------------------------------------------
 // Every suite kernel
 // ---------------------------------------------------------------------
@@ -146,6 +204,65 @@ fn every_suite_kernel_is_bit_identical_across_engines() {
             assert_range_parity(bench.source, &inst.nd, sub, &inst.args, &inst.bufs);
         }
     }
+}
+
+#[test]
+fn every_suite_kernel_matches_the_unoptimized_reference() {
+    // Three-way parity on the whole suite: unoptimized scalar is the
+    // reference; optimized scalar and optimized lanes must agree with it
+    // on every output buffer (and the native reference still passes).
+    for bench in hetpart_suite::all() {
+        let inst = bench.instance(bench.smallest_size());
+        let extent = inst.nd.split_extent();
+        assert_opt_parity(bench.source, &inst.nd, 0..extent, &inst.args, &inst.bufs);
+
+        let optimized = bench.compile_with_opt(OptLevel::Full);
+        let mut bufs = inst.bufs.clone();
+        let mut vm = Vm::new();
+        vm.run_range(
+            &optimized.bytecode,
+            &inst.nd,
+            0..extent,
+            &inst.args,
+            &mut bufs,
+        )
+        .unwrap_or_else(|e| panic!("{}: optimized execution faulted: {e}", bench.name));
+        bench
+            .check_outputs(&inst, &bufs)
+            .unwrap_or_else(|e| panic!("optimized bytecode fails verification: {e}"));
+    }
+}
+
+#[test]
+fn optimized_code_keeps_per_item_fault_behavior() {
+    // Faults must neither appear nor disappear under optimization. This
+    // kernel divides by a loaded value that is zero for exactly one item;
+    // constant folding and immediate fusion must leave that fault intact.
+    let src = "kernel void k(global const int* a, global int* o, int n) {
+        int i = get_global_id(0);
+        int d = a[i];
+        o[i] = (100 + n) / d;
+    }";
+    let n = 70usize;
+    let mut data: Vec<i32> = (0..n as i32).map(|i| i + 1).collect();
+    data[37] = 0;
+    let bufs = vec![BufferData::I32(data), BufferData::I32(vec![0; n])];
+    let args = vec![
+        ArgValue::Buffer(0),
+        ArgValue::Buffer(1),
+        ArgValue::Int(n as i32),
+    ];
+    assert_opt_parity(src, &NdRange::d1(n), 0..n, &args, &bufs);
+
+    // An out-of-bounds store near the end of the range: unreachable-block
+    // elimination and DCE must not touch live stores.
+    let oob = "kernel void k(global float* o, int n) {
+        int i = get_global_id(0);
+        o[i + (n - 4)] = (float)i * (2.0 * 3.0);
+    }";
+    let bufs = vec![BufferData::F32(vec![0.0; n])];
+    let args = vec![ArgValue::Buffer(0), ArgValue::Int(n as i32)];
+    assert_opt_parity(oob, &NdRange::d1(n), 0..n, &args, &bufs);
 }
 
 #[test]
@@ -560,7 +677,8 @@ proptest! {
     /// Random small CFGs with nested and looping divergent branches:
     /// buffers, block counters, and per-lane step statistics must be
     /// bit-identical across the scalar engine, the reconvergence engine,
-    /// and the replay engine.
+    /// and the replay engine — and the optimized bytecode must match the
+    /// unoptimized scalar reference output for output.
     #[test]
     fn random_divergent_cfgs_are_bit_identical(
         seed in 0u64..(1u64 << 48),
@@ -582,6 +700,8 @@ proptest! {
         assert_range_parity(&src, &nd, (n / 7)..(n - 3), &args, &bufs);
         // Sampled execution checks per-lane step counts bit for bit.
         assert_sampled_parity(&src, &nd, 0..n, &args, &bufs, 83);
+        // Three-way: optimized scalar + lanes vs unoptimized reference.
+        assert_opt_parity(&src, &nd, 0..n, &args, &bufs);
     }
 }
 
