@@ -7,7 +7,8 @@ use hetpart_inspire::vm::{ArgValue, BufferData};
 use hetpart_inspire::{CompiledKernel, VmError};
 use hetpart_ml::{ModelConfig, Pipeline};
 use hetpart_runtime::{
-    runtime_features, ExecPlan, ExecutionReport, Executor, Launch, Partition, RuntimeFeatures,
+    runtime_features, ExecPlan, ExecutionReport, Executor, Launch, LaunchError, Partition,
+    RuntimeFeatures,
 };
 use serde::{Deserialize, Serialize};
 
@@ -71,8 +72,9 @@ impl fmt::Display for PredictError {
 
 impl std::error::Error for PredictError {}
 
-/// A deployment-phase failure: either the launch itself failed in the VM
-/// or the predictor refused the inputs.
+/// A deployment-phase failure: the launch itself failed in the VM, the
+/// predictor refused the inputs, a device faulted, or the serving layer
+/// refused / lost the job (overload, shutdown, worker panic).
 #[derive(Debug, Clone, PartialEq)]
 pub enum DeployError {
     Vm(VmError),
@@ -81,6 +83,26 @@ pub enum DeployError {
     /// message is preserved so the client sees the cause instead of a
     /// hung ticket.
     Worker(String),
+    /// A device failed during the launch and the service could not route
+    /// around it (retries exhausted and no surviving devices to re-plan
+    /// onto). `permanent` distinguishes a dead device from a transient
+    /// execution fault.
+    Fault {
+        device: usize,
+        permanent: bool,
+    },
+    /// Admission control refused the launch: the queue held `depth` jobs,
+    /// at or above the configured bound (and stayed there past the
+    /// admission deadline under a blocking policy).
+    Overloaded {
+        depth: usize,
+    },
+    /// The job was shed after admission: the service shut down (or hit its
+    /// drain deadline) before a worker picked the job up.
+    Shed,
+    /// The service could not be brought up (worker thread spawn failed or
+    /// the configuration is invalid).
+    Config(String),
 }
 
 impl fmt::Display for DeployError {
@@ -89,6 +111,21 @@ impl fmt::Display for DeployError {
             DeployError::Vm(e) => write!(f, "launch failed: {e}"),
             DeployError::Predict(e) => write!(f, "prediction failed: {e}"),
             DeployError::Worker(msg) => write!(f, "service worker panicked: {msg}"),
+            DeployError::Fault { device, permanent } => {
+                let kind = if *permanent { "died" } else { "faulted" };
+                write!(
+                    f,
+                    "device {device} {kind} and the launch could not be re-planned"
+                )
+            }
+            DeployError::Overloaded { depth } => {
+                write!(
+                    f,
+                    "service overloaded: {depth} jobs queued, submission shed"
+                )
+            }
+            DeployError::Shed => write!(f, "job shed before execution (service shutting down)"),
+            DeployError::Config(msg) => write!(f, "service configuration rejected: {msg}"),
         }
     }
 }
@@ -104,6 +141,18 @@ impl From<VmError> for DeployError {
 impl From<PredictError> for DeployError {
     fn from(e: PredictError) -> Self {
         DeployError::Predict(e)
+    }
+}
+
+impl From<LaunchError> for DeployError {
+    fn from(e: LaunchError) -> Self {
+        match e {
+            LaunchError::Vm(e) => DeployError::Vm(e),
+            LaunchError::DeviceFault { device, permanent } => DeployError::Fault {
+                device: device.0,
+                permanent,
+            },
+        }
     }
 }
 
@@ -311,7 +360,8 @@ impl Framework {
     /// Execute a launch under a pre-computed [`LaunchPlan`]: only the
     /// kernel work runs — no probe, no inference, no access analysis.
     /// Outputs are bit-identical to [`Framework::run_auto`] with the same
-    /// predicted partition.
+    /// predicted partition. Injected device faults surface as
+    /// [`DeployError::Fault`].
     pub fn execute_planned(
         &self,
         kernel: &CompiledKernel,
@@ -319,9 +369,35 @@ impl Framework {
         args: &[ArgValue],
         bufs: &mut [BufferData],
         plan: &LaunchPlan,
-    ) -> Result<ExecutionReport, VmError> {
+    ) -> Result<ExecutionReport, DeployError> {
         let launch = Launch::new(kernel, nd.clone(), args.to_vec());
-        self.executor.run_planned(&launch, bufs, &plan.exec)
+        Ok(self.executor.run_planned(&launch, bufs, &plan.exec)?)
+    }
+
+    /// Re-derive a degraded [`LaunchPlan`] that avoids the given devices,
+    /// redistributing their share of the base plan's partition
+    /// proportionally across the survivors (CPU-only as the last resort).
+    /// Returns `None` when every device is avoided — there is nowhere
+    /// left to run. The divergence estimate of the base plan is reused so
+    /// no fresh probe is needed on the degraded path.
+    pub fn replan_excluding(
+        &self,
+        kernel: &CompiledKernel,
+        nd: &NdRange,
+        args: &[ArgValue],
+        bufs: &[BufferData],
+        base: &LaunchPlan,
+        avoid: &[usize],
+    ) -> Option<LaunchPlan> {
+        let partition = base.partition.excluding(avoid)?;
+        if partition == base.partition {
+            return Some(base.clone());
+        }
+        let launch = Launch::new(kernel, nd.clone(), args.to_vec());
+        let exec = self
+            .executor
+            .plan_execution(&launch, bufs, &partition, base.exec.divergence);
+        Some(LaunchPlan { partition, exec })
     }
 
     /// Plan and execute: returns the chosen partitioning and the full

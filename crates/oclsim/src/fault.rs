@@ -1,0 +1,440 @@
+//! Deterministic device fault injection — the chaos-engineering half of
+//! the simulated platform.
+//!
+//! A [`FaultPlan`] describes, per device, *what goes wrong and when*:
+//! transient launch failures at a fixed rate, permanent device death at a
+//! given launch ordinal, a throughput slowdown factor, or an injected
+//! panic (a driver crash taking the calling worker down with it). Every
+//! decision is a pure function of `(seed, device, launch ordinal, kernel
+//! fingerprint)` — no RNG state, no wall clock — so a chaos run under a
+//! given seed reproduces the same fault sequence bit for bit, launch for
+//! launch. That determinism is what lets the chaos suite assert that a
+//! faulted run's *outputs* equal the fault-free run's and that a re-run
+//! reproduces identical retry/re-plan statistics.
+//!
+//! [`FaultState`] is the runtime half: it owns the per-device launch
+//! counters (atomics; a "launch" is one device receiving one chunk) and
+//! the sticky death flags, and answers [`FaultState::verdict`] for each
+//! chunk the executor is about to run. The state is shared behind an
+//! `Arc` by every executor clone of a worker pool, so the fault timeline
+//! is global to the service, not per worker.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceId;
+use crate::machine::Machine;
+
+/// What goes wrong on one device. All triggers compose: a device can be
+/// slowed down, throw transients *and* die later; death wins once its
+/// ordinal is reached.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceFaults {
+    /// Index of the device within the machine.
+    pub device: usize,
+    /// Probability in `[0, 1]` that any given launch on this device fails
+    /// transiently (recoverable by retrying). Decided per launch ordinal
+    /// by the seeded hash, so the failing ordinals are fixed per seed.
+    pub transient_rate: f64,
+    /// Per-device launch ordinal (0-based) at which the device dies
+    /// permanently; every launch from that ordinal on fails terminally.
+    pub dies_at_launch: Option<u64>,
+    /// Per-device launch ordinal whose launch *panics* instead of
+    /// returning an error — simulating a driver crash in the middle of a
+    /// worker's job. Fires once.
+    pub panics_at_launch: Option<u64>,
+    /// Multiplier (≥ 1) applied to the simulated time of every successful
+    /// launch on this device — a degraded (thermally throttled, shared)
+    /// device that still answers.
+    pub slowdown: f64,
+    /// When set, every trigger above applies only to launches of the
+    /// kernel with this fingerprint (other kernels see a healthy device).
+    pub only_fingerprint: Option<u64>,
+}
+
+impl DeviceFaults {
+    /// A healthy-device spec for `device` — useful as a builder base.
+    pub fn none(device: usize) -> Self {
+        Self {
+            device,
+            transient_rate: 0.0,
+            dies_at_launch: None,
+            panics_at_launch: None,
+            slowdown: 1.0,
+            only_fingerprint: None,
+        }
+    }
+}
+
+/// A complete, seeded chaos scenario: the per-device fault specs plus the
+/// seed that fixes every transient-failure decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the per-launch decision hash. Two runs with equal plans see
+    /// identical fault sequences.
+    pub seed: u64,
+    pub faults: Vec<DeviceFaults>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (every device healthy).
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_noop(&self) -> bool {
+        self.faults.iter().all(|f| {
+            f.transient_rate <= 0.0
+                && f.dies_at_launch.is_none()
+                && f.panics_at_launch.is_none()
+                && f.slowdown <= 1.0
+        })
+    }
+
+    /// Validate the plan against a machine: device indices must exist,
+    /// rates must be probabilities, slowdowns must not speed devices up.
+    pub fn validate(&self, machine: &Machine) -> Result<(), String> {
+        for f in &self.faults {
+            if f.device >= machine.num_devices() {
+                return Err(format!(
+                    "fault plan names device {} but machine `{}` has {}",
+                    f.device,
+                    machine.name,
+                    machine.num_devices()
+                ));
+            }
+            if !(0.0..=1.0).contains(&f.transient_rate) || f.transient_rate.is_nan() {
+                return Err(format!(
+                    "device {}: transient rate {} is not a probability",
+                    f.device, f.transient_rate
+                ));
+            }
+            if f.slowdown < 1.0 || f.slowdown.is_nan() {
+                return Err(format!(
+                    "device {}: slowdown {} must be >= 1",
+                    f.device, f.slowdown
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Instantiate the runtime state (launch counters + death flags) for
+    /// a machine with `num_devices` devices.
+    pub fn state(&self, num_devices: usize) -> FaultState {
+        FaultState {
+            plan: self.clone(),
+            launches: (0..num_devices).map(|_| AtomicU64::new(0)).collect(),
+            dead: (0..num_devices).map(|_| AtomicBool::new(false)).collect(),
+            injected_transients: AtomicU64::new(0),
+            injected_deaths: AtomicU64::new(0),
+        }
+    }
+}
+
+/// What the fault layer decides for one launch (one device × one chunk).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultVerdict {
+    /// Run the chunk; scale its simulated time by `slowdown` (1.0 for an
+    /// unimpaired device).
+    Healthy { slowdown: f64 },
+    /// The launch fails recoverably — a retry may succeed.
+    Transient,
+    /// The device is gone; every future launch on it fails too.
+    Dead,
+    /// The launch must panic (injected driver crash).
+    Panic,
+}
+
+/// SplitMix64: a tiny, well-mixed hash — decisions must be independent
+/// across ordinals even for adjacent inputs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The runtime fault state shared by every executor of a service: launch
+/// ordinals per device, sticky death flags, and injection counters.
+pub struct FaultState {
+    plan: FaultPlan,
+    /// Per-device launch ordinal counter (one increment per chunk sent to
+    /// the device).
+    launches: Vec<AtomicU64>,
+    /// Sticky per-device death flags.
+    dead: Vec<AtomicBool>,
+    injected_transients: AtomicU64,
+    injected_deaths: AtomicU64,
+}
+
+impl fmt::Debug for FaultState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultState")
+            .field("plan", &self.plan)
+            .field("launches", &self.launch_counts())
+            .field("dead", &self.dead_devices())
+            .finish()
+    }
+}
+
+impl FaultState {
+    /// The plan this state executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide the fate of the next launch on `device` for a kernel with
+    /// `fingerprint`, consuming one launch ordinal on that device.
+    ///
+    /// Deterministic: the ordinal sequence plus the seeded hash fully
+    /// determine the verdict, so a single-worker service replays the
+    /// exact same fault timeline on every run.
+    pub fn verdict(&self, device: DeviceId, fingerprint: u64) -> FaultVerdict {
+        let idx = device.0;
+        if idx >= self.launches.len() {
+            return FaultVerdict::Healthy { slowdown: 1.0 };
+        }
+        if self.dead[idx].load(Ordering::Acquire) {
+            return FaultVerdict::Dead;
+        }
+        let ordinal = self.launches[idx].fetch_add(1, Ordering::AcqRel);
+        let Some(spec) = self.plan.faults.iter().find(|f| f.device == idx) else {
+            return FaultVerdict::Healthy { slowdown: 1.0 };
+        };
+        if let Some(only) = spec.only_fingerprint {
+            if only != fingerprint {
+                return FaultVerdict::Healthy { slowdown: 1.0 };
+            }
+        }
+        if spec.dies_at_launch.is_some_and(|at| ordinal >= at) {
+            self.dead[idx].store(true, Ordering::Release);
+            self.injected_deaths.fetch_add(1, Ordering::Relaxed);
+            return FaultVerdict::Dead;
+        }
+        if spec.panics_at_launch == Some(ordinal) {
+            return FaultVerdict::Panic;
+        }
+        if spec.transient_rate > 0.0 {
+            // One hash per (seed, device, ordinal, fingerprint): a unit in
+            // [0, 1) compared against the rate.
+            let h = splitmix64(
+                self.plan
+                    .seed
+                    .wrapping_add(splitmix64(idx as u64 ^ ordinal.rotate_left(17)))
+                    ^ fingerprint,
+            );
+            let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if unit < spec.transient_rate {
+                self.injected_transients.fetch_add(1, Ordering::Relaxed);
+                return FaultVerdict::Transient;
+            }
+        }
+        FaultVerdict::Healthy {
+            slowdown: spec.slowdown.max(1.0),
+        }
+    }
+
+    /// Whether `device` has died permanently.
+    pub fn is_dead(&self, device: DeviceId) -> bool {
+        self.dead
+            .get(device.0)
+            .is_some_and(|d| d.load(Ordering::Acquire))
+    }
+
+    /// Indices of permanently dead devices.
+    pub fn dead_devices(&self) -> Vec<usize> {
+        self.dead
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.load(Ordering::Acquire))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Per-device launch ordinals consumed so far.
+    pub fn launch_counts(&self) -> Vec<u64> {
+        self.launches
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Transient failures injected so far.
+    pub fn transients_injected(&self) -> u64 {
+        self.injected_transients.load(Ordering::Relaxed)
+    }
+
+    /// Permanent deaths triggered so far.
+    pub fn deaths_injected(&self) -> u64 {
+        self.injected_deaths.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    fn noisy_plan() -> FaultPlan {
+        FaultPlan {
+            seed: 42,
+            faults: vec![
+                DeviceFaults {
+                    transient_rate: 0.3,
+                    slowdown: 2.0,
+                    ..DeviceFaults::none(1)
+                },
+                DeviceFaults {
+                    dies_at_launch: Some(5),
+                    ..DeviceFaults::none(2)
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_verdict_sequence() {
+        let plan = noisy_plan();
+        let a = plan.state(3);
+        let b = plan.state(3);
+        for _ in 0..200 {
+            for dev in 0..3 {
+                assert_eq!(
+                    a.verdict(DeviceId(dev), 0xfeed),
+                    b.verdict(DeviceId(dev), 0xfeed)
+                );
+            }
+        }
+        assert_eq!(a.transients_injected(), b.transients_injected());
+        assert!(a.transients_injected() > 0, "rate 0.3 over 200 draws");
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let mut plan = noisy_plan();
+        let a = plan.state(3);
+        plan.seed = 43;
+        let b = plan.state(3);
+        let mut differs = false;
+        for _ in 0..200 {
+            differs |= a.verdict(DeviceId(1), 7) != b.verdict(DeviceId(1), 7);
+        }
+        assert!(differs, "seeds 42 and 43 should disagree on some launch");
+    }
+
+    #[test]
+    fn death_is_sticky_and_counted_once() {
+        let state = noisy_plan().state(3);
+        for i in 0..5 {
+            assert!(
+                matches!(state.verdict(DeviceId(2), 0), FaultVerdict::Healthy { .. }),
+                "launch {i} precedes the death ordinal"
+            );
+        }
+        assert_eq!(state.verdict(DeviceId(2), 0), FaultVerdict::Dead);
+        assert_eq!(state.verdict(DeviceId(2), 0), FaultVerdict::Dead);
+        assert!(state.is_dead(DeviceId(2)));
+        assert_eq!(state.dead_devices(), vec![2]);
+        assert_eq!(state.deaths_injected(), 1);
+    }
+
+    #[test]
+    fn fingerprint_filter_spares_other_kernels() {
+        let plan = FaultPlan {
+            seed: 7,
+            faults: vec![DeviceFaults {
+                transient_rate: 1.0,
+                only_fingerprint: Some(0xabcd),
+                ..DeviceFaults::none(1)
+            }],
+        };
+        let state = plan.state(3);
+        assert!(matches!(
+            state.verdict(DeviceId(1), 0x1234),
+            FaultVerdict::Healthy { .. }
+        ));
+        assert_eq!(state.verdict(DeviceId(1), 0xabcd), FaultVerdict::Transient);
+    }
+
+    #[test]
+    fn panic_ordinal_fires_exactly_once() {
+        let plan = FaultPlan {
+            seed: 1,
+            faults: vec![DeviceFaults {
+                panics_at_launch: Some(1),
+                ..DeviceFaults::none(0)
+            }],
+        };
+        let state = plan.state(3);
+        assert!(matches!(
+            state.verdict(DeviceId(0), 0),
+            FaultVerdict::Healthy { .. }
+        ));
+        assert_eq!(state.verdict(DeviceId(0), 0), FaultVerdict::Panic);
+        assert!(matches!(
+            state.verdict(DeviceId(0), 0),
+            FaultVerdict::Healthy { .. }
+        ));
+    }
+
+    #[test]
+    fn healthy_devices_and_out_of_range_devices_pass_through() {
+        let state = noisy_plan().state(3);
+        assert_eq!(
+            state.verdict(DeviceId(0), 0),
+            FaultVerdict::Healthy { slowdown: 1.0 }
+        );
+        // A device the state was never sized for never faults (and never
+        // indexes out of bounds).
+        assert_eq!(
+            state.verdict(DeviceId(17), 0),
+            FaultVerdict::Healthy { slowdown: 1.0 }
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_plans() {
+        let m = machines::mc2();
+        let bad_dev = FaultPlan {
+            seed: 0,
+            faults: vec![DeviceFaults::none(9)],
+        };
+        assert!(bad_dev.validate(&m).is_err());
+        let bad_rate = FaultPlan {
+            seed: 0,
+            faults: vec![DeviceFaults {
+                transient_rate: 1.5,
+                ..DeviceFaults::none(1)
+            }],
+        };
+        assert!(bad_rate.validate(&m).is_err());
+        let bad_slow = FaultPlan {
+            seed: 0,
+            faults: vec![DeviceFaults {
+                slowdown: 0.5,
+                ..DeviceFaults::none(1)
+            }],
+        };
+        assert!(bad_slow.validate(&m).is_err());
+        assert!(noisy_plan().validate(&m).is_ok());
+        assert!(FaultPlan::none().validate(&m).is_ok());
+        assert!(FaultPlan::none().is_noop());
+        assert!(!noisy_plan().is_noop());
+    }
+
+    #[test]
+    fn plan_roundtrips_serde() {
+        let plan = noisy_plan();
+        let js = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&js).unwrap();
+        assert_eq!(plan, back);
+    }
+}

@@ -55,10 +55,12 @@
 //! ```
 
 pub mod device;
+pub mod fault;
 pub mod machine;
 pub mod machines;
 pub mod model;
 
 pub use device::{DeviceClass, DeviceId, DeviceProfile, OpCosts};
+pub use fault::{DeviceFaults, FaultPlan, FaultState, FaultVerdict};
 pub use machine::Machine;
 pub use model::{estimate_time, TimeBreakdown, WorkloadShape};

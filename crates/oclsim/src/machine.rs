@@ -69,6 +69,14 @@ impl Machine {
     pub fn first_gpu(&self) -> Option<DeviceId> {
         (self.devices.len() > 1).then_some(DeviceId(1))
     }
+
+    /// Instantiate the runtime fault state for a chaos plan targeting
+    /// this machine, validating the plan against it first (device indices
+    /// in range, rates are probabilities, slowdowns ≥ 1).
+    pub fn fault_state(&self, plan: &crate::fault::FaultPlan) -> Result<crate::FaultState, String> {
+        plan.validate(self)?;
+        Ok(plan.state(self.num_devices()))
+    }
 }
 
 #[cfg(test)]

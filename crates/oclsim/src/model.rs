@@ -100,6 +100,26 @@ pub struct TimeBreakdown {
     pub total: f64,
 }
 
+impl TimeBreakdown {
+    /// The breakdown with every term scaled by `factor` — how a degraded
+    /// (thermally throttled, contended) device is modeled: the work is
+    /// the same, the whole pipeline runs `factor`× slower. Used by the
+    /// fault-injection layer ([`crate::fault`]); `factor` is clamped to
+    /// at least 1 so a "slowdown" can never speed a device up.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let f = factor.max(1.0);
+        Self {
+            launch: self.launch * f,
+            xfer_in: self.xfer_in * f,
+            alu: self.alu * f,
+            mem: self.mem * f,
+            compute: self.compute * f,
+            xfer_out: self.xfer_out * f,
+            total: self.total * f,
+        }
+    }
+}
+
 const US: f64 = 1e-6;
 const GB: f64 = 1e9;
 

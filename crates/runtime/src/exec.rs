@@ -17,11 +17,47 @@ use hetpart_inspire::access::{access_ranges, BufferRange, LaunchBounds};
 use hetpart_inspire::ir::{NdRange, ParamKind, ScalarType};
 use hetpart_inspire::vm::{dynamic_counts, ArgValue, BufferData, DynamicCounts, Vm};
 use hetpart_inspire::{CompiledKernel, VmError};
+use hetpart_oclsim::fault::{FaultState, FaultVerdict};
 use hetpart_oclsim::model::{estimate_time, TimeBreakdown, WorkloadShape};
 use hetpart_oclsim::{DeviceId, Machine};
 use serde::{Deserialize, Serialize};
 
 use crate::partition::Partition;
+
+/// Why a planned launch failed: the VM rejected or faulted it, or a
+/// device did. Device faults carry whether the failure is permanent
+/// (device death — re-plan around it) or transient (retry may succeed);
+/// the serving layer's retry/re-plan logic branches on exactly that.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaunchError {
+    Vm(VmError),
+    DeviceFault { device: DeviceId, permanent: bool },
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Vm(e) => write!(f, "{e}"),
+            LaunchError::DeviceFault { device, permanent } => write!(
+                f,
+                "{device} {} during the launch",
+                if *permanent {
+                    "failed permanently"
+                } else {
+                    "failed transiently"
+                }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+impl From<VmError> for LaunchError {
+    fn from(e: VmError) -> Self {
+        LaunchError::Vm(e)
+    }
+}
 
 /// A kernel launch: what the host enqueues.
 #[derive(Debug, Clone)]
@@ -104,6 +140,13 @@ pub struct Executor {
     pub machine: Arc<Machine>,
     /// Per-chunk sample budget for `simulate` and divergence estimation.
     pub sample_items: usize,
+    /// Optional fault-injection state consulted by [`Executor::run_planned`]
+    /// before every device chunk (the *serving* execution path). `None` —
+    /// the default — injects nothing; the training/probing paths
+    /// ([`Executor::run`], [`Executor::simulate`]) never consult it, so an
+    /// oracle sweep is always fault-free. Shared behind an `Arc`: every
+    /// executor clone of a worker pool sees one global fault timeline.
+    pub faults: Option<Arc<FaultState>>,
 }
 
 impl Executor {
@@ -118,7 +161,15 @@ impl Executor {
         Self {
             machine,
             sample_items: DEFAULT_SAMPLE_ITEMS,
+            faults: None,
         }
+    }
+
+    /// The same executor with fault injection armed on the planned
+    /// execution path.
+    pub fn with_faults(mut self, faults: Arc<FaultState>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Execute a launch **functionally**: every work-item runs, the output
@@ -297,12 +348,20 @@ impl Executor {
     /// chunks); only the simulated-time breakdown may differ, because the
     /// plan carries one launch-level divergence estimate instead of a
     /// fresh per-chunk sample.
+    ///
+    /// When fault injection is armed ([`Executor::with_faults`]), each
+    /// device's verdict is taken *before* its chunk runs: a faulted
+    /// launch never partially executes the faulting chunk, and a chunk
+    /// that runs is always complete. A verdict consumes one launch
+    /// ordinal on the device; devices with an empty chunk are never
+    /// consulted, so a degraded re-plan that routes around a dead device
+    /// stops advancing that device's fault timeline.
     pub fn run_planned(
         &self,
         launch: &Launch,
         bufs: &mut [BufferData],
         plan: &ExecPlan,
-    ) -> Result<ExecutionReport, VmError> {
+    ) -> Result<ExecutionReport, LaunchError> {
         let partition = &plan.partition;
         self.check_arity(partition);
         let kernel = launch.kernel;
@@ -326,10 +385,31 @@ impl Executor {
             if chunk.is_empty() {
                 continue;
             }
+            let mut slowdown = 1.0;
+            if let Some(fs) = &self.faults {
+                match fs.verdict(dev, kernel.fingerprint) {
+                    FaultVerdict::Healthy { slowdown: s } => slowdown = s,
+                    FaultVerdict::Transient => {
+                        return Err(LaunchError::DeviceFault {
+                            device: dev,
+                            permanent: false,
+                        })
+                    }
+                    FaultVerdict::Dead => {
+                        return Err(LaunchError::DeviceFault {
+                            device: dev,
+                            permanent: true,
+                        })
+                    }
+                    FaultVerdict::Panic => {
+                        panic!("injected fault: {dev} driver crashed mid-launch")
+                    }
+                }
+            }
             let c = vm.run_range(&kernel.bytecode, nd, chunk.clone(), &launch.args, bufs)?;
             let counts = dynamic_counts(&kernel.bytecode, &c);
             let shape = workload_shape(&counts, bytes_in, bytes_out, plan.divergence, coalesced);
-            let time = estimate_time(self.machine.device(dev), &shape);
+            let time = estimate_time(self.machine.device(dev), &shape).scaled(slowdown);
             device_runs.push(DeviceRun {
                 device: dev,
                 chunk_start: chunk.start,
@@ -783,6 +863,113 @@ mod tests {
                 assert_eq!(a.shape.items, b.shape.items);
             }
         }
+    }
+
+    #[test]
+    fn injected_faults_surface_as_typed_errors_and_spare_idle_devices() {
+        use hetpart_oclsim::fault::{DeviceFaults, FaultPlan};
+        let k = compile(VEC_ADD).unwrap();
+        let n = 256;
+        let (bufs, args) = vec_add_setup(n);
+        let plan_spec = FaultPlan {
+            seed: 9,
+            faults: vec![DeviceFaults {
+                transient_rate: 1.0,
+                ..DeviceFaults::none(1)
+            }],
+        };
+        let machine = machines::mc2();
+        let state = Arc::new(machine.fault_state(&plan_spec).unwrap());
+        let ex = Executor::new(machine).with_faults(Arc::clone(&state));
+        let launch = Launch::new(&k, NdRange::d1(n), args);
+
+        // A partition using the faulty device fails with a typed error.
+        let p = Partition::even(3);
+        let plan = ex.plan_execution(&launch, &bufs, &p, 0.0);
+        let mut attempt = bufs.clone();
+        let err = ex.run_planned(&launch, &mut attempt, &plan).unwrap_err();
+        assert_eq!(
+            err,
+            LaunchError::DeviceFault {
+                device: DeviceId(1),
+                permanent: false
+            }
+        );
+
+        // A partition avoiding it succeeds, and never consults its fault
+        // timeline (ordinals advance only for devices that get chunks).
+        let before = state.launch_counts();
+        let degraded = p.excluding(&[1]).unwrap();
+        let plan = ex.plan_execution(&launch, &bufs, &degraded, 0.0);
+        let mut ok_bufs = bufs.clone();
+        ex.run_planned(&launch, &mut ok_bufs, &plan).unwrap();
+        let after = state.launch_counts();
+        assert_eq!(before[1], after[1], "idle device consumed an ordinal");
+
+        // Outputs equal the fault-free reference despite the re-route.
+        let (mut ref_bufs, _) = vec_add_setup(n);
+        Executor::new(machines::mc2())
+            .run(&launch, &mut ref_bufs, &Partition::even(3))
+            .unwrap();
+        assert_eq!(ok_bufs[2], ref_bufs[2]);
+    }
+
+    #[test]
+    fn slowdown_scales_simulated_time_not_outputs() {
+        use hetpart_oclsim::fault::{DeviceFaults, FaultPlan};
+        let k = compile(VEC_ADD).unwrap();
+        let n = 512;
+        let (bufs, args) = vec_add_setup(n);
+        let launch = Launch::new(&k, NdRange::d1(n), args);
+        let p = Partition::cpu_only(3);
+
+        let healthy = Executor::new(machines::mc2());
+        let plan = healthy.plan_execution(&launch, &bufs, &p, 0.0);
+        let mut fast_bufs = bufs.clone();
+        let fast = healthy.run_planned(&launch, &mut fast_bufs, &plan).unwrap();
+
+        let spec = FaultPlan {
+            seed: 0,
+            faults: vec![DeviceFaults {
+                slowdown: 3.0,
+                ..DeviceFaults::none(0)
+            }],
+        };
+        let machine = machines::mc2();
+        let state = Arc::new(machine.fault_state(&spec).unwrap());
+        let slow_ex = Executor::new(machine).with_faults(state);
+        let mut slow_bufs = bufs.clone();
+        let slow = slow_ex.run_planned(&launch, &mut slow_bufs, &plan).unwrap();
+
+        assert_eq!(slow_bufs, fast_bufs, "a slow device still computes");
+        let t_fast = fast.device_runs[0].time.total;
+        let t_slow = slow.device_runs[0].time.total;
+        assert!(
+            (t_slow - 3.0 * t_fast).abs() <= 1e-12 * t_slow,
+            "slowdown 3.0: {t_slow} vs {t_fast}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault")]
+    fn injected_panic_panics() {
+        use hetpart_oclsim::fault::{DeviceFaults, FaultPlan};
+        let k = compile(VEC_ADD).unwrap();
+        let n = 64;
+        let (mut bufs, args) = vec_add_setup(n);
+        let spec = FaultPlan {
+            seed: 0,
+            faults: vec![DeviceFaults {
+                panics_at_launch: Some(0),
+                ..DeviceFaults::none(0)
+            }],
+        };
+        let machine = machines::mc2();
+        let state = Arc::new(machine.fault_state(&spec).unwrap());
+        let ex = Executor::new(machine).with_faults(state);
+        let launch = Launch::new(&k, NdRange::d1(n), args.clone());
+        let plan = ex.plan_execution(&launch, &bufs, &Partition::cpu_only(3), 0.0);
+        let _ = ex.run_planned(&launch, &mut bufs, &plan);
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub mod profile;
 pub mod sweep;
 
 pub use dynsched::{dynamic_schedule, DynSchedConfig, DynSchedReport};
-pub use exec::{DeviceRun, ExecPlan, ExecutionReport, Executor, Launch, DEFAULT_SAMPLE_ITEMS};
+pub use exec::{
+    DeviceRun, ExecPlan, ExecutionReport, Executor, Launch, LaunchError, DEFAULT_SAMPLE_ITEMS,
+};
 pub use features::{runtime_features, RuntimeFeatures, RUNTIME_FEATURE_DIM, RUNTIME_FEATURE_NAMES};
 pub use partition::{Partition, TENTHS};
 pub use profile::LaunchProfile;

@@ -170,6 +170,64 @@ impl Partition {
     pub fn class_index(&self, space: &[Partition]) -> Option<usize> {
         space.iter().position(|p| p == self)
     }
+
+    /// The degraded fallback partition when the devices in `avoid` are
+    /// unavailable (dead, or behind an open circuit breaker): their
+    /// shares move to the surviving devices proportionally to the
+    /// survivors' existing shares (largest-remainder rounding, ties to
+    /// the lowest device index — fully deterministic). If every share
+    /// belonged to avoided devices, all work goes to the lowest-indexed
+    /// survivor — device 0 is the CPU by convention, so this is the
+    /// CPU-only last resort. Returns `None` only when *no* device
+    /// survives.
+    pub fn excluding(&self, avoid: &[usize]) -> Option<Partition> {
+        let n = self.shares.len();
+        let avoided = |i: usize| avoid.contains(&i);
+        let first_survivor = (0..n).find(|&i| !avoided(i))?;
+
+        let mut shares: Vec<u8> = self
+            .shares
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| if avoided(i) { 0 } else { s })
+            .collect();
+        let surviving: u32 = shares.iter().map(|&s| u32::from(s)).sum();
+        let freed = u32::from(TENTHS) - surviving;
+        if freed == 0 {
+            return Some(Partition { shares });
+        }
+        if surviving == 0 {
+            shares[first_survivor] = TENTHS;
+            return Some(Partition { shares });
+        }
+
+        // Largest-remainder redistribution of the freed tenths across the
+        // surviving shares.
+        let mut fracs: Vec<(u32, usize)> = Vec::new();
+        let mut assigned = 0u32;
+        for (i, s) in shares.iter_mut().enumerate() {
+            if avoided(i) {
+                continue;
+            }
+            let num = freed * u32::from(*s);
+            let extra = num / surviving;
+            assigned += extra;
+            *s += extra as u8;
+            fracs.push((num % surviving, i));
+        }
+        // Highest remainder first; ties broken by the lower device index.
+        fracs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut left = freed - assigned;
+        for &(_, i) in &fracs {
+            if left == 0 {
+                break;
+            }
+            shares[i] += 1;
+            left -= 1;
+        }
+        debug_assert_eq!(left, 0);
+        Some(Partition { shares })
+    }
 }
 
 impl fmt::Display for Partition {
@@ -385,6 +443,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn excluding_redistributes_proportionally_and_deterministically() {
+        // The dead device's share moves to the survivors proportionally.
+        let p = Partition::from_tenths(vec![3, 4, 3]);
+        assert_eq!(p.excluding(&[1]).unwrap().shares(), &[5, 0, 5]);
+        assert_eq!(p.excluding(&[2]).unwrap().shares(), &[4, 6, 0]);
+        // Largest-remainder rounding, ties to the lower index.
+        let p = Partition::from_tenths(vec![1, 2, 7]);
+        assert_eq!(p.excluding(&[2]).unwrap().shares(), &[3, 7, 0]);
+        // Excluding an idle device is a no-op.
+        let p = Partition::from_tenths(vec![10, 0, 0]);
+        assert_eq!(p.excluding(&[1]).unwrap(), p);
+        // Every result is a valid partition.
+        for p in Partition::enumerate(3, 1) {
+            for avoid in [vec![0], vec![1], vec![2], vec![0, 1], vec![1, 2]] {
+                let d = p.excluding(&avoid).unwrap();
+                let sum: u32 = d.shares().iter().map(|&s| u32::from(s)).sum();
+                assert_eq!(sum, 10, "{p} excluding {avoid:?} -> {d}");
+                assert!(
+                    avoid.iter().all(|&a| d.shares()[a] == 0),
+                    "{p} excluding {avoid:?} still uses an avoided device: {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn excluding_falls_back_to_first_survivor_and_rejects_total_loss() {
+        // All work sat on the avoided device: lowest-index survivor (the
+        // CPU when alive) takes everything.
+        let p = Partition::from_tenths(vec![0, 10, 0]);
+        assert_eq!(p.excluding(&[1]).unwrap().shares(), &[10, 0, 0]);
+        assert_eq!(p.excluding(&[0, 1]).unwrap().shares(), &[0, 0, 10]);
+        // No survivors at all: no fallback exists.
+        assert_eq!(p.excluding(&[0, 1, 2]), None);
     }
 
     #[test]

@@ -73,6 +73,7 @@ fn main() {
                     inst.args.clone(),
                     inst.bufs.clone(),
                 )
+                .expect("admitted")
                 .wait()
                 .expect("launch succeeds");
             bench

@@ -1,0 +1,278 @@
+//! Chaos suite: the deployment service under seeded fault injection.
+//!
+//! A `FaultPlan` arms deterministic device faults — transient execution
+//! failures, permanent device death, worker-killing panics — and the
+//! service must absorb them: every admitted launch either completes with
+//! outputs **bit-identical** to the fault-free run (retry / degraded
+//! re-plan hid the fault) or resolves its ticket with a typed error.
+//! Nothing hangs, and the same seed reproduces the same recovery story
+//! counter for counter.
+//!
+//! Set `CHAOS_QUICK=1` to run the reduced CI subset of the suite.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use hetpart_core::{
+    collect_training_db, DeployError, FeatureSet, Framework, HarnessConfig, PartitionPredictor,
+    Service, ServiceConfig, ServiceStats,
+};
+use hetpart_ml::{ModelConfig, TreeConfig};
+use hetpart_oclsim::{machines, DeviceFaults, FaultPlan};
+use hetpart_runtime::Executor;
+use hetpart_suite::Benchmark;
+
+fn deployed_framework() -> &'static Framework {
+    static FW: OnceLock<Framework> = OnceLock::new();
+    FW.get_or_init(|| {
+        let benches: Vec<_> = hetpart_suite::all()
+            .into_iter()
+            .filter(|b| ["vec_add", "blackscholes", "sgemm", "spmv_csr"].contains(&b.name))
+            .collect();
+        let cfg = HarnessConfig {
+            sizes_per_benchmark: 2,
+            sample_items: 32,
+            step_tenths: 5,
+            ..HarnessConfig::quick()
+        };
+        let db = collect_training_db(&machines::mc2(), &benches, &cfg).unwrap();
+        let predictor = PartitionPredictor::train(
+            &db,
+            &ModelConfig::Tree(TreeConfig::default()),
+            FeatureSet::Both,
+        );
+        Framework {
+            executor: Executor::new(machines::mc2()),
+            predictor,
+        }
+    })
+}
+
+fn chaos_suite() -> Vec<Benchmark> {
+    let quick = std::env::var_os("CHAOS_QUICK").is_some_and(|v| v != "0" && !v.is_empty());
+    let all = hetpart_suite::all();
+    if quick {
+        // CI subset: skewed towards benchmarks whose mid-size predictions
+        // route work to the GPUs, so the fault plan actually bites.
+        const QUICK: [&str; 8] = [
+            "vec_add",
+            "sgemm",
+            "mvt",
+            "bicg",
+            "syrk",
+            "nbody",
+            "monte_carlo_pi",
+            "blackscholes",
+        ];
+        all.into_iter()
+            .filter(|b| QUICK.contains(&b.name))
+            .collect()
+    } else {
+        all
+    }
+}
+
+/// The canonical chaos plan of this suite: one GPU dies permanently the
+/// first time it is used, the other GPU glitches transiently on ~25% of
+/// its launches and runs 3x slow besides. The CPU stays healthy so a
+/// last-resort re-plan always exists.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        faults: vec![
+            DeviceFaults {
+                transient_rate: 0.25,
+                slowdown: 3.0,
+                ..DeviceFaults::none(1)
+            },
+            DeviceFaults {
+                dies_at_launch: Some(0),
+                ..DeviceFaults::none(2)
+            },
+        ],
+    }
+}
+
+fn chaos_config(plan: FaultPlan) -> ServiceConfig {
+    ServiceConfig {
+        // One worker + sequential submit→wait keeps the per-device launch
+        // ordinals (and so every fault verdict) a pure function of the
+        // seed and submission order.
+        workers: 1,
+        // Breakers trip on wall-clock cooldowns, which would make the
+        // recovery story timing-dependent; the chaos determinism suite
+        // disables them and leans on retry + re-plan alone.
+        breaker_threshold: 0,
+        backoff_base: Duration::ZERO,
+        fault_plan: Some(plan),
+        ..ServiceConfig::default()
+    }
+}
+
+/// Run every chaos-suite benchmark through a freshly armed service,
+/// asserting each launch completes bit-identical to its fault-free
+/// reference. Returns the final stats and the served output buffers.
+fn serve_suite_under_chaos(seed: u64) -> (ServiceStats, Vec<Vec<hetpart_inspire::vm::BufferData>>) {
+    let fw = deployed_framework();
+    let service = Service::new(fw.clone(), chaos_config(chaos_plan(seed))).unwrap();
+    assert!(service.fault_state().is_some(), "chaos plan must be armed");
+    let mut outputs = Vec::new();
+    for bench in chaos_suite() {
+        let kernel = Arc::new(bench.compile());
+        let inst = bench.instance(bench.sizes[bench.sizes.len() / 2]);
+
+        // Fault-free reference through the plain deployment path.
+        let mut reference = inst.bufs.clone();
+        fw.run_auto(&kernel, &inst.nd, &inst.args, &mut reference)
+            .unwrap_or_else(|e| panic!("{}: fault-free reference failed: {e}", bench.name));
+
+        let served = service
+            .submit(
+                kernel,
+                inst.nd.clone(),
+                inst.args.clone(),
+                inst.bufs.clone(),
+            )
+            .expect("admitted")
+            .wait()
+            .unwrap_or_else(|e| panic!("{}: chaos launch failed: {e}", bench.name));
+        assert_eq!(
+            served.bufs, reference,
+            "{}: outputs under faults must be bit-identical to the fault-free run",
+            bench.name
+        );
+        outputs.push(served.bufs);
+    }
+    let stats = service.stats();
+    service.shutdown();
+    (stats, outputs)
+}
+
+/// The chaos gate: one device dead, ≥5% transients on another — the
+/// service completes 100% of admitted launches, bit-identical to the
+/// fault-free run, and the faults demonstrably fired.
+#[test]
+fn seeded_faults_are_absorbed_bit_identically_across_the_suite() {
+    let (stats, _) = serve_suite_under_chaos(42);
+    let launches = chaos_suite().len() as u64;
+    assert_eq!(stats.completed, launches, "every admitted launch completes");
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.sheds, 0);
+    assert_eq!(stats.worker_panics, 0);
+    // The plan must actually have bitten: the dead GPU forced re-plans
+    // (benchmarks whose prediction used device 2), and transients forced
+    // retries. Both are deterministic functions of the seed; if a future
+    // predictor change routes around the faulty devices entirely, pick a
+    // different seed rather than weakening the gate.
+    assert_eq!(stats.dead_devices, 1, "device 2 must have died");
+    assert!(stats.replans >= 1, "death must have forced a re-plan");
+    assert!(stats.retries >= 1, "transients must have forced retries");
+}
+
+/// Same seed ⇒ identical recovery story: stats counters and outputs
+/// reproduce bit for bit across two independent service instances.
+#[test]
+fn same_seed_reproduces_identical_stats_and_outputs() {
+    let (a_stats, a_out) = serve_suite_under_chaos(1729);
+    let (b_stats, b_out) = serve_suite_under_chaos(1729);
+    let fingerprint = |s: &ServiceStats| {
+        (
+            s.submitted,
+            s.completed,
+            s.errors,
+            s.sheds,
+            s.retries,
+            s.replans,
+            s.worker_panics,
+            s.dead_devices,
+        )
+    };
+    assert_eq!(fingerprint(&a_stats), fingerprint(&b_stats));
+    assert_eq!(a_out, b_out);
+    // A different seed tells a different story (same completions, but the
+    // injected-fault counters differ) — the seed is live, not decorative.
+    // Seed 42 is known to force retries (the gate test asserts so); 1729
+    // happens not to, which is exactly the contrast we want.
+    let (c_stats, c_out) = serve_suite_under_chaos(42);
+    assert_eq!(c_stats.completed, a_stats.completed);
+    assert_eq!(c_out, a_out, "outputs never depend on the seed");
+    assert_ne!(
+        (a_stats.retries, a_stats.replans),
+        (c_stats.retries, c_stats.replans),
+        "different seeds should fault differently (if this ever collides, change seeds)"
+    );
+}
+
+/// A worker panic mid-job resolves that ticket with a typed error and
+/// leaves the service serving — no poisoned locks, no hangs.
+#[test]
+fn injected_worker_panics_resolve_tickets_and_service_survives() {
+    let fw = deployed_framework();
+    // Every device panics the first time it executes a chunk.
+    let plan = FaultPlan {
+        seed: 99,
+        faults: (0..3)
+            .map(|d| DeviceFaults {
+                panics_at_launch: Some(0),
+                ..DeviceFaults::none(d)
+            })
+            .collect(),
+    };
+    let service = Service::new(fw.clone(), chaos_config(plan)).unwrap();
+    let bench = hetpart_suite::by_name("vec_add").unwrap();
+    let kernel = Arc::new(bench.compile());
+    let inst = bench.instance(bench.sizes[bench.sizes.len() / 2]);
+
+    // Each panic fires once per device; after at most one panicky launch
+    // per device the same submission must succeed.
+    let mut panics = 0;
+    let mut served = None;
+    for _ in 0..4 {
+        match service
+            .submit(
+                Arc::clone(&kernel),
+                inst.nd.clone(),
+                inst.args.clone(),
+                inst.bufs.clone(),
+            )
+            .expect("admitted")
+            .wait()
+        {
+            Ok(s) => {
+                served = Some(s);
+                break;
+            }
+            Err(DeployError::Worker(msg)) => {
+                assert!(msg.contains("injected fault"), "unexpected panic: {msg}");
+                panics += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    let served = served.expect("service must recover once the panics burn off");
+    bench
+        .check_outputs(&inst, &served.bufs)
+        .unwrap_or_else(|e| panic!("{e}"));
+    assert!(panics >= 1, "the panic plan must have fired");
+    let stats = service.stats();
+    assert_eq!(stats.worker_panics, panics);
+    assert_eq!(stats.errors, panics);
+    // The service is still fully operational for other kernels too.
+    let other = hetpart_suite::by_name("triad").unwrap();
+    let oinst = other.instance(other.smallest_size());
+    let okernel = Arc::new(other.compile());
+    let s = service
+        .submit(
+            okernel,
+            oinst.nd.clone(),
+            oinst.args.clone(),
+            oinst.bufs.clone(),
+        )
+        .expect("admitted")
+        .wait()
+        .expect("panic-free launch serves normally");
+    other
+        .check_outputs(&oinst, &s.bufs)
+        .unwrap_or_else(|e| panic!("{e}"));
+    service.shutdown();
+}

@@ -1,0 +1,90 @@
+//! The `SERVE_FAULTS=0` escape hatch: with the variable set, a service
+//! configured with a live `FaultPlan` must come up *disarmed* and serve
+//! launches exactly like a fault-free service.
+//!
+//! This lives in its own integration-test binary because the env var is
+//! process-global: the main chaos suite must never see it.
+
+use std::sync::Arc;
+
+use hetpart_core::{
+    collect_training_db, FeatureSet, Framework, HarnessConfig, PartitionPredictor, Service,
+    ServiceConfig,
+};
+use hetpart_ml::{ModelConfig, TreeConfig};
+use hetpart_oclsim::{machines, DeviceFaults, FaultPlan};
+use hetpart_runtime::Executor;
+
+#[test]
+fn serve_faults_0_disarms_a_live_fault_plan() {
+    // Set before any service exists; this whole binary runs one test.
+    std::env::set_var("SERVE_FAULTS", "0");
+
+    let benches: Vec<_> = hetpart_suite::all()
+        .into_iter()
+        .filter(|b| ["vec_add", "blackscholes"].contains(&b.name))
+        .collect();
+    let cfg = HarnessConfig {
+        sizes_per_benchmark: 2,
+        sample_items: 32,
+        step_tenths: 5,
+        ..HarnessConfig::quick()
+    };
+    let db = collect_training_db(&machines::mc2(), &benches, &cfg).unwrap();
+    let predictor = PartitionPredictor::train(
+        &db,
+        &ModelConfig::Tree(TreeConfig::default()),
+        FeatureSet::Both,
+    );
+    let fw = Framework {
+        executor: Executor::new(machines::mc2()),
+        predictor,
+    };
+
+    // A plan that would otherwise kill every device on its first launch.
+    let plan = FaultPlan {
+        seed: 1,
+        faults: (0..3)
+            .map(|d| DeviceFaults {
+                dies_at_launch: Some(0),
+                ..DeviceFaults::none(d)
+            })
+            .collect(),
+    };
+    let service = Service::new(
+        fw.clone(),
+        ServiceConfig {
+            fault_plan: Some(plan),
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        service.fault_state().is_none(),
+        "SERVE_FAULTS=0 must leave the plan disarmed"
+    );
+
+    // And launches behave exactly like the fault-free reference path.
+    let bench = hetpart_suite::by_name("vec_add").unwrap();
+    let kernel = Arc::new(bench.compile());
+    let inst = bench.instance(bench.smallest_size());
+    let mut reference = inst.bufs.clone();
+    fw.run_auto(&kernel, &inst.nd, &inst.args, &mut reference)
+        .unwrap();
+    let served = service
+        .submit(
+            kernel,
+            inst.nd.clone(),
+            inst.args.clone(),
+            inst.bufs.clone(),
+        )
+        .expect("admitted")
+        .wait()
+        .expect("faults disarmed, launch must succeed");
+    assert_eq!(served.bufs, reference);
+    let stats = service.stats();
+    assert_eq!(stats.dead_devices, 0);
+    assert_eq!(stats.retries, 0);
+    assert_eq!(stats.replans, 0);
+    service.shutdown();
+}

@@ -71,12 +71,14 @@ fn concurrent_service_is_bit_identical_to_serial_run_auto_for_every_benchmark() 
     let tickets: Vec<_> = serial
         .iter()
         .map(|(kernel, inst, _, _)| {
-            service.submit(
-                Arc::clone(kernel),
-                inst.nd.clone(),
-                inst.args.clone(),
-                inst.bufs.clone(),
-            )
+            service
+                .submit(
+                    Arc::clone(kernel),
+                    inst.nd.clone(),
+                    inst.args.clone(),
+                    inst.bufs.clone(),
+                )
+                .expect("admitted")
         })
         .collect();
 
@@ -123,6 +125,7 @@ fn cache_hits_match_their_cold_miss_twins() {
                 inst.args.clone(),
                 inst.bufs.clone(),
             )
+            .expect("admitted")
             .wait()
             .unwrap_or_else(|e| panic!("{}: cold launch failed: {e}", bench.name));
         assert!(!cold.cache_hit, "{}: first launch must miss", bench.name);
@@ -133,6 +136,7 @@ fn cache_hits_match_their_cold_miss_twins() {
                 inst.args.clone(),
                 inst.bufs.clone(),
             )
+            .expect("admitted")
             .wait()
             .unwrap_or_else(|e| panic!("{}: warm launch failed: {e}", bench.name));
         assert!(warm.cache_hit, "{}: repeat launch must hit", bench.name);
@@ -161,12 +165,14 @@ fn result_memo_is_bit_identical_across_the_suite() {
         let kernel = Arc::new(bench.compile());
         let inst = bench.instance(bench.smallest_size());
         let submit = || {
-            service.submit(
-                Arc::clone(&kernel),
-                inst.nd.clone(),
-                inst.args.clone(),
-                inst.bufs.clone(),
-            )
+            service
+                .submit(
+                    Arc::clone(&kernel),
+                    inst.nd.clone(),
+                    inst.args.clone(),
+                    inst.bufs.clone(),
+                )
+                .expect("admitted")
         };
         let cold = submit().wait().unwrap();
         assert!(!cold.result_hit, "{}", bench.name);
