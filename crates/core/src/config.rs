@@ -1,6 +1,6 @@
 //! Harness configuration shared by training and evaluation.
 
-use hetpart_inspire::OptLevel;
+use hetpart_inspire::{OptLevel, RegAlloc};
 use hetpart_ml::{MlpConfig, ModelConfig};
 use hetpart_oclsim::{machines, Machine};
 use hetpart_runtime::SweepMode;
@@ -28,6 +28,11 @@ pub struct HarnessConfig {
     /// the bytecode (and therefore simulated times and oracle labels), so
     /// it participates in [`HarnessConfig::oracle_fingerprint`].
     pub opt_level: OptLevel,
+    /// Backend register-allocation + pre-decode tier. Renaming registers
+    /// keeps the dynamic behaviour bit-identical, but it rewrites the
+    /// bytecode (and the kernel fingerprints the prediction cache keys
+    /// on), so it participates in [`HarnessConfig::oracle_fingerprint`].
+    pub regalloc: RegAlloc,
     /// The prediction model.
     pub model: ModelConfig,
     /// Global seed.
@@ -45,6 +50,7 @@ impl HarnessConfig {
             sample_items: 128,
             sizes_per_benchmark: usize::MAX,
             opt_level: OptLevel::from_env(),
+            regalloc: RegAlloc::from_env(),
             model: ModelConfig::Mlp(MlpConfig::default()),
             seed: 0xC0FFEE,
         }
@@ -60,6 +66,7 @@ impl HarnessConfig {
             sample_items: 48,
             sizes_per_benchmark: 3,
             opt_level: OptLevel::from_env(),
+            regalloc: RegAlloc::from_env(),
             model: ModelConfig::Mlp(MlpConfig {
                 hidden: vec![16],
                 epochs: 120,
@@ -83,11 +90,12 @@ impl HarnessConfig {
     /// through it every simulated time and oracle label.
     pub fn oracle_fingerprint(&self) -> String {
         format!(
-            "step_tenths={};sample_items={};sweep_mode={:?};opt={}",
+            "step_tenths={};sample_items={};sweep_mode={:?};opt={};ra={}",
             self.step_tenths,
             self.sample_items,
             self.sweep_mode,
-            self.opt_level.tag()
+            self.opt_level.tag(),
+            self.regalloc.tag()
         )
     }
 }

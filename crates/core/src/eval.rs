@@ -172,7 +172,7 @@ fn dynsched_record_times(
                 .expect("record program is in the suite");
             let kernel = compiled
                 .entry(r.program.as_str())
-                .or_insert_with(|| bench.compile_with_opt(ctx.cfg.opt_level));
+                .or_insert_with(|| bench.compile_with_modes(ctx.cfg.opt_level, ctx.cfg.regalloc));
             let inst = bench.instance(r.size);
             let launch = Launch::new(kernel, inst.nd.clone(), inst.args.clone());
             dynamic_schedule(&executor, &launch, &inst.bufs, DynSchedConfig::default())

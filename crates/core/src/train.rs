@@ -228,7 +228,7 @@ fn collect_into(
     // problem size's launch below.
     let kernels: Vec<CompiledKernel> = benchmarks
         .par_iter()
-        .map(|bench| bench.compile_with_opt(cfg.opt_level))
+        .map(|bench| bench.compile_with_modes(cfg.opt_level, cfg.regalloc))
         .collect();
 
     let work: Vec<(usize, usize)> = benchmarks

@@ -410,6 +410,13 @@ pub struct Function {
     /// successor/predecessor graphs and reverse post-order are exposed for
     /// further analyses.
     pub cfg: crate::cfg::CfgInfo,
+    /// Pre-decoded direct-threaded form of `blocks` (flat op array with
+    /// pre-resolved registers, immediates, and span offsets). Present only
+    /// when the backend tier ran ([`RegAlloc::On`](crate::opt::RegAlloc)
+    /// at an enabled [`OptLevel`](crate::opt::OptLevel)); both VM engines
+    /// prefer it over the enum blocks when set. Always semantically
+    /// identical to `blocks`.
+    pub(crate) decoded: Option<crate::opt::decode::DecodedProgram>,
 }
 
 impl Function {
@@ -420,22 +427,45 @@ impl Function {
 }
 
 /// Compile a type-checked kernel to bytecode at the optimization level
-/// selected by the environment (`INSPIRE_OPT=0` disables the optimizer).
+/// and backend mode selected by the environment (`INSPIRE_OPT=0` disables
+/// the optimizer, `INSPIRE_REGALLOC=0` the register-allocation/decoded-
+/// dispatch tier).
 pub fn compile(k: &Kernel) -> Result<Function, CompileError> {
-    compile_with_opt(k, crate::opt::OptLevel::from_env())
+    compile_with_modes(
+        k,
+        crate::opt::OptLevel::from_env(),
+        crate::opt::RegAlloc::from_env(),
+    )
 }
 
 /// Compile a type-checked kernel to bytecode at an explicit optimization
 /// level. [`OptLevel::None`](crate::opt::OptLevel::None) yields the naive
 /// per-statement codegen output untouched — the reference the differential
-/// suite compares optimized execution against.
+/// suite compares optimized execution against. The backend tier follows
+/// the environment (`INSPIRE_REGALLOC=0` disables it).
 pub fn compile_with_opt(k: &Kernel, level: crate::opt::OptLevel) -> Result<Function, CompileError> {
+    compile_with_modes(k, level, crate::opt::RegAlloc::from_env())
+}
+
+/// Compile a type-checked kernel to bytecode at an explicit optimization
+/// level and backend mode. The backend tier (liveness-driven register
+/// allocation + pre-decoded direct-threaded dispatch) runs only when the
+/// optimizer is enabled *and* `regalloc` is [`RegAlloc::On`]; at
+/// [`OptLevel::None`] the naive codegen output is always left untouched.
+///
+/// [`RegAlloc::On`]: crate::opt::RegAlloc::On
+/// [`OptLevel::None`]: crate::opt::OptLevel::None
+pub fn compile_with_modes(
+    k: &Kernel,
+    level: crate::opt::OptLevel,
+    regalloc: crate::opt::RegAlloc,
+) -> Result<Function, CompileError> {
     let mut c = Compiler::new(k)?;
     for s in &k.body {
         c.stmt(s)?;
     }
     c.terminate(Terminator::Ret);
-    c.finish(k, level)
+    c.finish(k, level, regalloc)
 }
 
 const MAX_REGS: u32 = u16::MAX as u32;
@@ -467,16 +497,25 @@ enum Reg {
 }
 
 impl Reg {
-    fn i(self) -> u16 {
+    /// The I-file register number. A class mismatch here means sema let a
+    /// float value reach an integer position — surfaced as a typed
+    /// [`CompileError`] so a codegen bug fails the compile instead of
+    /// aborting the process (and with it a whole rayon sweep worker).
+    fn i(self) -> Result<u16, CompileError> {
         match self {
-            Reg::I(r) => r,
-            Reg::F(_) => unreachable!("expected I register"),
+            Reg::I(r) => Ok(r),
+            Reg::F(r) => Err(CompileError::codegen(format!(
+                "register class mismatch: expected I register, found f{r}"
+            ))),
         }
     }
-    fn f(self) -> u16 {
+    /// The F-file register number (see [`Reg::i`]).
+    fn f(self) -> Result<u16, CompileError> {
         match self {
-            Reg::F(r) => r,
-            Reg::I(_) => unreachable!("expected F register"),
+            Reg::F(r) => Ok(r),
+            Reg::I(r) => Err(CompileError::codegen(format!(
+                "register class mismatch: expected F register, found i{r}"
+            ))),
         }
     }
 }
@@ -626,7 +665,7 @@ impl<'a> Compiler<'a> {
                     Ok(())
                 }),
             Stmt::Store { buf, index, value } => self.with_temp_scope(|c| {
-                let idx = c.expr(index)?.i();
+                let idx = c.expr(index)?.i()?;
                 let val = c.expr(value)?;
                 let b = buf.0 as u16;
                 match val {
@@ -649,7 +688,7 @@ impl<'a> Compiler<'a> {
                     // materialize it into a fresh temp *outside* the scope
                     // of subexpression temps. Since the branch consumes it
                     // immediately at the end of this block, reuse is safe.
-                    Ok(c.expr(cond)?.i())
+                    c.expr(cond)?.i()
                 })?;
                 let then_bb = self.new_block();
                 let els_bb = self.new_block();
@@ -678,7 +717,7 @@ impl<'a> Compiler<'a> {
                 let exit = self.new_block();
                 self.terminate(Terminator::Jump(head));
                 self.switch_to(head);
-                let cond_reg = self.with_temp_scope(|c| Ok(c.expr(cond)?.i()))?;
+                let cond_reg = self.with_temp_scope(|c| c.expr(cond)?.i())?;
                 self.terminate(Terminator::Branch {
                     cond: cond_reg,
                     then: body_bb,
@@ -711,7 +750,7 @@ impl<'a> Compiler<'a> {
                 self.switch_to(head);
                 match cond {
                     Some(c) => {
-                        let r = self.with_temp_scope(|cc| Ok(cc.expr(c)?.i()))?;
+                        let r = self.with_temp_scope(|cc| cc.expr(c)?.i())?;
                         self.terminate(Terminator::Branch {
                             cond: r,
                             then: body_bb,
@@ -874,14 +913,14 @@ impl<'a> Compiler<'a> {
                         let dst = self.temp_i()?;
                         self.emit(Instr::CastFI {
                             dst,
-                            a: o.f(),
+                            a: o.f()?,
                             unsigned: t == ScalarType::UInt,
                         });
                         Ok(Reg::I(dst))
                     }
                     (src, ScalarType::Float) if src.is_integer() || src == ScalarType::Bool => {
                         let dst = self.temp_f()?;
-                        self.emit(Instr::CastIF { dst, a: o.i() });
+                        self.emit(Instr::CastIF { dst, a: o.i()? });
                         Ok(Reg::F(dst))
                     }
                     (a, b)
@@ -891,7 +930,7 @@ impl<'a> Compiler<'a> {
                         let dst = self.temp_i()?;
                         self.emit(Instr::CastII {
                             dst,
-                            a: o.i(),
+                            a: o.i()?,
                             to_unsigned: b == ScalarType::UInt,
                         });
                         Ok(Reg::I(dst))
@@ -900,7 +939,7 @@ impl<'a> Compiler<'a> {
                 }
             }
             ExprKind::Load { buf, index } => {
-                let idx = self.expr(index)?.i();
+                let idx = self.expr(index)?.i()?;
                 let b = buf.0 as u16;
                 let ParamKind::Buffer { elem, .. } = self.k.params[buf.0 as usize].kind else {
                     return Err(CompileError::codegen("load from non-buffer"));
@@ -918,7 +957,7 @@ impl<'a> Compiler<'a> {
             ExprKind::Call { f, args } => self.call(*f, args),
             ExprKind::Select { cond, then, els } => {
                 let dst = self.temp(e.ty)?;
-                let cond_reg = self.expr(cond)?.i();
+                let cond_reg = self.expr(cond)?.i()?;
                 let then_bb = self.new_block();
                 let els_bb = self.new_block();
                 let join = self.new_block();
@@ -929,11 +968,11 @@ impl<'a> Compiler<'a> {
                 });
                 self.switch_to(then_bb);
                 let tv = self.expr(then)?;
-                self.mov(dst, tv);
+                self.mov(dst, tv)?;
                 self.terminate(Terminator::Jump(join));
                 self.switch_to(els_bb);
                 let fv = self.expr(els)?;
-                self.mov(dst, fv);
+                self.mov(dst, fv)?;
                 self.terminate(Terminator::Jump(join));
                 self.switch_to(join);
                 Ok(dst)
@@ -941,12 +980,17 @@ impl<'a> Compiler<'a> {
         }
     }
 
-    fn mov(&mut self, dst: Reg, src: Reg) {
+    fn mov(&mut self, dst: Reg, src: Reg) -> Result<(), CompileError> {
         match (dst, src) {
             (Reg::I(d), Reg::I(s)) => self.emit(Instr::MovI { dst: d, src: s }),
             (Reg::F(d), Reg::F(s)) => self.emit(Instr::MovF { dst: d, src: s }),
-            _ => unreachable!("register class mismatch in mov"),
+            _ => {
+                return Err(CompileError::codegen(format!(
+                    "register class mismatch in mov: {dst:?} = {src:?}"
+                )))
+            }
         }
+        Ok(())
     }
 
     fn binary(
@@ -960,7 +1004,7 @@ impl<'a> Compiler<'a> {
         // Short-circuit logical operators compile to control flow.
         if matches!(op, LogAnd | LogOr) {
             let dst = self.temp_i()?;
-            let l = self.expr(lhs)?.i();
+            let l = self.expr(lhs)?.i()?;
             let rhs_bb = self.new_block();
             let join = self.new_block();
             let short_val = i64::from(op == LogOr);
@@ -972,7 +1016,7 @@ impl<'a> Compiler<'a> {
             };
             self.terminate(Terminator::Branch { cond: l, then, els });
             self.switch_to(rhs_bb);
-            let r = self.expr(rhs)?.i();
+            let r = self.expr(rhs)?.i()?;
             self.emit(Instr::MovI { dst, src: r });
             self.terminate(Terminator::Jump(join));
             self.switch_to(join);
@@ -994,8 +1038,8 @@ impl<'a> Compiler<'a> {
                 self.emit(Instr::FBin {
                     op: fop,
                     dst,
-                    a: l.f(),
-                    b: r.f(),
+                    a: l.f()?,
+                    b: r.f()?,
                 });
                 Ok(Reg::F(dst))
             }
@@ -1016,8 +1060,8 @@ impl<'a> Compiler<'a> {
                 self.emit(Instr::IBin {
                     op: iop,
                     dst,
-                    a: l.i(),
-                    b: r.i(),
+                    a: l.i()?,
+                    b: r.i()?,
                     unsigned: result_ty == ScalarType::UInt || lhs.ty == ScalarType::UInt,
                 });
                 Ok(Reg::I(dst))
@@ -1036,15 +1080,15 @@ impl<'a> Compiler<'a> {
                     self.emit(Instr::CmpF {
                         op: cop,
                         dst,
-                        a: l.f(),
-                        b: r.f(),
+                        a: l.f()?,
+                        b: r.f()?,
                     });
                 } else {
                     self.emit(Instr::CmpI {
                         op: cop,
                         dst,
-                        a: l.i(),
-                        b: r.i(),
+                        a: l.i()?,
+                        b: r.i()?,
                     });
                 }
                 Ok(Reg::I(dst))
@@ -1078,7 +1122,7 @@ impl<'a> Compiler<'a> {
                 self.emit(Instr::Math1 {
                     f: m1(f),
                     dst,
-                    a: regs[0].f(),
+                    a: regs[0].f()?,
                 });
                 Ok(Reg::F(dst))
             }
@@ -1093,8 +1137,8 @@ impl<'a> Compiler<'a> {
                 self.emit(Instr::Math2 {
                     f: f2,
                     dst,
-                    a: regs[0].f(),
-                    b: regs[1].f(),
+                    a: regs[0].f()?,
+                    b: regs[1].f()?,
                 });
                 Ok(Reg::F(dst))
             }
@@ -1102,14 +1146,14 @@ impl<'a> Compiler<'a> {
                 let dst = self.temp_i()?;
                 let i = Instr::IMin {
                     dst,
-                    a: regs[0].i(),
-                    b: regs[1].i(),
+                    a: regs[0].i()?,
+                    b: regs[1].i()?,
                 };
                 let i = if f == IMax {
                     Instr::IMax {
                         dst,
-                        a: regs[0].i(),
-                        b: regs[1].i(),
+                        a: regs[0].i()?,
+                        b: regs[1].i()?,
                     }
                 } else {
                     i
@@ -1121,7 +1165,7 @@ impl<'a> Compiler<'a> {
                 let dst = self.temp_i()?;
                 self.emit(Instr::IAbs {
                     dst,
-                    a: regs[0].i(),
+                    a: regs[0].i()?,
                 });
                 Ok(Reg::I(dst))
             }
@@ -1130,14 +1174,14 @@ impl<'a> Compiler<'a> {
                 let t = self.temp_i()?;
                 self.emit(Instr::IMax {
                     dst: t,
-                    a: regs[0].i(),
-                    b: regs[1].i(),
+                    a: regs[0].i()?,
+                    b: regs[1].i()?,
                 });
                 let dst = self.temp_i()?;
                 self.emit(Instr::IMin {
                     dst,
                     a: t,
-                    b: regs[2].i(),
+                    b: regs[2].i()?,
                 });
                 Ok(Reg::I(dst))
             }
@@ -1146,23 +1190,29 @@ impl<'a> Compiler<'a> {
                 self.emit(Instr::Math2 {
                     f: MathFn2::Fmax,
                     dst: t,
-                    a: regs[0].f(),
-                    b: regs[1].f(),
+                    a: regs[0].f()?,
+                    b: regs[1].f()?,
                 });
                 let dst = self.temp_f()?;
                 self.emit(Instr::Math2 {
                     f: MathFn2::Fmin,
                     dst,
                     a: t,
-                    b: regs[2].f(),
+                    b: regs[2].f()?,
                 });
                 Ok(Reg::F(dst))
             }
         }
     }
 
-    fn finish(self, k: &Kernel, level: crate::opt::OptLevel) -> Result<Function, CompileError> {
+    fn finish(
+        self,
+        k: &Kernel,
+        level: crate::opt::OptLevel,
+        regalloc: crate::opt::RegAlloc,
+    ) -> Result<Function, CompileError> {
         let n_params = k.params.len();
+        let mut params = self.params;
         let mut blocks = self
             .blocks
             .into_iter()
@@ -1182,15 +1232,36 @@ impl<'a> Compiler<'a> {
             .collect::<Vec<Block>>();
         let mut n_iregs = self.max_i.min(MAX_REGS) as u16;
         let mut n_fregs = self.max_f.min(MAX_REGS) as u16;
+        let mut decoded = None;
         if level.enabled() {
-            blocks = crate::opt::optimize(&k.name, blocks, &self.params, n_params, level);
+            blocks = crate::opt::optimize(&k.name, blocks, &params, n_params, level);
             // Trailing registers the optimized code no longer touches need
             // no register-file slots — but parameter registers must stay
             // allocated even when unused: argument binding writes them
             // unconditionally.
-            let (ni, nf) = crate::opt::reg_span(&blocks, &self.params);
+            let (ni, nf) = crate::opt::reg_span(&blocks, &params);
             n_iregs = ni.min(n_iregs);
             n_fregs = nf.min(n_fregs);
+            if regalloc.enabled() {
+                let (ni, nf) =
+                    crate::opt::regalloc::allocate(&mut blocks, &mut params, n_iregs, n_fregs);
+                n_iregs = ni;
+                n_fregs = nf;
+                for b in &mut blocks {
+                    b.recompute_histo(n_params);
+                }
+                let dec = crate::opt::decode::decode(&blocks);
+                if crate::opt::dump_enabled() {
+                    eprintln!(
+                        "[inspire-opt] {}: after regalloc (iregs={n_iregs}, fregs={n_fregs}, \
+                         decoded_ops={})\n{}",
+                        k.name,
+                        dec.ops.len(),
+                        crate::pretty::disasm_blocks_spanned(&blocks, Some(&dec.spans))
+                    );
+                }
+                decoded = Some(dec);
+            }
         }
         // Re-run the CFG analyses on the final block list so SIMT
         // reconvergence (post-dominators) and replay (live-ins) see the
@@ -1198,11 +1269,12 @@ impl<'a> Compiler<'a> {
         let cfg = crate::cfg::CfgInfo::build(&blocks, n_iregs, n_fregs);
         Ok(Function {
             name: k.name.clone(),
-            params: self.params,
+            params,
             blocks,
             n_iregs,
             n_fregs,
             cfg,
+            decoded,
         })
     }
 }

@@ -66,7 +66,7 @@ pub use bytecode::Function;
 pub use error::{CompileError, VmError};
 pub use features::StaticFeatures;
 pub use ir::{Kernel, NdRange, ScalarType};
-pub use opt::OptLevel;
+pub use opt::{OptLevel, RegAlloc};
 
 /// A fully compiled kernel: typed IR plus every analysis product the
 /// runtime and the machine-learning pipeline consume.
@@ -111,9 +111,19 @@ pub fn compile(src: &str) -> Result<CompiledKernel, CompileError> {
     compile_with_opt(src, OptLevel::from_env())
 }
 
-/// [`compile`] at an explicit optimization level.
+/// [`compile`] at an explicit optimization level (the backend
+/// register-allocation tier follows the environment).
 pub fn compile_with_opt(src: &str, level: OptLevel) -> Result<CompiledKernel, CompileError> {
-    let kernels = compile_all_with_opt(src, level)?;
+    compile_with_modes(src, level, RegAlloc::from_env())
+}
+
+/// [`compile`] at an explicit optimization level and backend mode.
+pub fn compile_with_modes(
+    src: &str,
+    level: OptLevel,
+    regalloc: RegAlloc,
+) -> Result<CompiledKernel, CompileError> {
+    let kernels = compile_all_with_modes(src, level, regalloc)?;
     match kernels.len() {
         1 => Ok(kernels.into_iter().next().expect("len checked")),
         n => Err(CompileError::other(format!(
@@ -132,6 +142,15 @@ pub fn compile_all_with_opt(
     src: &str,
     level: OptLevel,
 ) -> Result<Vec<CompiledKernel>, CompileError> {
+    compile_all_with_modes(src, level, RegAlloc::from_env())
+}
+
+/// [`compile_all`] at an explicit optimization level and backend mode.
+pub fn compile_all_with_modes(
+    src: &str,
+    level: OptLevel,
+    regalloc: RegAlloc,
+) -> Result<Vec<CompiledKernel>, CompileError> {
     let tokens = lexer::lex(src)?;
     let program = parser::parse(&tokens)?;
     program
@@ -141,7 +160,7 @@ pub fn compile_all_with_opt(
             let ir = sema::analyze(&k)?;
             let static_features = features::extract(&ir);
             let access = access::analyze(&ir);
-            let bytecode = bytecode::compile_with_opt(&ir, level)?;
+            let bytecode = bytecode::compile_with_modes(&ir, level, regalloc)?;
             let fingerprint = fnv1a(
                 format!(
                     "{}\u{0}{:?}\u{0}{:?}",
@@ -215,6 +234,26 @@ mod tests {
         let an = compile_with_opt(clean, OptLevel::None).unwrap();
         let bn = compile_with_opt(with_dead, OptLevel::None).unwrap();
         assert_ne!(an.fingerprint, bn.fingerprint);
+    }
+
+    #[test]
+    fn regalloc_mode_changes_the_fingerprint() {
+        // Register allocation rewrites the blocks, so the fingerprint —
+        // FNV over params + blocks — distinguishes the two modes whenever
+        // the allocation is not the identity (this kernel has a
+        // collapsible temp chain, so it is not).
+        let src = "kernel void k(global const float* a, global float* o, int n) {
+            int i = get_global_id(0);
+            float x = a[i % n];
+            float y = x * 2.0;
+            float z = y + 1.0;
+            if (i < n) { o[i] = z; }
+        }";
+        let on = compile_with_modes(src, OptLevel::Full, RegAlloc::On).unwrap();
+        let off = compile_with_modes(src, OptLevel::Full, RegAlloc::Off).unwrap();
+        assert_ne!(on.fingerprint, off.fingerprint);
+        assert!(on.bytecode.n_fregs <= off.bytecode.n_fregs);
+        assert_eq!(on.bytecode.num_instrs(), off.bytecode.num_instrs());
     }
 
     #[test]

@@ -33,6 +33,14 @@
 //! cost features consume can never drift from the instructions executed.
 //! Set `INSPIRE_DUMP_IR=1` to dump the disassembly after every pass, and
 //! `INSPIRE_OPT=0` to disable the pipeline entirely.
+//!
+//! After the pass pipeline a separate **backend tier** runs (see
+//! [`regalloc`] and [`decode`]): liveness-driven linear-scan register
+//! allocation shrinks both register files to their true maximum live
+//! width, and the allocated blocks are pre-decoded into a flat
+//! direct-threaded op array that the VM hot loops execute instead of
+//! matching on the nested instruction enum. `INSPIRE_REGALLOC=0`
+//! disables that tier independently of the pass pipeline.
 
 use crate::bytecode::{Block, FnParam, Instr, Terminator};
 use crate::cfg::{reg_def, reg_uses, term_uses};
@@ -42,8 +50,12 @@ use std::cell::Cell;
 mod const_fold;
 mod copy_prop;
 mod dce;
+pub(crate) mod decode;
 mod fuse;
+pub(crate) mod regalloc;
 mod simplify_cfg;
+
+pub use regalloc::RegAlloc;
 
 /// How hard the compiler optimizes. Threaded through
 /// `HarnessConfig` and folded into the oracle fingerprint, because the
@@ -138,7 +150,7 @@ pub(crate) fn optimize(
     blocks
 }
 
-fn dump_enabled() -> bool {
+pub(crate) fn dump_enabled() -> bool {
     matches!(std::env::var_os("INSPIRE_DUMP_IR"), Some(v) if v != "0" && !v.is_empty())
 }
 

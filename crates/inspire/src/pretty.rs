@@ -239,23 +239,44 @@ impl<'a> Printer<'a> {
 
 /// Disassemble compiled bytecode: a header line with the register-file
 /// sizes, then every block with one instruction per line.
+///
+/// Register numbers are the final (allocated) ones: after the backend
+/// tier runs, the blocks hold the renamed registers, so the listing shows
+/// the allocation. When the function carries a pre-decoded program, each
+/// block label is annotated with its span — the op offsets of the flat
+/// direct-threaded array the hot loops actually execute (and the decoded
+/// jump target of every edge into that block).
 pub fn disasm(f: &Function) -> String {
+    let spans = f.decoded.as_ref().map(|d| d.spans.as_slice());
     format!(
         "fn {}(params={}, iregs={}, fregs={})\n{}",
         f.name,
         f.params.len(),
         f.n_iregs,
         f.n_fregs,
-        disasm_blocks(&f.blocks)
+        disasm_blocks_spanned(&f.blocks, spans)
     )
 }
 
 /// Disassemble a bare block list (used by the optimizer's per-pass dump,
 /// where no [`Function`] exists yet).
 pub(crate) fn disasm_blocks(blocks: &[Block]) -> String {
+    disasm_blocks_spanned(blocks, None)
+}
+
+/// [`disasm_blocks`] with optional per-block decoded-op spans to annotate
+/// the labels with (the `INSPIRE_DUMP_IR=1` after-regalloc dump uses it).
+pub(crate) fn disasm_blocks_spanned(blocks: &[Block], spans: Option<&[(u32, u32)]>) -> String {
     let mut out = String::new();
     for (i, b) in blocks.iter().enumerate() {
-        let _ = writeln!(out, "bb{i}:");
+        match spans.and_then(|s| s.get(i)) {
+            Some(&(s, e)) => {
+                let _ = writeln!(out, "bb{i}:  ; ops[{s}..{e})");
+            }
+            None => {
+                let _ = writeln!(out, "bb{i}:");
+            }
+        }
         for ins in &b.instrs {
             let _ = writeln!(out, "    {}", fmt_instr(ins));
         }
@@ -471,5 +492,23 @@ mod tests {
         }
         assert!(text.contains("load"), "{text}");
         assert!(text.contains("store"), "{text}");
+    }
+
+    #[test]
+    fn disasm_annotates_decoded_op_offsets() {
+        use crate::{compile_with_modes, OptLevel, RegAlloc};
+        let src = "kernel void sp(global const float* a, global float* o, int n) {
+            int i = get_global_id(0);
+            if (i < n) { o[i] = a[i] + 1.0; }
+        }";
+        // With the backend tier on, every block label carries its span
+        // into the decoded op array; block 0 always starts at op 0.
+        let on = compile_with_modes(src, OptLevel::Full, RegAlloc::On).unwrap();
+        let text = disasm(&on.bytecode);
+        assert!(text.contains("bb0:  ; ops[0.."), "{text}");
+        // Without the tier there is no decoded program and no annotation.
+        let off = compile_with_modes(src, OptLevel::Full, RegAlloc::Off).unwrap();
+        let text = disasm(&off.bytecode);
+        assert!(!text.contains("; ops["), "{text}");
     }
 }

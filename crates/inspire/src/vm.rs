@@ -28,6 +28,7 @@ use crate::bytecode::{
 };
 use crate::error::VmError;
 use crate::ir::{NdRange, ParamKind, ScalarType};
+use crate::opt::decode::{f_eval, i_eval, DecOp, DecodedProgram, OpCode};
 use crate::vm_batch::{CountSink, LaneEngine};
 
 pub use crate::vm_batch::{DivergenceMode, LANES};
@@ -692,6 +693,9 @@ impl Vm {
         counters: &mut Counters,
         steps: &mut u64,
     ) -> Result<(), VmError> {
+        if let Some(dec) = &f.decoded {
+            return self.exec_from_decoded(dec, block, gid, gsize, bmap, bufs, counters, steps);
+        }
         loop {
             counters.block_counts[block] += 1;
             let b = &f.blocks[block];
@@ -731,6 +735,348 @@ impl Vm {
                 Terminator::Ret => return Ok(()),
             }
         }
+    }
+
+    /// [`Vm::exec_from`] over the pre-decoded op array: same block loop,
+    /// counters, step accounting, and terminator evaluation, but the
+    /// instruction walk steps a PC over one contiguous slice with a flat
+    /// one-level dispatch per op.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_from_decoded(
+        &mut self,
+        dec: &DecodedProgram,
+        mut block: usize,
+        gid: [usize; 3],
+        gsize: [usize; 3],
+        bmap: &[usize],
+        bufs: &mut [BufferData],
+        counters: &mut Counters,
+        steps: &mut u64,
+    ) -> Result<(), VmError> {
+        loop {
+            counters.block_counts[block] += 1;
+            *steps += dec.costs[block];
+            if *steps > self.step_limit {
+                return Err(VmError::StepLimitExceeded {
+                    limit: self.step_limit,
+                });
+            }
+            let (s, e) = dec.spans[block];
+            for op in &dec.ops[s as usize..e as usize] {
+                self.exec_dec_op(op, gid, gsize, bmap, bufs)?;
+            }
+            match dec.terms[block] {
+                Terminator::Jump(t) => block = t as usize,
+                Terminator::Branch { cond, then, els } => {
+                    block = if self.iregs[cond as usize] != 0 {
+                        then as usize
+                    } else {
+                        els as usize
+                    };
+                }
+                Terminator::BranchCmp {
+                    op,
+                    float,
+                    a,
+                    b,
+                    then,
+                    els,
+                } => {
+                    let taken = if float {
+                        cmp(op, &self.fregs[a as usize], &self.fregs[b as usize])
+                    } else {
+                        cmp(op, &self.iregs[a as usize], &self.iregs[b as usize])
+                    };
+                    block = if taken { then as usize } else { els as usize };
+                }
+                Terminator::Ret => return Ok(()),
+            }
+        }
+    }
+
+    /// Execute one decoded op, bit-identically to [`Vm::exec_instr`] on
+    /// the corresponding [`Instr`] (integer arms mirror [`int_bin`]).
+    #[inline]
+    fn exec_dec_op(
+        &mut self,
+        op: &DecOp,
+        gid: [usize; 3],
+        gsize: [usize; 3],
+        bmap: &[usize],
+        bufs: &mut [BufferData],
+    ) -> Result<(), VmError> {
+        let d = op.dst as usize;
+        let a = op.a as usize;
+        let b = op.b as usize;
+        match op.code {
+            OpCode::ConstI => self.iregs[d] = op.imm,
+            OpCode::ConstF => self.fregs[d] = op.fimm,
+            OpCode::MovI => self.iregs[d] = self.iregs[a],
+            OpCode::MovF => self.fregs[d] = self.fregs[a],
+            OpCode::IAdd => {
+                self.iregs[d] = wrap32(self.iregs[a].wrapping_add(self.iregs[b]), op.unsigned);
+            }
+            OpCode::ISub => {
+                self.iregs[d] = wrap32(self.iregs[a].wrapping_sub(self.iregs[b]), op.unsigned);
+            }
+            OpCode::IMul => {
+                self.iregs[d] = wrap32(self.iregs[a].wrapping_mul(self.iregs[b]), op.unsigned);
+            }
+            OpCode::IDiv => {
+                self.iregs[d] = int_bin(IBinOp::Div, self.iregs[a], self.iregs[b], op.unsigned)?;
+            }
+            OpCode::IRem => {
+                self.iregs[d] = int_bin(IBinOp::Rem, self.iregs[a], self.iregs[b], op.unsigned)?;
+            }
+            OpCode::IAnd => self.iregs[d] = wrap32(self.iregs[a] & self.iregs[b], op.unsigned),
+            OpCode::IOr => self.iregs[d] = wrap32(self.iregs[a] | self.iregs[b], op.unsigned),
+            OpCode::IXor => self.iregs[d] = wrap32(self.iregs[a] ^ self.iregs[b], op.unsigned),
+            OpCode::IShl => {
+                let s = (self.iregs[b] & 31) as u32;
+                self.iregs[d] = wrap32(self.iregs[a].wrapping_shl(s), op.unsigned);
+            }
+            OpCode::IShr => {
+                let s = (self.iregs[b] & 31) as u32;
+                let x = self.iregs[a];
+                let r = if op.unsigned {
+                    ((x as u64) >> s) as i64
+                } else {
+                    (x as i32 >> s) as i64
+                };
+                self.iregs[d] = wrap32(r, op.unsigned);
+            }
+            OpCode::ImmAdd => {
+                self.iregs[d] = wrap32(self.iregs[a].wrapping_add(op.imm), op.unsigned);
+            }
+            OpCode::ImmSub => {
+                self.iregs[d] = wrap32(self.iregs[a].wrapping_sub(op.imm), op.unsigned);
+            }
+            OpCode::ImmMul => {
+                self.iregs[d] = wrap32(self.iregs[a].wrapping_mul(op.imm), op.unsigned);
+            }
+            OpCode::ImmDiv => {
+                self.iregs[d] = int_bin(IBinOp::Div, self.iregs[a], op.imm, op.unsigned)?;
+            }
+            OpCode::ImmRem => {
+                self.iregs[d] = int_bin(IBinOp::Rem, self.iregs[a], op.imm, op.unsigned)?;
+            }
+            OpCode::ImmAnd => self.iregs[d] = wrap32(self.iregs[a] & op.imm, op.unsigned),
+            OpCode::ImmOr => self.iregs[d] = wrap32(self.iregs[a] | op.imm, op.unsigned),
+            OpCode::ImmXor => self.iregs[d] = wrap32(self.iregs[a] ^ op.imm, op.unsigned),
+            OpCode::ImmShl => {
+                let s = (op.imm & 31) as u32;
+                self.iregs[d] = wrap32(self.iregs[a].wrapping_shl(s), op.unsigned);
+            }
+            OpCode::ImmShr => {
+                let s = (op.imm & 31) as u32;
+                let x = self.iregs[a];
+                let r = if op.unsigned {
+                    ((x as u64) >> s) as i64
+                } else {
+                    (x as i32 >> s) as i64
+                };
+                self.iregs[d] = wrap32(r, op.unsigned);
+            }
+            OpCode::FAdd => self.fregs[d] = self.fregs[a] + self.fregs[b],
+            OpCode::FSub => self.fregs[d] = self.fregs[a] - self.fregs[b],
+            OpCode::FMul => self.fregs[d] = self.fregs[a] * self.fregs[b],
+            OpCode::FDiv => self.fregs[d] = self.fregs[a] / self.fregs[b],
+            OpCode::ICmpLt => self.iregs[d] = i64::from(self.iregs[a] < self.iregs[b]),
+            OpCode::ICmpLe => self.iregs[d] = i64::from(self.iregs[a] <= self.iregs[b]),
+            OpCode::ICmpGt => self.iregs[d] = i64::from(self.iregs[a] > self.iregs[b]),
+            OpCode::ICmpGe => self.iregs[d] = i64::from(self.iregs[a] >= self.iregs[b]),
+            OpCode::ICmpEq => self.iregs[d] = i64::from(self.iregs[a] == self.iregs[b]),
+            OpCode::ICmpNe => self.iregs[d] = i64::from(self.iregs[a] != self.iregs[b]),
+            OpCode::FCmpLt => self.iregs[d] = i64::from(self.fregs[a] < self.fregs[b]),
+            OpCode::FCmpLe => self.iregs[d] = i64::from(self.fregs[a] <= self.fregs[b]),
+            OpCode::FCmpGt => self.iregs[d] = i64::from(self.fregs[a] > self.fregs[b]),
+            OpCode::FCmpGe => self.iregs[d] = i64::from(self.fregs[a] >= self.fregs[b]),
+            OpCode::FCmpEq => self.iregs[d] = i64::from(self.fregs[a] == self.fregs[b]),
+            OpCode::FCmpNe => self.iregs[d] = i64::from(self.fregs[a] != self.fregs[b]),
+            OpCode::NegI => {
+                self.iregs[d] = wrap32(0i64.wrapping_sub(self.iregs[a]), op.unsigned);
+            }
+            OpCode::NegF => self.fregs[d] = -self.fregs[a],
+            OpCode::NotI => self.iregs[d] = i64::from(self.iregs[a] == 0),
+            OpCode::BitNotI => self.iregs[d] = wrap32(!self.iregs[a], op.unsigned),
+            OpCode::CastIF => self.fregs[d] = self.iregs[a] as f64,
+            OpCode::CastFI => {
+                let v = self.fregs[a];
+                self.iregs[d] = if op.unsigned {
+                    i64::from(v as u32)
+                } else {
+                    i64::from(v as i32)
+                };
+            }
+            OpCode::CastII => self.iregs[d] = wrap32(self.iregs[a], op.unsigned),
+            OpCode::Sqrt => self.fregs[d] = self.fregs[a].sqrt(),
+            OpCode::Rsqrt => self.fregs[d] = 1.0 / self.fregs[a].sqrt(),
+            OpCode::Exp => self.fregs[d] = self.fregs[a].exp(),
+            OpCode::Log => self.fregs[d] = self.fregs[a].ln(),
+            OpCode::Sin => self.fregs[d] = self.fregs[a].sin(),
+            OpCode::Cos => self.fregs[d] = self.fregs[a].cos(),
+            OpCode::Tan => self.fregs[d] = self.fregs[a].tan(),
+            OpCode::Fabs => self.fregs[d] = self.fregs[a].abs(),
+            OpCode::Floor => self.fregs[d] = self.fregs[a].floor(),
+            OpCode::Ceil => self.fregs[d] = self.fregs[a].ceil(),
+            OpCode::Pow => self.fregs[d] = self.fregs[a].powf(self.fregs[b]),
+            OpCode::Fmin => self.fregs[d] = self.fregs[a].min(self.fregs[b]),
+            OpCode::Fmax => self.fregs[d] = self.fregs[a].max(self.fregs[b]),
+            OpCode::Fmod => self.fregs[d] = self.fregs[a] % self.fregs[b],
+            OpCode::IMin => self.iregs[d] = self.iregs[a].min(self.iregs[b]),
+            OpCode::IMax => self.iregs[d] = self.iregs[a].max(self.iregs[b]),
+            OpCode::IAbs => self.iregs[d] = wrap32(self.iregs[a].wrapping_abs(), false),
+            OpCode::LoadF => self.dec_load_f(op.dst, op.a, op.b, bmap, bufs)?,
+            OpCode::LoadI => {
+                let i = self.iregs[a];
+                let bd = &bufs[bmap[b]];
+                let val = match bd {
+                    BufferData::I32(v) => usize::try_from(i)
+                        .ok()
+                        .and_then(|i| v.get(i))
+                        .map(|&x| i64::from(x)),
+                    BufferData::U32(v) => usize::try_from(i)
+                        .ok()
+                        .and_then(|i| v.get(i))
+                        .map(|&x| i64::from(x)),
+                    BufferData::F32(_) => unreachable!("type-checked load"),
+                };
+                let Some(val) = val else {
+                    return Err(VmError::OutOfBounds {
+                        buffer: b,
+                        index: i,
+                        len: bd.len(),
+                    });
+                };
+                self.iregs[d] = val;
+            }
+            OpCode::StoreF => self.dec_store_f(op.dst, op.a, op.b, bmap, bufs)?,
+            OpCode::StoreI => {
+                let i = self.iregs[a];
+                let val = self.iregs[d];
+                let bd = &mut bufs[bmap[b]];
+                let len = bd.len();
+                match bd {
+                    BufferData::I32(v) => {
+                        let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
+                            return Err(VmError::OutOfBounds {
+                                buffer: b,
+                                index: i,
+                                len,
+                            });
+                        };
+                        *slot = val as i32;
+                    }
+                    BufferData::U32(v) => {
+                        let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
+                            return Err(VmError::OutOfBounds {
+                                buffer: b,
+                                index: i,
+                                len,
+                            });
+                        };
+                        *slot = val as u32;
+                    }
+                    BufferData::F32(_) => unreachable!("type-checked store"),
+                }
+            }
+            OpCode::GlobalId => self.iregs[d] = gid[a] as i64,
+            OpCode::GlobalSize => self.iregs[d] = gsize[a] as i64,
+            // Fused superinstructions: on the scalar engine the two
+            // halves simply execute in sequence, so aliasing and fault
+            // order are trivially those of the unfused pair.
+            OpCode::FOp2 => {
+                self.fregs[op.c as usize] = f_eval(op.sub1, self.fregs[a], self.fregs[b], op.fimm);
+                self.fregs[d] = f_eval(
+                    op.sub2,
+                    self.fregs[op.d as usize],
+                    self.fregs[op.e as usize],
+                    op.fimm,
+                );
+            }
+            OpCode::IOp2 => {
+                self.iregs[op.c as usize] = i_eval(op.sub1, self.iregs[a], self.iregs[b]);
+                self.iregs[d] = i_eval(
+                    op.sub2,
+                    self.iregs[op.d as usize],
+                    self.iregs[op.e as usize],
+                );
+            }
+            OpCode::Load2F => {
+                self.dec_load_f(op.c, op.a, op.b, bmap, bufs)?;
+                self.dec_load_f(op.dst, op.d, op.e, bmap, bufs)?;
+            }
+            OpCode::LoadFOp => {
+                self.dec_load_f(op.c, op.a, op.b, bmap, bufs)?;
+                self.fregs[d] = f_eval(
+                    op.sub2,
+                    self.fregs[op.d as usize],
+                    self.fregs[op.e as usize],
+                    op.fimm,
+                );
+            }
+            OpCode::FOpStore => {
+                self.fregs[d] = f_eval(op.sub1, self.fregs[a], self.fregs[b], op.fimm);
+                self.dec_store_f(op.dst, op.c, op.d, bmap, bufs)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The `LoadF` semantics shared by the plain and fused decoded arms:
+    /// load `buf[iregs[idx]]` into `fregs[dst]` with the interpreter's
+    /// exact bounds fault.
+    #[inline]
+    fn dec_load_f(
+        &mut self,
+        dst: u16,
+        idx: u16,
+        buf: u16,
+        bmap: &[usize],
+        bufs: &[BufferData],
+    ) -> Result<(), VmError> {
+        let i = self.iregs[idx as usize];
+        let bd = &bufs[bmap[buf as usize]];
+        let BufferData::F32(v) = bd else {
+            unreachable!("type-checked load");
+        };
+        let Some(val) = usize::try_from(i).ok().and_then(|i| v.get(i)) else {
+            return Err(VmError::OutOfBounds {
+                buffer: buf as usize,
+                index: i,
+                len: bd.len(),
+            });
+        };
+        self.fregs[dst as usize] = f64::from(*val);
+        Ok(())
+    }
+
+    /// The `StoreF` semantics shared by the plain and fused decoded arms.
+    #[inline]
+    fn dec_store_f(
+        &mut self,
+        src: u16,
+        idx: u16,
+        buf: u16,
+        bmap: &[usize],
+        bufs: &mut [BufferData],
+    ) -> Result<(), VmError> {
+        let i = self.iregs[idx as usize];
+        let val = self.fregs[src as usize] as f32;
+        let bd = &mut bufs[bmap[buf as usize]];
+        let len = bd.len();
+        let BufferData::F32(v) = bd else {
+            unreachable!("type-checked store");
+        };
+        let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
+            return Err(VmError::OutOfBounds {
+                buffer: buf as usize,
+                index: i,
+                len,
+            });
+        };
+        *slot = val;
+        Ok(())
     }
 
     #[inline]

@@ -54,6 +54,9 @@
 use crate::bytecode::{CmpOp, FBinOp, Function, IBinOp, Instr, MathFn1, MathFn2, Terminator};
 use crate::cfg::NO_POST_DOM;
 use crate::error::VmError;
+use crate::opt::decode::{
+    DecOp, OpCode, F_ADD, F_CONST, F_DIV, F_MOV, F_MUL, F_NEG, F_SUB, I_UNSIGNED,
+};
 use crate::vm::{cmp, int_bin, wrap32, BufferData, Counters, Vm};
 
 /// Work-items executed in lockstep per batch.
@@ -300,6 +303,141 @@ fn all_in_bounds(idx: &[i64; LANES], n: usize, len: usize) -> bool {
     lo >= 0 && (hi as u64) < len as u64
 }
 
+/// Full-width F-file micro-op: the same vectorized kernels as the
+/// unfused interpreter arms, selected by one match per op (never per
+/// lane — a per-lane sub dispatch would defeat vectorization).
+fn apply_f(fregs: &mut [[f64; LANES]], n: usize, dst: u16, a: u16, b: u16, sub: u8, fimm: f64) {
+    match sub {
+        F_ADD => apply2(fregs, n, dst, a, b, |x, y| x + y),
+        F_SUB => apply2(fregs, n, dst, a, b, |x, y| x - y),
+        F_MUL => apply2(fregs, n, dst, a, b, |x, y| x * y),
+        F_DIV => apply2(fregs, n, dst, a, b, |x, y| x / y),
+        F_MOV => apply1(fregs, n, dst, a, |x| x),
+        5 => apply1(fregs, n, dst, a, f64::sqrt),
+        6 => apply1(fregs, n, dst, a, |x| 1.0 / x.sqrt()),
+        7 => apply1(fregs, n, dst, a, f64::exp),
+        8 => apply1(fregs, n, dst, a, f64::ln),
+        9 => apply1(fregs, n, dst, a, f64::sin),
+        10 => apply1(fregs, n, dst, a, f64::cos),
+        11 => apply1(fregs, n, dst, a, f64::tan),
+        12 => apply1(fregs, n, dst, a, f64::abs),
+        13 => apply1(fregs, n, dst, a, f64::floor),
+        14 => apply1(fregs, n, dst, a, f64::ceil),
+        F_NEG => apply1(fregs, n, dst, a, |x| -x),
+        _ => fregs[dst as usize][..n].fill(fimm),
+    }
+}
+
+/// Full-width I-file micro-op (the non-faulting binops), mono-dispatched
+/// like [`apply_f`].
+fn apply_i(iregs: &mut [[i64; LANES]], n: usize, dst: u16, a: u16, b: u16, sub: u8) {
+    let u = sub & I_UNSIGNED != 0;
+    match sub & !I_UNSIGNED {
+        0 => apply2(iregs, n, dst, a, b, |x, y| wrap32(x.wrapping_add(y), u)),
+        1 => apply2(iregs, n, dst, a, b, |x, y| wrap32(x.wrapping_sub(y), u)),
+        _ => apply2(iregs, n, dst, a, b, |x, y| wrap32(x.wrapping_mul(y), u)),
+    }
+}
+
+/// Masked [`apply_f`].
+fn masked_f(fregs: &mut [[f64; LANES]], m: ExecMask, dst: u16, a: u16, b: u16, sub: u8, fimm: f64) {
+    match sub {
+        F_ADD => masked2(fregs, m, dst, a, b, |x, y| x + y),
+        F_SUB => masked2(fregs, m, dst, a, b, |x, y| x - y),
+        F_MUL => masked2(fregs, m, dst, a, b, |x, y| x * y),
+        F_DIV => masked2(fregs, m, dst, a, b, |x, y| x / y),
+        F_MOV => masked1(fregs, m, dst, a, |x| x),
+        5 => masked1(fregs, m, dst, a, f64::sqrt),
+        6 => masked1(fregs, m, dst, a, |x| 1.0 / x.sqrt()),
+        7 => masked1(fregs, m, dst, a, f64::exp),
+        8 => masked1(fregs, m, dst, a, f64::ln),
+        9 => masked1(fregs, m, dst, a, f64::sin),
+        10 => masked1(fregs, m, dst, a, f64::cos),
+        11 => masked1(fregs, m, dst, a, f64::tan),
+        12 => masked1(fregs, m, dst, a, f64::abs),
+        13 => masked1(fregs, m, dst, a, f64::floor),
+        14 => masked1(fregs, m, dst, a, f64::ceil),
+        F_NEG => masked1(fregs, m, dst, a, |x| -x),
+        _ => {
+            for l in m.lanes() {
+                fregs[dst as usize][l] = fimm;
+            }
+        }
+    }
+}
+
+/// Masked chain loop shared by the fused compute pairs: both halves run
+/// back to back within each active lane, which is bit-identical to two
+/// masked passes because every op reads only its own lane's elements (a
+/// second-half operand naming the first's destination reads the fresh
+/// value in both orders).
+#[inline]
+fn masked_chain<T: Copy, F1: Fn(T, T) -> T, F2: Fn(T, T) -> T>(
+    regs: &mut [[T; LANES]],
+    m: ExecMask,
+    op: &DecOp,
+    f1: F1,
+    f2: F2,
+) {
+    let (t, z) = (op.c as usize, op.dst as usize);
+    let (a, b, p, q) = (op.a as usize, op.b as usize, op.d as usize, op.e as usize);
+    for l in m.lanes() {
+        let v = f1(regs[a][l], regs[b][l]);
+        regs[t][l] = v;
+        let x = regs[p][l];
+        let y = regs[q][l];
+        regs[z][l] = f2(x, y);
+    }
+}
+
+/// Full-width fused `LoadFOp` fast path (gather already known fully in
+/// bounds): `x[l] = buf[idx[l]]` then `z[l] = f2(p[l], q[l])` in one
+/// pass. Per-lane interleaving is bit-identical to the two full-width
+/// passes because every op reads only its own lane's elements: an
+/// operand equal to `x` reads the freshly loaded value (as it would
+/// after a full load pass), an operand equal to `z` reads the old value
+/// for its own lane. `x != z` is guaranteed at fusion time.
+#[inline]
+fn load_fop_fast<F: Fn(f64, f64) -> f64>(
+    fregs: &mut [[f64; LANES]],
+    idxv: &[i64; LANES],
+    v: &[f32],
+    n: usize,
+    op: &DecOp,
+    f2: F,
+) {
+    let (x, z) = (op.c as usize, op.dst as usize);
+    let (p, q) = (op.d as usize, op.e as usize);
+    for l in 0..n {
+        let loaded = f64::from(v[idxv[l] as usize]);
+        fregs[x][l] = loaded;
+        let pv = fregs[p][l];
+        let qv = fregs[q][l];
+        fregs[z][l] = f2(pv, qv);
+    }
+}
+
+/// Full-width fused `FOpStore` fast path (scatter already known fully in
+/// bounds): `z[l] = f1(a[l], b[l])` and `buf[idx[l]] = z[l]` in one
+/// pass. Per-lane read-before-write keeps `z == a`/`z == b` aliasing
+/// identical to the unfused compute pass.
+#[inline]
+fn fop_store_fast<F: Fn(f64, f64) -> f64>(
+    fregs: &mut [[f64; LANES]],
+    idxv: &[i64; LANES],
+    v: &mut [f32],
+    n: usize,
+    op: &DecOp,
+    f1: F,
+) {
+    let (a, b, z) = (op.a as usize, op.b as usize, op.dst as usize);
+    for l in 0..n {
+        let t = f1(fregs[a][l], fregs[b][l]);
+        fregs[z][l] = t;
+        v[idxv[l] as usize] = t as f32;
+    }
+}
+
 /// Lane-wise comparison producing an I-register boolean:
 /// `dst[l] = f(a[l], b[l]) as i64`.
 #[inline]
@@ -374,6 +512,10 @@ impl LaneEngine {
         // the per-lane counters the moment the batch diverges.
         let mut batch_steps: u64 = 0;
         let mut diverged = false;
+        // Pre-decoded form, when the backend tier produced one: the
+        // instruction walks below step over the flat op array instead of
+        // the per-block `Vec<Instr>`.
+        let dec = f.decoded.as_ref();
         loop {
             if pc == rpc {
                 // The current lane subset reached its reconvergence point;
@@ -400,8 +542,18 @@ impl LaneEngine {
                         limit: vm.step_limit,
                     });
                 }
-                for ins in &b.instrs {
-                    self.exec_instr(ins, n, gsize, bmap, bufs)?;
+                match dec {
+                    Some(p) => {
+                        let (s, e) = p.spans[block];
+                        for op in &p.ops[s as usize..e as usize] {
+                            self.exec_dec(op, n, gsize, bmap, bufs)?;
+                        }
+                    }
+                    None => {
+                        for ins in &b.instrs {
+                            self.exec_instr(ins, n, gsize, bmap, bufs)?;
+                        }
+                    }
                 }
             } else if mask == full {
                 // Fully reconverged: full-width execution, per-lane steps.
@@ -417,8 +569,18 @@ impl LaneEngine {
                         limit: vm.step_limit,
                     });
                 }
-                for ins in &b.instrs {
-                    self.exec_instr(ins, n, gsize, bmap, bufs)?;
+                match dec {
+                    Some(p) => {
+                        let (s, e) = p.spans[block];
+                        for op in &p.ops[s as usize..e as usize] {
+                            self.exec_dec(op, n, gsize, bmap, bufs)?;
+                        }
+                    }
+                    None => {
+                        for ins in &b.instrs {
+                            self.exec_instr(ins, n, gsize, bmap, bufs)?;
+                        }
+                    }
                 }
             } else {
                 sink.count_block_masked(block, mask);
@@ -433,8 +595,18 @@ impl LaneEngine {
                         limit: vm.step_limit,
                     });
                 }
-                for ins in &b.instrs {
-                    self.exec_instr_masked(ins, mask, gsize, bmap, bufs)?;
+                match dec {
+                    Some(p) => {
+                        let (s, e) = p.spans[block];
+                        for op in &p.ops[s as usize..e as usize] {
+                            self.exec_dec_masked(op, mask, gsize, bmap, bufs)?;
+                        }
+                    }
+                    None => {
+                        for ins in &b.instrs {
+                            self.exec_instr_masked(ins, mask, gsize, bmap, bufs)?;
+                        }
+                    }
                 }
             }
             // Compute the per-lane taken bits for branch-like terminators;
@@ -1291,5 +1463,1189 @@ impl LaneEngine {
             }
         }
         Ok(())
+    }
+
+    /// [`LaneEngine::exec_instr`] over a pre-decoded op: the same
+    /// lane-wise kernels, reached by one flat dispatch on the [`OpCode`]
+    /// with operands and immediates already extracted.
+    #[inline]
+    fn exec_dec(
+        &mut self,
+        op: &DecOp,
+        n: usize,
+        gsize: [usize; 3],
+        bmap: &[usize],
+        bufs: &mut [BufferData],
+    ) -> Result<(), VmError> {
+        let u = op.unsigned;
+        let (dst, a, b) = (op.dst, op.a, op.b);
+        match op.code {
+            OpCode::ConstI => self.iregs[dst as usize][..n].fill(op.imm),
+            OpCode::ConstF => self.fregs[dst as usize][..n].fill(op.fimm),
+            OpCode::MovI => {
+                let s = self.iregs[a as usize];
+                self.iregs[dst as usize][..n].copy_from_slice(&s[..n]);
+            }
+            OpCode::MovF => {
+                let s = self.fregs[a as usize];
+                self.fregs[dst as usize][..n].copy_from_slice(&s[..n]);
+            }
+            OpCode::IAdd => apply2(&mut self.iregs, n, dst, a, b, |x, y| {
+                wrap32(x.wrapping_add(y), u)
+            }),
+            OpCode::ISub => apply2(&mut self.iregs, n, dst, a, b, |x, y| {
+                wrap32(x.wrapping_sub(y), u)
+            }),
+            OpCode::IMul => apply2(&mut self.iregs, n, dst, a, b, |x, y| {
+                wrap32(x.wrapping_mul(y), u)
+            }),
+            OpCode::IDiv | OpCode::IRem => {
+                let o = if op.code == OpCode::IDiv {
+                    IBinOp::Div
+                } else {
+                    IBinOp::Rem
+                };
+                let x = self.iregs[a as usize];
+                let y = self.iregs[b as usize];
+                let d = &mut self.iregs[dst as usize];
+                for ((d, &x), &y) in d[..n].iter_mut().zip(&x[..n]).zip(&y[..n]) {
+                    *d = int_bin(o, x, y, u)?;
+                }
+            }
+            OpCode::IAnd => apply2(&mut self.iregs, n, dst, a, b, |x, y| wrap32(x & y, u)),
+            OpCode::IOr => apply2(&mut self.iregs, n, dst, a, b, |x, y| wrap32(x | y, u)),
+            OpCode::IXor => apply2(&mut self.iregs, n, dst, a, b, |x, y| wrap32(x ^ y, u)),
+            OpCode::IShl => apply2(&mut self.iregs, n, dst, a, b, |x, y| {
+                wrap32(x.wrapping_shl((y & 31) as u32), u)
+            }),
+            OpCode::IShr => apply2(&mut self.iregs, n, dst, a, b, |x, y| {
+                let s = (y & 31) as u32;
+                let v = if u {
+                    ((x as u64) >> s) as i64
+                } else {
+                    (x as i32 >> s) as i64
+                };
+                wrap32(v, u)
+            }),
+            OpCode::ImmAdd => {
+                let imm = op.imm;
+                apply1(&mut self.iregs, n, dst, a, |x| {
+                    wrap32(x.wrapping_add(imm), u)
+                });
+            }
+            OpCode::ImmSub => {
+                let imm = op.imm;
+                apply1(&mut self.iregs, n, dst, a, |x| {
+                    wrap32(x.wrapping_sub(imm), u)
+                });
+            }
+            OpCode::ImmMul => {
+                let imm = op.imm;
+                apply1(&mut self.iregs, n, dst, a, |x| {
+                    wrap32(x.wrapping_mul(imm), u)
+                });
+            }
+            OpCode::ImmDiv | OpCode::ImmRem => {
+                let o = if op.code == OpCode::ImmDiv {
+                    IBinOp::Div
+                } else {
+                    IBinOp::Rem
+                };
+                let x = self.iregs[a as usize];
+                let d = &mut self.iregs[dst as usize];
+                for (d, &x) in d[..n].iter_mut().zip(&x[..n]) {
+                    *d = int_bin(o, x, op.imm, u)?;
+                }
+            }
+            OpCode::ImmAnd => {
+                let imm = op.imm;
+                apply1(&mut self.iregs, n, dst, a, |x| wrap32(x & imm, u));
+            }
+            OpCode::ImmOr => {
+                let imm = op.imm;
+                apply1(&mut self.iregs, n, dst, a, |x| wrap32(x | imm, u));
+            }
+            OpCode::ImmXor => {
+                let imm = op.imm;
+                apply1(&mut self.iregs, n, dst, a, |x| wrap32(x ^ imm, u));
+            }
+            OpCode::ImmShl => {
+                let s = (op.imm & 31) as u32;
+                apply1(&mut self.iregs, n, dst, a, |x| wrap32(x.wrapping_shl(s), u));
+            }
+            OpCode::ImmShr => {
+                let s = (op.imm & 31) as u32;
+                apply1(&mut self.iregs, n, dst, a, |x| {
+                    let v = if u {
+                        ((x as u64) >> s) as i64
+                    } else {
+                        (x as i32 >> s) as i64
+                    };
+                    wrap32(v, u)
+                });
+            }
+            OpCode::FAdd => apply2(&mut self.fregs, n, dst, a, b, |x, y| x + y),
+            OpCode::FSub => apply2(&mut self.fregs, n, dst, a, b, |x, y| x - y),
+            OpCode::FMul => apply2(&mut self.fregs, n, dst, a, b, |x, y| x * y),
+            OpCode::FDiv => apply2(&mut self.fregs, n, dst, a, b, |x, y| x / y),
+            OpCode::ICmpLt => apply2(&mut self.iregs, n, dst, a, b, |x, y| i64::from(x < y)),
+            OpCode::ICmpLe => apply2(&mut self.iregs, n, dst, a, b, |x, y| i64::from(x <= y)),
+            OpCode::ICmpGt => apply2(&mut self.iregs, n, dst, a, b, |x, y| i64::from(x > y)),
+            OpCode::ICmpGe => apply2(&mut self.iregs, n, dst, a, b, |x, y| i64::from(x >= y)),
+            OpCode::ICmpEq => apply2(&mut self.iregs, n, dst, a, b, |x, y| i64::from(x == y)),
+            OpCode::ICmpNe => apply2(&mut self.iregs, n, dst, a, b, |x, y| i64::from(x != y)),
+            OpCode::FCmpLt
+            | OpCode::FCmpLe
+            | OpCode::FCmpGt
+            | OpCode::FCmpGe
+            | OpCode::FCmpEq
+            | OpCode::FCmpNe => {
+                let x = &self.fregs[a as usize];
+                let y = &self.fregs[b as usize];
+                let d = &mut self.iregs[dst as usize];
+                match op.code {
+                    OpCode::FCmpLt => apply_cmp(d, x, y, n, |x, y| x < y),
+                    OpCode::FCmpLe => apply_cmp(d, x, y, n, |x, y| x <= y),
+                    OpCode::FCmpGt => apply_cmp(d, x, y, n, |x, y| x > y),
+                    OpCode::FCmpGe => apply_cmp(d, x, y, n, |x, y| x >= y),
+                    OpCode::FCmpEq => apply_cmp(d, x, y, n, |x, y| x == y),
+                    _ => apply_cmp(d, x, y, n, |x, y| x != y),
+                }
+            }
+            OpCode::NegI => apply1(&mut self.iregs, n, dst, a, |x| {
+                wrap32(0i64.wrapping_sub(x), u)
+            }),
+            OpCode::NegF => apply1(&mut self.fregs, n, dst, a, |x| -x),
+            OpCode::NotI => apply1(&mut self.iregs, n, dst, a, |x| i64::from(x == 0)),
+            OpCode::BitNotI => apply1(&mut self.iregs, n, dst, a, |x| wrap32(!x, u)),
+            OpCode::CastIF => {
+                let x = &self.iregs[a as usize];
+                let d = &mut self.fregs[dst as usize];
+                for (d, &x) in d[..n].iter_mut().zip(&x[..n]) {
+                    *d = x as f64;
+                }
+            }
+            OpCode::CastFI => {
+                let x = &self.fregs[a as usize];
+                let d = &mut self.iregs[dst as usize];
+                if u {
+                    for (d, &x) in d[..n].iter_mut().zip(&x[..n]) {
+                        *d = i64::from(x as u32);
+                    }
+                } else {
+                    for (d, &x) in d[..n].iter_mut().zip(&x[..n]) {
+                        *d = i64::from(x as i32);
+                    }
+                }
+            }
+            OpCode::CastII => apply1(&mut self.iregs, n, dst, a, |x| wrap32(x, u)),
+            OpCode::Sqrt => apply1(&mut self.fregs, n, dst, a, f64::sqrt),
+            OpCode::Rsqrt => apply1(&mut self.fregs, n, dst, a, |x| 1.0 / x.sqrt()),
+            OpCode::Exp => apply1(&mut self.fregs, n, dst, a, f64::exp),
+            OpCode::Log => apply1(&mut self.fregs, n, dst, a, f64::ln),
+            OpCode::Sin => apply1(&mut self.fregs, n, dst, a, f64::sin),
+            OpCode::Cos => apply1(&mut self.fregs, n, dst, a, f64::cos),
+            OpCode::Tan => apply1(&mut self.fregs, n, dst, a, f64::tan),
+            OpCode::Fabs => apply1(&mut self.fregs, n, dst, a, f64::abs),
+            OpCode::Floor => apply1(&mut self.fregs, n, dst, a, f64::floor),
+            OpCode::Ceil => apply1(&mut self.fregs, n, dst, a, f64::ceil),
+            OpCode::Pow => apply2(&mut self.fregs, n, dst, a, b, f64::powf),
+            OpCode::Fmin => apply2(&mut self.fregs, n, dst, a, b, f64::min),
+            OpCode::Fmax => apply2(&mut self.fregs, n, dst, a, b, f64::max),
+            OpCode::Fmod => apply2(&mut self.fregs, n, dst, a, b, |x, y| x % y),
+            OpCode::IMin => apply2(&mut self.iregs, n, dst, a, b, i64::min),
+            OpCode::IMax => apply2(&mut self.iregs, n, dst, a, b, i64::max),
+            OpCode::IAbs => apply1(&mut self.iregs, n, dst, a, |x| {
+                wrap32(x.wrapping_abs(), false)
+            }),
+            OpCode::LoadF => self.lane_load_f(dst, a, b, n, bmap, bufs)?,
+            OpCode::LoadI => {
+                // Index and destination share the I register file; copy
+                // the index lanes so the destination can borrow mutably.
+                let idxv = self.iregs[a as usize];
+                let idxv = &idxv;
+                let bd = &bufs[bmap[b as usize]];
+                let d = &mut self.iregs[dst as usize];
+                if all_in_bounds(idxv, n, bd.len()) {
+                    match bd {
+                        BufferData::I32(v) => {
+                            for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
+                                *d = i64::from(v[i as usize]);
+                            }
+                        }
+                        BufferData::U32(v) => {
+                            for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
+                                *d = i64::from(v[i as usize]);
+                            }
+                        }
+                        BufferData::F32(_) => unreachable!("type-checked load"),
+                    }
+                } else {
+                    for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
+                        let val = match bd {
+                            BufferData::I32(v) => usize::try_from(i)
+                                .ok()
+                                .and_then(|i| v.get(i))
+                                .map(|&x| i64::from(x)),
+                            BufferData::U32(v) => usize::try_from(i)
+                                .ok()
+                                .and_then(|i| v.get(i))
+                                .map(|&x| i64::from(x)),
+                            BufferData::F32(_) => unreachable!("type-checked load"),
+                        };
+                        let Some(val) = val else {
+                            return Err(VmError::OutOfBounds {
+                                buffer: b as usize,
+                                index: i,
+                                len: bd.len(),
+                            });
+                        };
+                        *d = val;
+                    }
+                }
+            }
+            OpCode::StoreF => self.lane_store_f(dst, a, b, n, bmap, bufs)?,
+            OpCode::StoreI => {
+                let idxv = &self.iregs[a as usize];
+                let srcv = &self.iregs[dst as usize];
+                let bd = &mut bufs[bmap[b as usize]];
+                let len = bd.len();
+                if all_in_bounds(idxv, n, len) {
+                    match bd {
+                        BufferData::I32(v) => {
+                            for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
+                                v[i as usize] = x as i32;
+                            }
+                        }
+                        BufferData::U32(v) => {
+                            for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
+                                v[i as usize] = x as u32;
+                            }
+                        }
+                        BufferData::F32(_) => unreachable!("type-checked store"),
+                    }
+                } else {
+                    for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
+                        let slot = match bd {
+                            BufferData::I32(v) => {
+                                usize::try_from(i).ok().and_then(|i| v.get_mut(i)).map(|s| {
+                                    *s = x as i32;
+                                })
+                            }
+                            BufferData::U32(v) => {
+                                usize::try_from(i).ok().and_then(|i| v.get_mut(i)).map(|s| {
+                                    *s = x as u32;
+                                })
+                            }
+                            BufferData::F32(_) => unreachable!("type-checked store"),
+                        };
+                        if slot.is_none() {
+                            return Err(VmError::OutOfBounds {
+                                buffer: b as usize,
+                                index: i,
+                                len,
+                            });
+                        }
+                    }
+                }
+            }
+            OpCode::GlobalId => {
+                let g = self.gid[a as usize];
+                self.iregs[dst as usize][..n].copy_from_slice(&g[..n]);
+            }
+            OpCode::GlobalSize => {
+                self.iregs[dst as usize][..n].fill(gsize[a as usize] as i64);
+            }
+            // Superinstructions. Compute pairs run as two mono passes —
+            // exactly the unfused execution, reached through a single
+            // dispatch. Memory pairs collapse to a single loop when all
+            // accesses are known in bounds, and fall back to the unfused
+            // sequence otherwise so each lane faults exactly where the
+            // original pair would.
+            OpCode::FOp2 => self.fused_fop2(op, n),
+            OpCode::IOp2 => self.fused_iop2(op, n),
+            OpCode::Load2F => self.fused_load2f(op, n, bmap, bufs)?,
+            OpCode::LoadFOp => self.fused_load_fop(op, n, bmap, bufs)?,
+            OpCode::FOpStore => self.fused_fop_store(op, n, bmap, bufs)?,
+        }
+        Ok(())
+    }
+
+    /// Full-width `FOp2`: a single chain-fused pass when the second op
+    /// reads the first's result and no written row aliases a first-half
+    /// operand; two mono passes (the unfused execution, one dispatch)
+    /// otherwise. A constant-producing half folds its immediate into
+    /// the partner's loop instead of round-tripping through its row.
+    #[inline(never)]
+    fn fused_fop2(&mut self, op: &DecOp, n: usize) {
+        let (s1, s2) = (op.sub1, op.sub2);
+        if s2 == F_CONST {
+            // The second half reads nothing, so there is no chain.
+            apply_f(&mut self.fregs, n, op.c, op.a, op.b, s1, op.fimm);
+            self.fregs[op.dst as usize][..n].fill(op.fimm);
+            return;
+        }
+        if s1 == F_CONST {
+            return self.fused_const_fop(op, n);
+        }
+        // Two mono passes — the unfused execution minus one dispatch.
+        // A single loop carrying the intermediate in a register was
+        // tried here and measured *slower* than the two passes on every
+        // suite kernel (the two-output chain loop defeats the
+        // vectorizer); the masked path keeps its chain loop, where
+        // per-lane interleaving wins over a second pass across the
+        // scattered active set.
+        apply_f(&mut self.fregs, n, op.c, op.a, op.b, s1, op.fimm);
+        apply_f(&mut self.fregs, n, op.dst, op.d, op.e, s2, op.fimm);
+    }
+
+    /// Full-width `FOp2` whose first half is `ConstF`: when the second
+    /// op reads the constant, the immediate is folded straight into its
+    /// loop (or the whole pair collapses to two row fills); two mono
+    /// passes otherwise.
+    #[inline(never)]
+    fn fused_const_fop(&mut self, op: &DecOp, n: usize) {
+        let (t, z) = (op.c as usize, op.dst as usize);
+        let (p, q) = (op.d, op.e);
+        let fi = op.fimm;
+        if t != z && (p == op.c || q == op.c) {
+            let s2 = op.sub2;
+            macro_rules! cc {
+                ($g:expr) => {{
+                    let g = $g;
+                    self.fregs[t][..n].fill(fi);
+                    if p == op.c && q == op.c {
+                        let v = g(fi, fi);
+                        self.fregs[z][..n].fill(v);
+                    } else {
+                        let (swap, o) = if p == op.c {
+                            (false, q as usize)
+                        } else {
+                            (true, p as usize)
+                        };
+                        if o == z {
+                            for x in self.fregs[z][..n].iter_mut() {
+                                *x = if swap { g(*x, fi) } else { g(fi, *x) };
+                            }
+                        } else {
+                            let [dz, ro] = self
+                                .fregs
+                                .get_disjoint_mut([z, o])
+                                .expect("disjoint const-chain registers");
+                            for l in 0..n {
+                                dz[l] = if swap { g(ro[l], fi) } else { g(fi, ro[l]) };
+                            }
+                        }
+                    }
+                    return;
+                }};
+            }
+            match s2 {
+                F_ADD => cc!(|x: f64, y: f64| x + y),
+                F_SUB => cc!(|x: f64, y: f64| x - y),
+                F_MUL => cc!(|x: f64, y: f64| x * y),
+                F_DIV => cc!(|x: f64, y: f64| x / y),
+                _ => {
+                    // A unary second half reads `p` only; when that is
+                    // the constant, both rows become fills.
+                    if p == op.c {
+                        let vz = match s2 {
+                            F_MOV => Some(fi),
+                            5 => Some(fi.sqrt()),
+                            6 => Some(1.0 / fi.sqrt()),
+                            7 => Some(fi.exp()),
+                            8 => Some(fi.ln()),
+                            9 => Some(fi.sin()),
+                            10 => Some(fi.cos()),
+                            11 => Some(fi.tan()),
+                            12 => Some(fi.abs()),
+                            13 => Some(fi.floor()),
+                            14 => Some(fi.ceil()),
+                            F_NEG => Some(-fi),
+                            _ => None,
+                        };
+                        if let Some(vz) = vz {
+                            self.fregs[t][..n].fill(fi);
+                            self.fregs[z][..n].fill(vz);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        self.fregs[t][..n].fill(fi);
+        apply_f(&mut self.fregs, n, op.dst, op.d, op.e, op.sub2, fi);
+    }
+
+    /// Full-width `IOp2`.
+    #[inline(never)]
+    fn fused_iop2(&mut self, op: &DecOp, n: usize) {
+        // Two mono passes; see `fused_fop2` for why there is no
+        // full-width chain loop.
+        apply_i(&mut self.iregs, n, op.c, op.a, op.b, op.sub1);
+        apply_i(&mut self.iregs, n, op.dst, op.d, op.e, op.sub2);
+    }
+
+    /// Full-width `Load2F`: when both gathers are fully in bounds, one
+    /// pass performs both (the destinations are distinct by fusion
+    /// rule); otherwise the halves run unfused so each lane faults
+    /// exactly where the original pair would.
+    #[inline(never)]
+    fn fused_load2f(
+        &mut self,
+        op: &DecOp,
+        n: usize,
+        bmap: &[usize],
+        bufs: &mut [BufferData],
+    ) -> Result<(), VmError> {
+        {
+            let idx1 = &self.iregs[op.a as usize];
+            let idx2 = &self.iregs[op.d as usize];
+            let BufferData::F32(v1) = &bufs[bmap[op.b as usize]] else {
+                unreachable!("type-checked load");
+            };
+            let BufferData::F32(v2) = &bufs[bmap[op.e as usize]] else {
+                unreachable!("type-checked load");
+            };
+            if all_in_bounds(idx1, n, v1.len()) && all_in_bounds(idx2, n, v2.len()) {
+                let [d1, d2] = self
+                    .fregs
+                    .get_disjoint_mut([op.c as usize, op.dst as usize])
+                    .expect("distinct fused load destinations");
+                for l in 0..n {
+                    d1[l] = f64::from(v1[idx1[l] as usize]);
+                    d2[l] = f64::from(v2[idx2[l] as usize]);
+                }
+                return Ok(());
+            }
+        }
+        self.lane_load_f(op.c, op.a, op.b, n, bmap, bufs)?;
+        self.lane_load_f(op.dst, op.d, op.e, n, bmap, bufs)
+    }
+
+    /// Full-width `LoadFOp`: gather + float compute in one pass when the
+    /// gather is fully in bounds and the compute is a hot binop; the
+    /// unfused sequence otherwise.
+    #[inline(never)]
+    fn fused_load_fop(
+        &mut self,
+        op: &DecOp,
+        n: usize,
+        bmap: &[usize],
+        bufs: &mut [BufferData],
+    ) -> Result<(), VmError> {
+        let (s2, fimm) = (op.sub2, op.fimm);
+        let fused = {
+            let idxv = &self.iregs[op.a as usize];
+            let BufferData::F32(v) = &bufs[bmap[op.b as usize]] else {
+                unreachable!("type-checked load");
+            };
+            if all_in_bounds(idxv, n, v.len()) {
+                match s2 {
+                    F_ADD => load_fop_fast(&mut self.fregs, idxv, v, n, op, |x, y| x + y),
+                    F_SUB => load_fop_fast(&mut self.fregs, idxv, v, n, op, |x, y| x - y),
+                    F_MUL => load_fop_fast(&mut self.fregs, idxv, v, n, op, |x, y| x * y),
+                    F_DIV => load_fop_fast(&mut self.fregs, idxv, v, n, op, |x, y| x / y),
+                    F_MOV => load_fop_fast(&mut self.fregs, idxv, v, n, op, |x, _| x),
+                    F_NEG => load_fop_fast(&mut self.fregs, idxv, v, n, op, |x: f64, _| -x),
+                    5 => load_fop_fast(&mut self.fregs, idxv, v, n, op, |x: f64, _| x.sqrt()),
+                    12 => load_fop_fast(&mut self.fregs, idxv, v, n, op, |x: f64, _| x.abs()),
+                    _ => {
+                        {
+                            let dx = &mut self.fregs[op.c as usize];
+                            for l in 0..n {
+                                dx[l] = f64::from(v[idxv[l] as usize]);
+                            }
+                        }
+                        apply_f(&mut self.fregs, n, op.dst, op.d, op.e, s2, fimm);
+                    }
+                }
+                true
+            } else {
+                false
+            }
+        };
+        if !fused {
+            self.lane_load_f(op.c, op.a, op.b, n, bmap, bufs)?;
+            apply_f(&mut self.fregs, n, op.dst, op.d, op.e, s2, fimm);
+        }
+        Ok(())
+    }
+
+    /// Full-width `FOpStore`: compute + scatter in one pass when the
+    /// scatter is fully in bounds and the compute is a hot binop;
+    /// compute-then-checked-store otherwise.
+    #[inline(never)]
+    fn fused_fop_store(
+        &mut self,
+        op: &DecOp,
+        n: usize,
+        bmap: &[usize],
+        bufs: &mut [BufferData],
+    ) -> Result<(), VmError> {
+        let (s1, fimm) = (op.sub1, op.fimm);
+        let fused = {
+            let idxv = &self.iregs[op.c as usize];
+            let bd = &mut bufs[bmap[op.d as usize]];
+            let len = bd.len();
+            let BufferData::F32(v) = bd else {
+                unreachable!("type-checked store");
+            };
+            if all_in_bounds(idxv, n, len) {
+                match s1 {
+                    F_ADD => {
+                        fop_store_fast(&mut self.fregs, idxv, v, n, op, |x, y| x + y);
+                        true
+                    }
+                    F_SUB => {
+                        fop_store_fast(&mut self.fregs, idxv, v, n, op, |x, y| x - y);
+                        true
+                    }
+                    F_MUL => {
+                        fop_store_fast(&mut self.fregs, idxv, v, n, op, |x, y| x * y);
+                        true
+                    }
+                    F_DIV => {
+                        fop_store_fast(&mut self.fregs, idxv, v, n, op, |x, y| x / y);
+                        true
+                    }
+                    F_MOV => {
+                        fop_store_fast(&mut self.fregs, idxv, v, n, op, |x, _| x);
+                        true
+                    }
+                    F_NEG => {
+                        fop_store_fast(&mut self.fregs, idxv, v, n, op, |x: f64, _| -x);
+                        true
+                    }
+                    5 => {
+                        fop_store_fast(&mut self.fregs, idxv, v, n, op, |x: f64, _| x.sqrt());
+                        true
+                    }
+                    12 => {
+                        fop_store_fast(&mut self.fregs, idxv, v, n, op, |x: f64, _| x.abs());
+                        true
+                    }
+                    F_CONST => {
+                        // Constant store: fill the row, stream the value.
+                        self.fregs[op.dst as usize][..n].fill(fimm);
+                        let c = fimm as f32;
+                        for l in 0..n {
+                            v[idxv[l] as usize] = c;
+                        }
+                        true
+                    }
+                    _ => false,
+                }
+            } else {
+                false
+            }
+        };
+        if !fused {
+            apply_f(&mut self.fregs, n, op.dst, op.a, op.b, s1, fimm);
+            self.lane_store_f(op.dst, op.c, op.d, n, bmap, bufs)?;
+        }
+        Ok(())
+    }
+
+    /// The full-width `LoadF` kernel (`dst`, `idx` = index register,
+    /// `buf` = buffer param), shared with the fused slow paths.
+    #[inline]
+    fn lane_load_f(
+        &mut self,
+        dst: u16,
+        idx: u16,
+        buf: u16,
+        n: usize,
+        bmap: &[usize],
+        bufs: &[BufferData],
+    ) -> Result<(), VmError> {
+        let idxv = &self.iregs[idx as usize];
+        let bd = &bufs[bmap[buf as usize]];
+        let BufferData::F32(v) = bd else {
+            unreachable!("type-checked load");
+        };
+        let d = &mut self.fregs[dst as usize];
+        if all_in_bounds(idxv, n, v.len()) {
+            for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
+                *d = f64::from(v[i as usize]);
+            }
+        } else {
+            for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
+                let Some(val) = usize::try_from(i).ok().and_then(|i| v.get(i)) else {
+                    return Err(VmError::OutOfBounds {
+                        buffer: buf as usize,
+                        index: i,
+                        len: v.len(),
+                    });
+                };
+                *d = f64::from(*val);
+            }
+        }
+        Ok(())
+    }
+
+    /// The full-width `StoreF` kernel (`src` = source register, `idx` =
+    /// index register, `buf` = buffer param), shared with the fused slow
+    /// paths.
+    #[inline]
+    fn lane_store_f(
+        &mut self,
+        src: u16,
+        idx: u16,
+        buf: u16,
+        n: usize,
+        bmap: &[usize],
+        bufs: &mut [BufferData],
+    ) -> Result<(), VmError> {
+        let idxv = &self.iregs[idx as usize];
+        let srcv = &self.fregs[src as usize];
+        let bd = &mut bufs[bmap[buf as usize]];
+        let len = bd.len();
+        let BufferData::F32(v) = bd else {
+            unreachable!("type-checked store");
+        };
+        if all_in_bounds(idxv, n, len) {
+            for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
+                v[i as usize] = x as f32;
+            }
+        } else {
+            for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
+                let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
+                    return Err(VmError::OutOfBounds {
+                        buffer: buf as usize,
+                        index: i,
+                        len,
+                    });
+                };
+                *slot = x as f32;
+            }
+        }
+        Ok(())
+    }
+
+    /// [`LaneEngine::exec_instr_masked`] over a pre-decoded op: only
+    /// active lanes read, write, and fault.
+    fn exec_dec_masked(
+        &mut self,
+        op: &DecOp,
+        m: ExecMask,
+        gsize: [usize; 3],
+        bmap: &[usize],
+        bufs: &mut [BufferData],
+    ) -> Result<(), VmError> {
+        let u = op.unsigned;
+        let (dst, a, b) = (op.dst, op.a, op.b);
+        match op.code {
+            OpCode::ConstI => {
+                for l in m.lanes() {
+                    self.iregs[dst as usize][l] = op.imm;
+                }
+            }
+            OpCode::ConstF => {
+                for l in m.lanes() {
+                    self.fregs[dst as usize][l] = op.fimm;
+                }
+            }
+            OpCode::MovI => masked1(&mut self.iregs, m, dst, a, |x| x),
+            OpCode::MovF => masked1(&mut self.fregs, m, dst, a, |x| x),
+            OpCode::IAdd => masked2(&mut self.iregs, m, dst, a, b, |x, y| {
+                wrap32(x.wrapping_add(y), u)
+            }),
+            OpCode::ISub => masked2(&mut self.iregs, m, dst, a, b, |x, y| {
+                wrap32(x.wrapping_sub(y), u)
+            }),
+            OpCode::IMul => masked2(&mut self.iregs, m, dst, a, b, |x, y| {
+                wrap32(x.wrapping_mul(y), u)
+            }),
+            OpCode::IDiv | OpCode::IRem => {
+                let o = if op.code == OpCode::IDiv {
+                    IBinOp::Div
+                } else {
+                    IBinOp::Rem
+                };
+                for l in m.lanes() {
+                    let x = self.iregs[a as usize][l];
+                    let y = self.iregs[b as usize][l];
+                    self.iregs[dst as usize][l] = int_bin(o, x, y, u)?;
+                }
+            }
+            OpCode::IAnd => masked2(&mut self.iregs, m, dst, a, b, |x, y| wrap32(x & y, u)),
+            OpCode::IOr => masked2(&mut self.iregs, m, dst, a, b, |x, y| wrap32(x | y, u)),
+            OpCode::IXor => masked2(&mut self.iregs, m, dst, a, b, |x, y| wrap32(x ^ y, u)),
+            OpCode::IShl => masked2(&mut self.iregs, m, dst, a, b, |x, y| {
+                wrap32(x.wrapping_shl((y & 31) as u32), u)
+            }),
+            OpCode::IShr => masked2(&mut self.iregs, m, dst, a, b, |x, y| {
+                let s = (y & 31) as u32;
+                let v = if u {
+                    ((x as u64) >> s) as i64
+                } else {
+                    (x as i32 >> s) as i64
+                };
+                wrap32(v, u)
+            }),
+            OpCode::ImmAdd => {
+                let imm = op.imm;
+                masked1(&mut self.iregs, m, dst, a, |x| {
+                    wrap32(x.wrapping_add(imm), u)
+                });
+            }
+            OpCode::ImmSub => {
+                let imm = op.imm;
+                masked1(&mut self.iregs, m, dst, a, |x| {
+                    wrap32(x.wrapping_sub(imm), u)
+                });
+            }
+            OpCode::ImmMul => {
+                let imm = op.imm;
+                masked1(&mut self.iregs, m, dst, a, |x| {
+                    wrap32(x.wrapping_mul(imm), u)
+                });
+            }
+            OpCode::ImmDiv | OpCode::ImmRem => {
+                let o = if op.code == OpCode::ImmDiv {
+                    IBinOp::Div
+                } else {
+                    IBinOp::Rem
+                };
+                for l in m.lanes() {
+                    let x = self.iregs[a as usize][l];
+                    self.iregs[dst as usize][l] = int_bin(o, x, op.imm, u)?;
+                }
+            }
+            OpCode::ImmAnd => {
+                let imm = op.imm;
+                masked1(&mut self.iregs, m, dst, a, |x| wrap32(x & imm, u));
+            }
+            OpCode::ImmOr => {
+                let imm = op.imm;
+                masked1(&mut self.iregs, m, dst, a, |x| wrap32(x | imm, u));
+            }
+            OpCode::ImmXor => {
+                let imm = op.imm;
+                masked1(&mut self.iregs, m, dst, a, |x| wrap32(x ^ imm, u));
+            }
+            OpCode::ImmShl => {
+                let s = (op.imm & 31) as u32;
+                masked1(&mut self.iregs, m, dst, a, |x| wrap32(x.wrapping_shl(s), u));
+            }
+            OpCode::ImmShr => {
+                let s = (op.imm & 31) as u32;
+                masked1(&mut self.iregs, m, dst, a, |x| {
+                    let v = if u {
+                        ((x as u64) >> s) as i64
+                    } else {
+                        (x as i32 >> s) as i64
+                    };
+                    wrap32(v, u)
+                });
+            }
+            OpCode::FAdd => masked2(&mut self.fregs, m, dst, a, b, |x, y| x + y),
+            OpCode::FSub => masked2(&mut self.fregs, m, dst, a, b, |x, y| x - y),
+            OpCode::FMul => masked2(&mut self.fregs, m, dst, a, b, |x, y| x * y),
+            OpCode::FDiv => masked2(&mut self.fregs, m, dst, a, b, |x, y| x / y),
+            OpCode::ICmpLt => masked2(&mut self.iregs, m, dst, a, b, |x, y| i64::from(x < y)),
+            OpCode::ICmpLe => masked2(&mut self.iregs, m, dst, a, b, |x, y| i64::from(x <= y)),
+            OpCode::ICmpGt => masked2(&mut self.iregs, m, dst, a, b, |x, y| i64::from(x > y)),
+            OpCode::ICmpGe => masked2(&mut self.iregs, m, dst, a, b, |x, y| i64::from(x >= y)),
+            OpCode::ICmpEq => masked2(&mut self.iregs, m, dst, a, b, |x, y| i64::from(x == y)),
+            OpCode::ICmpNe => masked2(&mut self.iregs, m, dst, a, b, |x, y| i64::from(x != y)),
+            OpCode::FCmpLt
+            | OpCode::FCmpLe
+            | OpCode::FCmpGt
+            | OpCode::FCmpGe
+            | OpCode::FCmpEq
+            | OpCode::FCmpNe => {
+                for l in m.lanes() {
+                    let x = self.fregs[a as usize][l];
+                    let y = self.fregs[b as usize][l];
+                    let r = match op.code {
+                        OpCode::FCmpLt => x < y,
+                        OpCode::FCmpLe => x <= y,
+                        OpCode::FCmpGt => x > y,
+                        OpCode::FCmpGe => x >= y,
+                        OpCode::FCmpEq => x == y,
+                        _ => x != y,
+                    };
+                    self.iregs[dst as usize][l] = i64::from(r);
+                }
+            }
+            OpCode::NegI => masked1(&mut self.iregs, m, dst, a, |x| {
+                wrap32(0i64.wrapping_sub(x), u)
+            }),
+            OpCode::NegF => masked1(&mut self.fregs, m, dst, a, |x| -x),
+            OpCode::NotI => masked1(&mut self.iregs, m, dst, a, |x| i64::from(x == 0)),
+            OpCode::BitNotI => masked1(&mut self.iregs, m, dst, a, |x| wrap32(!x, u)),
+            OpCode::CastIF => {
+                for l in m.lanes() {
+                    self.fregs[dst as usize][l] = self.iregs[a as usize][l] as f64;
+                }
+            }
+            OpCode::CastFI => {
+                for l in m.lanes() {
+                    let x = self.fregs[a as usize][l];
+                    self.iregs[dst as usize][l] = if u {
+                        i64::from(x as u32)
+                    } else {
+                        i64::from(x as i32)
+                    };
+                }
+            }
+            OpCode::CastII => masked1(&mut self.iregs, m, dst, a, |x| wrap32(x, u)),
+            OpCode::Sqrt => masked1(&mut self.fregs, m, dst, a, f64::sqrt),
+            OpCode::Rsqrt => masked1(&mut self.fregs, m, dst, a, |x| 1.0 / x.sqrt()),
+            OpCode::Exp => masked1(&mut self.fregs, m, dst, a, f64::exp),
+            OpCode::Log => masked1(&mut self.fregs, m, dst, a, f64::ln),
+            OpCode::Sin => masked1(&mut self.fregs, m, dst, a, f64::sin),
+            OpCode::Cos => masked1(&mut self.fregs, m, dst, a, f64::cos),
+            OpCode::Tan => masked1(&mut self.fregs, m, dst, a, f64::tan),
+            OpCode::Fabs => masked1(&mut self.fregs, m, dst, a, f64::abs),
+            OpCode::Floor => masked1(&mut self.fregs, m, dst, a, f64::floor),
+            OpCode::Ceil => masked1(&mut self.fregs, m, dst, a, f64::ceil),
+            OpCode::Pow => masked2(&mut self.fregs, m, dst, a, b, f64::powf),
+            OpCode::Fmin => masked2(&mut self.fregs, m, dst, a, b, f64::min),
+            OpCode::Fmax => masked2(&mut self.fregs, m, dst, a, b, f64::max),
+            OpCode::Fmod => masked2(&mut self.fregs, m, dst, a, b, |x, y| x % y),
+            OpCode::IMin => masked2(&mut self.iregs, m, dst, a, b, i64::min),
+            OpCode::IMax => masked2(&mut self.iregs, m, dst, a, b, i64::max),
+            OpCode::IAbs => masked1(&mut self.iregs, m, dst, a, |x| {
+                wrap32(x.wrapping_abs(), false)
+            }),
+            OpCode::LoadF => self.masked_load_f(dst, a, b, m, bmap, bufs)?,
+            OpCode::LoadI => {
+                let bd = &bufs[bmap[b as usize]];
+                for l in m.lanes() {
+                    let i = self.iregs[a as usize][l];
+                    let val = match bd {
+                        BufferData::I32(v) => usize::try_from(i)
+                            .ok()
+                            .and_then(|i| v.get(i))
+                            .map(|&x| i64::from(x)),
+                        BufferData::U32(v) => usize::try_from(i)
+                            .ok()
+                            .and_then(|i| v.get(i))
+                            .map(|&x| i64::from(x)),
+                        BufferData::F32(_) => unreachable!("type-checked load"),
+                    };
+                    let Some(val) = val else {
+                        return Err(VmError::OutOfBounds {
+                            buffer: b as usize,
+                            index: i,
+                            len: bd.len(),
+                        });
+                    };
+                    self.iregs[dst as usize][l] = val;
+                }
+            }
+            OpCode::StoreF => self.masked_store_f(dst, a, b, m, bmap, bufs)?,
+            OpCode::StoreI => {
+                let bd = &mut bufs[bmap[b as usize]];
+                let len = bd.len();
+                for l in m.lanes() {
+                    let i = self.iregs[a as usize][l];
+                    let x = self.iregs[dst as usize][l];
+                    let stored = match bd {
+                        BufferData::I32(v) => {
+                            usize::try_from(i).ok().and_then(|i| v.get_mut(i)).map(|s| {
+                                *s = x as i32;
+                            })
+                        }
+                        BufferData::U32(v) => {
+                            usize::try_from(i).ok().and_then(|i| v.get_mut(i)).map(|s| {
+                                *s = x as u32;
+                            })
+                        }
+                        BufferData::F32(_) => unreachable!("type-checked store"),
+                    };
+                    if stored.is_none() {
+                        return Err(VmError::OutOfBounds {
+                            buffer: b as usize,
+                            index: i,
+                            len,
+                        });
+                    }
+                }
+            }
+            OpCode::GlobalId => {
+                for l in m.lanes() {
+                    self.iregs[dst as usize][l] = self.gid[a as usize][l];
+                }
+            }
+            OpCode::GlobalSize => {
+                for l in m.lanes() {
+                    self.iregs[dst as usize][l] = gsize[a as usize] as i64;
+                }
+            }
+            // Superinstructions. Compute pairs interleave per lane in a
+            // single masked loop: they can't fault, and each lane reads
+            // only its own elements, so running both halves back to back
+            // within a lane is bit-identical to two masked passes (a
+            // second-half operand naming the first's destination reads
+            // the fresh value either way). `LoadFOp`/`FOpStore` also
+            // interleave: the faultable half walks the active lanes in
+            // the same order as the unfused pass, so the committed
+            // stores and the reported fault are identical, and register
+            // rows touched after an abort are unobservable. `Load2F`
+            // must NOT interleave — with two faultable halves the
+            // original faults on the *first* op's later lane before the
+            // second op's earlier lane.
+            OpCode::FOp2 => self.masked_fop2(op, m),
+            OpCode::IOp2 => self.masked_iop2(op, m),
+            OpCode::Load2F => {
+                self.masked_load_f(op.c, op.a, op.b, m, bmap, bufs)?;
+                self.masked_load_f(op.dst, op.d, op.e, m, bmap, bufs)?;
+            }
+            OpCode::LoadFOp => self.masked_load_fop(op, m, bmap, bufs)?,
+            OpCode::FOpStore => self.masked_fop_store(op, m, bmap, bufs)?,
+        }
+        Ok(())
+    }
+
+    /// The masked `LoadF` kernel, shared with the fused memory pairs.
+    #[inline]
+    fn masked_load_f(
+        &mut self,
+        dst: u16,
+        idx: u16,
+        buf: u16,
+        m: ExecMask,
+        bmap: &[usize],
+        bufs: &[BufferData],
+    ) -> Result<(), VmError> {
+        let bd = &bufs[bmap[buf as usize]];
+        let BufferData::F32(v) = bd else {
+            unreachable!("type-checked load");
+        };
+        for l in m.lanes() {
+            let i = self.iregs[idx as usize][l];
+            let Some(val) = usize::try_from(i).ok().and_then(|i| v.get(i)) else {
+                return Err(VmError::OutOfBounds {
+                    buffer: buf as usize,
+                    index: i,
+                    len: v.len(),
+                });
+            };
+            self.fregs[dst as usize][l] = f64::from(*val);
+        }
+        Ok(())
+    }
+
+    /// The masked `StoreF` kernel, shared with the fused memory pairs.
+    #[inline]
+    fn masked_store_f(
+        &mut self,
+        src: u16,
+        idx: u16,
+        buf: u16,
+        m: ExecMask,
+        bmap: &[usize],
+        bufs: &mut [BufferData],
+    ) -> Result<(), VmError> {
+        let bd = &mut bufs[bmap[buf as usize]];
+        let len = bd.len();
+        let BufferData::F32(v) = bd else {
+            unreachable!("type-checked store");
+        };
+        for l in m.lanes() {
+            let i = self.iregs[idx as usize][l];
+            let x = self.fregs[src as usize][l];
+            let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
+                return Err(VmError::OutOfBounds {
+                    buffer: buf as usize,
+                    index: i,
+                    len,
+                });
+            };
+            *slot = x as f32;
+        }
+        Ok(())
+    }
+
+    /// Masked `FOp2`: one interleaved loop over the active lanes for the
+    /// cheap micro-op pairs (the per-lane sequential order of
+    /// [`masked_chain`] makes every aliasing shape correct, and a
+    /// `ConstF` half becomes a closure ignoring its operands); two
+    /// masked passes otherwise.
+    fn masked_fop2(&mut self, op: &DecOp, m: ExecMask) {
+        let (s1, s2) = (op.sub1, op.sub2);
+        let fi = op.fimm;
+        macro_rules! chain {
+            ($f1:expr, $f2:expr) => {
+                return masked_chain(&mut self.fregs, m, op, $f1, $f2)
+            };
+        }
+        macro_rules! by2 {
+            ($f1:expr) => {
+                match s2 {
+                    F_ADD => chain!($f1, |x, y| x + y),
+                    F_SUB => chain!($f1, |x, y| x - y),
+                    F_MUL => chain!($f1, |x, y| x * y),
+                    F_DIV => chain!($f1, |x, y| x / y),
+                    F_MOV => chain!($f1, |x, _| x),
+                    F_NEG => chain!($f1, |x: f64, _| -x),
+                    5 => chain!($f1, |x: f64, _| x.sqrt()),
+                    12 => chain!($f1, |x: f64, _| x.abs()),
+                    F_CONST => chain!($f1, |_, _| fi),
+                    _ => {}
+                }
+            };
+        }
+        match s1 {
+            F_ADD => by2!(|x, y| x + y),
+            F_SUB => by2!(|x, y| x - y),
+            F_MUL => by2!(|x, y| x * y),
+            F_DIV => by2!(|x, y| x / y),
+            F_MOV => by2!(|x, _| x),
+            F_NEG => by2!(|x: f64, _| -x),
+            5 => by2!(|x: f64, _| x.sqrt()),
+            12 => by2!(|x: f64, _| x.abs()),
+            F_CONST => by2!(|_, _| fi),
+            _ => {}
+        }
+        masked_f(&mut self.fregs, m, op.c, op.a, op.b, s1, fi);
+        masked_f(&mut self.fregs, m, op.dst, op.d, op.e, s2, fi);
+    }
+
+    /// Masked `IOp2`: one interleaved loop over the active lanes.
+    fn masked_iop2(&mut self, op: &DecOp, m: ExecMask) {
+        let u1 = op.sub1 & I_UNSIGNED != 0;
+        let u2 = op.sub2 & I_UNSIGNED != 0;
+        macro_rules! chain {
+            ($f1:expr, $f2:expr) => {
+                masked_chain(&mut self.iregs, m, op, $f1, $f2)
+            };
+        }
+        match (op.sub1 & !I_UNSIGNED, op.sub2 & !I_UNSIGNED) {
+            (0, 0) => chain!(|x: i64, y| wrap32(x.wrapping_add(y), u1), |x: i64, y| {
+                wrap32(x.wrapping_add(y), u2)
+            }),
+            (0, 1) => chain!(|x: i64, y| wrap32(x.wrapping_add(y), u1), |x: i64, y| {
+                wrap32(x.wrapping_sub(y), u2)
+            }),
+            (0, _) => chain!(|x: i64, y| wrap32(x.wrapping_add(y), u1), |x: i64, y| {
+                wrap32(x.wrapping_mul(y), u2)
+            }),
+            (1, 0) => chain!(|x: i64, y| wrap32(x.wrapping_sub(y), u1), |x: i64, y| {
+                wrap32(x.wrapping_add(y), u2)
+            }),
+            (1, 1) => chain!(|x: i64, y| wrap32(x.wrapping_sub(y), u1), |x: i64, y| {
+                wrap32(x.wrapping_sub(y), u2)
+            }),
+            (1, _) => chain!(|x: i64, y| wrap32(x.wrapping_sub(y), u1), |x: i64, y| {
+                wrap32(x.wrapping_mul(y), u2)
+            }),
+            (_, 0) => chain!(|x: i64, y| wrap32(x.wrapping_mul(y), u1), |x: i64, y| {
+                wrap32(x.wrapping_add(y), u2)
+            }),
+            (_, 1) => chain!(|x: i64, y| wrap32(x.wrapping_mul(y), u1), |x: i64, y| {
+                wrap32(x.wrapping_sub(y), u2)
+            }),
+            (_, _) => chain!(|x: i64, y| wrap32(x.wrapping_mul(y), u1), |x: i64, y| {
+                wrap32(x.wrapping_mul(y), u2)
+            }),
+        }
+    }
+
+    /// Masked `LoadFOp`: gather + compute interleaved over the active
+    /// lanes for the hot binops (the gather faults in the same per-lane
+    /// order as the unfused pass); two masked passes otherwise.
+    fn masked_load_fop(
+        &mut self,
+        op: &DecOp,
+        m: ExecMask,
+        bmap: &[usize],
+        bufs: &mut [BufferData],
+    ) -> Result<(), VmError> {
+        let (s2, fimm) = (op.sub2, op.fimm);
+        macro_rules! go {
+            ($f2:expr) => {{
+                let (x, z) = (op.c as usize, op.dst as usize);
+                let (p, q) = (op.d as usize, op.e as usize);
+                let BufferData::F32(v) = &bufs[bmap[op.b as usize]] else {
+                    unreachable!("type-checked load");
+                };
+                for l in m.lanes() {
+                    let i = self.iregs[op.a as usize][l];
+                    let Some(val) = usize::try_from(i).ok().and_then(|i| v.get(i)) else {
+                        return Err(VmError::OutOfBounds {
+                            buffer: op.b as usize,
+                            index: i,
+                            len: v.len(),
+                        });
+                    };
+                    let loaded = f64::from(*val);
+                    self.fregs[x][l] = loaded;
+                    let pv = self.fregs[p][l];
+                    let qv = self.fregs[q][l];
+                    self.fregs[z][l] = $f2(pv, qv);
+                }
+                return Ok(());
+            }};
+        }
+        match s2 {
+            F_ADD => go!(|x, y| x + y),
+            F_SUB => go!(|x, y| x - y),
+            F_MUL => go!(|x, y| x * y),
+            F_DIV => go!(|x, y| x / y),
+            F_MOV => go!(|x, _| x),
+            F_NEG => go!(|x: f64, _| -x),
+            5 => go!(|x: f64, _| x.sqrt()),
+            12 => go!(|x: f64, _| x.abs()),
+            _ => {}
+        }
+        self.masked_load_f(op.c, op.a, op.b, m, bmap, bufs)?;
+        masked_f(&mut self.fregs, m, op.dst, op.d, op.e, s2, fimm);
+        Ok(())
+    }
+
+    /// Masked `FOpStore`: compute + scatter interleaved over the active
+    /// lanes for the hot binops (stores commit and fault in the same
+    /// per-lane order as the unfused pass); two masked passes otherwise.
+    fn masked_fop_store(
+        &mut self,
+        op: &DecOp,
+        m: ExecMask,
+        bmap: &[usize],
+        bufs: &mut [BufferData],
+    ) -> Result<(), VmError> {
+        let (s1, fimm) = (op.sub1, op.fimm);
+        macro_rules! go {
+            ($f1:expr) => {{
+                let (a, b, z) = (op.a as usize, op.b as usize, op.dst as usize);
+                let bd = &mut bufs[bmap[op.d as usize]];
+                let len = bd.len();
+                let BufferData::F32(v) = bd else {
+                    unreachable!("type-checked store");
+                };
+                for l in m.lanes() {
+                    let t = $f1(self.fregs[a][l], self.fregs[b][l]);
+                    self.fregs[z][l] = t;
+                    let i = self.iregs[op.c as usize][l];
+                    let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
+                        return Err(VmError::OutOfBounds {
+                            buffer: op.d as usize,
+                            index: i,
+                            len,
+                        });
+                    };
+                    *slot = t as f32;
+                }
+                return Ok(());
+            }};
+        }
+        match s1 {
+            F_ADD => go!(|x, y| x + y),
+            F_SUB => go!(|x, y| x - y),
+            F_MUL => go!(|x, y| x * y),
+            F_DIV => go!(|x, y| x / y),
+            F_MOV => go!(|x, _| x),
+            F_NEG => go!(|x: f64, _| -x),
+            5 => go!(|x: f64, _| x.sqrt()),
+            12 => go!(|x: f64, _| x.abs()),
+            F_CONST => go!(|_, _| fimm),
+            _ => {}
+        }
+        masked_f(&mut self.fregs, m, op.dst, op.a, op.b, s1, fimm);
+        self.masked_store_f(op.dst, op.c, op.d, m, bmap, bufs)
     }
 }

@@ -69,6 +69,21 @@ impl Benchmark {
             .unwrap_or_else(|e| panic!("benchmark `{}` failed to compile: {e}", self.name))
     }
 
+    /// Compile the kernel source at an explicit optimization level and
+    /// backend (register-allocation + pre-decode) mode.
+    ///
+    /// # Panics
+    /// Panics if the bundled source does not compile — that is a bug in
+    /// the suite, covered by tests.
+    pub fn compile_with_modes(
+        &self,
+        level: hetpart_inspire::OptLevel,
+        regalloc: hetpart_inspire::RegAlloc,
+    ) -> CompiledKernel {
+        hetpart_inspire::compile_with_modes(self.source, level, regalloc)
+            .unwrap_or_else(|e| panic!("benchmark `{}` failed to compile: {e}", self.name))
+    }
+
     /// Smallest size of the ladder (used by functional tests).
     pub fn smallest_size(&self) -> usize {
         self.sizes[0]

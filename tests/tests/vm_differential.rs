@@ -11,7 +11,7 @@
 //! tail batch).
 
 use hetpart_inspire::vm::{ArgValue, BufferData, Counters, DivergenceMode, Vm, LANES};
-use hetpart_inspire::{compile, compile_with_opt, NdRange, OptLevel};
+use hetpart_inspire::{compile, compile_with_modes, compile_with_opt, NdRange, OptLevel, RegAlloc};
 use proptest::prelude::*;
 
 /// Run the scalar engine and the lane engine — in **both** divergence
@@ -97,11 +97,16 @@ fn assert_sampled_parity(
     }
 }
 
-/// Three-way differential: the **unoptimized** scalar execution is the
-/// semantic reference; the optimized bytecode — on the scalar engine and
-/// on the lane engine in both divergence modes — must produce identical
-/// buffers and identical fault behavior. Step counts are allowed (and
-/// expected) to shrink, so counters are deliberately *not* compared.
+/// Four-way differential: the **unoptimized** scalar execution is the
+/// semantic reference; the optimized bytecode — with and without the
+/// backend register-allocation + pre-decode tier, on the scalar engine
+/// and on the lane engine in both divergence modes — must produce
+/// identical buffers and identical fault behavior. Step counts shrink
+/// under optimization, so counters are not compared against the
+/// reference; but between the two backend variants they must be
+/// **bit-identical** (register allocation only renames registers and
+/// decoding only re-encodes the instructions — neither may change which
+/// blocks execute, how often, or what they cost).
 fn assert_opt_parity(
     src: &str,
     nd: &NdRange,
@@ -110,48 +115,92 @@ fn assert_opt_parity(
     bufs: &[BufferData],
 ) {
     let reference = compile_with_opt(src, OptLevel::None).unwrap();
-    let optimized = compile_with_opt(src, OptLevel::Full).unwrap();
+    let noalloc = compile_with_modes(src, OptLevel::Full, RegAlloc::Off).unwrap();
+    let optimized = compile_with_modes(src, OptLevel::Full, RegAlloc::On).unwrap();
     assert!(
-        optimized.bytecode.num_instrs() <= reference.bytecode.num_instrs(),
+        noalloc.bytecode.num_instrs() <= reference.bytecode.num_instrs(),
         "the optimizer must never grow the code"
     );
+    assert_eq!(
+        optimized.bytecode.num_instrs(),
+        noalloc.bytecode.num_instrs(),
+        "register allocation must only rename, never add or drop code"
+    );
+    assert!(
+        optimized.bytecode.n_iregs <= noalloc.bytecode.n_iregs
+            && optimized.bytecode.n_fregs <= noalloc.bytecode.n_fregs,
+        "register allocation must never widen a register file"
+    );
+    // Renaming registers must leave every per-block static histogram (and
+    // with it the dynamic-op accounting it feeds) untouched.
+    for (bi, (a, b)) in noalloc
+        .bytecode
+        .blocks
+        .iter()
+        .zip(&optimized.bytecode.blocks)
+        .enumerate()
+    {
+        assert_eq!(a.histo, b.histo, "bb{bi}: histogram drifted under regalloc");
+    }
     let mut vm = Vm::new();
     let mut ref_bufs = bufs.to_vec();
     let ref_out = vm.run_range_scalar(&reference.bytecode, nd, range.clone(), args, &mut ref_bufs);
 
-    let mut opt_bufs = bufs.to_vec();
-    let opt_out = vm.run_range_scalar(&optimized.bytecode, nd, range.clone(), args, &mut opt_bufs);
-    assert_eq!(
-        ref_out.is_ok(),
-        opt_out.is_ok(),
-        "optimized scalar fault behavior drifted: {ref_out:?} vs {opt_out:?}"
-    );
-    if let (Err(a), Err(b)) = (&ref_out, &opt_out) {
-        assert_eq!(a, b, "optimized scalar fault kind drifted");
-    }
-    if ref_out.is_ok() {
-        assert_eq!(ref_bufs, opt_bufs, "optimized scalar buffers drifted");
-    }
-
-    for mode in [DivergenceMode::Reconverge, DivergenceMode::Replay] {
-        vm.divergence_mode = mode;
-        let mut lane_bufs = bufs.to_vec();
-        let lane_out =
-            vm.run_range_lanes(&optimized.bytecode, nd, range.clone(), args, &mut lane_bufs);
+    // Scalar engine, both backend variants; counters must agree between
+    // the variants (same blocks, same costs — only register names and the
+    // instruction encoding differ).
+    let mut variant_counters = Vec::new();
+    for (what, k) in [("noalloc", &noalloc), ("regalloc", &optimized)] {
+        let mut opt_bufs = bufs.to_vec();
+        let opt_out = vm.run_range_scalar(&k.bytecode, nd, range.clone(), args, &mut opt_bufs);
         assert_eq!(
             ref_out.is_ok(),
-            lane_out.is_ok(),
-            "{mode:?}: optimized lane fault behavior drifted"
+            opt_out.is_ok(),
+            "{what}: optimized scalar fault behavior drifted: {ref_out:?} vs {opt_out:?}"
         );
-        if let (Err(a), Err(b)) = (&ref_out, &lane_out) {
-            assert_eq!(a, b, "{mode:?}: optimized lane fault kind drifted");
+        if let (Err(a), Err(b)) = (&ref_out, &opt_out) {
+            assert_eq!(a, b, "{what}: optimized scalar fault kind drifted");
         }
         if ref_out.is_ok() {
             assert_eq!(
-                ref_bufs, lane_bufs,
-                "{mode:?}: optimized lane buffers drifted"
+                ref_bufs, opt_bufs,
+                "{what}: optimized scalar buffers drifted"
             );
         }
+        variant_counters.push(opt_out.ok());
+    }
+    assert_eq!(
+        variant_counters[0], variant_counters[1],
+        "regalloc+decode changed block counters on the scalar engine"
+    );
+
+    // Lane engine, both divergence modes, both backend variants.
+    for mode in [DivergenceMode::Reconverge, DivergenceMode::Replay] {
+        vm.divergence_mode = mode;
+        let mut variant_counters = Vec::new();
+        for (what, k) in [("noalloc", &noalloc), ("regalloc", &optimized)] {
+            let mut lane_bufs = bufs.to_vec();
+            let lane_out = vm.run_range_lanes(&k.bytecode, nd, range.clone(), args, &mut lane_bufs);
+            assert_eq!(
+                ref_out.is_ok(),
+                lane_out.is_ok(),
+                "{mode:?}/{what}: optimized lane fault behavior drifted"
+            );
+            if let (Err(a), Err(b)) = (&ref_out, &lane_out) {
+                assert_eq!(a, b, "{mode:?}/{what}: optimized lane fault kind drifted");
+            }
+            if ref_out.is_ok() {
+                assert_eq!(
+                    ref_bufs, lane_bufs,
+                    "{mode:?}/{what}: optimized lane buffers drifted"
+                );
+            }
+            variant_counters.push(lane_out.ok());
+        }
+        assert_eq!(
+            variant_counters[0], variant_counters[1],
+            "{mode:?}: regalloc+decode changed block counters on the lane engine"
+        );
     }
     vm.divergence_mode = DivergenceMode::Reconverge;
 }
@@ -231,6 +280,41 @@ fn every_suite_kernel_matches_the_unoptimized_reference() {
             .check_outputs(&inst, &bufs)
             .unwrap_or_else(|e| panic!("optimized bytecode fails verification: {e}"));
     }
+}
+
+#[test]
+fn regalloc_shrinks_register_files_on_every_suite_kernel() {
+    // The point of the liveness-driven allocator is a denser register
+    // file (the lane engine's SoA arrays scale as 64 × regs × 8 bytes):
+    // neither file may ever grow on any suite kernel, and the mean width
+    // across the suite must strictly shrink. (A per-kernel strict check
+    // would be wrong: reduction_sum is already at its live minimum.)
+    let mut total_before = 0u32;
+    let mut total_after = 0u32;
+    for bench in hetpart_suite::all() {
+        let off = bench.compile_with_modes(OptLevel::Full, RegAlloc::Off);
+        let on = bench.compile_with_modes(OptLevel::Full, RegAlloc::On);
+        assert!(
+            on.bytecode.n_iregs <= off.bytecode.n_iregs,
+            "{}: I file grew ({} -> {})",
+            bench.name,
+            off.bytecode.n_iregs,
+            on.bytecode.n_iregs
+        );
+        assert!(
+            on.bytecode.n_fregs <= off.bytecode.n_fregs,
+            "{}: F file grew ({} -> {})",
+            bench.name,
+            off.bytecode.n_fregs,
+            on.bytecode.n_fregs
+        );
+        total_before += u32::from(off.bytecode.n_iregs + off.bytecode.n_fregs);
+        total_after += u32::from(on.bytecode.n_iregs + on.bytecode.n_fregs);
+    }
+    assert!(
+        total_after < total_before,
+        "no suite-wide register-file reduction ({total_before} -> {total_after})"
+    );
 }
 
 #[test]
