@@ -90,6 +90,10 @@ struct RunRangeRow {
     /// (`INSPIRE_REGALLOC=0`): enum-walking dispatch over wide register
     /// files — isolates what regalloc + pre-decode buy.
     noregalloc_lanes_s: f64,
+    /// Lane engine with bounds-check elision off
+    /// (`INSPIRE_BOUNDS_ELIDE=0`): every buffer access re-checked at run
+    /// time — isolates what the interval bounds proofs buy.
+    noelide_lanes_s: f64,
     /// scalar_s / lanes_s.
     speedup: f64,
     /// replay_s / lanes_s: what reconvergence buys over replay.
@@ -98,6 +102,8 @@ struct RunRangeRow {
     speedup_vs_unopt: f64,
     /// noregalloc_lanes_s / lanes_s: what the backend tier buys.
     speedup_vs_noregalloc: f64,
+    /// noelide_lanes_s / lanes_s: what bounds-check elision buys.
+    speedup_vs_noelide: f64,
     /// Static instruction count, unoptimized vs optimized.
     static_instrs_unopt: usize,
     static_instrs_opt: usize,
@@ -138,6 +144,9 @@ struct Targets {
     /// measurement noise on geomean over the picks (see the module doc
     /// for why this is a break-even floor, not a speedup target).
     regalloc_geomean_speedup: f64,
+    /// Bounds-check elision removes work and must therefore hold at
+    /// least break-even within noise on geomean over the picks.
+    elide_geomean_speedup: f64,
     /// Branchless kernels must not pay for reconvergence: vec_add's
     /// `speedup_vs_replay` must be at least this (parity within noise).
     branchless_vs_replay: f64,
@@ -154,6 +163,8 @@ struct Report {
     opt_geomean_speedup: f64,
     /// Geomean of `speedup_vs_noregalloc` over the benchmarked kernels.
     regalloc_geomean_speedup: f64,
+    /// Geomean of `speedup_vs_noelide` over the benchmarked kernels.
+    elide_geomean_speedup: f64,
     /// Suite-wide geomean static shrink: 1 - geomean(opt/unopt instrs)
     /// over all suite kernels, not just the benchmarked picks.
     opt_static_reduction: f64,
@@ -239,9 +250,14 @@ fn run_range_rows(quick: bool) -> Vec<RunRangeRow> {
         // interleaving cancels the slow frequency/load drift that
         // otherwise dominates block-to-block comparisons.
         vm.divergence_mode = DivergenceMode::Reconverge;
+        // Pin elision on for every column except the dedicated
+        // elision-off one, so a stray `INSPIRE_BOUNDS_ELIDE=0` can't
+        // flatten the A/B.
+        vm.set_bounds_elide(Some(true));
         let mut lanes_s = f64::INFINITY;
         let mut unopt_lanes_s = f64::INFINITY;
         let mut noregalloc_lanes_s = f64::INFINITY;
+        let mut noelide_lanes_s = f64::INFINITY;
         let mut replay_s = f64::INFINITY;
         let lane_reps = 5 * reps;
         for rep in 0..=lane_reps {
@@ -254,6 +270,14 @@ fn run_range_rows(quick: bool) -> Vec<RunRangeRow> {
             if keep {
                 lanes_s = lanes_s.min(t.elapsed().as_secs_f64());
             }
+            vm.set_bounds_elide(Some(false));
+            let t = Instant::now();
+            vm.run_range_lanes(&kernel.bytecode, &inst.nd, 0..extent, &inst.args, &mut bufs)
+                .unwrap();
+            if keep {
+                noelide_lanes_s = noelide_lanes_s.min(t.elapsed().as_secs_f64());
+            }
+            vm.set_bounds_elide(Some(true));
             let t = Instant::now();
             vm.run_range_lanes(&unopt.bytecode, &inst.nd, 0..extent, &inst.args, &mut bufs)
                 .unwrap();
@@ -288,10 +312,12 @@ fn run_range_rows(quick: bool) -> Vec<RunRangeRow> {
             replay_s,
             unopt_lanes_s,
             noregalloc_lanes_s,
+            noelide_lanes_s,
             speedup: scalar_s / lanes_s,
             speedup_vs_replay: replay_s / lanes_s,
             speedup_vs_unopt: unopt_lanes_s / lanes_s,
             speedup_vs_noregalloc: noregalloc_lanes_s / lanes_s,
+            speedup_vs_noelide: noelide_lanes_s / lanes_s,
             static_instrs_unopt: unopt.bytecode.num_instrs(),
             static_instrs_opt: kernel.bytecode.num_instrs(),
             regfile_i_before: noalloc.bytecode.n_iregs,
@@ -499,35 +525,39 @@ fn main() {
 
     let run_range = run_range_rows(quick);
     println!(
-        "{:<14} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9} {:>11} {:>11}",
+        "{:<14} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11} {:>11}",
         "kernel",
         "items",
         "scalar",
         "replay",
         "opt-off",
         "ra-off",
+        "elide-off",
         "reconverge",
         "speedup",
         "vs replay",
         "vs opt-off",
         "vs ra-off",
+        "vs el-off",
         "instrs",
         "regs i+f"
     );
     for r in &run_range {
         println!(
-            "{:<14} {:>10} {:>10.3}ms {:>10.3}ms {:>10.3}ms {:>10.3}ms {:>10.3}ms {:>8.2}x {:>8.2}x {:>8.2}x {:>8.2}x {:>5} -> {:>3} {:>4} -> {:>3}",
+            "{:<14} {:>10} {:>10.3}ms {:>10.3}ms {:>10.3}ms {:>10.3}ms {:>10.3}ms {:>10.3}ms {:>8.2}x {:>8.2}x {:>8.2}x {:>8.2}x {:>8.2}x {:>5} -> {:>3} {:>4} -> {:>3}",
             r.kernel,
             r.items,
             r.scalar_s * 1e3,
             r.replay_s * 1e3,
             r.unopt_lanes_s * 1e3,
             r.noregalloc_lanes_s * 1e3,
+            r.noelide_lanes_s * 1e3,
             r.lanes_s * 1e3,
             r.speedup,
             r.speedup_vs_replay,
             r.speedup_vs_unopt,
             r.speedup_vs_noregalloc,
+            r.speedup_vs_noelide,
             r.static_instrs_unopt,
             r.static_instrs_opt,
             r.regfile_i_before + r.regfile_f_before,
@@ -571,6 +601,16 @@ fn main() {
         "backend tier A/B: geomean lane speedup {regalloc_geomean_speedup:.2}x \
          (regalloc + pre-decoded dispatch vs INSPIRE_REGALLOC=0)"
     );
+    let elide_geomean_speedup = (run_range
+        .iter()
+        .map(|r| r.speedup_vs_noelide.ln())
+        .sum::<f64>()
+        / run_range.len() as f64)
+        .exp();
+    println!(
+        "bounds elision A/B: geomean lane speedup {elide_geomean_speedup:.2}x \
+         (interval-proved unchecked accesses vs INSPIRE_BOUNDS_ELIDE=0)"
+    );
 
     let targets = Targets {
         oracle_speedup: 3.0,
@@ -579,6 +619,7 @@ fn main() {
         opt_geomean_speedup: 1.0,
         opt_static_reduction: 0.15,
         regalloc_geomean_speedup: 0.95,
+        elide_geomean_speedup: 0.95,
         branchless_vs_replay: 0.97,
     };
     let kernel_speedup = |name: &str| {
@@ -599,6 +640,7 @@ fn main() {
         && opt_geomean_speedup >= targets.opt_geomean_speedup
         && opt_static_reduction >= targets.opt_static_reduction
         && regalloc_geomean_speedup >= targets.regalloc_geomean_speedup
+        && elide_geomean_speedup >= targets.elide_geomean_speedup
         && vec_add_vs_replay >= targets.branchless_vs_replay;
     let report = Report {
         bench: "vm_batch".to_string(),
@@ -608,6 +650,7 @@ fn main() {
         oracle,
         opt_geomean_speedup,
         regalloc_geomean_speedup,
+        elide_geomean_speedup,
         opt_static_reduction,
         targets,
         target_met,

@@ -123,19 +123,66 @@ pub enum Interval {
     Top,
 }
 
+// The arithmetic methods deliberately shadow the `std::ops` names: they
+// are abstract transfer functions over intervals (with ⊤ and overflow
+// fallbacks), not the concrete operators, and spelling them `x.add(y)`
+// keeps the abstract-interpretation transfer tables readable.
+#[allow(clippy::should_implement_trait)]
 impl Interval {
     /// Exact singleton value.
     pub fn exact(v: i64) -> Self {
         Interval::Range(v, v)
     }
 
-    fn union(self, other: Interval) -> Interval {
+    /// Does the interval contain the concrete value `v`?
+    pub fn contains(self, v: i64) -> bool {
+        match self {
+            Interval::Range(lo, hi) => lo <= v && v <= hi,
+            Interval::Top => true,
+        }
+    }
+
+    /// Smallest interval containing both operands (the lattice join).
+    pub fn union(self, other: Interval) -> Interval {
         match (self, other) {
             (Interval::Range(a, b), Interval::Range(c, d)) => Interval::Range(a.min(c), b.max(d)),
             _ => Interval::Top,
         }
     }
 
+    /// Largest interval contained in both operands, or `None` when they
+    /// are disjoint. Used for branch-condition refinement.
+    pub fn intersect(self, other: Interval) -> Option<Interval> {
+        match (self, other) {
+            (Interval::Range(a, b), Interval::Range(c, d)) => {
+                let (lo, hi) = (a.max(c), b.min(d));
+                (lo <= hi).then_some(Interval::Range(lo, hi))
+            }
+            (x, Interval::Top) | (Interval::Top, x) => Some(x),
+        }
+    }
+
+    /// Standard widening: any bound that moved since `prev` jumps to the
+    /// corresponding infinity (the saturated `i64` extreme), so ascending
+    /// chains at loop headers stabilize in at most two steps per bound.
+    pub fn widen_from(self, prev: Interval) -> Interval {
+        match (prev, self) {
+            (Interval::Range(a, b), Interval::Range(c, d)) => {
+                let lo = if c < a { i64::MIN } else { a.min(c) };
+                let hi = if d > b { i64::MAX } else { b.max(d) };
+                Interval::Range(lo, hi)
+            }
+            _ => Interval::Top,
+        }
+    }
+
+    /// Evaluate `f` at the four endpoint pairs and take the hull.
+    ///
+    /// Sound only for operators that attain their extremes at box corners
+    /// — i.e. operators monotone in each argument separately over the
+    /// given intervals (add, sub, mul, min, max, and div with a
+    /// single-signed divisor all qualify; rem does **not**, see
+    /// [`Interval::rem`]). `None` from `f` (overflow) goes to ⊤.
     fn map2(self, other: Interval, f: impl Fn(i64, i64) -> Option<i64>) -> Interval {
         let (Interval::Range(a, b), Interval::Range(c, d)) = (self, other) else {
             return Interval::Top;
@@ -156,19 +203,28 @@ impl Interval {
         Interval::Range(lo, hi)
     }
 
-    fn add(self, o: Interval) -> Interval {
+    pub fn add(self, o: Interval) -> Interval {
         self.map2(o, i64::checked_add)
     }
 
-    fn sub(self, o: Interval) -> Interval {
+    pub fn sub(self, o: Interval) -> Interval {
         self.map2(o, i64::checked_sub)
     }
 
-    fn mul(self, o: Interval) -> Interval {
+    /// Negative-operand soundness: `x*y` is monotone in `x` for fixed `y`
+    /// (increasing for `y >= 0`, decreasing for `y < 0`) and vice versa,
+    /// so the extremes over a box lie at its corners regardless of sign;
+    /// `checked_mul` turns the sole wrapping corner (overflow) into ⊤.
+    pub fn mul(self, o: Interval) -> Interval {
         self.map2(o, i64::checked_mul)
     }
 
-    fn div(self, o: Interval) -> Interval {
+    /// Negative-operand soundness: guarded on a divisor interval that
+    /// excludes 0, truncated division is monotone in the dividend and —
+    /// separately on the all-positive / all-negative divisor ranges the
+    /// guard enforces — monotone in the divisor, so endpoint evaluation
+    /// is exact; `checked_div` turns `i64::MIN / -1` into ⊤.
+    pub fn div(self, o: Interval) -> Interval {
         // Conservative: only divide when the divisor interval excludes 0.
         match o {
             Interval::Range(c, d) if c > 0 || d < 0 => self.map2(o, i64::checked_div),
@@ -176,21 +232,26 @@ impl Interval {
         }
     }
 
-    fn rem(self, o: Interval) -> Interval {
-        // x % d with d in [1, dhi] and x >= 0 lies in [0, dhi-1].
+    /// `rem` is **not** corner-monotone (`7 % 4 = 3` beats both `7 % 3`
+    /// and `7 % 5`), so it never uses [`Interval::map2`]: for `x >= 0`
+    /// and divisors in `[c, d]` with `c > 0`, `x % y` lies in
+    /// `[0, min(d-1, x_hi)]` (`x % y <= x` for non-negative `x`). Any
+    /// negative operand falls to ⊤ — the sign of a truncated remainder
+    /// follows the dividend, so a corner formula would be unsound there.
+    pub fn rem(self, o: Interval) -> Interval {
         match (self, o) {
-            (Interval::Range(a, _), Interval::Range(c, d)) if a >= 0 && c > 0 => {
-                Interval::Range(0, d - 1)
+            (Interval::Range(a, b), Interval::Range(c, d)) if a >= 0 && c > 0 => {
+                Interval::Range(0, (d - 1).min(b))
             }
             _ => Interval::Top,
         }
     }
 
-    fn min_i(self, o: Interval) -> Interval {
+    pub fn min_i(self, o: Interval) -> Interval {
         self.map2(o, |x, y| Some(x.min(y)))
     }
 
-    fn max_i(self, o: Interval) -> Interval {
+    pub fn max_i(self, o: Interval) -> Interval {
         self.map2(o, |x, y| Some(x.max(y)))
     }
 }
@@ -219,7 +280,8 @@ pub enum BufferRange {
 }
 
 impl BufferRange {
-    fn widen(&mut self, iv: Interval) {
+    /// Grow the range to also cover `iv` (⊤ forces [`BufferRange::Whole`]).
+    pub fn widen(&mut self, iv: Interval) {
         let new = match iv {
             Interval::Top => BufferRange::Whole,
             Interval::Range(lo, hi) => BufferRange::Exact { lo, hi },

@@ -1,0 +1,451 @@
+//! Launch-seeded interval bounds analysis over the bytecode.
+//!
+//! This ports the AST-level interval machinery in [`crate::access`] to an
+//! abstract interpretation of the *optimized bytecode* — the code the VM
+//! actually executes, after constant folding, fusion, and register
+//! allocation have rewritten it. The abstract state maps every I-file
+//! register to an [`Interval`]; `get_global_id` and scalar arguments are
+//! seeded from the concrete launch, loop headers are widened by the
+//! framework solver, and branch conditions narrow register ranges along
+//! the edges they guard.
+//!
+//! The product is a per-load/store *provably-in-bounds* fact, folded into
+//! a per-parameter elision bitmask ([`BoundsFacts::elide`]): bit `p` is
+//! set when **every** access site on parameter `p` is proven inside the
+//! bound buffer. Both VM engines consult the mask to skip per-access
+//! bounds checks (the row-traffic cost PR 8 identified), and the same
+//! per-site intervals are exported as [`BufferRange`]s so the bytecode
+//! ranges can be checked against (or refine) the AST-level
+//! `access_ranges` the runtime uses for transfer sizing.
+//!
+//! # Soundness
+//!
+//! Every VM integer result passes through `wrap32` (canonical 32-bit,
+//! sign- or zero-extended into `i64`). The abstract counterpart computes
+//! the exact `i64` interval of the operation and keeps it only when it
+//! already lies inside the canonical range — otherwise it falls back to
+//! the full canonical range (NOT ⊤: `wrap32` output always lies there).
+//! `Mul` may overflow `i64` in the exact interval (`checked_mul` → ⊤),
+//! but `wrap32(wrapping_mul)` is still congruent mod 2³², so the
+//! canonical fallback remains a sound over-approximation.
+
+use crate::access::{BufferRange, Interval};
+use crate::analysis::{solve, visit_sites, ForwardAnalysis};
+use crate::bytecode::{Function, IBinOp, Instr, Terminator};
+use crate::ir::{NdRange, ParamKind, ScalarType};
+use crate::vm::{ArgValue, BufferData};
+
+/// Canonical 32-bit value range for a signedness.
+fn canon(unsigned: bool) -> Interval {
+    if unsigned {
+        Interval::Range(0, i64::from(u32::MAX))
+    } else {
+        Interval::Range(i64::from(i32::MIN), i64::from(i32::MAX))
+    }
+}
+
+/// Abstract counterpart of `vm::wrap32`: keep the exact interval when it
+/// is already canonical, otherwise fall back to the canonical range.
+fn wrap_check(iv: Interval, unsigned: bool) -> Interval {
+    let c = canon(unsigned);
+    match (iv, c) {
+        (Interval::Range(lo, hi), Interval::Range(clo, chi)) if lo >= clo && hi <= chi => iv,
+        _ => c,
+    }
+}
+
+/// Concrete launch context seeding the analysis. Built once per run
+/// entry from the **full** [`NdRange`] (not the chunk — chunks of one
+/// launch share the seed, so the facts hold for every chunk).
+#[derive(Debug, Clone)]
+pub struct LaunchSeed {
+    /// Inclusive `get_global_id(d)` bounds per dimension.
+    pub gid: [(i64, i64); 3],
+    /// `get_global_size(d)` per dimension.
+    pub gsize: [i64; 3],
+    /// Exact integer scalar argument per parameter position.
+    pub iscalars: Vec<Option<i64>>,
+    /// Bound buffer length per parameter position.
+    pub buf_len: Vec<Option<u64>>,
+}
+
+impl LaunchSeed {
+    /// Build a seed from a launch. Returns `None` when the arguments do
+    /// not match the signature (the run entry will fault before any
+    /// access anyway).
+    pub fn from_launch(
+        f: &Function,
+        nd: &NdRange,
+        args: &[ArgValue],
+        bufs: &[BufferData],
+    ) -> Option<LaunchSeed> {
+        if args.len() != f.params.len() {
+            return None;
+        }
+        let mut gid = [(0i64, 0i64); 3];
+        let mut gsize = [1i64; 3];
+        for d in 0..3 {
+            let n = nd.dim(d) as i64;
+            gid[d] = (0, (n - 1).max(0));
+            gsize[d] = n;
+        }
+        let mut iscalars = vec![None; f.params.len()];
+        let mut buf_len = vec![None; f.params.len()];
+        for (p, (fp, arg)) in f.params.iter().zip(args.iter()).enumerate() {
+            match (fp.kind, arg) {
+                (ParamKind::Scalar(ScalarType::Int), ArgValue::Int(v)) => {
+                    iscalars[p] = Some(i64::from(*v));
+                }
+                (ParamKind::Scalar(ScalarType::UInt), ArgValue::UInt(v)) => {
+                    iscalars[p] = Some(i64::from(*v));
+                }
+                (ParamKind::Buffer { .. }, ArgValue::Buffer(b)) => {
+                    buf_len[p] = Some(bufs.get(*b)?.len() as u64);
+                }
+                (ParamKind::Scalar(ScalarType::Float), ArgValue::Float(_)) => {}
+                _ => return None,
+            }
+        }
+        Some(LaunchSeed {
+            gid,
+            gsize,
+            iscalars,
+            buf_len,
+        })
+    }
+}
+
+/// One load/store site and what the analysis proved about it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteFact {
+    /// Block containing the access.
+    pub block: usize,
+    /// Instruction index within the block.
+    pub instr: usize,
+    /// Parameter position of the accessed buffer.
+    pub param: usize,
+    /// Store (`true`) or load (`false`).
+    pub is_store: bool,
+    /// Interval of the index register at the site.
+    pub idx: Interval,
+    /// Whether `idx ⊆ [0, len)` for the bound buffer.
+    pub in_bounds: bool,
+}
+
+/// The analysis result for one launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundsFacts {
+    /// Every reachable load/store site.
+    pub sites: Vec<SiteFact>,
+    /// Bit `p` set ⇔ every site on parameter `p` is provably in bounds
+    /// (parameters beyond bit 63 never elide).
+    pub elide: u64,
+    /// Union of load-index intervals per parameter position.
+    pub read: Vec<BufferRange>,
+    /// Union of store-index intervals per parameter position.
+    pub write: Vec<BufferRange>,
+}
+
+struct BoundsAnalysis<'a> {
+    f: &'a Function,
+    seed: &'a LaunchSeed,
+}
+
+type IState = Vec<Interval>;
+
+impl BoundsAnalysis<'_> {
+    /// Canonical range of values a `LoadI` from parameter `p` can yield.
+    fn load_range(&self, p: usize) -> Interval {
+        match self.f.params.get(p).map(|fp| fp.kind) {
+            Some(ParamKind::Buffer {
+                elem: ScalarType::UInt,
+                ..
+            }) => canon(true),
+            _ => canon(false),
+        }
+    }
+
+    /// Refine `a` and `b` under `a <op> b` being true. Missing entries
+    /// (empty intersections = infeasible edge) leave the state unchanged,
+    /// which is sound.
+    fn refine_cmp(op: crate::bytecode::CmpOp, a: u16, b: u16, state: &mut IState) {
+        use crate::bytecode::CmpOp::*;
+        let (ia, ib) = (state[a as usize], state[b as usize]);
+        // ⊤ participates as the full i64 range, so `i < n` still caps a
+        // widened `i` even when the other side is unbounded.
+        let full = |iv: Interval| match iv {
+            Interval::Range(lo, hi) => (lo, hi),
+            Interval::Top => (i64::MIN, i64::MAX),
+        };
+        let ((alo, ahi), (blo, bhi)) = (full(ia), full(ib));
+        let (na, nb) = match op {
+            Lt => (
+                ia.intersect(Interval::Range(i64::MIN, bhi.saturating_sub(1))),
+                ib.intersect(Interval::Range(alo.saturating_add(1), i64::MAX)),
+            ),
+            Le => (
+                ia.intersect(Interval::Range(i64::MIN, bhi)),
+                ib.intersect(Interval::Range(alo, i64::MAX)),
+            ),
+            Gt => (
+                ia.intersect(Interval::Range(blo.saturating_add(1), i64::MAX)),
+                ib.intersect(Interval::Range(i64::MIN, ahi.saturating_sub(1))),
+            ),
+            Ge => (
+                ia.intersect(Interval::Range(blo, i64::MAX)),
+                ib.intersect(Interval::Range(i64::MIN, ahi)),
+            ),
+            Eq => (ia.intersect(ib), ib.intersect(ia)),
+            Ne => (Some(ia), Some(ib)),
+        };
+        if let Some(x) = na {
+            state[a as usize] = x;
+        }
+        if let Some(x) = nb {
+            state[b as usize] = x;
+        }
+    }
+}
+
+impl ForwardAnalysis for BoundsAnalysis<'_> {
+    type State = IState;
+
+    fn boundary(&self) -> IState {
+        // Registers the VM does not initialize carry leftover values from
+        // earlier work-items, so everything starts at ⊤ except the
+        // dedicated scalar-parameter registers, which `bind_scalars`
+        // writes before every run.
+        let mut s = vec![Interval::Top; self.f.n_iregs as usize];
+        for (p, fp) in self.f.params.iter().enumerate() {
+            if let ParamKind::Scalar(t) = fp.kind {
+                if t != ScalarType::Float {
+                    let r = fp.reg as usize;
+                    if r < s.len() {
+                        s[r] = match self.seed.iscalars[p] {
+                            Some(v) => Interval::exact(v),
+                            None => canon(t == ScalarType::UInt),
+                        };
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    fn join(&self, into: &mut IState, from: &IState) -> bool {
+        let mut changed = false;
+        for (a, b) in into.iter_mut().zip(from.iter()) {
+            let j = a.union(*b);
+            if j != *a {
+                *a = j;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn widen(&self, next: &mut IState, prev: &IState) {
+        for (n, p) in next.iter_mut().zip(prev.iter()) {
+            *n = n.widen_from(*p);
+        }
+    }
+
+    fn transfer_instr(&self, ins: &Instr, _block: usize, _idx: usize, s: &mut IState) {
+        use Instr::*;
+        let r = |s: &IState, r: u16| s[r as usize];
+        let result: Option<(u16, Interval)> = match *ins {
+            ConstI { dst, v } => Some((dst, Interval::exact(v))),
+            MovI { dst, src } => Some((dst, r(s, src))),
+            IBin {
+                op,
+                dst,
+                a,
+                b,
+                unsigned,
+            } => Some((dst, int_bin(op, r(s, a), r(s, b), unsigned))),
+            IBinImm {
+                op,
+                dst,
+                a,
+                imm,
+                unsigned,
+            } => Some((dst, int_bin(op, r(s, a), Interval::exact(imm), unsigned))),
+            CmpI { dst, .. } | CmpF { dst, .. } | NotI { dst, .. } => {
+                Some((dst, Interval::Range(0, 1)))
+            }
+            NegI { dst, a, unsigned } => {
+                Some((dst, wrap_check(Interval::exact(0).sub(r(s, a)), unsigned)))
+            }
+            BitNotI { dst, unsigned, .. } => Some((dst, canon(unsigned))),
+            CastFI { dst, unsigned, .. } => Some((dst, canon(unsigned))),
+            CastII {
+                dst,
+                a,
+                to_unsigned,
+            } => Some((dst, wrap_check(r(s, a), to_unsigned))),
+            IMin { dst, a, b } => Some((dst, r(s, a).min_i(r(s, b)))),
+            IMax { dst, a, b } => Some((dst, r(s, a).max_i(r(s, b)))),
+            IAbs { dst, a } => {
+                // |x| over an interval: reflect the negative part and
+                // hull with the non-negative part, then wrap like the VM
+                // (`wrap32(wrapping_abs, signed)`).
+                let x = r(s, a);
+                let refl = Interval::exact(0).sub(x);
+                let abs = match x.union(refl).intersect(Interval::Range(0, i64::MAX)) {
+                    Some(v) => v,
+                    None => Interval::Top,
+                };
+                Some((dst, wrap_check(abs, false)))
+            }
+            GlobalId { dst, dim } => {
+                let (lo, hi) = self.seed.gid[(dim as usize).min(2)];
+                Some((dst, Interval::Range(lo, hi)))
+            }
+            GlobalSize { dst, dim } => {
+                Some((dst, Interval::exact(self.seed.gsize[(dim as usize).min(2)])))
+            }
+            LoadI { dst, buf, .. } => Some((dst, self.load_range(buf as usize))),
+            // Float-file defs and stores do not touch the I-state.
+            ConstF { .. }
+            | MovF { .. }
+            | FBin { .. }
+            | NegF { .. }
+            | CastIF { .. }
+            | Math1 { .. }
+            | Math2 { .. }
+            | LoadF { .. }
+            | StoreF { .. }
+            | StoreI { .. } => None,
+        };
+        if let Some((dst, iv)) = result {
+            s[dst as usize] = iv;
+        }
+    }
+
+    fn transfer_edge(&self, term: &Terminator, succ_idx: usize, _block: usize, s: &mut IState) {
+        match *term {
+            Terminator::Branch { cond, .. } => {
+                let c = s[cond as usize];
+                if succ_idx == 1 {
+                    // `els` edge: the condition register is zero.
+                    if let Some(z) = c.intersect(Interval::exact(0)) {
+                        s[cond as usize] = z;
+                    }
+                } else if let Interval::Range(lo, hi) = c {
+                    // `then` edge: nonzero — trim a zero endpoint.
+                    if lo == 0 && hi > 0 {
+                        s[cond as usize] = Interval::Range(1, hi);
+                    } else if hi == 0 && lo < 0 {
+                        s[cond as usize] = Interval::Range(lo, -1);
+                    }
+                }
+            }
+            Terminator::BranchCmp {
+                op,
+                float: false,
+                a,
+                b,
+                ..
+            } => {
+                let op = if succ_idx == 1 { negate(op) } else { op };
+                BoundsAnalysis::refine_cmp(op, a, b, s);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn negate(op: crate::bytecode::CmpOp) -> crate::bytecode::CmpOp {
+    use crate::bytecode::CmpOp::*;
+    match op {
+        Lt => Ge,
+        Le => Gt,
+        Gt => Le,
+        Ge => Lt,
+        Eq => Ne,
+        Ne => Eq,
+    }
+}
+
+/// Abstract transfer of `vm::int_bin`: exact `i64` interval of the
+/// operation, wrap-checked against the canonical 32-bit range.
+fn int_bin(op: IBinOp, x: Interval, y: Interval, unsigned: bool) -> Interval {
+    use IBinOp::*;
+    let exact = match op {
+        Add => x.add(y),
+        Sub => x.sub(y),
+        Mul => x.mul(y),
+        // Div/Rem fault on a zero divisor; `Interval::div`/`rem` already
+        // require a zero-free divisor interval and go to ⊤ otherwise.
+        // States after a fault never execute further instructions, so
+        // over-approximating the non-faulting result is sound.
+        Div => x.div(y),
+        Rem => x.rem(y),
+        // Both operands non-negative: `x & y <= min(x, y)` and `>= 0`.
+        And => match (x, y) {
+            (Interval::Range(a, b), Interval::Range(c, d)) if a >= 0 && c >= 0 => {
+                Interval::Range(0, b.min(d))
+            }
+            _ => Interval::Top,
+        },
+        Or | Xor | Shl | Shr => Interval::Top,
+    };
+    wrap_check(exact, unsigned)
+}
+
+/// Run the bounds analysis for one launch.
+pub fn analyze_launch(f: &Function, seed: &LaunchSeed) -> BoundsFacts {
+    let analysis = BoundsAnalysis { f, seed };
+    let states = solve(&analysis, &f.blocks);
+    let n_params = f.params.len();
+    let mut sites = Vec::new();
+    let mut read = vec![BufferRange::Untouched; n_params];
+    let mut write = vec![BufferRange::Untouched; n_params];
+    visit_sites(&analysis, &f.blocks, &states, |block, instr, ins, state| {
+        let (param, idx_reg, is_store) = match *ins {
+            Instr::LoadF { buf, idx, .. } | Instr::LoadI { buf, idx, .. } => {
+                (buf as usize, idx, false)
+            }
+            Instr::StoreF { buf, idx, .. } | Instr::StoreI { buf, idx, .. } => {
+                (buf as usize, idx, true)
+            }
+            _ => return,
+        };
+        let idx = state[idx_reg as usize];
+        let in_bounds = match (idx, seed.buf_len.get(param).copied().flatten()) {
+            (Interval::Range(lo, hi), Some(len)) => lo >= 0 && (hi as u64) < len && hi >= 0,
+            _ => false,
+        };
+        let range = if is_store { &mut write } else { &mut read };
+        range[param].widen(idx);
+        sites.push(SiteFact {
+            block,
+            instr,
+            param,
+            is_store,
+            idx,
+            in_bounds,
+        });
+    });
+    let mut elide: u64 = 0;
+    for p in 0..n_params.min(64) {
+        if seed.buf_len[p].is_some() && sites.iter().filter(|s| s.param == p).all(|s| s.in_bounds) {
+            elide |= 1 << p;
+        }
+    }
+    BoundsFacts {
+        sites,
+        elide,
+        read,
+        write,
+    }
+}
+
+/// Convenience wrapper: the elision mask for a launch, or 0 when the
+/// arguments do not match the signature.
+pub fn elide_mask(f: &Function, nd: &NdRange, args: &[ArgValue], bufs: &[BufferData]) -> u64 {
+    match LaunchSeed::from_launch(f, nd, args, bufs) {
+        Some(seed) => analyze_launch(f, &seed).elide,
+        None => 0,
+    }
+}

@@ -1234,7 +1234,7 @@ impl<'a> Compiler<'a> {
         let mut n_fregs = self.max_f.min(MAX_REGS) as u16;
         let mut decoded = None;
         if level.enabled() {
-            blocks = crate::opt::optimize(&k.name, blocks, &params, n_params, level);
+            blocks = crate::opt::optimize(&k.name, blocks, &params, n_params, level)?;
             // Trailing registers the optimized code no longer touches need
             // no register-file slots — but parameter registers must stay
             // allocated even when unused: argument binding writes them
@@ -1267,7 +1267,7 @@ impl<'a> Compiler<'a> {
         // reconvergence (post-dominators) and replay (live-ins) see the
         // optimized CFG.
         let cfg = crate::cfg::CfgInfo::build(&blocks, n_iregs, n_fregs);
-        Ok(Function {
+        let f = Function {
             name: k.name.clone(),
             params,
             blocks,
@@ -1275,7 +1275,13 @@ impl<'a> Compiler<'a> {
             n_fregs,
             cfg,
             decoded,
-        })
+        };
+        // Final gate over the whole backend: codegen output, allocated
+        // register files, and decode-table agreement.
+        if crate::analysis::verify::verify_enabled() {
+            crate::analysis::verify::verify_function("backend", &f)?;
+        }
+        Ok(f)
     }
 }
 

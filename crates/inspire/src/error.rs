@@ -27,6 +27,9 @@ pub enum Phase {
     Sema,
     /// Bytecode generation.
     Codegen,
+    /// Post-pass IR verification (the static-analysis framework's typed
+    /// checker rejected the output of an optimizer or backend stage).
+    Verify,
     /// Anything else (driver-level problems).
     Other,
 }
@@ -60,6 +63,13 @@ impl CompileError {
             offset: None,
         }
     }
+    pub fn verify(message: impl Into<String>) -> Self {
+        Self {
+            phase: Phase::Verify,
+            message: message.into(),
+            offset: None,
+        }
+    }
     pub fn other(message: impl Into<String>) -> Self {
         Self {
             phase: Phase::Other,
@@ -76,6 +86,7 @@ impl fmt::Display for CompileError {
             Phase::Parse => "parse",
             Phase::Sema => "sema",
             Phase::Codegen => "codegen",
+            Phase::Verify => "verify",
             Phase::Other => "compile",
         };
         match self.offset {

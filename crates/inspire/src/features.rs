@@ -49,6 +49,16 @@ pub struct StaticFeatures {
     /// data — a static proxy for control-flow divergence between
     /// neighbouring work-items.
     pub divergent_conditions: u32,
+    /// Bytecode branches proven gid-uniform by the dataflow uniformity
+    /// analysis ([`crate::analysis::uniform`]). Unlike
+    /// `divergent_conditions` (a syntactic IR count), this is computed on
+    /// the *optimized bytecode*, so [`extract`] leaves it 0 and
+    /// [`crate::compile`] fills it in after code generation.
+    pub uniform_branches: u32,
+    /// Bytecode branches the uniformity analysis could not prove uniform
+    /// (potentially divergent across work-items). Filled like
+    /// `uniform_branches`.
+    pub divergent_branches: u32,
     /// Product of constant loop trip counts along the deepest constant
     /// nest (1 if there are no constant-bound loops). A static estimate of
     /// per-work-item work.
@@ -59,7 +69,7 @@ pub struct StaticFeatures {
 }
 
 /// Number of entries in [`StaticFeatures::to_vec`].
-pub const STATIC_FEATURE_DIM: usize = 15;
+pub const STATIC_FEATURE_DIM: usize = 17;
 
 /// Feature names, aligned with [`StaticFeatures::to_vec`].
 pub const STATIC_FEATURE_NAMES: [&str; STATIC_FEATURE_DIM] = [
@@ -77,6 +87,8 @@ pub const STATIC_FEATURE_NAMES: [&str; STATIC_FEATURE_DIM] = [
     "static.gid_accesses",
     "static.indirect_accesses",
     "static.divergent_conditions",
+    "static.uniform_branches",
+    "static.divergent_branches",
     "static.arithmetic_intensity",
 ];
 
@@ -102,6 +114,8 @@ impl StaticFeatures {
             f64::from(self.gid_accesses),
             f64::from(self.indirect_accesses),
             f64::from(self.divergent_conditions),
+            f64::from(self.uniform_branches),
+            f64::from(self.divergent_branches),
             self.arithmetic_intensity,
         ]
     }

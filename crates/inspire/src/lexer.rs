@@ -108,9 +108,10 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        let text =
-            std::str::from_utf8(&self.src[start..self.pos]).expect("identifier bytes are ASCII");
-        let kind = match text {
+        // The scanner only advanced over ASCII alphanumerics, so the slice
+        // is valid UTF-8 and the lossy conversion is exact.
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]);
+        let kind = match text.as_ref() {
             "kernel" | "__kernel" => TokenKind::KwKernel,
             "void" => TokenKind::KwVoid,
             "global" | "__global" => TokenKind::KwGlobal,
@@ -162,7 +163,9 @@ impl<'a> Lexer<'a> {
                 self.pos = save;
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("number bytes are ASCII");
+        // The scanner only advanced over ASCII digits / `.eE+-`, so the
+        // slice is valid UTF-8 and the lossy conversion is exact.
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]);
         if is_float {
             // Consume an optional `f` suffix.
             if matches!(self.peek(), Some(b'f') | Some(b'F')) {
@@ -212,7 +215,9 @@ impl<'a> Lexer<'a> {
 
     fn symbol(&mut self, start: usize) -> Result<(), CompileError> {
         use TokenKind::*;
-        let c = self.bump().expect("symbol() called at end of input");
+        let Some(c) = self.bump() else {
+            return Err(CompileError::lex("unexpected end of input", start));
+        };
         let two = |l: &mut Self, second: u8, yes: TokenKind, no: TokenKind| {
             if l.peek() == Some(second) {
                 l.pos += 1;

@@ -44,7 +44,13 @@
 //! assert_eq!(bufs[2].as_f32().unwrap(), &[11.0, 22.0, 33.0, 44.0]);
 //! ```
 
+// Panics in the compiler are miscompiles waiting to happen: outside of
+// tests, every fallible step must surface a typed `CompileError` (or an
+// explicitly justified `unreachable!`) instead of unwrapping.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod access;
+pub mod analysis;
 pub mod ast;
 pub mod builtins;
 pub mod bytecode;
@@ -124,9 +130,10 @@ pub fn compile_with_modes(
     regalloc: RegAlloc,
 ) -> Result<CompiledKernel, CompileError> {
     let kernels = compile_all_with_modes(src, level, regalloc)?;
-    match kernels.len() {
-        1 => Ok(kernels.into_iter().next().expect("len checked")),
-        n => Err(CompileError::other(format!(
+    let n = kernels.len();
+    match kernels.into_iter().next() {
+        Some(k) if n == 1 => Ok(k),
+        _ => Err(CompileError::other(format!(
             "expected exactly one kernel in translation unit, found {n}"
         ))),
     }
@@ -158,9 +165,15 @@ pub fn compile_all_with_modes(
         .into_iter()
         .map(|k| {
             let ir = sema::analyze(&k)?;
-            let static_features = features::extract(&ir);
+            let mut static_features = features::extract(&ir);
             let access = access::analyze(&ir);
             let bytecode = bytecode::compile_with_modes(&ir, level, regalloc)?;
+            // The uniformity analysis runs on the optimized bytecode, so
+            // its branch classification lands here rather than in
+            // `features::extract`.
+            let uni = analysis::uniform::analyze(&bytecode);
+            static_features.uniform_branches = uni.uniform_branches;
+            static_features.divergent_branches = uni.divergent_branches;
             let fingerprint = fnv1a(
                 format!(
                     "{}\u{0}{:?}\u{0}{:?}",
@@ -194,6 +207,17 @@ mod tests {
         let src = "kernel void a(int n) { } kernel void b(int n) { }";
         assert!(compile(src).is_err());
         assert_eq!(compile_all(src).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn uniformity_features_are_filled_after_codegen() {
+        let guarded =
+            compile("kernel void k(global float* o, int n) { int i = get_global_id(0); if (i < n) { o[i] = 1.0; } }")
+                .unwrap();
+        assert!(guarded.static_features.divergent_branches >= 1);
+        let unguarded =
+            compile("kernel void k(global float* o) { o[get_global_id(0)] = 1.0; }").unwrap();
+        assert_eq!(unguarded.static_features.divergent_branches, 0);
     }
 
     #[test]

@@ -104,15 +104,21 @@ type Pass = for<'a, 'b> fn(Vec<Block>, &'b Ctx<'a>) -> Vec<Block>;
 /// Run the full pipeline over `blocks`. The caller re-runs
 /// [`CfgInfo::build`](crate::cfg::CfgInfo::build) on the result so SIMT
 /// reconvergence sees the final CFG.
+///
+/// When verification is on (`debug_assertions` or `INSPIRE_VERIFY=1`),
+/// the IR verifier runs after every pass and a broken pass surfaces as a
+/// [`CompileError`](crate::error::CompileError) naming it, instead of a
+/// wrong answer at execution time.
 pub(crate) fn optimize(
     name: &str,
     mut blocks: Vec<Block>,
     params: &[FnParam],
     n_params: usize,
     _level: OptLevel,
-) -> Vec<Block> {
+) -> Result<Vec<Block>, crate::error::CompileError> {
     let ctx = Ctx { params };
     let dump = dump_enabled();
+    let verify = crate::analysis::verify::verify_enabled();
     if dump {
         eprintln!(
             "[inspire-opt] {name}: input\n{}",
@@ -146,8 +152,20 @@ pub(crate) fn optimize(
                 crate::pretty::disasm_blocks(&blocks)
             );
         }
+        if verify {
+            // Register files are not allocated yet, so only structural
+            // checks apply (u16::MAX bounds).
+            crate::analysis::verify::verify_blocks(
+                pname,
+                name,
+                &blocks,
+                params,
+                u16::MAX,
+                u16::MAX,
+            )?;
+        }
     }
-    blocks
+    Ok(blocks)
 }
 
 pub(crate) fn dump_enabled() -> bool {

@@ -245,11 +245,12 @@ fn alloc_file(
                 true
             }
         });
-        let phys = occupied
-            .iter()
-            .position(|&o| !o)
-            .expect("more simultaneously live registers than the input file holds")
-            as u16;
+        // `occupied` has one slot per input register, and at most that
+        // many live ranges can overlap, so a free slot always exists.
+        let Some(free) = occupied.iter().position(|&o| !o) else {
+            unreachable!("more simultaneously live registers than the input file holds");
+        };
+        let phys = free as u16;
         occupied[phys as usize] = true;
         map[r as usize] = phys;
         hi = hi.max(u32::from(phys) + 1);

@@ -101,7 +101,12 @@ impl Ctx {
     }
 
     fn declare(&mut self, name: &str, ty: ScalarType, span: Span) -> Result<VarId, CompileError> {
-        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        let Some(scope) = self.scopes.last_mut() else {
+            return Err(CompileError::sema(
+                "internal error: declaration outside any scope",
+                span.start,
+            ));
+        };
         if scope.contains_key(name) {
             return Err(CompileError::sema(
                 format!("`{name}` is already declared in this scope"),

@@ -293,11 +293,33 @@ pub struct Vm {
     /// environment (`INSPIRE_NO_RECONVERGE=1` selects the scalar-replay
     /// fallback); both modes are bit-identical to the scalar engine.
     pub divergence_mode: DivergenceMode,
+    /// Per-parameter bounds-check elision mask for the current launch:
+    /// bit `p` set means the interval analysis proved **every** access to
+    /// buffer parameter `p` in bounds, so loads/stores on it skip the
+    /// per-access check. Recomputed at every run entry by
+    /// [`crate::analysis::bounds`]; 0 disables elision entirely.
+    pub(crate) bounds_elide: u64,
+    /// Explicit override of the `INSPIRE_BOUNDS_ELIDE` environment knob
+    /// (`Some(false)` forces the checked paths, `Some(true)` forces the
+    /// analysis on). Tests and benches use this to A/B without races on
+    /// the process environment.
+    bounds_elide_override: Option<bool>,
 }
 
 impl Default for Vm {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Environment default for bounds-check elision: on unless
+/// `INSPIRE_BOUNDS_ELIDE=0`. Read per run entry (not cached) so tests
+/// can toggle it; the [`Vm::set_bounds_elide`] override avoids the env
+/// entirely.
+fn bounds_elide_env() -> bool {
+    match std::env::var_os("INSPIRE_BOUNDS_ELIDE") {
+        Some(v) => v != "0",
+        None => true,
     }
 }
 
@@ -310,7 +332,41 @@ impl Vm {
             fregs: Vec::new(),
             step_limit: DEFAULT_STEP_LIMIT,
             divergence_mode: DivergenceMode::from_env(),
+            bounds_elide: 0,
+            bounds_elide_override: None,
         }
+    }
+
+    /// Force bounds-check elision on or off for this VM regardless of the
+    /// `INSPIRE_BOUNDS_ELIDE` environment variable (`None` restores the
+    /// environment default). `INSPIRE_BOUNDS_ELIDE=0` — or
+    /// `Some(false)` here — makes every access take the checked path,
+    /// bit-identical to a build without the analysis.
+    pub fn set_bounds_elide(&mut self, v: Option<bool>) {
+        self.bounds_elide_override = v;
+    }
+
+    /// Recompute the per-parameter elision mask for one launch. Called by
+    /// every run entry after argument validation.
+    fn prepare_bounds(
+        &mut self,
+        f: &Function,
+        nd: &NdRange,
+        args: &[ArgValue],
+        bufs: &[BufferData],
+    ) {
+        let on = self.bounds_elide_override.unwrap_or_else(bounds_elide_env);
+        self.bounds_elide = if on {
+            crate::analysis::bounds::elide_mask(f, nd, args, bufs)
+        } else {
+            0
+        };
+    }
+
+    /// Is buffer parameter `p` proven in bounds for the current launch?
+    #[inline(always)]
+    pub(crate) fn elided(&self, p: u16) -> bool {
+        p < 64 && self.bounds_elide & (1u64 << p) != 0
     }
 
     /// Validate `args` against the kernel signature and buffer types.
@@ -424,6 +480,7 @@ impl Vm {
         let mut counters = Counters::new(f);
         let bmap = Self::buffer_map(f, args);
         self.bind_scalars(f, args);
+        self.prepare_bounds(f, nd, args, bufs);
         let gsize = [nd.dim(0), nd.dim(1), nd.dim(2)];
         let inner: usize = nd.items_per_slice();
         let split_dim = nd.split_dim();
@@ -455,6 +512,7 @@ impl Vm {
         let mut counters = Counters::new(f);
         let bmap = Self::buffer_map(f, args);
         self.bind_scalars(f, args);
+        self.prepare_bounds(f, nd, args, bufs);
         let gsize = [nd.dim(0), nd.dim(1), nd.dim(2)];
         let inner: usize = nd.items_per_slice();
         let split_dim = nd.split_dim();
@@ -520,6 +578,7 @@ impl Vm {
         let mut counters = Counters::new(f);
         let bmap = Self::buffer_map(f, args);
         self.bind_scalars(f, args);
+        self.prepare_bounds(f, nd, args, bufs);
         let gsize = [nd.dim(0), nd.dim(1), nd.dim(2)];
         let inner = nd.items_per_slice();
         let split_dim = nd.split_dim();
@@ -556,6 +615,7 @@ impl Vm {
         let mut counters = Counters::new(f);
         let bmap = Self::buffer_map(f, args);
         self.bind_scalars(f, args);
+        self.prepare_bounds(f, nd, args, bufs);
         let gsize = [nd.dim(0), nd.dim(1), nd.dim(2)];
         let inner = nd.items_per_slice();
         let split_dim = nd.split_dim();
@@ -621,6 +681,7 @@ impl Vm {
         }
         let bmap = Self::buffer_map(f, args);
         self.bind_scalars(f, args);
+        self.prepare_bounds(f, nd, args, bufs);
         let mut engine = LaneEngine::new(f, self);
         let mut per_item: Vec<Counters> = gids.iter().map(|_| Counters::new(f)).collect();
         for (batch, counters) in gids.chunks(LANES).zip(per_item.chunks_mut(LANES)) {
@@ -653,6 +714,7 @@ impl Vm {
         let gsize = [nd.dim(0), nd.dim(1), nd.dim(2)];
         let bmap = Self::buffer_map(f, args);
         self.bind_scalars(f, args);
+        self.prepare_bounds(f, nd, args, bufs);
         gids.iter()
             .map(|&gid| {
                 let mut c = Counters::new(f);
@@ -930,25 +992,37 @@ impl Vm {
             OpCode::LoadI => {
                 let i = self.iregs[a];
                 let bd = &bufs[bmap[b]];
-                let val = match bd {
-                    BufferData::I32(v) => usize::try_from(i)
-                        .ok()
-                        .and_then(|i| v.get(i))
-                        .map(|&x| i64::from(x)),
-                    BufferData::U32(v) => usize::try_from(i)
-                        .ok()
-                        .and_then(|i| v.get(i))
-                        .map(|&x| i64::from(x)),
-                    BufferData::F32(_) => unreachable!("type-checked load"),
-                };
-                let Some(val) = val else {
-                    return Err(VmError::OutOfBounds {
-                        buffer: b,
-                        index: i,
-                        len: bd.len(),
-                    });
-                };
-                self.iregs[d] = val;
+                if self.elided(op.b) {
+                    debug_assert!((0..bd.len() as i64).contains(&i), "elision proof violated");
+                    // SAFETY: see `dec_load_f`.
+                    self.iregs[d] = unsafe {
+                        match bd {
+                            BufferData::I32(v) => i64::from(*v.get_unchecked(i as usize)),
+                            BufferData::U32(v) => i64::from(*v.get_unchecked(i as usize)),
+                            BufferData::F32(_) => unreachable!("type-checked load"),
+                        }
+                    };
+                } else {
+                    let val = match bd {
+                        BufferData::I32(v) => usize::try_from(i)
+                            .ok()
+                            .and_then(|i| v.get(i))
+                            .map(|&x| i64::from(x)),
+                        BufferData::U32(v) => usize::try_from(i)
+                            .ok()
+                            .and_then(|i| v.get(i))
+                            .map(|&x| i64::from(x)),
+                        BufferData::F32(_) => unreachable!("type-checked load"),
+                    };
+                    let Some(val) = val else {
+                        return Err(VmError::OutOfBounds {
+                            buffer: b,
+                            index: i,
+                            len: bd.len(),
+                        });
+                    };
+                    self.iregs[d] = val;
+                }
             }
             OpCode::StoreF => self.dec_store_f(op.dst, op.a, op.b, bmap, bufs)?,
             OpCode::StoreI => {
@@ -956,28 +1030,42 @@ impl Vm {
                 let val = self.iregs[d];
                 let bd = &mut bufs[bmap[b]];
                 let len = bd.len();
-                match bd {
-                    BufferData::I32(v) => {
-                        let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
-                            return Err(VmError::OutOfBounds {
-                                buffer: b,
-                                index: i,
-                                len,
-                            });
-                        };
-                        *slot = val as i32;
+                if self.elided(op.b) {
+                    debug_assert!((0..len as i64).contains(&i), "elision proof violated");
+                    // SAFETY: see `dec_load_f`.
+                    unsafe {
+                        match bd {
+                            BufferData::I32(v) => *v.get_unchecked_mut(i as usize) = val as i32,
+                            BufferData::U32(v) => *v.get_unchecked_mut(i as usize) = val as u32,
+                            BufferData::F32(_) => unreachable!("type-checked store"),
+                        }
                     }
-                    BufferData::U32(v) => {
-                        let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
-                            return Err(VmError::OutOfBounds {
-                                buffer: b,
-                                index: i,
-                                len,
-                            });
-                        };
-                        *slot = val as u32;
+                } else {
+                    match bd {
+                        BufferData::I32(v) => {
+                            let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i))
+                            else {
+                                return Err(VmError::OutOfBounds {
+                                    buffer: b,
+                                    index: i,
+                                    len,
+                                });
+                            };
+                            *slot = val as i32;
+                        }
+                        BufferData::U32(v) => {
+                            let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i))
+                            else {
+                                return Err(VmError::OutOfBounds {
+                                    buffer: b,
+                                    index: i,
+                                    len,
+                                });
+                            };
+                            *slot = val as u32;
+                        }
+                        BufferData::F32(_) => unreachable!("type-checked store"),
                     }
-                    BufferData::F32(_) => unreachable!("type-checked store"),
                 }
             }
             OpCode::GlobalId => self.iregs[d] = gid[a] as i64,
@@ -1040,11 +1128,19 @@ impl Vm {
         let BufferData::F32(v) = bd else {
             unreachable!("type-checked load");
         };
+        if self.elided(buf) {
+            debug_assert!((0..v.len() as i64).contains(&i), "elision proof violated");
+            // SAFETY: the elision bit is set only when the launch-seeded
+            // interval analysis proved every access on this parameter
+            // lies in `[0, len)`.
+            self.fregs[dst as usize] = f64::from(unsafe { *v.get_unchecked(i as usize) });
+            return Ok(());
+        }
         let Some(val) = usize::try_from(i).ok().and_then(|i| v.get(i)) else {
             return Err(VmError::OutOfBounds {
                 buffer: buf as usize,
                 index: i,
-                len: bd.len(),
+                len: v.len(),
             });
         };
         self.fregs[dst as usize] = f64::from(*val);
@@ -1068,6 +1164,12 @@ impl Vm {
         let BufferData::F32(v) = bd else {
             unreachable!("type-checked store");
         };
+        if self.elided(buf) {
+            debug_assert!((0..len as i64).contains(&i), "elision proof violated");
+            // SAFETY: see `dec_load_f`.
+            unsafe { *v.get_unchecked_mut(i as usize) = val };
+            return Ok(());
+        }
         let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
             return Err(VmError::OutOfBounds {
                 buffer: buf as usize,
@@ -1208,37 +1310,58 @@ impl Vm {
                 let BufferData::F32(v) = b else {
                     unreachable!("type-checked load");
                 };
-                let Some(val) = usize::try_from(i).ok().and_then(|i| v.get(i)) else {
-                    return Err(VmError::OutOfBounds {
-                        buffer: buf as usize,
-                        index: i,
-                        len: b.len(),
-                    });
-                };
-                self.fregs[dst as usize] = f64::from(*val);
+                if self.elided(buf) {
+                    debug_assert!((0..v.len() as i64).contains(&i), "elision proof violated");
+                    // SAFETY: bit `buf` of `bounds_elide` is set only when
+                    // the launch-seeded interval analysis proved every
+                    // access on this parameter lies in `[0, len)`.
+                    self.fregs[dst as usize] = f64::from(unsafe { *v.get_unchecked(i as usize) });
+                } else {
+                    let Some(val) = usize::try_from(i).ok().and_then(|i| v.get(i)) else {
+                        return Err(VmError::OutOfBounds {
+                            buffer: buf as usize,
+                            index: i,
+                            len: v.len(),
+                        });
+                    };
+                    self.fregs[dst as usize] = f64::from(*val);
+                }
             }
             LoadI { dst, buf, idx } => {
                 let i = self.iregs[idx as usize];
                 let b = &bufs[bmap[buf as usize]];
-                let val = match b {
-                    BufferData::I32(v) => usize::try_from(i)
-                        .ok()
-                        .and_then(|i| v.get(i))
-                        .map(|&x| i64::from(x)),
-                    BufferData::U32(v) => usize::try_from(i)
-                        .ok()
-                        .and_then(|i| v.get(i))
-                        .map(|&x| i64::from(x)),
-                    BufferData::F32(_) => unreachable!("type-checked load"),
-                };
-                let Some(val) = val else {
-                    return Err(VmError::OutOfBounds {
-                        buffer: buf as usize,
-                        index: i,
-                        len: b.len(),
-                    });
-                };
-                self.iregs[dst as usize] = val;
+                if self.elided(buf) {
+                    debug_assert!((0..b.len() as i64).contains(&i), "elision proof violated");
+                    // SAFETY: see `LoadF` — the elision bit is a proof
+                    // that `i` is in `[0, len)`.
+                    self.iregs[dst as usize] = unsafe {
+                        match b {
+                            BufferData::I32(v) => i64::from(*v.get_unchecked(i as usize)),
+                            BufferData::U32(v) => i64::from(*v.get_unchecked(i as usize)),
+                            BufferData::F32(_) => unreachable!("type-checked load"),
+                        }
+                    };
+                } else {
+                    let val = match b {
+                        BufferData::I32(v) => usize::try_from(i)
+                            .ok()
+                            .and_then(|i| v.get(i))
+                            .map(|&x| i64::from(x)),
+                        BufferData::U32(v) => usize::try_from(i)
+                            .ok()
+                            .and_then(|i| v.get(i))
+                            .map(|&x| i64::from(x)),
+                        BufferData::F32(_) => unreachable!("type-checked load"),
+                    };
+                    let Some(val) = val else {
+                        return Err(VmError::OutOfBounds {
+                            buffer: buf as usize,
+                            index: i,
+                            len: b.len(),
+                        });
+                    };
+                    self.iregs[dst as usize] = val;
+                }
             }
             StoreF { buf, idx, src } => {
                 let i = self.iregs[idx as usize];
@@ -1248,42 +1371,62 @@ impl Vm {
                 let BufferData::F32(v) = b else {
                     unreachable!("type-checked store");
                 };
-                let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
-                    return Err(VmError::OutOfBounds {
-                        buffer: buf as usize,
-                        index: i,
-                        len,
-                    });
-                };
-                *slot = val;
+                if self.elided(buf) {
+                    debug_assert!((0..len as i64).contains(&i), "elision proof violated");
+                    // SAFETY: see `LoadF`.
+                    unsafe { *v.get_unchecked_mut(i as usize) = val };
+                } else {
+                    let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
+                        return Err(VmError::OutOfBounds {
+                            buffer: buf as usize,
+                            index: i,
+                            len,
+                        });
+                    };
+                    *slot = val;
+                }
             }
             StoreI { buf, idx, src } => {
                 let i = self.iregs[idx as usize];
                 let val = self.iregs[src as usize];
                 let b = &mut bufs[bmap[buf as usize]];
                 let len = b.len();
-                match b {
-                    BufferData::I32(v) => {
-                        let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
-                            return Err(VmError::OutOfBounds {
-                                buffer: buf as usize,
-                                index: i,
-                                len,
-                            });
-                        };
-                        *slot = val as i32;
+                if self.elided(buf) {
+                    debug_assert!((0..len as i64).contains(&i), "elision proof violated");
+                    // SAFETY: see `LoadF`.
+                    unsafe {
+                        match b {
+                            BufferData::I32(v) => *v.get_unchecked_mut(i as usize) = val as i32,
+                            BufferData::U32(v) => *v.get_unchecked_mut(i as usize) = val as u32,
+                            BufferData::F32(_) => unreachable!("type-checked store"),
+                        }
                     }
-                    BufferData::U32(v) => {
-                        let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
-                            return Err(VmError::OutOfBounds {
-                                buffer: buf as usize,
-                                index: i,
-                                len,
-                            });
-                        };
-                        *slot = val as u32;
+                } else {
+                    match b {
+                        BufferData::I32(v) => {
+                            let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i))
+                            else {
+                                return Err(VmError::OutOfBounds {
+                                    buffer: buf as usize,
+                                    index: i,
+                                    len,
+                                });
+                            };
+                            *slot = val as i32;
+                        }
+                        BufferData::U32(v) => {
+                            let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i))
+                            else {
+                                return Err(VmError::OutOfBounds {
+                                    buffer: buf as usize,
+                                    index: i,
+                                    len,
+                                });
+                            };
+                            *slot = val as u32;
+                        }
+                        BufferData::F32(_) => unreachable!("type-checked store"),
                     }
-                    BufferData::F32(_) => unreachable!("type-checked store"),
                 }
             }
             GlobalId { dst, dim } => self.iregs[dst as usize] = gid[dim as usize] as i64,

@@ -196,6 +196,13 @@ pub(crate) struct LaneEngine {
     gid: [[i64; LANES]; 3],
     /// Per-lane instruction-budget counters of the current batch.
     steps: [u64; LANES],
+    /// Per-parameter bounds-check elision mask, copied from
+    /// [`Vm::bounds_elide`] at construction (the run entry computes it
+    /// before creating the engine). Bit `p` set = every access to buffer
+    /// parameter `p` is statically proven in bounds for this launch, so
+    /// the gather/scatter loops skip both the per-batch range scan and
+    /// the per-lane checks.
+    elide: u64,
 }
 
 /// Apply `f` lane-wise: `dst[l] = f(a[l], b[l])` for the first `n` lanes.
@@ -215,14 +222,16 @@ fn apply2<T: Copy, F: Fn(T, T) -> T>(
 ) {
     let (dst, a, b) = (dst as usize, a as usize, b as usize);
     if dst != a && dst != b && a != b {
-        let [d, x, y] = regs
-            .get_disjoint_mut([dst, a, b])
-            .expect("disjoint registers");
+        let Ok([d, x, y]) = regs.get_disjoint_mut([dst, a, b]) else {
+            unreachable!("disjoint registers");
+        };
         for ((d, &x), &y) in d[..n].iter_mut().zip(&x[..n]).zip(&y[..n]) {
             *d = f(x, y);
         }
     } else if a == b && dst != a {
-        let [d, x] = regs.get_disjoint_mut([dst, a]).expect("disjoint registers");
+        let Ok([d, x]) = regs.get_disjoint_mut([dst, a]) else {
+            unreachable!("disjoint registers");
+        };
         for (d, &x) in d[..n].iter_mut().zip(&x[..n]) {
             *d = f(x, x);
         }
@@ -233,12 +242,16 @@ fn apply2<T: Copy, F: Fn(T, T) -> T>(
     } else if dst == a {
         // In-place accumulator: each lane reads its own element before
         // writing it, so a pairwise disjoint borrow of [dst, b] suffices.
-        let [d, y] = regs.get_disjoint_mut([dst, b]).expect("disjoint registers");
+        let Ok([d, y]) = regs.get_disjoint_mut([dst, b]) else {
+            unreachable!("disjoint registers");
+        };
         for (d, &y) in d[..n].iter_mut().zip(&y[..n]) {
             *d = f(*d, y);
         }
     } else {
-        let [d, x] = regs.get_disjoint_mut([dst, a]).expect("disjoint registers");
+        let Ok([d, x]) = regs.get_disjoint_mut([dst, a]) else {
+            unreachable!("disjoint registers");
+        };
         for (d, &x) in d[..n].iter_mut().zip(&x[..n]) {
             *d = f(x, *d);
         }
@@ -250,7 +263,9 @@ fn apply2<T: Copy, F: Fn(T, T) -> T>(
 fn apply1<T: Copy, F: Fn(T) -> T>(regs: &mut [[T; LANES]], n: usize, dst: u16, a: u16, f: F) {
     let (dst, a) = (dst as usize, a as usize);
     if dst != a {
-        let [d, x] = regs.get_disjoint_mut([dst, a]).expect("disjoint registers");
+        let Ok([d, x]) = regs.get_disjoint_mut([dst, a]) else {
+            unreachable!("disjoint registers");
+        };
         for (d, &x) in d[..n].iter_mut().zip(&x[..n]) {
             *d = f(x);
         }
@@ -404,16 +419,30 @@ fn load_fop_fast<F: Fn(f64, f64) -> f64>(
     v: &[f32],
     n: usize,
     op: &DecOp,
+    el: bool,
     f2: F,
 ) {
     let (x, z) = (op.c as usize, op.dst as usize);
     let (p, q) = (op.d as usize, op.e as usize);
-    for l in 0..n {
-        let loaded = f64::from(v[idxv[l] as usize]);
-        fregs[x][l] = loaded;
-        let pv = fregs[p][l];
-        let qv = fregs[q][l];
-        fregs[z][l] = f2(pv, qv);
+    if el {
+        for l in 0..n {
+            // SAFETY: `el` is set only when the interval analysis proved
+            // every access on this parameter in `[0, len)` (and the
+            // caller's debug_assert re-checked it).
+            let loaded = f64::from(unsafe { *v.get_unchecked(idxv[l] as usize) });
+            fregs[x][l] = loaded;
+            let pv = fregs[p][l];
+            let qv = fregs[q][l];
+            fregs[z][l] = f2(pv, qv);
+        }
+    } else {
+        for l in 0..n {
+            let loaded = f64::from(v[idxv[l] as usize]);
+            fregs[x][l] = loaded;
+            let pv = fregs[p][l];
+            let qv = fregs[q][l];
+            fregs[z][l] = f2(pv, qv);
+        }
     }
 }
 
@@ -428,13 +457,23 @@ fn fop_store_fast<F: Fn(f64, f64) -> f64>(
     v: &mut [f32],
     n: usize,
     op: &DecOp,
+    el: bool,
     f1: F,
 ) {
     let (a, b, z) = (op.a as usize, op.b as usize, op.dst as usize);
-    for l in 0..n {
-        let t = f1(fregs[a][l], fregs[b][l]);
-        fregs[z][l] = t;
-        v[idxv[l] as usize] = t as f32;
+    if el {
+        for l in 0..n {
+            let t = f1(fregs[a][l], fregs[b][l]);
+            fregs[z][l] = t;
+            // SAFETY: see `load_fop_fast` — statically proven in bounds.
+            unsafe { *v.get_unchecked_mut(idxv[l] as usize) = t as f32 };
+        }
+    } else {
+        for l in 0..n {
+            let t = f1(fregs[a][l], fregs[b][l]);
+            fregs[z][l] = t;
+            v[idxv[l] as usize] = t as f32;
+        }
     }
 }
 
@@ -467,7 +506,14 @@ impl LaneEngine {
             fregs,
             gid: [[0; LANES]; 3],
             steps: [0; LANES],
+            elide: vm.bounds_elide,
         }
+    }
+
+    /// Is buffer parameter `p` proven in bounds for the current launch?
+    #[inline(always)]
+    fn elided(&self, p: u16) -> bool {
+        p < 64 && self.elide & (1u64 << p) != 0
     }
 
     /// Per-lane step counts of the most recently executed batch (valid for
@@ -739,7 +785,9 @@ impl LaneEngine {
                 // recently pushed frame instead (the not-taken
                 // side, or the parked parent if that side also
                 // jumps straight to the rejoin).
-                let fr = stack.pop().expect("parent frame just pushed");
+                let Some(fr) = stack.pop() else {
+                    unreachable!("parent frame just pushed");
+                };
                 pc = fr.pc;
                 rpc = fr.rpc;
                 mask = fr.mask;
@@ -1008,13 +1056,22 @@ impl LaneEngine {
                 });
             }
             LoadF { dst, buf, idx } => {
+                let el = self.elided(buf);
                 let idxv = &self.iregs[idx as usize];
                 let b = &bufs[bmap[buf as usize]];
                 let BufferData::F32(v) = b else {
                     unreachable!("type-checked load");
                 };
                 let d = &mut self.fregs[dst as usize];
-                if all_in_bounds(idxv, n, v.len()) {
+                if el {
+                    debug_assert!(all_in_bounds(idxv, n, v.len()), "elision proof violated");
+                    for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
+                        // SAFETY: the elision bit is set only when the
+                        // interval analysis proved every access on this
+                        // parameter lies in `[0, len)`.
+                        *d = f64::from(unsafe { *v.get_unchecked(i as usize) });
+                    }
+                } else if all_in_bounds(idxv, n, v.len()) {
                     for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
                         *d = f64::from(v[i as usize]);
                     }
@@ -1034,11 +1091,30 @@ impl LaneEngine {
             LoadI { dst, buf, idx } => {
                 // Index and destination share the I register file; copy
                 // the index lanes so the destination can borrow mutably.
+                let el = self.elided(buf);
                 let idxv = self.iregs[idx as usize];
                 let idxv = &idxv;
                 let b = &bufs[bmap[buf as usize]];
                 let d = &mut self.iregs[dst as usize];
-                if all_in_bounds(idxv, n, b.len()) {
+                if el {
+                    debug_assert!(all_in_bounds(idxv, n, b.len()), "elision proof violated");
+                    // SAFETY: see `LoadF` — statically proven in bounds.
+                    unsafe {
+                        match b {
+                            BufferData::I32(v) => {
+                                for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
+                                    *d = i64::from(*v.get_unchecked(i as usize));
+                                }
+                            }
+                            BufferData::U32(v) => {
+                                for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
+                                    *d = i64::from(*v.get_unchecked(i as usize));
+                                }
+                            }
+                            BufferData::F32(_) => unreachable!("type-checked load"),
+                        }
+                    }
+                } else if all_in_bounds(idxv, n, b.len()) {
                     match b {
                         BufferData::I32(v) => {
                             for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
@@ -1077,6 +1153,7 @@ impl LaneEngine {
                 }
             }
             StoreF { buf, idx, src } => {
+                let el = self.elided(buf);
                 let idxv = &self.iregs[idx as usize];
                 let srcv = &self.fregs[src as usize];
                 let b = &mut bufs[bmap[buf as usize]];
@@ -1087,7 +1164,13 @@ impl LaneEngine {
                 // Ascending lane order = ascending item order, so
                 // same-instruction write collisions resolve exactly like
                 // the scalar engine's item order.
-                if all_in_bounds(idxv, n, len) {
+                if el {
+                    debug_assert!(all_in_bounds(idxv, n, len), "elision proof violated");
+                    for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
+                        // SAFETY: see `LoadF` — statically proven in bounds.
+                        unsafe { *v.get_unchecked_mut(i as usize) = x as f32 };
+                    }
+                } else if all_in_bounds(idxv, n, len) {
                     for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
                         v[i as usize] = x as f32;
                     }
@@ -1105,11 +1188,30 @@ impl LaneEngine {
                 }
             }
             StoreI { buf, idx, src } => {
+                let el = self.elided(buf);
                 let idxv = &self.iregs[idx as usize];
                 let srcv = &self.iregs[src as usize];
                 let b = &mut bufs[bmap[buf as usize]];
                 let len = b.len();
-                if all_in_bounds(idxv, n, len) {
+                if el {
+                    debug_assert!(all_in_bounds(idxv, n, len), "elision proof violated");
+                    // SAFETY: see `LoadF` — statically proven in bounds.
+                    unsafe {
+                        match b {
+                            BufferData::I32(v) => {
+                                for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
+                                    *v.get_unchecked_mut(i as usize) = x as i32;
+                                }
+                            }
+                            BufferData::U32(v) => {
+                                for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
+                                    *v.get_unchecked_mut(i as usize) = x as u32;
+                                }
+                            }
+                            BufferData::F32(_) => unreachable!("type-checked store"),
+                        }
+                    }
+                } else if all_in_bounds(idxv, n, len) {
                     match b {
                         BufferData::I32(v) => {
                             for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
@@ -1363,24 +1465,54 @@ impl LaneEngine {
                 });
             }
             LoadF { dst, buf, idx } => {
+                let el = self.elided(buf);
                 let b = &bufs[bmap[buf as usize]];
                 let BufferData::F32(v) = b else {
                     unreachable!("type-checked load");
                 };
-                for l in m.lanes() {
-                    let i = self.iregs[idx as usize][l];
-                    let Some(val) = usize::try_from(i).ok().and_then(|i| v.get(i)) else {
-                        return Err(VmError::OutOfBounds {
-                            buffer: buf as usize,
-                            index: i,
-                            len: v.len(),
-                        });
-                    };
-                    self.fregs[dst as usize][l] = f64::from(*val);
+                if el {
+                    for l in m.lanes() {
+                        let i = self.iregs[idx as usize][l];
+                        debug_assert!((0..v.len() as i64).contains(&i), "elision proof violated");
+                        // SAFETY: the elision bit is set only when the
+                        // interval analysis proved every access on this
+                        // parameter in `[0, len)`.
+                        self.fregs[dst as usize][l] =
+                            f64::from(unsafe { *v.get_unchecked(i as usize) });
+                    }
+                } else {
+                    for l in m.lanes() {
+                        let i = self.iregs[idx as usize][l];
+                        let Some(val) = usize::try_from(i).ok().and_then(|i| v.get(i)) else {
+                            return Err(VmError::OutOfBounds {
+                                buffer: buf as usize,
+                                index: i,
+                                len: v.len(),
+                            });
+                        };
+                        self.fregs[dst as usize][l] = f64::from(*val);
+                    }
                 }
             }
             LoadI { dst, buf, idx } => {
+                let el = self.elided(buf);
                 let b = &bufs[bmap[buf as usize]];
+                if el {
+                    for l in m.lanes() {
+                        let i = self.iregs[idx as usize][l];
+                        debug_assert!((0..b.len() as i64).contains(&i), "elision proof violated");
+                        // SAFETY: see `LoadF` — statically proven in bounds.
+                        let val = unsafe {
+                            match b {
+                                BufferData::I32(v) => i64::from(*v.get_unchecked(i as usize)),
+                                BufferData::U32(v) => i64::from(*v.get_unchecked(i as usize)),
+                                BufferData::F32(_) => unreachable!("type-checked load"),
+                            }
+                        };
+                        self.iregs[dst as usize][l] = val;
+                    }
+                    return Ok(());
+                }
                 for l in m.lanes() {
                     let i = self.iregs[idx as usize][l];
                     let val = match b {
@@ -1405,27 +1537,55 @@ impl LaneEngine {
                 }
             }
             StoreF { buf, idx, src } => {
+                let el = self.elided(buf);
                 let b = &mut bufs[bmap[buf as usize]];
                 let len = b.len();
                 let BufferData::F32(v) = b else {
                     unreachable!("type-checked store");
                 };
-                for l in m.lanes() {
-                    let i = self.iregs[idx as usize][l];
-                    let x = self.fregs[src as usize][l];
-                    let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
-                        return Err(VmError::OutOfBounds {
-                            buffer: buf as usize,
-                            index: i,
-                            len,
-                        });
-                    };
-                    *slot = x as f32;
+                if el {
+                    for l in m.lanes() {
+                        let i = self.iregs[idx as usize][l];
+                        let x = self.fregs[src as usize][l];
+                        debug_assert!((0..len as i64).contains(&i), "elision proof violated");
+                        // SAFETY: see `LoadF` — statically proven in bounds.
+                        unsafe { *v.get_unchecked_mut(i as usize) = x as f32 };
+                    }
+                } else {
+                    for l in m.lanes() {
+                        let i = self.iregs[idx as usize][l];
+                        let x = self.fregs[src as usize][l];
+                        let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
+                            return Err(VmError::OutOfBounds {
+                                buffer: buf as usize,
+                                index: i,
+                                len,
+                            });
+                        };
+                        *slot = x as f32;
+                    }
                 }
             }
             StoreI { buf, idx, src } => {
+                let el = self.elided(buf);
                 let b = &mut bufs[bmap[buf as usize]];
                 let len = b.len();
+                if el {
+                    for l in m.lanes() {
+                        let i = self.iregs[idx as usize][l];
+                        let x = self.iregs[src as usize][l];
+                        debug_assert!((0..len as i64).contains(&i), "elision proof violated");
+                        // SAFETY: see `LoadF` — statically proven in bounds.
+                        unsafe {
+                            match b {
+                                BufferData::I32(v) => *v.get_unchecked_mut(i as usize) = x as i32,
+                                BufferData::U32(v) => *v.get_unchecked_mut(i as usize) = x as u32,
+                                BufferData::F32(_) => unreachable!("type-checked store"),
+                            }
+                        }
+                    }
+                    return Ok(());
+                }
                 for l in m.lanes() {
                     let i = self.iregs[idx as usize][l];
                     let x = self.iregs[src as usize][l];
@@ -1662,11 +1822,32 @@ impl LaneEngine {
             OpCode::LoadI => {
                 // Index and destination share the I register file; copy
                 // the index lanes so the destination can borrow mutably.
+                let el = self.elided(b);
                 let idxv = self.iregs[a as usize];
                 let idxv = &idxv;
                 let bd = &bufs[bmap[b as usize]];
                 let d = &mut self.iregs[dst as usize];
-                if all_in_bounds(idxv, n, bd.len()) {
+                if el {
+                    debug_assert!(all_in_bounds(idxv, n, bd.len()), "elision proof violated");
+                    // SAFETY: the elision bit is set only when the interval
+                    // analysis proved every access on this parameter in
+                    // `[0, len)`.
+                    unsafe {
+                        match bd {
+                            BufferData::I32(v) => {
+                                for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
+                                    *d = i64::from(*v.get_unchecked(i as usize));
+                                }
+                            }
+                            BufferData::U32(v) => {
+                                for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
+                                    *d = i64::from(*v.get_unchecked(i as usize));
+                                }
+                            }
+                            BufferData::F32(_) => unreachable!("type-checked load"),
+                        }
+                    }
+                } else if all_in_bounds(idxv, n, bd.len()) {
                     match bd {
                         BufferData::I32(v) => {
                             for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
@@ -1706,11 +1887,30 @@ impl LaneEngine {
             }
             OpCode::StoreF => self.lane_store_f(dst, a, b, n, bmap, bufs)?,
             OpCode::StoreI => {
+                let el = self.elided(b);
                 let idxv = &self.iregs[a as usize];
                 let srcv = &self.iregs[dst as usize];
                 let bd = &mut bufs[bmap[b as usize]];
                 let len = bd.len();
-                if all_in_bounds(idxv, n, len) {
+                if el {
+                    debug_assert!(all_in_bounds(idxv, n, len), "elision proof violated");
+                    // SAFETY: see `LoadI` above — statically proven in bounds.
+                    unsafe {
+                        match bd {
+                            BufferData::I32(v) => {
+                                for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
+                                    *v.get_unchecked_mut(i as usize) = x as i32;
+                                }
+                            }
+                            BufferData::U32(v) => {
+                                for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
+                                    *v.get_unchecked_mut(i as usize) = x as u32;
+                                }
+                            }
+                            BufferData::F32(_) => unreachable!("type-checked store"),
+                        }
+                    }
+                } else if all_in_bounds(idxv, n, len) {
                     match bd {
                         BufferData::I32(v) => {
                             for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
@@ -1828,10 +2028,9 @@ impl LaneEngine {
                                 *x = if swap { g(*x, fi) } else { g(fi, *x) };
                             }
                         } else {
-                            let [dz, ro] = self
-                                .fregs
-                                .get_disjoint_mut([z, o])
-                                .expect("disjoint const-chain registers");
+                            let Ok([dz, ro]) = self.fregs.get_disjoint_mut([z, o]) else {
+                                unreachable!("disjoint const-chain registers");
+                            };
                             for l in 0..n {
                                 dz[l] = if swap { g(ro[l], fi) } else { g(fi, ro[l]) };
                             }
@@ -1899,6 +2098,7 @@ impl LaneEngine {
         bufs: &mut [BufferData],
     ) -> Result<(), VmError> {
         {
+            let el = self.elided(op.b) && self.elided(op.e);
             let idx1 = &self.iregs[op.a as usize];
             let idx2 = &self.iregs[op.d as usize];
             let BufferData::F32(v1) = &bufs[bmap[op.b as usize]] else {
@@ -1907,11 +2107,35 @@ impl LaneEngine {
             let BufferData::F32(v2) = &bufs[bmap[op.e as usize]] else {
                 unreachable!("type-checked load");
             };
-            if all_in_bounds(idx1, n, v1.len()) && all_in_bounds(idx2, n, v2.len()) {
-                let [d1, d2] = self
+            if el {
+                debug_assert!(
+                    all_in_bounds(idx1, n, v1.len()) && all_in_bounds(idx2, n, v2.len()),
+                    "elision proof violated"
+                );
+                let Ok([d1, d2]) = self
                     .fregs
                     .get_disjoint_mut([op.c as usize, op.dst as usize])
-                    .expect("distinct fused load destinations");
+                else {
+                    unreachable!("distinct fused load destinations");
+                };
+                for l in 0..n {
+                    // SAFETY: both elision bits are set only when the
+                    // interval analysis proved every access on each
+                    // parameter in `[0, len)`.
+                    unsafe {
+                        d1[l] = f64::from(*v1.get_unchecked(idx1[l] as usize));
+                        d2[l] = f64::from(*v2.get_unchecked(idx2[l] as usize));
+                    }
+                }
+                return Ok(());
+            }
+            if all_in_bounds(idx1, n, v1.len()) && all_in_bounds(idx2, n, v2.len()) {
+                let Ok([d1, d2]) = self
+                    .fregs
+                    .get_disjoint_mut([op.c as usize, op.dst as usize])
+                else {
+                    unreachable!("distinct fused load destinations");
+                };
                 for l in 0..n {
                     d1[l] = f64::from(v1[idx1[l] as usize]);
                     d2[l] = f64::from(v2[idx2[l] as usize]);
@@ -1935,21 +2159,23 @@ impl LaneEngine {
         bufs: &mut [BufferData],
     ) -> Result<(), VmError> {
         let (s2, fimm) = (op.sub2, op.fimm);
+        let el = self.elided(op.b);
         let fused = {
             let idxv = &self.iregs[op.a as usize];
             let BufferData::F32(v) = &bufs[bmap[op.b as usize]] else {
                 unreachable!("type-checked load");
             };
-            if all_in_bounds(idxv, n, v.len()) {
+            if el || all_in_bounds(idxv, n, v.len()) {
+                debug_assert!(all_in_bounds(idxv, n, v.len()), "elision proof violated");
                 match s2 {
-                    F_ADD => load_fop_fast(&mut self.fregs, idxv, v, n, op, |x, y| x + y),
-                    F_SUB => load_fop_fast(&mut self.fregs, idxv, v, n, op, |x, y| x - y),
-                    F_MUL => load_fop_fast(&mut self.fregs, idxv, v, n, op, |x, y| x * y),
-                    F_DIV => load_fop_fast(&mut self.fregs, idxv, v, n, op, |x, y| x / y),
-                    F_MOV => load_fop_fast(&mut self.fregs, idxv, v, n, op, |x, _| x),
-                    F_NEG => load_fop_fast(&mut self.fregs, idxv, v, n, op, |x: f64, _| -x),
-                    5 => load_fop_fast(&mut self.fregs, idxv, v, n, op, |x: f64, _| x.sqrt()),
-                    12 => load_fop_fast(&mut self.fregs, idxv, v, n, op, |x: f64, _| x.abs()),
+                    F_ADD => load_fop_fast(&mut self.fregs, idxv, v, n, op, el, |x, y| x + y),
+                    F_SUB => load_fop_fast(&mut self.fregs, idxv, v, n, op, el, |x, y| x - y),
+                    F_MUL => load_fop_fast(&mut self.fregs, idxv, v, n, op, el, |x, y| x * y),
+                    F_DIV => load_fop_fast(&mut self.fregs, idxv, v, n, op, el, |x, y| x / y),
+                    F_MOV => load_fop_fast(&mut self.fregs, idxv, v, n, op, el, |x, _| x),
+                    F_NEG => load_fop_fast(&mut self.fregs, idxv, v, n, op, el, |x: f64, _| -x),
+                    5 => load_fop_fast(&mut self.fregs, idxv, v, n, op, el, |x: f64, _| x.sqrt()),
+                    12 => load_fop_fast(&mut self.fregs, idxv, v, n, op, el, |x: f64, _| x.abs()),
                     _ => {
                         {
                             let dx = &mut self.fregs[op.c as usize];
@@ -1984,6 +2210,7 @@ impl LaneEngine {
         bufs: &mut [BufferData],
     ) -> Result<(), VmError> {
         let (s1, fimm) = (op.sub1, op.fimm);
+        let el = self.elided(op.d);
         let fused = {
             let idxv = &self.iregs[op.c as usize];
             let bd = &mut bufs[bmap[op.d as usize]];
@@ -1991,38 +2218,39 @@ impl LaneEngine {
             let BufferData::F32(v) = bd else {
                 unreachable!("type-checked store");
             };
-            if all_in_bounds(idxv, n, len) {
+            if el || all_in_bounds(idxv, n, len) {
+                debug_assert!(all_in_bounds(idxv, n, len), "elision proof violated");
                 match s1 {
                     F_ADD => {
-                        fop_store_fast(&mut self.fregs, idxv, v, n, op, |x, y| x + y);
+                        fop_store_fast(&mut self.fregs, idxv, v, n, op, el, |x, y| x + y);
                         true
                     }
                     F_SUB => {
-                        fop_store_fast(&mut self.fregs, idxv, v, n, op, |x, y| x - y);
+                        fop_store_fast(&mut self.fregs, idxv, v, n, op, el, |x, y| x - y);
                         true
                     }
                     F_MUL => {
-                        fop_store_fast(&mut self.fregs, idxv, v, n, op, |x, y| x * y);
+                        fop_store_fast(&mut self.fregs, idxv, v, n, op, el, |x, y| x * y);
                         true
                     }
                     F_DIV => {
-                        fop_store_fast(&mut self.fregs, idxv, v, n, op, |x, y| x / y);
+                        fop_store_fast(&mut self.fregs, idxv, v, n, op, el, |x, y| x / y);
                         true
                     }
                     F_MOV => {
-                        fop_store_fast(&mut self.fregs, idxv, v, n, op, |x, _| x);
+                        fop_store_fast(&mut self.fregs, idxv, v, n, op, el, |x, _| x);
                         true
                     }
                     F_NEG => {
-                        fop_store_fast(&mut self.fregs, idxv, v, n, op, |x: f64, _| -x);
+                        fop_store_fast(&mut self.fregs, idxv, v, n, op, el, |x: f64, _| -x);
                         true
                     }
                     5 => {
-                        fop_store_fast(&mut self.fregs, idxv, v, n, op, |x: f64, _| x.sqrt());
+                        fop_store_fast(&mut self.fregs, idxv, v, n, op, el, |x: f64, _| x.sqrt());
                         true
                     }
                     12 => {
-                        fop_store_fast(&mut self.fregs, idxv, v, n, op, |x: f64, _| x.abs());
+                        fop_store_fast(&mut self.fregs, idxv, v, n, op, el, |x: f64, _| x.abs());
                         true
                     }
                     F_CONST => {
@@ -2059,13 +2287,22 @@ impl LaneEngine {
         bmap: &[usize],
         bufs: &[BufferData],
     ) -> Result<(), VmError> {
+        let el = self.elided(buf);
         let idxv = &self.iregs[idx as usize];
         let bd = &bufs[bmap[buf as usize]];
         let BufferData::F32(v) = bd else {
             unreachable!("type-checked load");
         };
         let d = &mut self.fregs[dst as usize];
-        if all_in_bounds(idxv, n, v.len()) {
+        if el {
+            debug_assert!(all_in_bounds(idxv, n, v.len()), "elision proof violated");
+            for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
+                // SAFETY: the elision bit is set only when the interval
+                // analysis proved every access on this parameter in
+                // `[0, len)`.
+                *d = f64::from(unsafe { *v.get_unchecked(i as usize) });
+            }
+        } else if all_in_bounds(idxv, n, v.len()) {
             for (d, &i) in d[..n].iter_mut().zip(&idxv[..n]) {
                 *d = f64::from(v[i as usize]);
             }
@@ -2097,6 +2334,7 @@ impl LaneEngine {
         bmap: &[usize],
         bufs: &mut [BufferData],
     ) -> Result<(), VmError> {
+        let el = self.elided(buf);
         let idxv = &self.iregs[idx as usize];
         let srcv = &self.fregs[src as usize];
         let bd = &mut bufs[bmap[buf as usize]];
@@ -2104,7 +2342,13 @@ impl LaneEngine {
         let BufferData::F32(v) = bd else {
             unreachable!("type-checked store");
         };
-        if all_in_bounds(idxv, n, len) {
+        if el {
+            debug_assert!(all_in_bounds(idxv, n, len), "elision proof violated");
+            for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
+                // SAFETY: see `lane_load_f` — statically proven in bounds.
+                unsafe { *v.get_unchecked_mut(i as usize) = x as f32 };
+            }
+        } else if all_in_bounds(idxv, n, len) {
             for (&i, &x) in idxv[..n].iter().zip(&srcv[..n]) {
                 v[i as usize] = x as f32;
             }
@@ -2313,7 +2557,26 @@ impl LaneEngine {
             }),
             OpCode::LoadF => self.masked_load_f(dst, a, b, m, bmap, bufs)?,
             OpCode::LoadI => {
+                let el = self.elided(b);
                 let bd = &bufs[bmap[b as usize]];
+                if el {
+                    for l in m.lanes() {
+                        let i = self.iregs[a as usize][l];
+                        debug_assert!((0..bd.len() as i64).contains(&i), "elision proof violated");
+                        // SAFETY: the elision bit is set only when the
+                        // interval analysis proved every access on this
+                        // parameter in `[0, len)`.
+                        let val = unsafe {
+                            match bd {
+                                BufferData::I32(v) => i64::from(*v.get_unchecked(i as usize)),
+                                BufferData::U32(v) => i64::from(*v.get_unchecked(i as usize)),
+                                BufferData::F32(_) => unreachable!("type-checked load"),
+                            }
+                        };
+                        self.iregs[dst as usize][l] = val;
+                    }
+                    return Ok(());
+                }
                 for l in m.lanes() {
                     let i = self.iregs[a as usize][l];
                     let val = match bd {
@@ -2339,8 +2602,26 @@ impl LaneEngine {
             }
             OpCode::StoreF => self.masked_store_f(dst, a, b, m, bmap, bufs)?,
             OpCode::StoreI => {
+                let el = self.elided(b);
                 let bd = &mut bufs[bmap[b as usize]];
                 let len = bd.len();
+                if el {
+                    for l in m.lanes() {
+                        let i = self.iregs[a as usize][l];
+                        let x = self.iregs[dst as usize][l];
+                        debug_assert!((0..len as i64).contains(&i), "elision proof violated");
+                        // SAFETY: see `LoadI` above — statically proven
+                        // in bounds.
+                        unsafe {
+                            match bd {
+                                BufferData::I32(v) => *v.get_unchecked_mut(i as usize) = x as i32,
+                                BufferData::U32(v) => *v.get_unchecked_mut(i as usize) = x as u32,
+                                BufferData::F32(_) => unreachable!("type-checked store"),
+                            }
+                        }
+                    }
+                    return Ok(());
+                }
                 for l in m.lanes() {
                     let i = self.iregs[a as usize][l];
                     let x = self.iregs[dst as usize][l];
@@ -2412,10 +2693,22 @@ impl LaneEngine {
         bmap: &[usize],
         bufs: &[BufferData],
     ) -> Result<(), VmError> {
+        let el = self.elided(buf);
         let bd = &bufs[bmap[buf as usize]];
         let BufferData::F32(v) = bd else {
             unreachable!("type-checked load");
         };
+        if el {
+            for l in m.lanes() {
+                let i = self.iregs[idx as usize][l];
+                debug_assert!((0..v.len() as i64).contains(&i), "elision proof violated");
+                // SAFETY: the elision bit is set only when the interval
+                // analysis proved every access on this parameter in
+                // `[0, len)`.
+                self.fregs[dst as usize][l] = f64::from(unsafe { *v.get_unchecked(i as usize) });
+            }
+            return Ok(());
+        }
         for l in m.lanes() {
             let i = self.iregs[idx as usize][l];
             let Some(val) = usize::try_from(i).ok().and_then(|i| v.get(i)) else {
@@ -2441,11 +2734,22 @@ impl LaneEngine {
         bmap: &[usize],
         bufs: &mut [BufferData],
     ) -> Result<(), VmError> {
+        let el = self.elided(buf);
         let bd = &mut bufs[bmap[buf as usize]];
         let len = bd.len();
         let BufferData::F32(v) = bd else {
             unreachable!("type-checked store");
         };
+        if el {
+            for l in m.lanes() {
+                let i = self.iregs[idx as usize][l];
+                let x = self.fregs[src as usize][l];
+                debug_assert!((0..len as i64).contains(&i), "elision proof violated");
+                // SAFETY: see `masked_load_f` — statically proven in bounds.
+                unsafe { *v.get_unchecked_mut(i as usize) = x as f32 };
+            }
+            return Ok(());
+        }
         for l in m.lanes() {
             let i = self.iregs[idx as usize][l];
             let x = self.fregs[src as usize][l];
@@ -2559,6 +2863,7 @@ impl LaneEngine {
         let (s2, fimm) = (op.sub2, op.fimm);
         macro_rules! go {
             ($f2:expr) => {{
+                let el = self.elided(op.b);
                 let (x, z) = (op.c as usize, op.dst as usize);
                 let (p, q) = (op.d as usize, op.e as usize);
                 let BufferData::F32(v) = &bufs[bmap[op.b as usize]] else {
@@ -2566,14 +2871,22 @@ impl LaneEngine {
                 };
                 for l in m.lanes() {
                     let i = self.iregs[op.a as usize][l];
-                    let Some(val) = usize::try_from(i).ok().and_then(|i| v.get(i)) else {
-                        return Err(VmError::OutOfBounds {
-                            buffer: op.b as usize,
-                            index: i,
-                            len: v.len(),
-                        });
+                    let loaded = if el {
+                        debug_assert!((0..v.len() as i64).contains(&i), "elision proof violated");
+                        // SAFETY: the elision bit is set only when the
+                        // interval analysis proved every access on this
+                        // parameter in `[0, len)`.
+                        f64::from(unsafe { *v.get_unchecked(i as usize) })
+                    } else {
+                        let Some(val) = usize::try_from(i).ok().and_then(|i| v.get(i)) else {
+                            return Err(VmError::OutOfBounds {
+                                buffer: op.b as usize,
+                                index: i,
+                                len: v.len(),
+                            });
+                        };
+                        f64::from(*val)
                     };
-                    let loaded = f64::from(*val);
                     self.fregs[x][l] = loaded;
                     let pv = self.fregs[p][l];
                     let qv = self.fregs[q][l];
@@ -2611,6 +2924,7 @@ impl LaneEngine {
         let (s1, fimm) = (op.sub1, op.fimm);
         macro_rules! go {
             ($f1:expr) => {{
+                let el = self.elided(op.d);
                 let (a, b, z) = (op.a as usize, op.b as usize, op.dst as usize);
                 let bd = &mut bufs[bmap[op.d as usize]];
                 let len = bd.len();
@@ -2621,6 +2935,13 @@ impl LaneEngine {
                     let t = $f1(self.fregs[a][l], self.fregs[b][l]);
                     self.fregs[z][l] = t;
                     let i = self.iregs[op.c as usize][l];
+                    if el {
+                        debug_assert!((0..len as i64).contains(&i), "elision proof violated");
+                        // SAFETY: see `masked_load_fop` — statically
+                        // proven in bounds.
+                        unsafe { *v.get_unchecked_mut(i as usize) = t as f32 };
+                        continue;
+                    }
                     let Some(slot) = usize::try_from(i).ok().and_then(|i| v.get_mut(i)) else {
                         return Err(VmError::OutOfBounds {
                             buffer: op.d as usize,

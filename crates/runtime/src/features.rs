@@ -100,7 +100,15 @@ pub fn runtime_features(
         sample_items,
     )?;
     let counts = sample.extrapolated(&kernel.bytecode);
-    let divergence = sample.ops_cv.clamp(0.0, 1.0);
+    // The static uniformity analysis already classified every branch: a
+    // kernel with zero divergent branches provably executes the same
+    // instruction sequence on every work-item, so the per-item op-count
+    // CV is exactly 0 and the noisy sampled estimate can be skipped.
+    let divergence = if kernel.static_features.divergent_branches == 0 {
+        0.0
+    } else {
+        sample.ops_cv.clamp(0.0, 1.0)
+    };
     let coalesced = coalesced_fraction(kernel);
     let shape = workload_shape(&counts, bytes_in, bytes_out, divergence, coalesced);
 

@@ -210,3 +210,92 @@ fn every_suite_kernel_roundtrips_through_the_pretty_printer() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Interval arithmetic soundness against concrete i64 evaluation
+// ---------------------------------------------------------------------
+
+use hetpart_inspire::access::Interval;
+
+/// Magnitude that exercises `i64` overflow in `mul` (2^41 * 2^41 > 2^63)
+/// while keeping `add`/`sub` mostly in range, with plenty of negative
+/// operands.
+const IV_MAG: i64 = 1 << 41;
+
+/// Deterministic sample point inside `[lo, hi]`.
+fn iv_pick(lo: i64, hi: i64, s: u64) -> i64 {
+    let span = (i128::from(hi) - i128::from(lo) + 1) as u128;
+    (i128::from(lo) + (u128::from(s) % span) as i128) as i64
+}
+
+/// The soundness contract of every abstract operator: a `Range` result
+/// must contain the exact (non-wrapped) concrete result; `Top` is always
+/// sound.
+fn iv_sound(result: Interval, exact: i128) -> bool {
+    match result {
+        Interval::Top => true,
+        Interval::Range(lo, hi) => i128::from(lo) <= exact && exact <= i128::from(hi),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+    #[test]
+    fn interval_ops_contain_concrete_results(
+        p in (
+            (-IV_MAG..IV_MAG, -IV_MAG..IV_MAG),
+            (-IV_MAG..IV_MAG, -IV_MAG..IV_MAG),
+            (0u64..u64::MAX, 0u64..u64::MAX),
+        )
+    ) {
+        let ((a, b), (c, d), (s, t)) = p;
+        let (xlo, xhi) = (a.min(b), a.max(b));
+        let (ylo, yhi) = (c.min(d), c.max(d));
+        let x = Interval::Range(xlo, xhi);
+        let y = Interval::Range(ylo, yhi);
+        let px = iv_pick(xlo, xhi, s);
+        let py = iv_pick(ylo, yhi, t);
+        prop_assert!(x.contains(px) && y.contains(py));
+
+        let (pxw, pyw) = (i128::from(px), i128::from(py));
+        prop_assert!(iv_sound(x.add(y), pxw + pyw), "add {x:?} {y:?} @ {px} {py}");
+        prop_assert!(iv_sound(x.sub(y), pxw - pyw), "sub {x:?} {y:?} @ {px} {py}");
+        prop_assert!(iv_sound(x.mul(y), pxw * pyw), "mul {x:?} {y:?} @ {px} {py}");
+        prop_assert!(iv_sound(x.min_i(y), pxw.min(pyw)), "min {x:?} {y:?}");
+        prop_assert!(iv_sound(x.max_i(y), pxw.max(pyw)), "max {x:?} {y:?}");
+        if py != 0 {
+            // Truncated division/remainder, including negative operands —
+            // the ops must either refuse (⊤) or contain the exact result.
+            prop_assert!(iv_sound(x.div(y), pxw / pyw), "div {x:?} {y:?} @ {px} {py}");
+            prop_assert!(iv_sound(x.rem(y), pxw % pyw), "rem {x:?} {y:?} @ {px} {py}");
+        }
+
+        // Lattice ops: union covers both points, intersection keeps any
+        // shared point, widening only ever grows the new interval.
+        prop_assert!(x.union(y).contains(px) && x.union(y).contains(py));
+        if y.contains(px) {
+            let i = x.intersect(y).expect("non-disjoint");
+            prop_assert!(i.contains(px), "intersect {x:?} {y:?} lost {px}");
+        }
+        prop_assert!(x.widen_from(y).contains(px), "widen {x:?} from {y:?} lost {px}");
+    }
+
+    #[test]
+    fn interval_ops_with_top_are_sound(q in (-IV_MAG..IV_MAG, -IV_MAG..IV_MAG, 0u64..u64::MAX)) {
+        let (a, b, s) = q;
+        let x = Interval::Range(a.min(b), a.max(b));
+        let px = iv_pick(a.min(b), a.max(b), s);
+        for r in [
+            x.add(Interval::Top),
+            Interval::Top.sub(x),
+            x.mul(Interval::Top),
+            x.div(Interval::Top),
+            x.rem(Interval::Top),
+            x.union(Interval::Top),
+        ] {
+            prop_assert_eq!(r, Interval::Top);
+        }
+        prop_assert!(x.intersect(Interval::Top) == Some(x));
+        prop_assert!(Interval::Top.contains(px));
+    }
+}

@@ -779,6 +779,16 @@ proptest! {
             ArgValue::Int(n as i32),
         ];
         let nd = NdRange::d1(n);
+        // Every compilation mode of the random CFG must pass the IR
+        // verifier — the same corpus that exercises the engines also
+        // exercises the static checks.
+        for level in [OptLevel::None, OptLevel::Full] {
+            for ra in [RegAlloc::Off, RegAlloc::On] {
+                let k = compile_with_modes(&src, level, ra).unwrap();
+                hetpart_inspire::analysis::verify::verify_function("proptest", &k.bytecode)
+                    .unwrap();
+            }
+        }
         assert_range_parity(&src, &nd, 0..n, &args, &bufs);
         // A misaligned sub-range exercises partial tail batches.
         assert_range_parity(&src, &nd, (n / 7)..(n - 3), &args, &bufs);
