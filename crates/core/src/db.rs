@@ -30,6 +30,7 @@ use std::path::{Path, PathBuf};
 
 use hetpart_inspire::features::STATIC_FEATURE_NAMES;
 use hetpart_ml::Dataset;
+use hetpart_oclsim::Machine;
 use hetpart_runtime::{Partition, PartitionSweep, SweepEntry, RUNTIME_FEATURE_NAMES};
 use serde::{Deserialize, Serialize};
 
@@ -37,7 +38,7 @@ use serde::{Deserialize, Serialize};
 /// and JSONL shard headers alike). Bump when the on-disk record layout
 /// changes; loads of a different version fail with a descriptive error
 /// instead of silently training on drifted data.
-pub const DB_SCHEMA_VERSION: u32 = 2;
+pub const DB_SCHEMA_VERSION: u32 = 3;
 
 /// Why a persisted database could not be loaded or merged.
 #[derive(Debug)]
@@ -58,6 +59,16 @@ pub enum DbError {
         path: PathBuf,
         expected: String,
         found: String,
+    },
+    /// A shard carries the right machine *name* but a different hardware
+    /// fingerprint — the device profiles changed between collection runs
+    /// (edited profile JSON, different registry), so the measurements are
+    /// not comparable even though the name matches.
+    MachineFingerprintMismatch {
+        path: PathBuf,
+        machine: String,
+        expected: u64,
+        found: u64,
     },
     /// Two shards (or two lines of one shard) measured the same
     /// (program, size) pair — merging would double-count the record.
@@ -110,6 +121,19 @@ impl fmt::Display for DbError {
                 f,
                 "{}: shard was measured on machine `{found}` but this database is for \
                  `{expected}` — per-machine databases must not mix measurements",
+                path.display()
+            ),
+            DbError::MachineFingerprintMismatch {
+                path,
+                machine,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{}: shard was measured on a machine named `{machine}` with hardware \
+                 fingerprint {found:#018x}, but this run's `{machine}` fingerprints as \
+                 {expected:#018x} — the device profiles changed between runs; use a \
+                 fresh shard root (or the original machine profile)",
                 path.display()
             ),
             DbError::DuplicateRecord { program, size } => write!(
@@ -223,6 +247,7 @@ pub fn feature_names(set: FeatureSet) -> Vec<String> {
 struct DbFile {
     version: u32,
     machine: String,
+    machine_fingerprint: u64,
     records: Vec<TrainingRecord>,
 }
 
@@ -231,6 +256,10 @@ struct DbFile {
 pub struct TrainingDb {
     /// Machine name the measurements were taken on.
     pub machine: String,
+    /// Hardware fingerprint ([`hetpart_oclsim::Machine::fingerprint`]) of
+    /// that machine at collection time — catches profiles that changed
+    /// under an unchanged name.
+    pub machine_fingerprint: u64,
     pub records: Vec<TrainingRecord>,
 }
 
@@ -243,6 +272,10 @@ impl TrainingDb {
         let file = Value::Map(vec![
             ("version".to_string(), DB_SCHEMA_VERSION.to_value()),
             ("machine".to_string(), self.machine.to_value()),
+            (
+                "machine_fingerprint".to_string(),
+                self.machine_fingerprint.to_value(),
+            ),
             ("records".to_string(), self.records.to_value()),
         ]);
         let json = serde_json::to_string_pretty(&file).map_err(io::Error::other)?;
@@ -267,6 +300,7 @@ impl TrainingDb {
         })?;
         Ok(Self {
             machine: file.machine,
+            machine_fingerprint: file.machine_fingerprint,
             records: file.records,
         })
     }
@@ -366,6 +400,7 @@ impl TrainingDb {
 struct ShardHeader {
     version: u32,
     machine: String,
+    machine_fingerprint: u64,
     program: String,
 }
 
@@ -390,26 +425,35 @@ struct ShardHeader {
 pub struct ShardedDb {
     dir: PathBuf,
     machine: String,
+    machine_fingerprint: u64,
 }
 
 impl ShardedDb {
     /// Open (creating if needed) the shard directory for one machine under
-    /// `root`.
-    pub fn open(root: impl Into<PathBuf>, machine: &str) -> Result<Self, DbError> {
-        let dir = root.into().join(machine);
+    /// `root`. The store is bound to the machine's registry name *and* its
+    /// hardware fingerprint: shards written by a differently-configured
+    /// machine of the same name are rejected on load.
+    pub fn open(root: impl Into<PathBuf>, machine: &Machine) -> Result<Self, DbError> {
+        let dir = root.into().join(&machine.name);
         fs::create_dir_all(&dir).map_err(|source| DbError::Io {
             path: dir.clone(),
             source,
         })?;
         Ok(Self {
             dir,
-            machine: machine.to_string(),
+            machine: machine.name.clone(),
+            machine_fingerprint: machine.fingerprint(),
         })
     }
 
     /// The machine these shards were measured on.
     pub fn machine(&self) -> &str {
         &self.machine
+    }
+
+    /// Hardware fingerprint of the machine these shards were measured on.
+    pub fn machine_fingerprint(&self) -> u64 {
+        self.machine_fingerprint
     }
 
     /// The directory holding this machine's shard files.
@@ -514,6 +558,7 @@ impl ShardedDb {
             let header = ShardHeader {
                 version: DB_SCHEMA_VERSION,
                 machine: self.machine.clone(),
+                machine_fingerprint: self.machine_fingerprint,
                 program: record.program.clone(),
             };
             out.push_str(&serde_json::to_string(&header).map_err(|e| DbError::Parse {
@@ -607,6 +652,14 @@ impl ShardedDb {
                 found: header.machine,
             });
         }
+        if header.machine_fingerprint != self.machine_fingerprint {
+            return Err(DbError::MachineFingerprintMismatch {
+                path,
+                machine: self.machine.clone(),
+                expected: self.machine_fingerprint,
+                found: header.machine_fingerprint,
+            });
+        }
         if header.program != program {
             return Err(DbError::Parse {
                 path,
@@ -669,7 +722,9 @@ impl ShardedDb {
     /// **bit-identical regardless of shard order**, and identical to a
     /// monolithic collection of the same measurements.
     pub fn merge(parts: &[&ShardedDb]) -> Result<TrainingDb, DbError> {
-        let machine = parts.first().ok_or(DbError::NoShards)?.machine.clone();
+        let first = parts.first().ok_or(DbError::NoShards)?;
+        let machine = first.machine.clone();
+        let machine_fingerprint = first.machine_fingerprint;
         let mut records: Vec<TrainingRecord> = Vec::new();
         let mut seen: HashSet<(String, usize)> = HashSet::new();
         // Stores carrying a collection-config marker must all agree —
@@ -698,6 +753,14 @@ impl ShardedDb {
                     found: part.machine.clone(),
                 });
             }
+            if part.machine_fingerprint != machine_fingerprint {
+                return Err(DbError::MachineFingerprintMismatch {
+                    path: part.dir.clone(),
+                    machine,
+                    expected: machine_fingerprint,
+                    found: part.machine_fingerprint,
+                });
+            }
             for program in part.programs()? {
                 for r in part.load_shard(&program)? {
                     if !seen.insert((r.program.clone(), r.size)) {
@@ -710,7 +773,11 @@ impl ShardedDb {
                 }
             }
         }
-        let mut db = TrainingDb { machine, records };
+        let mut db = TrainingDb {
+            machine,
+            machine_fingerprint,
+            records,
+        };
         db.canonicalize();
         Ok(db)
     }
@@ -736,6 +803,7 @@ fn check_version(version: Option<&serde::Value>, path: &Path) -> Result<(), DbEr
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hetpart_oclsim::machines;
     use hetpart_runtime::SweepEntry;
 
     fn record(program: &str, idx: usize, size: usize, best: Vec<u8>) -> TrainingRecord {
@@ -768,6 +836,7 @@ mod tests {
     fn db() -> TrainingDb {
         TrainingDb {
             machine: "mc1".into(),
+            machine_fingerprint: machines::mc1().fingerprint(),
             records: vec![
                 record("a", 0, 64, vec![5, 5, 0]),
                 record("a", 0, 128, vec![0, 5, 5]),
@@ -826,6 +895,7 @@ mod tests {
     fn canonicalize_sorts_and_ranks_program_indices() {
         let mut d = TrainingDb {
             machine: "mc1".into(),
+            machine_fingerprint: machines::mc1().fingerprint(),
             records: vec![
                 record("zeta", 0, 64, vec![5, 5, 0]),
                 record("alpha", 1, 128, vec![0, 5, 5]),
@@ -920,7 +990,7 @@ mod tests {
     #[test]
     fn shard_append_load_roundtrip() {
         let root = tmp_dir("hetpart_shard_roundtrip");
-        let shards = ShardedDb::open(&root, "mc1").unwrap();
+        let shards = ShardedDb::open(&root, &machines::mc1()).unwrap();
         let d = db();
         for r in &d.records {
             shards.append(r).unwrap();
@@ -936,7 +1006,7 @@ mod tests {
     #[test]
     fn torn_final_line_is_dropped_and_resumable() {
         let root = tmp_dir("hetpart_shard_torn");
-        let shards = ShardedDb::open(&root, "mc1").unwrap();
+        let shards = ShardedDb::open(&root, &machines::mc1()).unwrap();
         let d = db();
         shards.append(&d.records[0]).unwrap();
         shards.append(&d.records[1]).unwrap();
@@ -980,7 +1050,7 @@ mod tests {
         // measurement if it were forgiven.
         use std::io::Write as _;
         let root = tmp_dir("hetpart_shard_terminated_tail");
-        let shards = ShardedDb::open(&root, "mc1").unwrap();
+        let shards = ShardedDb::open(&root, &machines::mc1()).unwrap();
         shards.append(&db().records[0]).unwrap();
         let mut f = std::fs::OpenOptions::new()
             .append(true)
@@ -997,7 +1067,7 @@ mod tests {
     fn config_marker_guards_resume_and_merge() {
         let root_a = tmp_dir("hetpart_shard_config_a");
         let root_b = tmp_dir("hetpart_shard_config_b");
-        let a = ShardedDb::open(&root_a, "mc1").unwrap();
+        let a = ShardedDb::open(&root_a, &machines::mc1()).unwrap();
         // First run records, identical runs pass, a drifted run fails.
         a.check_or_record_config("step=5;samples=32").unwrap();
         a.check_or_record_config("step=5;samples=32").unwrap();
@@ -1008,7 +1078,7 @@ mod tests {
         assert!(a.programs().unwrap().is_empty());
 
         // Merging stores with disagreeing markers is refused too.
-        let b = ShardedDb::open(&root_b, "mc1").unwrap();
+        let b = ShardedDb::open(&root_b, &machines::mc1()).unwrap();
         b.check_or_record_config("step=2;samples=16").unwrap();
         a.append(&db().records[0]).unwrap();
         b.append(&db().records[2]).unwrap();
@@ -1028,7 +1098,7 @@ mod tests {
         // Only a *final* torn line is crash tolerance; junk between two
         // good lines is real corruption and must not be skipped silently.
         let root = tmp_dir("hetpart_shard_corrupt");
-        let shards = ShardedDb::open(&root, "mc1").unwrap();
+        let shards = ShardedDb::open(&root, &machines::mc1()).unwrap();
         let d = db();
         shards.append(&d.records[0]).unwrap();
         let path = shards.shard_path("a");
@@ -1049,7 +1119,7 @@ mod tests {
         // empty shard (so the resumed run re-measures and the next append
         // repairs the file), never as a permanent parse error.
         let root = tmp_dir("hetpart_shard_torn_header");
-        let shards = ShardedDb::open(&root, "mc1").unwrap();
+        let shards = ShardedDb::open(&root, &machines::mc1()).unwrap();
         let d = db();
 
         // Crash before any byte landed: empty file.
@@ -1071,15 +1141,29 @@ mod tests {
     #[test]
     fn shard_header_is_validated() {
         let root = tmp_dir("hetpart_shard_header");
-        let shards = ShardedDb::open(&root, "mc1").unwrap();
+        let shards = ShardedDb::open(&root, &machines::mc1()).unwrap();
         shards.append(&db().records[0]).unwrap();
         // A different machine's view of the same directory refuses it.
         let other = ShardedDb {
             dir: shards.dir().to_path_buf(),
             machine: "mc2".into(),
+            machine_fingerprint: machines::mc2().fingerprint(),
         };
         let err = other.load_shard("a").unwrap_err();
         assert!(matches!(err, DbError::MachineMismatch { .. }), "{err}");
+        // Same machine *name* but different hardware (profile drift under
+        // an unchanged name) is refused with the fingerprint error.
+        let drifted = ShardedDb {
+            dir: shards.dir().to_path_buf(),
+            machine: "mc1".into(),
+            machine_fingerprint: machines::mc1().fingerprint() ^ 1,
+        };
+        let err = drifted.load_shard("a").unwrap_err();
+        assert!(
+            matches!(err, DbError::MachineFingerprintMismatch { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("device profiles changed"), "{err}");
         // A legacy shard without a version is named as such.
         let legacy = shards.shard_path("legacy");
         std::fs::write(&legacy, "{\"machine\": \"mc1\", \"program\": \"legacy\"}\n").unwrap();
@@ -1095,8 +1179,8 @@ mod tests {
     fn merge_is_shard_order_independent_and_rejects_duplicates() {
         let root_a = tmp_dir("hetpart_shard_merge_a");
         let root_b = tmp_dir("hetpart_shard_merge_b");
-        let a = ShardedDb::open(&root_a, "mc1").unwrap();
-        let b = ShardedDb::open(&root_b, "mc1").unwrap();
+        let a = ShardedDb::open(&root_a, &machines::mc1()).unwrap();
+        let b = ShardedDb::open(&root_b, &machines::mc1()).unwrap();
         let d = db();
         a.append(&d.records[0]).unwrap();
         a.append(&d.records[1]).unwrap();
@@ -1110,7 +1194,7 @@ mod tests {
         let err = ShardedDb::merge(&[&a, &b]).unwrap_err();
         assert!(matches!(err, DbError::DuplicateRecord { .. }), "{err}");
         // So is mixing machines.
-        let c = ShardedDb::open(&root_b, "mc2").unwrap();
+        let c = ShardedDb::open(&root_b, &machines::mc2()).unwrap();
         let err = ShardedDb::merge(&[&a, &c]).unwrap_err();
         assert!(matches!(err, DbError::MachineMismatch { .. }), "{err}");
         std::fs::remove_dir_all(root_a).ok();
@@ -1138,6 +1222,7 @@ mod tests {
             .collect();
         let big = TrainingDb {
             machine: "mc1".into(),
+            machine_fingerprint: machines::mc1().fingerprint(),
             records,
         };
         let t = std::time::Instant::now();

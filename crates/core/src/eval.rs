@@ -60,7 +60,7 @@ impl EvalContext {
             .machines
             .iter()
             .map(|m| {
-                let shards = crate::db::ShardedDb::open(root, &m.name)?;
+                let shards = crate::db::ShardedDb::open(root, m)?;
                 crate::train::collect_training_db_sharded(m, &benchmarks, &cfg, &shards)
             })
             .collect::<Result<_, _>>()?;

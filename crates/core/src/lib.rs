@@ -31,6 +31,7 @@
 //! ```
 
 pub mod config;
+pub mod cross_machine;
 pub mod db;
 pub mod eval;
 pub mod predictor;
@@ -39,6 +40,7 @@ pub mod serve;
 pub mod train;
 
 pub use config::HarnessConfig;
+pub use cross_machine::{cross_machine_matrix, CrossMachineCell, CrossMachineMatrix};
 pub use db::{DbError, FeatureSet, ShardedDb, TrainingDb, TrainingRecord, DB_SCHEMA_VERSION};
 pub use eval::EvalContext;
 pub use predictor::{DeployError, Framework, LaunchPlan, PartitionPredictor, PredictError};

@@ -37,6 +37,20 @@ pub enum PredictError {
         partition_devices: usize,
         machine_devices: usize,
     },
+    /// The predictor was trained on a different machine than the one it is
+    /// deploying on — its label space and learned boundaries are
+    /// meaningless there.
+    MachineMismatch {
+        trained_on: String,
+        deploying_on: String,
+    },
+    /// The deployment machine has the training machine's *name* but
+    /// different hardware — the device profiles changed since training.
+    MachineFingerprintMismatch {
+        machine: String,
+        trained: u64,
+        deployed: u64,
+    },
 }
 
 impl fmt::Display for PredictError {
@@ -66,6 +80,24 @@ impl fmt::Display for PredictError {
                 "label space predicts partitions for {partition_devices} devices but the machine \
                  has {machine_devices}"
             ),
+            PredictError::MachineMismatch {
+                trained_on,
+                deploying_on,
+            } => write!(
+                f,
+                "predictor was trained on machine `{trained_on}` but is deploying on \
+                 `{deploying_on}` — retrain on the deployment machine (or load its predictor)"
+            ),
+            PredictError::MachineFingerprintMismatch {
+                machine,
+                trained,
+                deployed,
+            } => write!(
+                f,
+                "predictor was trained on a machine named `{machine}` with hardware fingerprint \
+                 {trained:#018x}, but this `{machine}` fingerprints as {deployed:#018x} — the \
+                 device profiles changed since training; retrain on the current profile"
+            ),
         }
     }
 }
@@ -86,9 +118,11 @@ pub enum DeployError {
     /// A device failed during the launch and the service could not route
     /// around it (retries exhausted and no surviving devices to re-plan
     /// onto). `permanent` distinguishes a dead device from a transient
-    /// execution fault.
+    /// execution fault; `device_name` is the registry (profile) name of
+    /// the faulty device.
     Fault {
         device: usize,
+        device_name: String,
         permanent: bool,
     },
     /// Admission control refused the launch: the queue held `depth` jobs,
@@ -111,11 +145,15 @@ impl fmt::Display for DeployError {
             DeployError::Vm(e) => write!(f, "launch failed: {e}"),
             DeployError::Predict(e) => write!(f, "prediction failed: {e}"),
             DeployError::Worker(msg) => write!(f, "service worker panicked: {msg}"),
-            DeployError::Fault { device, permanent } => {
+            DeployError::Fault {
+                device,
+                device_name,
+                permanent,
+            } => {
                 let kind = if *permanent { "died" } else { "faulted" };
                 write!(
                     f,
-                    "device {device} {kind} and the launch could not be re-planned"
+                    "device {device} (`{device_name}`) {kind} and the launch could not be re-planned"
                 )
             }
             DeployError::Overloaded { depth } => {
@@ -148,8 +186,13 @@ impl From<LaunchError> for DeployError {
     fn from(e: LaunchError) -> Self {
         match e {
             LaunchError::Vm(e) => DeployError::Vm(e),
-            LaunchError::DeviceFault { device, permanent } => DeployError::Fault {
+            LaunchError::DeviceFault {
+                device,
+                device_name,
+                permanent,
+            } => DeployError::Fault {
                 device: device.0,
+                device_name,
                 permanent,
             },
         }
@@ -167,6 +210,13 @@ pub fn log_compress(features: &[f64]) -> Vec<f64> {
 /// task partitioning.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PartitionPredictor {
+    /// Registry name of the machine the training measurements were taken
+    /// on. A predictor only deploys on that machine.
+    pub machine: String,
+    /// Hardware fingerprint ([`hetpart_oclsim::Machine::fingerprint`]) of
+    /// the training machine — catches a machine whose device profiles
+    /// changed under an unchanged name.
+    pub machine_fingerprint: u64,
     /// Dense class → partitioning mapping.
     pub label_space: Vec<Partition>,
     pub pipeline: Pipeline,
@@ -182,6 +232,8 @@ impl PartitionPredictor {
     /// pipeline was fitted for. A mismatch used to surface only as a
     /// silently clamped (wrong) partition at predict time.
     pub fn new(
+        machine: String,
+        machine_fingerprint: u64,
         label_space: Vec<Partition>,
         pipeline: Pipeline,
         feature_set: FeatureSet,
@@ -198,6 +250,8 @@ impl PartitionPredictor {
             });
         }
         Ok(Self {
+            machine,
+            machine_fingerprint,
             label_space,
             pipeline,
             feature_set,
@@ -218,8 +272,15 @@ impl PartitionPredictor {
         let feature_dim = data.dim();
         let x: Vec<Vec<f64>> = data.x.iter().map(|r| log_compress(r)).collect();
         let pipeline = Pipeline::fit(model, &x, &data.y, label_space.len());
-        Self::new(label_space, pipeline, feature_set, feature_dim)
-            .expect("a pipeline fitted on its own dataset is consistent")
+        Self::new(
+            db.machine.clone(),
+            db.machine_fingerprint,
+            label_space,
+            pipeline,
+            feature_set,
+            feature_dim,
+        )
+        .expect("a pipeline fitted on its own dataset is consistent")
     }
 
     /// Train on the merged view of one or more shard stores (collected by
@@ -307,10 +368,14 @@ pub struct LaunchPlan {
 impl Framework {
     /// Check that this predictor can deploy on this executor's machine:
     /// every label-space partition must address exactly the machine's
-    /// device count. Run it once at service start-up — a mismatch would
-    /// otherwise panic deep inside the executor on the first launch.
+    /// device count, and the machine must be the one the predictor was
+    /// trained on — same registry name *and* same hardware fingerprint.
+    /// Run it once at service start-up — a mismatch would otherwise panic
+    /// deep inside the executor on the first launch, or silently deploy a
+    /// model whose learned boundaries are meaningless on this hardware.
     pub fn validate(&self) -> Result<(), PredictError> {
-        let machine_devices = self.executor.machine.num_devices();
+        let machine = &self.executor.machine;
+        let machine_devices = machine.num_devices();
         for p in &self.predictor.label_space {
             if p.num_devices() != machine_devices {
                 return Err(PredictError::ArityMismatch {
@@ -321,6 +386,20 @@ impl Framework {
         }
         if self.predictor.label_space.is_empty() {
             return Err(PredictError::EmptyLabelSpace);
+        }
+        if self.predictor.machine != machine.name {
+            return Err(PredictError::MachineMismatch {
+                trained_on: self.predictor.machine.clone(),
+                deploying_on: machine.name.clone(),
+            });
+        }
+        let deployed = machine.fingerprint();
+        if self.predictor.machine_fingerprint != deployed {
+            return Err(PredictError::MachineFingerprintMismatch {
+                machine: machine.name.clone(),
+                trained: self.predictor.machine_fingerprint,
+                deployed,
+            });
         }
         Ok(())
     }
@@ -552,6 +631,8 @@ mod tests {
         // label space must be rejected, not clamped into at predict time.
         let truncated: Vec<Partition> = p.label_space[..1].to_vec();
         let err = PartitionPredictor::new(
+            p.machine.clone(),
+            p.machine_fingerprint,
             truncated,
             p.pipeline.clone(),
             FeatureSet::Both,
@@ -563,8 +644,15 @@ mod tests {
             "{err}"
         );
         assert_eq!(
-            PartitionPredictor::new(vec![], p.pipeline.clone(), FeatureSet::Both, p.feature_dim)
-                .unwrap_err(),
+            PartitionPredictor::new(
+                p.machine.clone(),
+                p.machine_fingerprint,
+                vec![],
+                p.pipeline.clone(),
+                FeatureSet::Both,
+                p.feature_dim
+            )
+            .unwrap_err(),
             PredictError::EmptyLabelSpace
         );
     }
@@ -593,5 +681,39 @@ mod tests {
             bad.validate().unwrap_err(),
             PredictError::ArityMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn framework_validate_catches_foreign_and_drifted_machines() {
+        let db = small_db(); // trained on mc2
+        let predictor = PartitionPredictor::train(
+            &db,
+            &ModelConfig::Tree(TreeConfig::default()),
+            FeatureSet::Both,
+        );
+        // Same arity (3 devices), different machine: mc1.
+        let foreign = Framework {
+            executor: Executor::new(machines::mc1()),
+            predictor: predictor.clone(),
+        };
+        let err = foreign.validate().unwrap_err();
+        assert!(matches!(err, PredictError::MachineMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("mc1"), "{err}");
+        assert!(err.to_string().contains("mc2"), "{err}");
+        // Same name, drifted hardware: tweak one device's clock.
+        let mut drifted_machine = machines::mc2();
+        drifted_machine.devices[0].clock_ghz *= 1.5;
+        let mut drifted_predictor = predictor;
+        drifted_predictor.machine_fingerprint = machines::mc2().fingerprint();
+        let drifted = Framework {
+            executor: Executor::new(drifted_machine),
+            predictor: drifted_predictor,
+        };
+        let err = drifted.validate().unwrap_err();
+        assert!(
+            matches!(err, PredictError::MachineFingerprintMismatch { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("device profiles changed"), "{err}");
     }
 }

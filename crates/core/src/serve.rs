@@ -1074,7 +1074,11 @@ fn process(
                 }
                 break report;
             }
-            Err(DeployError::Fault { device, permanent }) => {
+            Err(DeployError::Fault {
+                device,
+                device_name,
+                permanent,
+            }) => {
                 shared.health.record_failure(device, permanent);
                 if let Some(p) = &pristine {
                     bufs.clone_from(p);
@@ -1093,7 +1097,13 @@ fn process(
                         }
                         // No survivors (or no change, which would loop
                         // forever): surface the fault.
-                        _ => return Err(DeployError::Fault { device, permanent }),
+                        _ => {
+                            return Err(DeployError::Fault {
+                                device,
+                                device_name,
+                                permanent,
+                            })
+                        }
                     }
                 } else {
                     transient_tries += 1;
@@ -1444,7 +1454,10 @@ mod tests {
         let dim = probe.static_features.to_vec().len();
         let x = vec![vec![0.0; dim]];
         let pipeline = hetpart_ml::Pipeline::fit(&ModelConfig::Knn { k: 1 }, &x, &[0], 1);
+        let machine = machines::mc2();
         let predictor = PartitionPredictor::new(
+            machine.name.clone(),
+            machine.fingerprint(),
             vec![Partition::from_tenths(tenths)],
             pipeline,
             FeatureSet::StaticOnly,

@@ -160,6 +160,11 @@ pub fn collect_training_db_sharded(
         machine.name,
         "shard store belongs to a different machine"
     );
+    assert_eq!(
+        shards.machine_fingerprint(),
+        machine.fingerprint(),
+        "shard store belongs to a machine of the same name but different hardware"
+    );
     // Refuse to resume a store collected under different oracle settings
     // (sweep granularity, sample count, sweep mode) — the records would
     // not be comparable. First run records the fingerprint.
@@ -203,6 +208,7 @@ pub fn collect_training_db_sharded(
 fn canonical_db(machine: &Machine, records: Vec<TrainingRecord>) -> TrainingDb {
     let mut db = TrainingDb {
         machine: machine.name.clone(),
+        machine_fingerprint: machine.fingerprint(),
         records,
     };
     db.canonicalize();

@@ -1,0 +1,363 @@
+//! Cost-model calibration: fit a device's [`OpCosts`] from micro-bench
+//! timings by least squares.
+//!
+//! The cost model's ALU term is linear in the six per-op cost
+//! coefficients:
+//!
+//! ```text
+//! t_alu(w) = Σ_op  count_op(w) · cost_op  /  effective_alu_throughput(dev, w)
+//! ```
+//!
+//! and the throughput factor depends only on the device *geometry* (clock,
+//! lanes, VLIW width, saturation) and the op-count mix — both known
+//! without knowing the costs. So timing a set of register-resident
+//! micro-benchmarks with diverse op mixes (the per-op counters are exactly
+//! what the `hetpart-inspire` VM already collects per launch) gives one
+//! linear equation per benchmark, and an over-determined system solved by
+//! least squares recovers the cost table.
+//!
+//! [`calibrate_device`] closes the loop used by the tests, the example,
+//! and CI: simulate the micro-bench timings with the device's true costs,
+//! fit from the timings alone, and compare — the fit must recover the
+//! table within tolerance (to machine precision on noise-free timings,
+//! within a few percent under measurement noise).
+
+use crate::device::{DeviceProfile, OpCosts};
+use crate::model::{effective_alu_throughput, estimate_time, WorkloadShape};
+
+/// Number of fitted coefficients (the six fields of [`OpCosts`]).
+pub const NUM_COEFFS: usize = 6;
+
+/// Everything that can go wrong fitting a cost table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalibrateError {
+    /// Fewer usable timings than coefficients to fit.
+    Underdetermined { rows: usize, needed: usize },
+    /// The op mixes are not diverse enough to separate the coefficients.
+    Singular,
+    /// A timing row is unusable for the linear fit.
+    BadTiming { index: usize, detail: String },
+    /// The best fit assigns a non-positive cost — the timings are not
+    /// explained by the model (wrong device geometry, corrupt data).
+    NonPositiveFit { op: &'static str, value: f64 },
+}
+
+impl std::fmt::Display for CalibrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrateError::Underdetermined { rows, needed } => write!(
+                f,
+                "calibration needs at least {needed} independent timings, got {rows}"
+            ),
+            CalibrateError::Singular => write!(
+                f,
+                "calibration workloads do not span the op-cost space (singular system)"
+            ),
+            CalibrateError::BadTiming { index, detail } => {
+                write!(f, "timing #{index} is unusable: {detail}")
+            }
+            CalibrateError::NonPositiveFit { op, value } => write!(
+                f,
+                "fit assigned op cost `{op}` = {value}, which is not positive — \
+                 the timings are inconsistent with the device geometry"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CalibrateError {}
+
+/// The standard micro-bench suite for one device: register-resident
+/// (no loads/stores, no transfers), fully coalesced, divergence-free, and
+/// saturated (items well past `saturation_items`), so the observed time is
+/// exactly `launch + t_alu`. Twelve mixes: six dominated by one op class
+/// each, six blended — comfortably over-determined for six coefficients.
+pub fn calibration_workloads(dev: &DeviceProfile) -> Vec<WorkloadShape> {
+    // Saturate the device (utilization exactly 1) AND run long enough that
+    // the ALU term dwarfs the fixed launch overhead — otherwise relative
+    // timing noise on `launch + t_alu` is amplified when the known launch
+    // cost is subtracted out.
+    let items = (dev.saturation_items.ceil() as u64).max(1).max(1 << 18) * 4;
+    // (int, float, transcendental, cmp, branch, other) per item. The first
+    // six rows are nearly one-hot so each coefficient is pinned almost
+    // directly; the blends over-determine the system against noise.
+    const MIXES: [[u64; NUM_COEFFS]; 12] = [
+        [200, 1, 1, 1, 1, 1],  // integer-dominated
+        [1, 200, 1, 1, 1, 1],  // float-dominated
+        [1, 1, 100, 1, 1, 1],  // transcendental-dominated
+        [1, 1, 1, 150, 1, 1],  // compare-dominated
+        [1, 1, 1, 1, 150, 1],  // branch-dominated
+        [1, 1, 1, 1, 1, 200],  // move/other-dominated
+        [16, 32, 4, 8, 8, 12], // float-leaning blend
+        [40, 10, 2, 20, 5, 6], // int/cmp blend
+        [8, 50, 10, 4, 12, 20],
+        [30, 30, 0, 10, 10, 10],
+        [5, 5, 25, 5, 25, 5],
+        [20, 0, 0, 40, 0, 40],
+    ];
+    MIXES
+        .iter()
+        .map(|m| WorkloadShape {
+            items,
+            int_ops: m[0] * items,
+            float_ops: m[1] * items,
+            transcendental_ops: m[2] * items,
+            cmp_ops: m[3] * items,
+            branch_ops: m[4] * items,
+            other_ops: m[5] * items,
+            loads: 0,
+            stores: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            divergence: 0.0,
+            coalesced_fraction: 1.0,
+        })
+        .collect()
+}
+
+/// Fit the six [`OpCosts`] coefficients from `(workload, observed seconds)`
+/// pairs by least squares over the normal equations.
+///
+/// Workloads must be register-resident (no loads/stores/transfers) so the
+/// model's roofline `max(alu, mem)` degenerates to the linear ALU term —
+/// [`calibration_workloads`] produces exactly such shapes.
+pub fn fit_op_costs(
+    dev: &DeviceProfile,
+    timings: &[(WorkloadShape, f64)],
+) -> Result<OpCosts, CalibrateError> {
+    if timings.len() < NUM_COEFFS {
+        return Err(CalibrateError::Underdetermined {
+            rows: timings.len(),
+            needed: NUM_COEFFS,
+        });
+    }
+
+    let launch = dev.launch_overhead_us * 1e-6;
+    let mut rows: Vec<([f64; NUM_COEFFS], f64)> = Vec::with_capacity(timings.len());
+    for (index, (w, t)) in timings.iter().enumerate() {
+        let bad = |detail: &str| CalibrateError::BadTiming {
+            index,
+            detail: detail.to_string(),
+        };
+        if w.items == 0 {
+            return Err(bad("zero work-items"));
+        }
+        if w.mem_bytes() > 0 || w.bytes_in > 0 || w.bytes_out > 0 {
+            return Err(bad(
+                "calibration workloads must be register-resident (no loads, stores, or transfers)",
+            ));
+        }
+        if !t.is_finite() || *t <= launch {
+            return Err(bad(&format!(
+                "observed time {t:?} s does not exceed the launch overhead {launch:?} s"
+            )));
+        }
+        let throughput = effective_alu_throughput(dev, w);
+        let counts = [
+            w.int_ops,
+            w.float_ops,
+            w.transcendental_ops,
+            w.cmp_ops,
+            w.branch_ops,
+            w.other_ops,
+        ];
+        let mut a = [0.0; NUM_COEFFS];
+        for (ai, c) in a.iter_mut().zip(counts) {
+            *ai = c as f64 / throughput;
+        }
+        rows.push((a, t - launch));
+    }
+
+    // Normal equations: (AᵀA) x = Aᵀb.
+    let mut ata = [[0.0f64; NUM_COEFFS]; NUM_COEFFS];
+    let mut atb = [0.0f64; NUM_COEFFS];
+    for (a, b) in &rows {
+        for i in 0..NUM_COEFFS {
+            for j in 0..NUM_COEFFS {
+                ata[i][j] += a[i] * a[j];
+            }
+            atb[i] += a[i] * b;
+        }
+    }
+    let x = solve(ata, atb)?;
+
+    let fitted = OpCosts {
+        int_op: x[0],
+        float_op: x[1],
+        transcendental: x[2],
+        cmp: x[3],
+        branch: x[4],
+        other: x[5],
+    };
+    if let Err((op, value)) = fitted.validate() {
+        return Err(CalibrateError::NonPositiveFit { op, value });
+    }
+    Ok(fitted)
+}
+
+/// Gaussian elimination with partial pivoting on the 6×6 normal system.
+fn solve(
+    mut m: [[f64; NUM_COEFFS]; NUM_COEFFS],
+    mut b: [f64; NUM_COEFFS],
+) -> Result<[f64; NUM_COEFFS], CalibrateError> {
+    // Relative singularity threshold against the largest diagonal entry.
+    let scale = m
+        .iter()
+        .enumerate()
+        .map(|(i, row)| row[i].abs())
+        .fold(0.0f64, f64::max);
+    let eps = scale.max(f64::MIN_POSITIVE) * 1e-12;
+
+    for col in 0..NUM_COEFFS {
+        let pivot_row = (col..NUM_COEFFS)
+            .max_by(|&a, &b| m[a][col].abs().total_cmp(&m[b][col].abs()))
+            .unwrap_or(col);
+        if m[pivot_row][col].abs() < eps {
+            return Err(CalibrateError::Singular);
+        }
+        m.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        for row in col + 1..NUM_COEFFS {
+            let (pivot_rows, rest) = m.split_at_mut(row);
+            let f = rest[0][col] / pivot_rows[col][col];
+            for (dst, src) in rest[0].iter_mut().zip(&pivot_rows[col]).skip(col) {
+                *dst -= f * src;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0; NUM_COEFFS];
+    for row in (0..NUM_COEFFS).rev() {
+        let mut acc = b[row];
+        for k in row + 1..NUM_COEFFS {
+            acc -= m[row][k] * x[k];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Ok(x)
+}
+
+/// Largest relative disagreement between two cost tables, over all six
+/// coefficients.
+pub fn max_relative_error(truth: &OpCosts, fitted: &OpCosts) -> f64 {
+    truth
+        .as_named()
+        .iter()
+        .zip(fitted.as_named())
+        .map(|((_, t), (_, f))| (f - t).abs() / t.abs().max(f64::MIN_POSITIVE))
+        .fold(0.0, f64::max)
+}
+
+/// Result of one calibration round trip on a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationOutcome {
+    /// The recovered cost table.
+    pub fitted: OpCosts,
+    /// Largest relative coefficient error against the device's true costs.
+    pub max_rel_err: f64,
+}
+
+/// Round-trip calibration against simulated timings: run the standard
+/// micro-bench suite through the cost model with the device's true costs
+/// (optionally perturbing each timing through `noise`, e.g. simulated
+/// measurement jitter), fit a cost table from the timings alone, and
+/// report the worst coefficient error.
+pub fn calibrate_device(
+    dev: &DeviceProfile,
+    mut noise: impl FnMut(usize, f64) -> f64,
+) -> Result<CalibrationOutcome, CalibrateError> {
+    let timings: Vec<(WorkloadShape, f64)> = calibration_workloads(dev)
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let t = estimate_time(dev, &w).total;
+            (w, noise(i, t))
+        })
+        .collect();
+    let fitted = fit_op_costs(dev, &timings)?;
+    Ok(CalibrationOutcome {
+        max_rel_err: max_relative_error(&dev.cost, &fitted),
+        fitted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    /// Noise-free timings must recover the table to machine precision on
+    /// every device of every embedded machine — the zoo included.
+    #[test]
+    fn round_trip_recovers_costs_exactly() {
+        for m in machines::builtin_registry().machines() {
+            for d in &m.devices {
+                let out = calibrate_device(d, |_, t| t)
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", m.name, d.name));
+                assert!(
+                    out.max_rel_err < 1e-9,
+                    "{}/{}: max rel err {:.3e}",
+                    m.name,
+                    d.name,
+                    out.max_rel_err
+                );
+            }
+        }
+    }
+
+    /// With ±0.5% multiplicative jitter on every timing, least squares
+    /// over the over-determined system still lands within a few percent.
+    #[test]
+    fn round_trip_is_robust_to_timing_noise() {
+        let m = machines::by_name("mc1");
+        for d in &m.devices {
+            // Deterministic pseudo-noise: alternate sign, scaled by index.
+            let out = calibrate_device(d, |i, t| {
+                let jitter = 0.005 * if i % 2 == 0 { 1.0 } else { -1.0 };
+                t * (1.0 + jitter)
+            })
+            .unwrap_or_else(|e| panic!("{e}"));
+            assert!(
+                out.max_rel_err < 0.05,
+                "{}: noisy max rel err {:.3e}",
+                d.name,
+                out.max_rel_err
+            );
+        }
+    }
+
+    #[test]
+    fn underdetermined_and_bad_rows_are_typed() {
+        let d = machines::mc2().devices[0].clone();
+        let w = calibration_workloads(&d);
+
+        let few: Vec<_> = w
+            .iter()
+            .take(3)
+            .map(|w| (*w, estimate_time(&d, w).total))
+            .collect();
+        assert_eq!(
+            fit_op_costs(&d, &few).unwrap_err(),
+            CalibrateError::Underdetermined { rows: 3, needed: 6 }
+        );
+
+        // A memory-touching workload cannot be inverted linearly.
+        let mut touched: Vec<_> = w.iter().map(|w| (*w, estimate_time(&d, w).total)).collect();
+        touched[2].0.loads = 1000;
+        assert!(matches!(
+            fit_op_costs(&d, &touched).unwrap_err(),
+            CalibrateError::BadTiming { index: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn identical_mixes_are_singular() {
+        let d = machines::mc2().devices[1].clone();
+        let w = calibration_workloads(&d)[0];
+        let rows: Vec<_> = (0..8).map(|_| (w, estimate_time(&d, &w).total)).collect();
+        assert_eq!(
+            fit_op_costs(&d, &rows).unwrap_err(),
+            CalibrateError::Singular
+        );
+    }
+}

@@ -103,6 +103,29 @@ impl OpCosts {
             other: 0.5,
         }
     }
+
+    /// The costs as `(op name, cycles)` pairs, in a fixed canonical order.
+    pub fn as_named(&self) -> [(&'static str, f64); 6] {
+        [
+            ("int_op", self.int_op),
+            ("float_op", self.float_op),
+            ("transcendental", self.transcendental),
+            ("cmp", self.cmp),
+            ("branch", self.branch),
+            ("other", self.other),
+        ]
+    }
+
+    /// Every per-op cost must be a positive finite cycle count; returns
+    /// `(op name, offending value)` for the first one that is not.
+    pub fn validate(&self) -> Result<(), (&'static str, f64)> {
+        for (op, v) in self.as_named() {
+            if !v.is_finite() || v <= 0.0 {
+                return Err((op, v));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A complete device performance profile.
@@ -172,6 +195,12 @@ impl DeviceProfile {
         }
         if self.clock_ghz.is_nan() || self.clock_ghz <= 0.0 {
             return Err(format!("{}: clock must be positive", self.name));
+        }
+        if let Err((op, v)) = self.cost.validate() {
+            return Err(format!(
+                "{}: op cost `{op}` must be a positive cycle count, got {v}",
+                self.name
+            ));
         }
         if self.mem_bandwidth_gbs.is_nan() || self.mem_bandwidth_gbs <= 0.0 {
             return Err(format!("{}: memory bandwidth must be positive", self.name));

@@ -99,26 +99,38 @@ impl FaultPlan {
 
     /// Validate the plan against a machine: device indices must exist,
     /// rates must be probabilities, slowdowns must not speed devices up.
+    ///
+    /// Error messages name the machine and the device by registry name
+    /// (plus the index, since a machine may carry several identical
+    /// cards), so a report from a fleet of heterogeneous machines reads
+    /// without a device table at hand.
     pub fn validate(&self, machine: &Machine) -> Result<(), String> {
         for f in &self.faults {
             if f.device >= machine.num_devices() {
                 return Err(format!(
-                    "fault plan names device {} but machine `{}` has {}",
-                    f.device,
+                    "machine `{}`: fault plan names device {} but the machine has {} device(s): {}",
                     machine.name,
-                    machine.num_devices()
+                    f.device,
+                    machine.num_devices(),
+                    machine
+                        .devices
+                        .iter()
+                        .map(|d| format!("`{}`", d.name))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 ));
             }
+            let dev_name = &machine.devices[f.device].name;
             if !(0.0..=1.0).contains(&f.transient_rate) || f.transient_rate.is_nan() {
                 return Err(format!(
-                    "device {}: transient rate {} is not a probability",
-                    f.device, f.transient_rate
+                    "machine `{}`, device {} (`{dev_name}`): transient rate {} is not a probability",
+                    machine.name, f.device, f.transient_rate
                 ));
             }
             if f.slowdown < 1.0 || f.slowdown.is_nan() {
                 return Err(format!(
-                    "device {}: slowdown {} must be >= 1",
-                    f.device, f.slowdown
+                    "machine `{}`, device {} (`{dev_name}`): slowdown {} must be >= 1",
+                    machine.name, f.device, f.slowdown
                 ));
             }
         }
@@ -428,6 +440,41 @@ mod tests {
         assert!(FaultPlan::none().validate(&m).is_ok());
         assert!(FaultPlan::none().is_noop());
         assert!(!noisy_plan().is_noop());
+    }
+
+    #[test]
+    fn validation_errors_name_machine_and_device() {
+        // Regression-locked against a zoo machine: the messages must carry
+        // the registry names, not bare indices.
+        let m = machines::by_name("slow_interconnect");
+        let bad_rate = FaultPlan {
+            seed: 0,
+            faults: vec![DeviceFaults {
+                transient_rate: 2.0,
+                ..DeviceFaults::none(1)
+            }],
+        };
+        let msg = bad_rate.validate(&m).unwrap_err();
+        assert!(msg.contains("machine `slow_interconnect`"), "{msg}");
+        assert!(msg.contains("discrete GPU on 1x PCIe riser (A)"), "{msg}");
+
+        let bad_dev = FaultPlan {
+            seed: 0,
+            faults: vec![DeviceFaults::none(7)],
+        };
+        let msg = bad_dev.validate(&m).unwrap_err();
+        assert!(msg.contains("machine `slow_interconnect`"), "{msg}");
+        assert!(msg.contains("8-core workstation CPU"), "{msg}");
+
+        let bad_slow = FaultPlan {
+            seed: 0,
+            faults: vec![DeviceFaults {
+                slowdown: 0.25,
+                ..DeviceFaults::none(0)
+            }],
+        };
+        let msg = bad_slow.validate(&m).unwrap_err();
+        assert!(msg.contains("device 0 (`8-core workstation CPU`)"), "{msg}");
     }
 
     #[test]

@@ -54,13 +54,23 @@
 //! assert!(gpu.total < cpu.total);
 //! ```
 
+pub mod calibrate;
 pub mod device;
 pub mod fault;
 pub mod machine;
 pub mod machines;
 pub mod model;
+pub mod registry;
 
+pub use calibrate::{
+    calibrate_device, calibration_workloads, fit_op_costs, max_relative_error, CalibrateError,
+    CalibrationOutcome,
+};
 pub use device::{DeviceClass, DeviceId, DeviceProfile, OpCosts};
 pub use fault::{DeviceFaults, FaultPlan, FaultState, FaultVerdict};
 pub use machine::Machine;
-pub use model::{estimate_time, TimeBreakdown, WorkloadShape};
+pub use model::{effective_alu_throughput, estimate_time, TimeBreakdown, WorkloadShape};
+pub use registry::{
+    machine_from_profile_str, machine_to_profile_json, validate_machine, MachineRegistry,
+    RegistryError, PROFILE_SCHEMA_VERSION,
+};

@@ -70,12 +70,90 @@ impl Machine {
         (self.devices.len() > 1).then_some(DeviceId(1))
     }
 
+    /// A stable 64-bit fingerprint of the full hardware description:
+    /// machine name, device order, and every profile field (floats by
+    /// exact bit pattern). Two machines agree on their fingerprint iff
+    /// simulated timings on them are interchangeable, so training data
+    /// and predictors are tagged with it — renaming a registry entry or
+    /// nudging a single cost coefficient changes the fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.str(&self.name);
+        h.f64(self.multi_device_overhead_us);
+        h.u64(self.devices.len() as u64);
+        for d in &self.devices {
+            h.str(&d.name);
+            h.u64(match d.class {
+                crate::DeviceClass::Cpu => 0,
+                crate::DeviceClass::GpuSimt => 1,
+                crate::DeviceClass::GpuVliw => 2,
+            });
+            h.u64(u64::from(d.compute_units));
+            h.u64(u64::from(d.lanes_per_unit));
+            h.u64(u64::from(d.ilp_width));
+            h.f64(d.clock_ghz);
+            for (_, v) in d.cost.as_named() {
+                h.f64(v);
+            }
+            h.f64(d.mem_bandwidth_gbs);
+            h.f64(d.uncoalesced_efficiency);
+            match d.link_bandwidth_gbs {
+                None => h.u64(0),
+                Some(bw) => {
+                    h.u64(1);
+                    h.f64(bw);
+                }
+            }
+            h.f64(d.link_latency_us);
+            h.f64(d.launch_overhead_us);
+            h.f64(d.divergence_penalty);
+            h.f64(d.saturation_items);
+            h.f64(d.base_ilp_fill);
+        }
+        h.finish()
+    }
+
     /// Instantiate the runtime fault state for a chaos plan targeting
     /// this machine, validating the plan against it first (device indices
     /// in range, rates are probabilities, slowdowns ≥ 1).
     pub fn fault_state(&self, plan: &crate::fault::FaultPlan) -> Result<crate::FaultState, String> {
         plan.validate(self)?;
         Ok(plan.state(self.num_devices()))
+    }
+}
+
+/// FNV-1a, 64 bit — tiny, dependency-free, stable across platforms.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -106,6 +184,23 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn empty_machine_panics() {
         Machine::new("empty", vec![], 0.0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_hardware_identity() {
+        let m = machines::mc2();
+        assert_eq!(m.fingerprint(), machines::mc2().fingerprint());
+        assert_ne!(m.fingerprint(), machines::mc1().fingerprint());
+
+        // A rename changes it ...
+        let mut renamed = m.clone();
+        renamed.name = "mc2-prime".into();
+        assert_ne!(renamed.fingerprint(), m.fingerprint());
+
+        // ... and so does nudging one cost coefficient.
+        let mut nudged = m.clone();
+        nudged.devices[1].cost.float_op += 1e-9;
+        assert_ne!(nudged.fingerprint(), m.fingerprint());
     }
 
     #[test]

@@ -1,134 +1,53 @@
-//! The paper's two target machines, `mc1` and `mc2`.
+//! The paper's two target machines, `mc1` and `mc2`, plus the synthetic
+//! zoo — all loaded from the embedded JSON profiles under `profiles/`.
 //!
 //! > "The first platform, mc1, consists of two AMD Opteron CPUs and two
 //! > Ati Radeon HD 5870 GPUs, while the second, mc2, holds two Intel Xeon
 //! > CPUs and two NVIDIA GeForce GTX 480 GPUs."
 //!
-//! The profiles below are calibrated from the public specifications of
+//! The stock profiles are calibrated from the public specifications of
 //! those parts (core counts, clocks, memory and PCIe 2.0 bandwidths) with
 //! efficiency factors chosen to reproduce the paper's qualitative result:
 //! on `mc1` the VLIW GPUs underperform on untuned scalar kernels (so the
 //! CPU-only default usually wins), on `mc2` the scalar SIMT GTX 480s are
-//! strong (so the GPU-only default usually wins).
+//! strong (so the GPU-only default usually wins). The numbers themselves
+//! now live in `profiles/mc1.json` / `profiles/mc2.json` and load through
+//! [`crate::registry::MachineRegistry`] — the same path as any
+//! user-supplied machine — so the data path is regression-locked by every
+//! test that touches the paper machines.
 
-use crate::device::{DeviceClass, DeviceProfile, OpCosts};
+use std::sync::OnceLock;
+
 use crate::machine::Machine;
+use crate::registry::MachineRegistry;
 
-/// Dual-socket AMD Opteron (Magny-Cours-class, 2 × 12 cores @ 1.9 GHz)
-/// exposed as a single OpenCL CPU device, as the paper reports.
-pub fn opteron_cpu() -> DeviceProfile {
-    DeviceProfile {
-        name: "2x AMD Opteron (24 cores)".into(),
-        class: DeviceClass::Cpu,
-        compute_units: 24,
-        lanes_per_unit: 1,
-        ilp_width: 1,
-        clock_ghz: 1.9,
-        cost: OpCosts::cpu(),
-        // Untuned single-buffer allocations land on one NUMA node of the
-        // four-node Magny-Cours topology, so effective bandwidth is far
-        // below the aggregate peak.
-        mem_bandwidth_gbs: 19.0,
-        // Caches hide most strided-access cost on CPUs.
-        uncoalesced_efficiency: 0.7,
-        link_bandwidth_gbs: None,
-        link_latency_us: 0.0,
-        launch_overhead_us: 6.0,
-        // MIMD cores do not suffer lock-step divergence.
-        divergence_penalty: 0.05,
-        saturation_items: 96.0,
-        base_ilp_fill: 1.0,
-    }
+/// The shared registry of embedded machines (paper machines + zoo),
+/// loaded once per process.
+pub fn builtin_registry() -> &'static MachineRegistry {
+    static REGISTRY: OnceLock<MachineRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MachineRegistry::builtin)
 }
 
-/// ATI Radeon HD 5870: 20 SIMD engines × 16 lanes × 5 VLIW slots @ 850 MHz,
-/// 153 GB/s GDDR5, PCIe 2.0.
+/// Fetch an embedded machine by registry name.
 ///
-/// The paper: "The VLIW architecture with a very wide instruction width and
-/// high branch miss penalty would require specific fine-tuning of each code
-/// to perform well. However, none of our test cases was tuned for a
-/// specific device." `base_ilp_fill` models exactly that: untuned scalar
-/// kernels fill only a small fraction of the 4 extra slots.
-pub fn radeon_hd5870() -> DeviceProfile {
-    DeviceProfile {
-        name: "ATI Radeon HD 5870".into(),
-        class: DeviceClass::GpuVliw,
-        compute_units: 20,
-        lanes_per_unit: 16,
-        ilp_width: 5,
-        clock_ghz: 0.85,
-        cost: OpCosts::gpu_vliw(),
-        mem_bandwidth_gbs: 153.0,
-        uncoalesced_efficiency: 0.08,
-        link_bandwidth_gbs: Some(4.0),
-        link_latency_us: 22.0,
-        launch_overhead_us: 90.0,
-        // "high branch miss penalty".
-        divergence_penalty: 9.0,
-        saturation_items: 8_192.0,
-        base_ilp_fill: 0.3,
-    }
-}
-
-/// Dual-socket Intel Xeon (Westmere-class, 2 × 6 cores @ 2.67 GHz) exposed
-/// as a single OpenCL CPU device, driven by Intel's vectorizing OpenCL
-/// runtime (the reason the CPU remains competitive on mc2 while the GPUs
-/// still usually win there).
-pub fn xeon_cpu() -> DeviceProfile {
-    DeviceProfile {
-        name: "2x Intel Xeon (12 cores)".into(),
-        class: DeviceClass::Cpu,
-        compute_units: 12,
-        lanes_per_unit: 1,
-        ilp_width: 1,
-        clock_ghz: 2.67,
-        cost: OpCosts::cpu_vectorizing(),
-        mem_bandwidth_gbs: 26.0,
-        uncoalesced_efficiency: 0.7,
-        link_bandwidth_gbs: None,
-        link_latency_us: 0.0,
-        launch_overhead_us: 8.0,
-        divergence_penalty: 0.05,
-        saturation_items: 48.0,
-        base_ilp_fill: 1.0,
-    }
-}
-
-/// NVIDIA GeForce GTX 480 (Fermi): 15 SMs × 32 lanes @ 1.4 GHz shader
-/// clock, 177 GB/s GDDR5, PCIe 2.0. Scalar SIMT cores run untuned code
-/// well — the reason GPU-only usually wins on `mc2`.
-pub fn gtx480() -> DeviceProfile {
-    DeviceProfile {
-        name: "NVIDIA GeForce GTX 480".into(),
-        class: DeviceClass::GpuSimt,
-        compute_units: 15,
-        lanes_per_unit: 32,
-        ilp_width: 1,
-        clock_ghz: 1.4,
-        cost: OpCosts::gpu_simt(),
-        mem_bandwidth_gbs: 150.0,
-        uncoalesced_efficiency: 0.15,
-        link_bandwidth_gbs: Some(7.0),
-        link_latency_us: 12.0,
-        launch_overhead_us: 20.0,
-        divergence_penalty: 2.5,
-        saturation_items: 7_680.0,
-        base_ilp_fill: 1.0,
-    }
+/// # Panics
+/// Panics if no embedded machine has that name; the inventory is fixed at
+/// compile time, so a miss is a bug in the caller.
+pub fn by_name(name: &str) -> Machine {
+    builtin_registry()
+        .get(name)
+        .unwrap_or_else(|| panic!("no embedded machine named `{name}`"))
+        .clone()
 }
 
 /// `mc1`: 2× AMD Opteron (one CPU device) + 2× ATI Radeon HD 5870.
 pub fn mc1() -> Machine {
-    Machine::new(
-        "mc1",
-        vec![opteron_cpu(), radeon_hd5870(), radeon_hd5870()],
-        25.0,
-    )
+    by_name("mc1")
 }
 
 /// `mc2`: 2× Intel Xeon (one CPU device) + 2× NVIDIA GeForce GTX 480.
 pub fn mc2() -> Machine {
-    Machine::new("mc2", vec![xeon_cpu(), gtx480(), gtx480()], 20.0)
+    by_name("mc2")
 }
 
 /// Both paper machines, in the order the paper reports them.
@@ -136,10 +55,186 @@ pub fn paper_machines() -> Vec<Machine> {
     vec![mc1(), mc2()]
 }
 
+/// The synthetic zoo: every embedded machine that is *not* one of the
+/// paper machines, in registry order. Each profile exercises a different
+/// corner of the partition space — device counts 1 through 5, shared
+/// versus PCIe memory, symmetric versus asymmetric CPUs.
+pub fn zoo() -> Vec<Machine> {
+    builtin_registry()
+        .machines()
+        .iter()
+        .filter(|m| m.name != "mc1" && m.name != "mc2")
+        .cloned()
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::device::{DeviceClass, DeviceProfile, OpCosts};
     use crate::model::{estimate_time, WorkloadShape};
+
+    // ---- Legacy literal constructors ---------------------------------
+    //
+    // The hand-built profiles that used to define mc1/mc2 in code. They
+    // survive only here, as the reference side of the bit-identity test
+    // that regression-locks the JSON data path against the original
+    // numbers.
+
+    fn legacy_opteron_cpu() -> DeviceProfile {
+        DeviceProfile {
+            name: "2x AMD Opteron (24 cores)".into(),
+            class: DeviceClass::Cpu,
+            compute_units: 24,
+            lanes_per_unit: 1,
+            ilp_width: 1,
+            clock_ghz: 1.9,
+            cost: OpCosts::cpu(),
+            mem_bandwidth_gbs: 19.0,
+            uncoalesced_efficiency: 0.7,
+            link_bandwidth_gbs: None,
+            link_latency_us: 0.0,
+            launch_overhead_us: 6.0,
+            divergence_penalty: 0.05,
+            saturation_items: 96.0,
+            base_ilp_fill: 1.0,
+        }
+    }
+
+    fn legacy_radeon_hd5870() -> DeviceProfile {
+        DeviceProfile {
+            name: "ATI Radeon HD 5870".into(),
+            class: DeviceClass::GpuVliw,
+            compute_units: 20,
+            lanes_per_unit: 16,
+            ilp_width: 5,
+            clock_ghz: 0.85,
+            cost: OpCosts::gpu_vliw(),
+            mem_bandwidth_gbs: 153.0,
+            uncoalesced_efficiency: 0.08,
+            link_bandwidth_gbs: Some(4.0),
+            link_latency_us: 22.0,
+            launch_overhead_us: 90.0,
+            divergence_penalty: 9.0,
+            saturation_items: 8_192.0,
+            base_ilp_fill: 0.3,
+        }
+    }
+
+    fn legacy_xeon_cpu() -> DeviceProfile {
+        DeviceProfile {
+            name: "2x Intel Xeon (12 cores)".into(),
+            class: DeviceClass::Cpu,
+            compute_units: 12,
+            lanes_per_unit: 1,
+            ilp_width: 1,
+            clock_ghz: 2.67,
+            cost: OpCosts::cpu_vectorizing(),
+            mem_bandwidth_gbs: 26.0,
+            uncoalesced_efficiency: 0.7,
+            link_bandwidth_gbs: None,
+            link_latency_us: 0.0,
+            launch_overhead_us: 8.0,
+            divergence_penalty: 0.05,
+            saturation_items: 48.0,
+            base_ilp_fill: 1.0,
+        }
+    }
+
+    fn legacy_gtx480() -> DeviceProfile {
+        DeviceProfile {
+            name: "NVIDIA GeForce GTX 480".into(),
+            class: DeviceClass::GpuSimt,
+            compute_units: 15,
+            lanes_per_unit: 32,
+            ilp_width: 1,
+            clock_ghz: 1.4,
+            cost: OpCosts::gpu_simt(),
+            mem_bandwidth_gbs: 150.0,
+            uncoalesced_efficiency: 0.15,
+            link_bandwidth_gbs: Some(7.0),
+            link_latency_us: 12.0,
+            launch_overhead_us: 20.0,
+            divergence_penalty: 2.5,
+            saturation_items: 7_680.0,
+            base_ilp_fill: 1.0,
+        }
+    }
+
+    fn legacy_mc1() -> Machine {
+        Machine::new(
+            "mc1",
+            vec![
+                legacy_opteron_cpu(),
+                legacy_radeon_hd5870(),
+                legacy_radeon_hd5870(),
+            ],
+            25.0,
+        )
+    }
+
+    fn legacy_mc2() -> Machine {
+        Machine::new(
+            "mc2",
+            vec![legacy_xeon_cpu(), legacy_gtx480(), legacy_gtx480()],
+            20.0,
+        )
+    }
+
+    #[test]
+    fn json_machines_are_bit_identical_to_legacy_constructors() {
+        for (loaded, legacy) in [(mc1(), legacy_mc1()), (mc2(), legacy_mc2())] {
+            assert_eq!(loaded.name, legacy.name);
+            assert_eq!(
+                loaded.multi_device_overhead_us.to_bits(),
+                legacy.multi_device_overhead_us.to_bits()
+            );
+            assert_eq!(loaded.devices.len(), legacy.devices.len());
+            for (i, (ld, lg)) in loaded.devices.iter().zip(&legacy.devices).enumerate() {
+                assert_eq!(ld.name, lg.name, "device {i} name");
+                assert_eq!(ld.class, lg.class, "device {i} class");
+                assert_eq!(ld.compute_units, lg.compute_units, "device {i}");
+                assert_eq!(ld.lanes_per_unit, lg.lanes_per_unit, "device {i}");
+                assert_eq!(ld.ilp_width, lg.ilp_width, "device {i}");
+                let bits = |x: f64| x.to_bits();
+                assert_eq!(bits(ld.clock_ghz), bits(lg.clock_ghz), "device {i} clock");
+                for ((op, got), (_, want)) in ld.cost.as_named().into_iter().zip(lg.cost.as_named())
+                {
+                    assert_eq!(bits(got), bits(want), "device {i} cost `{op}`");
+                }
+                assert_eq!(bits(ld.mem_bandwidth_gbs), bits(lg.mem_bandwidth_gbs));
+                assert_eq!(
+                    bits(ld.uncoalesced_efficiency),
+                    bits(lg.uncoalesced_efficiency)
+                );
+                assert_eq!(
+                    ld.link_bandwidth_gbs.map(bits),
+                    lg.link_bandwidth_gbs.map(bits),
+                    "device {i} link bandwidth"
+                );
+                assert_eq!(bits(ld.link_latency_us), bits(lg.link_latency_us));
+                assert_eq!(bits(ld.launch_overhead_us), bits(lg.launch_overhead_us));
+                assert_eq!(bits(ld.divergence_penalty), bits(lg.divergence_penalty));
+                assert_eq!(bits(ld.saturation_items), bits(lg.saturation_items));
+                assert_eq!(bits(ld.base_ilp_fill), bits(lg.base_ilp_fill));
+            }
+            // The field-by-field pass above localizes any drift; these two
+            // seal the whole-machine equality (including fingerprints).
+            assert_eq!(loaded, legacy);
+            assert_eq!(loaded.fingerprint(), legacy.fingerprint());
+        }
+    }
+
+    #[test]
+    fn zoo_machines_all_validate() {
+        let zoo = zoo();
+        assert!(zoo.len() >= 5, "expected at least 5 zoo machines");
+        for m in &zoo {
+            crate::registry::validate_machine(m).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    // ---- Qualitative behavior of the stock machines -------------------
 
     /// A large, clean streaming workload (vec_add-like): per item one float
     /// op, two loads, one store, 12 bytes in / 4 bytes out.

@@ -123,24 +123,17 @@ impl TimeBreakdown {
 const US: f64 = 1e-6;
 const GB: f64 = 1e9;
 
-/// Estimate the execution time of a chunk on a device.
+/// Effective ALU throughput (cycles per second) the model grants workload
+/// `w` on `dev`: the peak issue rate degraded by VLIW slot under-fill,
+/// SIMT divergence, and lane under-saturation.
 ///
-/// A zero-item workload costs nothing (the device is not used at all — no
-/// launch is issued for it).
-pub fn estimate_time(dev: &DeviceProfile, w: &WorkloadShape) -> TimeBreakdown {
-    if w.items == 0 {
-        return TimeBreakdown::default();
-    }
+/// Exposed separately because it depends only on the device *geometry*
+/// and the workload's op-count mix — not on [`crate::OpCosts`] — which is
+/// exactly what lets [`crate::calibrate`] invert the ALU term of the
+/// model: `t_alu = Σ count_op · cost_op / effective_alu_throughput` is
+/// linear in the six cost coefficients.
+pub fn effective_alu_throughput(dev: &DeviceProfile, w: &WorkloadShape) -> f64 {
     let divergence = w.divergence.clamp(0.0, 1.0);
-    let coalesced = w.coalesced_fraction.clamp(0.0, 1.0);
-
-    // --- ALU term ---------------------------------------------------
-    let cycles = w.int_ops as f64 * dev.cost.int_op
-        + w.float_ops as f64 * dev.cost.float_op
-        + w.transcendental_ops as f64 * dev.cost.transcendental
-        + w.cmp_ops as f64 * dev.cost.cmp
-        + w.branch_ops as f64 * dev.cost.branch
-        + w.other_ops as f64 * dev.cost.other;
 
     // VLIW slot fill: scalar untuned code fills slot 0 always, and a
     // mix-dependent fraction of the remaining slots. Heavy float ALU
@@ -168,10 +161,31 @@ pub fn estimate_time(dev: &DeviceProfile, w: &WorkloadShape) -> TimeBreakdown {
     let utilization = (w.items as f64 / dev.saturation_items).min(1.0);
 
     let peak_cycles_per_sec = dev.total_lanes() * f64::from(dev.ilp_width) * dev.clock_ghz * 1e9;
-    let alu_throughput = peak_cycles_per_sec * ilp_factor * divergence_factor * utilization;
-    let alu = cycles / alu_throughput;
+    peak_cycles_per_sec * ilp_factor * divergence_factor * utilization
+}
+
+/// Estimate the execution time of a chunk on a device.
+///
+/// A zero-item workload costs nothing (the device is not used at all — no
+/// launch is issued for it).
+pub fn estimate_time(dev: &DeviceProfile, w: &WorkloadShape) -> TimeBreakdown {
+    if w.items == 0 {
+        return TimeBreakdown::default();
+    }
+    let coalesced = w.coalesced_fraction.clamp(0.0, 1.0);
+
+    // --- ALU term ---------------------------------------------------
+    let cycles = w.int_ops as f64 * dev.cost.int_op
+        + w.float_ops as f64 * dev.cost.float_op
+        + w.transcendental_ops as f64 * dev.cost.transcendental
+        + w.cmp_ops as f64 * dev.cost.cmp
+        + w.branch_ops as f64 * dev.cost.branch
+        + w.other_ops as f64 * dev.cost.other;
+
+    let alu = cycles / effective_alu_throughput(dev, w);
 
     // --- Memory term ------------------------------------------------
+    let utilization = (w.items as f64 / dev.saturation_items).min(1.0);
     let coalesce_eff = coalesced + (1.0 - coalesced) * dev.uncoalesced_efficiency;
     let mem_bw = dev.mem_bandwidth_gbs * GB * coalesce_eff * utilization.max(0.05);
     let mem = w.mem_bytes() as f64 / mem_bw;

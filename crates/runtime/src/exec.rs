@@ -31,16 +31,26 @@ use crate::partition::Partition;
 #[derive(Debug, Clone, PartialEq)]
 pub enum LaunchError {
     Vm(VmError),
-    DeviceFault { device: DeviceId, permanent: bool },
+    DeviceFault {
+        device: DeviceId,
+        /// The faulty device's registry (profile) name, so fault reports
+        /// read without a device table at hand.
+        device_name: String,
+        permanent: bool,
+    },
 }
 
 impl std::fmt::Display for LaunchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LaunchError::Vm(e) => write!(f, "{e}"),
-            LaunchError::DeviceFault { device, permanent } => write!(
+            LaunchError::DeviceFault {
+                device,
+                device_name,
+                permanent,
+            } => write!(
                 f,
-                "{device} {} during the launch",
+                "{device} (`{device_name}`) {} during the launch",
                 if *permanent {
                     "failed permanently"
                 } else {
@@ -392,12 +402,14 @@ impl Executor {
                     FaultVerdict::Transient => {
                         return Err(LaunchError::DeviceFault {
                             device: dev,
+                            device_name: self.machine.devices[dev.0].name.clone(),
                             permanent: false,
                         })
                     }
                     FaultVerdict::Dead => {
                         return Err(LaunchError::DeviceFault {
                             device: dev,
+                            device_name: self.machine.devices[dev.0].name.clone(),
                             permanent: true,
                         })
                     }
@@ -892,8 +904,13 @@ mod tests {
             err,
             LaunchError::DeviceFault {
                 device: DeviceId(1),
+                device_name: "NVIDIA GeForce GTX 480".into(),
                 permanent: false
             }
+        );
+        assert!(
+            err.to_string().contains("`NVIDIA GeForce GTX 480`"),
+            "fault errors must name the device: {err}"
         );
 
         // A partition avoiding it succeeds, and never consults its fault

@@ -4,6 +4,7 @@
 //! space with a stepsize of 10%": a partitioning assigns each device a
 //! multiple of 10% of the split dimension, summing to 100%.
 
+use hetpart_oclsim::Machine;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Range;
@@ -227,6 +228,26 @@ impl Partition {
         }
         debug_assert_eq!(left, 0);
         Some(Partition { shares })
+    }
+
+    /// Like [`Partition::excluding`], but reports failure as an error
+    /// that names the machine and the excluded devices by registry name
+    /// instead of returning a bare `None` — for surfacing to operators.
+    pub fn excluding_named(&self, machine: &Machine, avoid: &[usize]) -> Result<Partition, String> {
+        self.excluding(avoid).ok_or_else(|| {
+            let named: Vec<String> = avoid
+                .iter()
+                .map(|&i| match machine.devices.get(i) {
+                    Some(d) => format!("device {i} (`{}`)", d.name),
+                    None => format!("device {i} (out of range)"),
+                })
+                .collect();
+            format!(
+                "machine `{}`: excluding {} leaves no device to run on",
+                machine.name,
+                named.join(", ")
+            )
+        })
     }
 }
 
@@ -487,5 +508,28 @@ mod tests {
         let p = Partition::from_tenths(vec![1, 2, 7]);
         let s = serde_json::to_string(&p).unwrap();
         assert_eq!(serde_json::from_str::<Partition>(&s).unwrap(), p);
+    }
+
+    #[test]
+    fn excluding_named_reports_machine_and_device_names() {
+        // Regression-locked against a zoo machine: the error must name
+        // the machine and every excluded device by registry name.
+        let m = hetpart_oclsim::machines::by_name("biglittle");
+        let p = Partition::even(3);
+        assert_eq!(
+            p.excluding_named(&m, &[2]).unwrap(),
+            p.excluding(&[2]).unwrap()
+        );
+        let err = p.excluding_named(&m, &[0, 1, 2]).unwrap_err();
+        assert!(err.contains("machine `biglittle`"), "{err}");
+        assert!(err.contains("device 0 (`big core cluster (4x)`)"), "{err}");
+        assert!(
+            err.contains("device 1 (`LITTLE core cluster (4x)`)"),
+            "{err}"
+        );
+        assert!(
+            err.contains("device 2 (`mobile GPU (shared memory)`)"),
+            "{err}"
+        );
     }
 }

@@ -1,0 +1,59 @@
+//! Cost-model calibration walkthrough (and CI gate).
+//!
+//! For every device of every machine in the built-in registry — the paper
+//! machines and the synthetic zoo — run the register-resident micro-bench
+//! suite through the simulator, then fit the six per-op cycle costs back
+//! from the timings alone by least squares. Two gates:
+//!
+//! * noise-free timings must recover the table to near machine precision
+//!   (max relative coefficient error < 1e-6), and
+//! * timings with ±0.5% alternating jitter must still land within 5%.
+//!
+//! Exits non-zero when either tolerance is missed, so CI catches a cost
+//! model whose ALU term drifts away from the linear form calibration
+//! assumes.
+
+use hetpart_oclsim::{calibrate_device, machines};
+
+const EXACT_TOL: f64 = 1e-6;
+const NOISY_TOL: f64 = 5e-2;
+
+fn main() {
+    let registry = machines::builtin_registry();
+    println!("cost-model calibration over {} machines", registry.len());
+    println!(
+        "{:<20} {:<34} {:>12} {:>12}",
+        "machine", "device", "exact err", "noisy err"
+    );
+    let mut failures = 0usize;
+    for m in registry.machines() {
+        for d in &m.devices {
+            let exact = calibrate_device(d, |_, t| t)
+                .unwrap_or_else(|e| panic!("{}/{}: calibration failed: {e}", m.name, d.name));
+            // Deterministic ±0.5% alternating jitter: the same simulated
+            // "measurement noise" the unit tests use.
+            let noisy = calibrate_device(d, |i, t| t * if i % 2 == 0 { 1.005 } else { 0.995 })
+                .unwrap_or_else(|e| panic!("{}/{}: noisy calibration failed: {e}", m.name, d.name));
+            let ok = exact.max_rel_err < EXACT_TOL && noisy.max_rel_err < NOISY_TOL;
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "{:<20} {:<34} {:>12.3e} {:>12.3e}{}",
+                m.name,
+                d.name,
+                exact.max_rel_err,
+                noisy.max_rel_err,
+                if ok { "" } else { "  <-- OUT OF TOLERANCE" }
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "calibration FAILED: {failures} device(s) out of tolerance \
+             (exact < {EXACT_TOL:.0e}, noisy < {NOISY_TOL:.0e})"
+        );
+        std::process::exit(1);
+    }
+    println!("all devices within tolerance (exact < {EXACT_TOL:.0e}, noisy < {NOISY_TOL:.0e})");
+}

@@ -1,0 +1,99 @@
+//! Cross-machine transfer evaluation: train a predictor on each machine of
+//! the zoo, evaluate it against every other machine's oracle, and write
+//! the transfer matrix to `reports/cross_machine.json`.
+//!
+//! The diagonal shows same-machine (training-set) performance; the
+//! off-diagonal cells show what silently deploying a foreign predictor
+//! would cost — the empirical justification for the machine fingerprint
+//! guards on shard stores and saved predictors.
+//!
+//! Run with: `cargo run --release --example cross_machine`
+//! Set `CROSS_MACHINE_QUICK=1` for a reduced 2x2 matrix (CI smoke mode).
+
+use std::fs;
+use std::path::Path;
+
+use hetpart_core::{collect_training_db, cross_machine_matrix, FeatureSet, HarnessConfig};
+use hetpart_oclsim::{machines, Machine};
+
+fn main() {
+    let quick = std::env::var("CROSS_MACHINE_QUICK").is_ok_and(|v| v == "1");
+
+    // Predictors only transfer between machines of equal device count, so
+    // the matrix covers the 3-device members of the registry: both paper
+    // machines plus the zoo's big.LITTLE and PCIe-starved configurations.
+    let machine_list: Vec<Machine> = if quick {
+        vec![machines::mc1(), machines::mc2()]
+    } else {
+        vec![
+            machines::mc1(),
+            machines::mc2(),
+            machines::by_name("biglittle"),
+            machines::by_name("slow_interconnect"),
+        ]
+    };
+
+    let bench_names: &[&str] = if quick {
+        &["vec_add", "nbody", "blackscholes", "sgemm"]
+    } else {
+        &[
+            "vec_add",
+            "triad",
+            "nbody",
+            "blackscholes",
+            "mandelbrot",
+            "sgemm",
+            "kmeans",
+            "spmv_csr",
+        ]
+    };
+    let benches: Vec<_> = hetpart_suite::all()
+        .into_iter()
+        .filter(|b| bench_names.contains(&b.name))
+        .collect();
+    let cfg = HarnessConfig {
+        sizes_per_benchmark: 2,
+        sample_items: 32,
+        step_tenths: 5,
+        ..HarnessConfig::quick()
+    };
+
+    println!(
+        "cross-machine evaluation: {} machines x {} programs{}",
+        machine_list.len(),
+        benches.len(),
+        if quick { " (quick mode)" } else { "" }
+    );
+    let dbs: Vec<_> = machine_list
+        .iter()
+        .map(|m| {
+            println!("  training phase on {} ...", m.name);
+            collect_training_db(m, &benches, &cfg)
+                .unwrap_or_else(|e| panic!("training on {}: {e}", m.name))
+        })
+        .collect();
+
+    let matrix = cross_machine_matrix(&machine_list, &dbs, &cfg.model, FeatureSet::Both);
+    println!("\n{}", matrix.render());
+
+    // Every cell of this matrix compares equal-arity machines, and every
+    // compatible cell must have priced all of its records.
+    for c in &matrix.cells {
+        assert!(c.compatible, "matrix machines all share one device count");
+        assert!(c.records > 0, "every cell evaluated records: {c:?}");
+        assert!(
+            c.oracle_slowdown.is_finite() && c.oracle_slowdown >= 1.0 - 1e-9,
+            "slowdown is oracle-relative: {c:?}"
+        );
+    }
+
+    let out_dir = Path::new("reports");
+    fs::create_dir_all(out_dir).expect("create reports dir");
+    let path = out_dir.join("cross_machine.json");
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(&matrix).expect("serialize matrix"),
+    )
+    .expect("write matrix");
+    println!("transfer matrix -> {}", path.display());
+}

@@ -1,52 +1,78 @@
 //! Define a *custom* heterogeneous machine (a laptop-class CPU plus one
-//! integrated-GPU-like device), retrain the partitioning model for it, and
-//! compare its decisions with the paper machines' — demonstrating the
-//! portability claim: the framework adapts to the target architecture by
-//! retraining, with no code changes.
+//! integrated-GPU-like device) **as data** — a JSON device profile loaded
+//! through the same registry path as the built-in machines — retrain the
+//! partitioning model for it, and compare its decisions with the paper
+//! machines' — demonstrating the portability claim: the framework adapts
+//! to the target architecture by retraining, with no code changes.
 //!
 //! Run with: `cargo run --release --example custom_machine`
 
 use hetpart_core::{collect_training_db, FeatureSet, HarnessConfig, PartitionPredictor};
-use hetpart_oclsim::{machines, DeviceClass, DeviceProfile, Machine, OpCosts};
+use hetpart_oclsim::{machines, Machine};
 use hetpart_runtime::RuntimeFeatures;
 
+/// The custom machine, written the way a user would ship one: a profile
+/// document, not Rust code. A laptop-class CPU plus an integrated GPU
+/// that shares host memory (`link_bandwidth_gbs: null` — no PCIe!).
+const LAPTOP_PROFILE: &str = r#"{
+  "schema_version": 1,
+  "name": "laptop",
+  "devices": [
+    {
+      "name": "4-core mobile CPU",
+      "class": "Cpu",
+      "compute_units": 4,
+      "lanes_per_unit": 1,
+      "ilp_width": 1,
+      "clock_ghz": 2.4,
+      "cost": {
+        "int_op": 1.1,
+        "float_op": 1.2,
+        "transcendental": 18.0,
+        "cmp": 1.0,
+        "branch": 1.5,
+        "other": 0.6
+      },
+      "mem_bandwidth_gbs": 20.0,
+      "uncoalesced_efficiency": 0.7,
+      "link_bandwidth_gbs": null,
+      "link_latency_us": 0.0,
+      "launch_overhead_us": 8.0,
+      "divergence_penalty": 0.05,
+      "saturation_items": 16.0,
+      "base_ilp_fill": 1.0
+    },
+    {
+      "name": "integrated GPU",
+      "class": "GpuSimt",
+      "compute_units": 6,
+      "lanes_per_unit": 16,
+      "ilp_width": 1,
+      "clock_ghz": 1.1,
+      "cost": {
+        "int_op": 1.0,
+        "float_op": 1.0,
+        "transcendental": 4.0,
+        "cmp": 1.0,
+        "branch": 2.0,
+        "other": 0.5
+      },
+      "mem_bandwidth_gbs": 20.0,
+      "uncoalesced_efficiency": 0.25,
+      "link_bandwidth_gbs": null,
+      "link_latency_us": 0.0,
+      "launch_overhead_us": 15.0,
+      "divergence_penalty": 2.0,
+      "saturation_items": 768.0,
+      "base_ilp_fill": 1.0
+    }
+  ],
+  "multi_device_overhead_us": 10.0
+}"#;
+
 fn laptop() -> Machine {
-    let cpu = DeviceProfile {
-        name: "4-core mobile CPU".into(),
-        class: DeviceClass::Cpu,
-        compute_units: 4,
-        lanes_per_unit: 1,
-        ilp_width: 1,
-        clock_ghz: 2.4,
-        cost: OpCosts::cpu(),
-        mem_bandwidth_gbs: 20.0,
-        uncoalesced_efficiency: 0.7,
-        link_bandwidth_gbs: None,
-        link_latency_us: 0.0,
-        launch_overhead_us: 8.0,
-        divergence_penalty: 0.05,
-        saturation_items: 16.0,
-        base_ilp_fill: 1.0,
-    };
-    // An integrated GPU: shares host memory (no PCIe!), modest width.
-    let igpu = DeviceProfile {
-        name: "integrated GPU".into(),
-        class: DeviceClass::GpuSimt,
-        compute_units: 6,
-        lanes_per_unit: 16,
-        ilp_width: 1,
-        clock_ghz: 1.1,
-        cost: OpCosts::gpu_simt(),
-        mem_bandwidth_gbs: 20.0,
-        uncoalesced_efficiency: 0.25,
-        link_bandwidth_gbs: None, // zero-copy shared memory
-        link_latency_us: 0.0,
-        launch_overhead_us: 15.0,
-        divergence_penalty: 2.0,
-        saturation_items: 768.0,
-        base_ilp_fill: 1.0,
-    };
-    Machine::new("laptop", vec![cpu, igpu], 10.0)
+    hetpart_oclsim::machine_from_profile_str("examples/custom_machine.rs", LAPTOP_PROFILE)
+        .expect("profile validates")
 }
 
 fn main() {

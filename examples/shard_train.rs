@@ -47,8 +47,8 @@ fn main() {
 
     // ---- Two collector processes, disjoint suite halves -------------
     let half = suite.len() / 2;
-    let proc_a = ShardedDb::open(root.join("proc_a"), &machine.name).expect("open shards");
-    let proc_b = ShardedDb::open(root.join("proc_b"), &machine.name).expect("open shards");
+    let proc_a = ShardedDb::open(root.join("proc_a"), &machine).expect("open shards");
+    let proc_b = ShardedDb::open(root.join("proc_b"), &machine).expect("open shards");
     println!(
         "collector A: {} programs x 2 sizes on {} ...",
         half, machine.name

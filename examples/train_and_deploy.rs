@@ -61,6 +61,12 @@ fn main() {
         executor: Executor::new(machine),
         predictor: loaded,
     };
+    // The loaded predictor carries the training machine's name and
+    // hardware fingerprint; validate() refuses a predictor trained on a
+    // different (or since-edited) machine before the first launch.
+    framework
+        .validate()
+        .expect("predictor matches this machine");
 
     let bench = hetpart_suite::by_name(held_out).expect("exists");
     let kernel = bench.compile();

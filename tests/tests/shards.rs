@@ -41,7 +41,7 @@ fn sharded_collection_is_bit_identical_to_serial() {
     let serial = collect_training_db(&machine, &benches(), &cfg()).unwrap();
 
     let root = tmp_root("hetpart_it_shard_serial");
-    let shards = ShardedDb::open(&root, &machine.name).unwrap();
+    let shards = ShardedDb::open(&root, &machine).unwrap();
     let sharded = collect_training_db_sharded(&machine, &benches(), &cfg(), &shards).unwrap();
     assert_eq!(
         serial, sharded,
@@ -64,7 +64,7 @@ fn interrupted_collection_resumes_without_remeasuring() {
     let machine = machines::mc1();
     let all = benches();
     let root = tmp_root("hetpart_it_shard_resume");
-    let shards = ShardedDb::open(&root, &machine.name).unwrap();
+    let shards = ShardedDb::open(&root, &machine).unwrap();
 
     // "First run": only part of the suite completes before the crash.
     collect_training_db_sharded(&machine, &all[..2], &cfg(), &shards).unwrap();
@@ -130,8 +130,8 @@ fn merged_shards_train_a_bit_identical_predictor_in_any_order() {
 
     let root_a = tmp_root("hetpart_it_shard_proc_a");
     let root_b = tmp_root("hetpart_it_shard_proc_b");
-    let proc_a = ShardedDb::open(&root_a, &machine.name).unwrap();
-    let proc_b = ShardedDb::open(&root_b, &machine.name).unwrap();
+    let proc_a = ShardedDb::open(&root_a, &machine).unwrap();
+    let proc_b = ShardedDb::open(&root_b, &machine).unwrap();
     // Process A measures half the suite, process B the other half — note
     // B's slice is *reversed* so its local benchmark order differs too.
     collect_training_db_sharded(&machine, &all[..2], &cfg(), &proc_a).unwrap();
@@ -179,7 +179,7 @@ fn reused_store_returns_only_the_requested_view() {
     let machine = machines::mc1();
     let all = benches();
     let root = tmp_root("hetpart_it_shard_scope");
-    let shards = ShardedDb::open(&root, &machine.name).unwrap();
+    let shards = ShardedDb::open(&root, &machine).unwrap();
     collect_training_db_sharded(&machine, &all, &cfg(), &shards).unwrap();
 
     let subset = &all[..2];
@@ -202,7 +202,7 @@ fn resuming_with_a_different_oracle_config_is_refused() {
     let machine = machines::mc1();
     let all = benches();
     let root = tmp_root("hetpart_it_shard_config");
-    let shards = ShardedDb::open(&root, &machine.name).unwrap();
+    let shards = ShardedDb::open(&root, &machine).unwrap();
     collect_training_db_sharded(&machine, &all[..1], &cfg(), &shards).unwrap();
     let drifted = HarnessConfig {
         step_tenths: 2,
@@ -230,7 +230,7 @@ fn resuming_with_a_drifted_opt_level_is_refused() {
     let machine = machines::mc1();
     let all = benches();
     let root = tmp_root("hetpart_it_shard_opt_level");
-    let shards = ShardedDb::open(&root, &machine.name).unwrap();
+    let shards = ShardedDb::open(&root, &machine).unwrap();
     let optimized = HarnessConfig {
         opt_level: hetpart_inspire::OptLevel::Full,
         ..cfg()
@@ -282,6 +282,7 @@ fn record_shuffles_cannot_permute_labels_or_predictors() {
     let db = collect_training_db(&machine, &benches(), &cfg()).unwrap();
     let mut shuffled = TrainingDb {
         machine: db.machine.clone(),
+        machine_fingerprint: db.machine_fingerprint,
         records: db.records.clone(),
     };
     // Deterministic pseudo-shuffle.
